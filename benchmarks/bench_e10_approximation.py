@@ -1,0 +1,82 @@
+"""E10 — greedy selection vs the exhaustive optimum.
+
+Tutorial claim (§2.3): TATTOO's selection guarantees a
+1/e-approximation of the optimal pattern-set score.  On instances
+small enough to solve exactly, greedy should sit far above that
+bound (usually within a few percent of optimal).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets import NetworkConfig, generate_network
+from repro.patterns import (
+    CoverageIndex,
+    PatternBudget,
+    SetScorer,
+    exhaustive_select,
+    greedy_select,
+)
+from repro.tattoo import TattooConfig, extract_candidates
+
+from conftest import print_table
+
+E_INVERSE = 0.36787944117144233
+
+
+def small_instance(seed):
+    network = generate_network(
+        NetworkConfig(nodes=120, cliques=4, petals=3, flowers=2),
+        seed=seed)
+    budget = PatternBudget(3, min_size=4, max_size=7)
+    by_class = extract_candidates(network, budget,
+                                  TattooConfig(seed=seed,
+                                               samples_scale=0.2))
+    candidates = []
+    seen = set()
+    for patterns in by_class.values():
+        for pattern in patterns:
+            if pattern.code not in seen:
+                seen.add(pattern.code)
+                candidates.append(pattern)
+    rng = random.Random(seed)
+    if len(candidates) > 12:
+        candidates = rng.sample(candidates, 12)
+    scorer = SetScorer(CoverageIndex([network], max_embeddings=20,
+                                     size_utility=True))
+    return candidates, budget, scorer
+
+
+def test_e10_greedy_vs_optimal(benchmark):
+    def sweep():
+        out = []
+        for seed in (51, 52, 53, 54):
+            candidates, budget, scorer = small_instance(seed)
+            greedy = greedy_select(candidates, budget, scorer)
+            exact = exhaustive_select(candidates, budget, scorer)
+            best_greedy = max(greedy.trajectory) if greedy.trajectory \
+                else greedy.score
+            out.append((seed, len(candidates), best_greedy,
+                        exact.score))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for seed, n_candidates, greedy_score, optimal in results:
+        ratio = greedy_score / optimal if optimal > 0 else 1.0
+        rows.append((seed, n_candidates, f"{greedy_score:.4f}",
+                     f"{optimal:.4f}", f"{ratio:.3f}"))
+    print_table("E10: greedy vs exhaustive optimum (small instances)",
+                ("seed", "candidates", "greedy", "optimal", "ratio"),
+                rows)
+    for seed, _, greedy_score, optimal in results:
+        ratio = greedy_score / optimal if optimal > 0 else 1.0
+        assert ratio >= E_INVERSE - 1e-9, \
+            f"seed {seed} violates the 1/e bound"
+    mean_ratio = sum(g / o for _, _, g, o in results) / len(results)
+    print(f"mean greedy/optimal ratio: {mean_ratio:.3f} "
+          f"(bound: {E_INVERSE:.3f})")
+    assert mean_ratio > 0.85, "greedy is typically near-optimal"

@@ -1,0 +1,90 @@
+"""E5 — topology classes: candidates match real query-log structure.
+
+Tutorial claim (§2.3): TATTOO sidesteps missing query logs by
+extracting candidates in the topology classes real SPARQL logs
+exhibit (chains/stars/trees dominate; triangles, cycles, petals,
+flowers form the tail), with triangle-like classes coming from the
+truss-infested region.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_network_workload
+from repro.patterns import (
+    QUERY_LOG_TOPOLOGY_MIX,
+    PatternBudget,
+    TopologyClass,
+    classify_topology,
+    non_triangle_classes,
+    triangle_like_classes,
+)
+from repro.tattoo import TattooConfig, extract_candidates
+from repro.truss import split_by_truss, truss_statistics
+
+from conftest import print_table
+
+
+def test_e5_truss_split_statistics(benchmark, medium_network):
+    stats = benchmark.pedantic(
+        lambda: truss_statistics(medium_network), rounds=1, iterations=1)
+    g_t, g_o = split_by_truss(medium_network)
+    print_table("E5: truss decomposition of the 1000-node network",
+                ("edges", "max trussness", "infested fraction",
+                 "G_T edges", "G_O edges"),
+                [(int(stats["edges"]), int(stats["max_trussness"]),
+                  f"{stats['infested_fraction']:.2%}",
+                  g_t.size(), g_o.size())])
+    assert g_t.size() + g_o.size() == medium_network.size()
+    assert stats["max_trussness"] >= 4  # planted cliques exist
+
+
+def test_e5_candidate_class_mix(benchmark, medium_network):
+    budget = PatternBudget(8, min_size=4, max_size=8)
+    by_class = benchmark.pedantic(
+        lambda: extract_candidates(medium_network, budget,
+                                   TattooConfig(seed=1)),
+        rounds=1, iterations=1)
+    rows = []
+    for cls, patterns in by_class.items():
+        expected_region = ("G_T (truss-infested)"
+                           if cls in triangle_like_classes()
+                           else "G_O (oblivious)")
+        rows.append((cls.value, len(patterns), expected_region))
+    print_table("E5b: TATTOO candidates per topology class",
+                ("class", "candidates", "extracted from"), rows)
+    # triangle-like and non-triangle-like classes are both populated
+    assert any(by_class.get(c) for c in triangle_like_classes()
+               if c in by_class)
+    assert any(by_class.get(c) for c in non_triangle_classes()
+               if c in by_class)
+    # every candidate matches its class
+    for cls, patterns in by_class.items():
+        for pattern in patterns:
+            got = classify_topology(pattern.graph)
+            if cls == TopologyClass.CLIQUE:
+                assert got in (TopologyClass.CLIQUE,
+                               TopologyClass.TRIANGLE)
+            elif cls == TopologyClass.TREE:
+                assert got.is_acyclic()
+            else:
+                assert got == cls
+
+
+def test_e5_workload_mix_follows_log_statistics(benchmark,
+                                                medium_network):
+    workload = benchmark.pedantic(
+        lambda: generate_network_workload(medium_network, 60, seed=5),
+        rounds=1, iterations=1)
+    mix = workload.topology_mix()
+    rows = []
+    for cls, share in sorted(QUERY_LOG_TOPOLOGY_MIX.items(),
+                             key=lambda kv: -kv[1]):
+        rows.append((cls.value, f"{share:.2f}",
+                     f"{mix.get(cls, 0.0):.2f}"))
+    print_table("E5c: workload topology mix vs published log mix",
+                ("class", "log share", "generated share"), rows)
+    acyclic = sum(share for cls, share in mix.items()
+                  if cls.is_acyclic())
+    assert acyclic > 0.5, "acyclic queries dominate, as in real logs"

@@ -1,0 +1,109 @@
+"""E9 — aesthetics: Berlyne's inverted U and layout quality.
+
+Tutorial claims (§2.1, §2.5): satisfaction follows an inverted-U in
+visual complexity (moderate complexity is most pleasant), and layout
+choice moves the aesthetic metrics — the yet-unexplored lever the
+tutorial's future-work section calls out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import complete_graph, cycle_graph, path_graph
+from repro.patterns import Pattern
+from repro.vqi import (
+    berlyne_satisfaction,
+    circular_layout,
+    edge_crossings,
+    layout_quality,
+    panel_aesthetics,
+    spring_layout,
+    visual_complexity,
+)
+
+from conftest import print_table
+
+#: pattern sets of strictly increasing structural complexity
+COMPLEXITY_LADDER = [
+    ("edges", [path_graph(2, label="A")] * 3),
+    ("paths", [path_graph(4, label="A"), path_graph(5, label="A")]),
+    ("cycles", [cycle_graph(5, label="A"), cycle_graph(6, label="A")]),
+    ("cycles+cliques", [cycle_graph(6, label="A"),
+                        complete_graph(4, label="A")]),
+    ("cliques", [complete_graph(5, label="A"),
+                 complete_graph(6, label="A")]),
+    ("dense cliques", [complete_graph(7, label="A"),
+                       complete_graph(8, label="A")]),
+]
+
+
+def test_e9_inverted_u(benchmark):
+    def sweep():
+        return [(name, panel_aesthetics(graphs, seed=1))
+                for name, graphs in COMPLEXITY_LADDER]
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(name, f"{m['visual_complexity']:.3f}",
+             f"{m['satisfaction']:.3f}", f"{m['layout_quality']:.3f}")
+            for name, m in measured]
+    print_table("E9: visual complexity vs satisfaction (Berlyne)",
+                ("panel", "complexity", "satisfaction", "layout q."),
+                rows)
+
+    complexities = [m["visual_complexity"] for _, m in measured]
+    satisfactions = [m["satisfaction"] for _, m in measured]
+    # complexity ladder is monotone
+    assert complexities == sorted(complexities)
+    # inverted U: the peak is interior, both extremes are lower
+    peak = max(range(len(satisfactions)), key=satisfactions.__getitem__)
+    assert 0 < peak < len(satisfactions) - 1
+    assert satisfactions[0] < satisfactions[peak]
+    assert satisfactions[-1] < satisfactions[peak]
+
+
+def test_e9_model_curve(benchmark):
+    """The satisfaction model itself is an inverted U."""
+    xs = [i / 20 for i in range(21)]
+
+    def curve():
+        return [berlyne_satisfaction(x) for x in xs]
+
+    ys = benchmark.pedantic(curve, rounds=1, iterations=1)
+    peak = max(range(len(ys)), key=ys.__getitem__)
+    assert 0 < peak < len(ys) - 1
+    assert all(ys[i] <= ys[i + 1] + 1e-12 for i in range(peak))
+    assert all(ys[i] >= ys[i + 1] - 1e-12 for i in range(peak, len(ys) - 1))
+
+
+def test_e9_layout_choice_matters(benchmark):
+    """Spring layout beats the circular fallback on crossings for
+    planar-ish patterns — layout is an aesthetics lever."""
+    graphs = [path_graph(8, label="A"), cycle_graph(8, label="A")]
+    from repro.graph import petal_graph
+    graphs.append(petal_graph(2, 3, label="A"))
+
+    def run():
+        rows = []
+        wins = 0
+        for g in graphs:
+            spring = spring_layout(g, seed=2)
+            circle = circular_layout(g)
+            crossings_spring = edge_crossings(g, spring)
+            crossings_circle = edge_crossings(g, circle)
+            quality_spring = layout_quality(g, spring)
+            quality_circle = layout_quality(g, circle)
+            if (crossings_spring, -quality_spring) <= (crossings_circle,
+                                                       -quality_circle):
+                wins += 1
+            rows.append((g.name, crossings_spring, crossings_circle,
+                         f"{quality_spring:.3f}",
+                         f"{quality_circle:.3f}"))
+        return rows, wins
+
+    rows, wins = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("E9b: spring vs circular layout",
+                ("graph", "crossings (spring)", "crossings (circle)",
+                 "quality (spring)", "quality (circle)"),
+                rows)
+    assert wins >= 2, "spring layout should win on most shapes"

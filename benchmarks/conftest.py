@@ -1,0 +1,61 @@
+"""Shared fixtures for the experiment benchmarks (E1-E10).
+
+Each bench file regenerates one quantitative claim from the tutorial
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the
+paper-vs-measured record).  Rows are printed so that
+``pytest benchmarks/ --benchmark-only`` output doubles as the
+experiment report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    NetworkConfig,
+    generate_chemical_repository,
+    generate_network,
+    generate_workload,
+)
+from repro.patterns import PatternBudget
+
+
+@pytest.fixture(scope="session")
+def chem_repo():
+    """Medium chemical repository shared by the E1/E3/E6/E7 benches."""
+    return generate_chemical_repository(120, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_chem_repo():
+    return generate_chemical_repository(50, seed=102)
+
+
+@pytest.fixture(scope="session")
+def medium_network():
+    return generate_network(NetworkConfig(nodes=1000, cliques=20,
+                                          petals=15, flowers=10),
+                            seed=103)
+
+
+@pytest.fixture(scope="session")
+def default_budget():
+    return PatternBudget(8, min_size=4, max_size=8)
+
+
+@pytest.fixture(scope="session")
+def chem_workload(chem_repo):
+    return list(generate_workload(chem_repo, 30, seed=104))
+
+
+def print_table(title, header, rows):
+    """Uniform experiment-report table printer."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows),
+                                   default=0))
+              for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,50 @@
+"""Quickstart: build a data-driven VQI and run a visual query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import PatternBudget, build_vqi
+from repro.datasets import generate_chemical_repository
+
+
+def main() -> None:
+    # 1. A graph repository (stand-in for PubChem-style data).
+    repository = generate_chemical_repository(80, seed=7)
+    print(f"repository: {len(repository)} molecule-like graphs")
+
+    # 2. One call builds the whole interface: attribute alphabets are
+    #    traversed from the data and canned patterns are selected by
+    #    CATAPULT under the display budget.
+    budget = PatternBudget(max_patterns=6, min_size=4, max_size=8)
+    vqi = build_vqi(repository, budget, source_name="chem-demo")
+    print(f"built: {vqi}")
+    print("attribute panel:", vqi.attribute_panel.node_alphabet())
+    print("canned patterns:",
+          [(p.order(), p.size()) for p in vqi.pattern_panel.canned])
+
+    # 3. Formulate a query in pattern-at-a-time mode: drop a canned
+    #    pattern onto the canvas (one gesture instead of many).
+    pattern = vqi.pattern_panel.canned[0]
+    vqi.query_panel.builder.add_pattern(pattern)
+    print(f"query: {vqi.query_panel.builder!r}")
+
+    # 4. Execute; the engine prunes by labels, then matches with VF2.
+    results = vqi.execute()
+    print(f"results: {results.match_count()} graphs matched, "
+          f"{results.embedding_count()} embeddings, "
+          f"{results.graphs_pruned} graphs pruned by the label index")
+
+    # 5. The whole interface is a portable JSON spec.
+    spec_json = vqi.spec.to_json()
+    print(f"VQI spec: {len(spec_json)} bytes of JSON")
+
+    # 6. ...and the Pattern Panel renders headlessly to SVG.
+    svg = vqi.render_pattern_panel()
+    out = "pattern_panel.svg"
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    print(f"pattern panel written to {out}")
+
+
+if __name__ == "__main__":
+    main()

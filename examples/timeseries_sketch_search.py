@@ -1,0 +1,69 @@
+"""Beyond graphs: a data-driven sketch-query interface for time series.
+
+The tutorial's "Beyond Graphs" direction (§2.5): the data-driven
+paradigm carries over to sketch-based time-series querying.  Canned
+*sketches* are mined from the collection (recurring SAX shapes) so a
+user can start a query bottom-up from a representative shape instead
+of free-drawing from memory.
+
+Run:  python examples/timeseries_sketch_search.py
+"""
+
+import numpy as np
+
+from repro.timeseries import (
+    SketchBudget,
+    SketchVQI,
+    generate_series_collection,
+)
+
+
+def ascii_sparkline(values, width=40) -> str:
+    """Tiny terminal rendering of a sketch."""
+    glyphs = " .:-=+*#%@"
+    arr = np.asarray(values, dtype=float)
+    if len(arr) > width:
+        idx = np.linspace(0, len(arr) - 1, width).astype(int)
+        arr = arr[idx]
+    lo, hi = arr.min(), arr.max()
+    span = (hi - lo) or 1.0
+    return "".join(glyphs[int((v - lo) / span * (len(glyphs) - 1))]
+                   for v in arr)
+
+
+def main() -> None:
+    collection = generate_series_collection(60, seed=17)
+    print(f"collection: {len(collection)} series of "
+          f"{len(collection[0])} points (planted spikes, steps, "
+          f"ramps, dips, cycles)")
+
+    vqi = SketchVQI(collection, SketchBudget(max_sketches=5, window=40))
+    print(f"\nSketch Panel ({len(vqi.panel)} canned sketches):")
+    for i, sketch in enumerate(vqi.panel):
+        print(f"  [{i}] {sketch.word}  support={sketch.support:<3} "
+              f"complexity={sketch.complexity:.2f}  "
+              f"{ascii_sparkline(sketch.values)}")
+
+    # bottom-up search: seed from the most supported canned sketch
+    best = max(range(len(vqi.panel)),
+               key=lambda i: vqi.panel[i].support)
+    print(f"\nstarting a query from sketch [{best}] "
+          f"({vqi.panel[best].word})...")
+    vqi.start_from_sketch(best)
+    for match in vqi.execute(top_k=5):
+        print(f"  {match.series.name:<6} @{match.start:<4} "
+              f"distance={match.distance:.3f}  "
+              f"{ascii_sparkline(match.series.window(match.start, 40))}")
+
+    # top-down search: free-drawn double spike
+    xs = np.linspace(-4, 4, 40)
+    drawn = np.exp(-(xs - 1.5) ** 2) + np.exp(-(xs + 1.5) ** 2)
+    print("\nfree-drawing a double-spike sketch...")
+    vqi.draw(drawn)
+    for match in vqi.execute(top_k=3):
+        print(f"  {match.series.name:<6} @{match.start:<4} "
+              f"distance={match.distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

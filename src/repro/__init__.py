@@ -1,0 +1,37 @@
+"""repro: data-driven visual query interfaces for graphs.
+
+A from-scratch reproduction of the systems surveyed in "Data-driven
+Visual Query Interfaces for Graphs: Past, Present, and (Near) Future"
+(Bhowmick & Choi, SIGMOD 2022): CATAPULT, TATTOO, and MIDAS canned-
+pattern selection/maintenance, a modular selection architecture, a
+headless four-panel VQI model, and a simulated usability harness.
+
+Start with :mod:`repro.core`::
+
+    from repro.core import build_vqi, PatternBudget
+"""
+
+from repro.core import (
+    MaintainedVQI,
+    Pattern,
+    PatternBudget,
+    PatternSet,
+    VisualQueryInterface,
+    VQISpec,
+    build_maintained_vqi,
+    build_vqi,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MaintainedVQI",
+    "Pattern",
+    "PatternBudget",
+    "PatternSet",
+    "VisualQueryInterface",
+    "VQISpec",
+    "build_maintained_vqi",
+    "build_vqi",
+    "__version__",
+]

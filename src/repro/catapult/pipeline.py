@@ -1,0 +1,223 @@
+"""The CATAPULT pipeline (Huang et al., SIGMOD 2019).
+
+Data-driven canned-pattern selection for a repository of small- or
+medium-sized graphs, in three steps:
+
+1. **Cluster** the repository on frequent-subtree feature vectors.
+2. **Summarise** each cluster into a cluster summary graph (CSG) by
+   iterative graph closure.
+3. **Select** canned patterns greedily from weighted-random-walk
+   candidates, maximising the coverage/diversity/cognitive-load
+   pattern-set score under the display budget.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.clustering.features import (
+    DEFAULT_TREE_EDGES,
+    mine_frequent_trees,
+    repository_feature_matrix,
+)
+from repro.clustering.kmedoids import ClusteringResult, kmedoids
+from repro.clustering.similarity import distance_matrix_from_vectors
+from repro.errors import PipelineError
+from repro.graph.graph import Graph
+from repro.graph.operations import induced_subgraph, sample_connected_node_set
+from repro.matching.isomorphism import is_subgraph
+from repro.patterns.base import Pattern, PatternBudget, PatternSet
+from repro.patterns.index import CoverageIndex
+from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
+from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
+from repro.summary.closure import SummaryGraph, build_summary
+from repro.catapult.random_walk import generate_candidates
+
+
+class CatapultConfig:
+    """Tunables of the CATAPULT pipeline."""
+
+    __slots__ = ("clusters", "min_tree_support", "max_tree_edges",
+                 "walks_per_cluster", "member_samples", "seed", "weights",
+                 "validate_candidates", "coverage_sample",
+                 "max_embeddings")
+
+    def __init__(self, clusters: Optional[int] = None,
+                 min_tree_support: int = 2,
+                 max_tree_edges: int = DEFAULT_TREE_EDGES,
+                 walks_per_cluster: int = 60,
+                 member_samples: int = 20, seed: int = 0,
+                 weights: ScoreWeights = DEFAULT_WEIGHTS,
+                 validate_candidates: bool = True,
+                 coverage_sample: int = 60,
+                 max_embeddings: int = 30) -> None:
+        self.clusters = clusters
+        self.min_tree_support = min_tree_support
+        self.max_tree_edges = max_tree_edges
+        self.walks_per_cluster = walks_per_cluster
+        self.member_samples = member_samples
+        self.seed = seed
+        self.weights = weights
+        self.validate_candidates = validate_candidates
+        self.coverage_sample = coverage_sample
+        self.max_embeddings = max_embeddings
+
+
+class CatapultResult:
+    """Everything the pipeline produced, including stage timings."""
+
+    __slots__ = ("patterns", "clustering", "summaries", "candidates",
+                 "selection", "timings")
+
+    def __init__(self, patterns: PatternSet, clustering: ClusteringResult,
+                 summaries: List[SummaryGraph],
+                 candidates: List[Pattern],
+                 selection: SelectionResult,
+                 timings: Dict[str, float]) -> None:
+        self.patterns = patterns
+        self.clustering = clustering
+        self.summaries = summaries
+        self.candidates = candidates
+        self.selection = selection
+        self.timings = timings
+
+    def __repr__(self) -> str:
+        return (f"<CatapultResult k={len(self.patterns)} "
+                f"clusters={len(self.summaries)} "
+                f"candidates={len(self.candidates)}>")
+
+
+def default_cluster_count(repository_size: int) -> int:
+    """Heuristic k = sqrt(n/2), clamped to [1, n]."""
+    if repository_size <= 1:
+        return 1
+    return max(1, min(repository_size,
+                      round(math.sqrt(repository_size / 2))))
+
+
+def cluster_repository(repository: Sequence[Graph],
+                       config: CatapultConfig) -> ClusteringResult:
+    """Step 1: frequent-subtree features + k-medoids."""
+    vocabulary = mine_frequent_trees(
+        repository, min_support=config.min_tree_support,
+        max_edges=config.max_tree_edges)
+    k = config.clusters or default_cluster_count(len(repository))
+    if not vocabulary:
+        # degenerate repositories (no shared subtree): one cluster
+        return ClusteringResult(labels=[0] * len(repository),
+                                medoids=[0], cost=0.0)
+    matrix = repository_feature_matrix(repository, vocabulary,
+                                       config.max_tree_edges)
+    distances = distance_matrix_from_vectors(matrix, metric="euclidean")
+    return kmedoids(distances, k, seed=config.seed)
+
+
+def summarize_clusters(repository: Sequence[Graph],
+                       clustering: ClusteringResult) -> List[SummaryGraph]:
+    """Step 2: one CSG per non-empty cluster."""
+    summaries: List[SummaryGraph] = []
+    for members in clustering.clusters():
+        if not members:
+            continue
+        summaries.append(build_summary([repository[i] for i in members]))
+    return summaries
+
+
+def _make_validator(members: Sequence[Graph], sample: int = 8):
+    """Candidate validator: occurs in at least one cluster member."""
+    probe = list(members[:sample])
+
+    def validator(candidate: Graph) -> bool:
+        return any(is_subgraph(candidate, member) for member in probe)
+
+    return validator
+
+
+def generate_all_candidates(repository: Sequence[Graph],
+                            clustering: ClusteringResult,
+                            summaries: List[SummaryGraph],
+                            budget: PatternBudget,
+                            config: CatapultConfig) -> List[Pattern]:
+    """Step 3a: candidate patterns from every cluster, deduplicated.
+
+    Two complementary sources per cluster: support-weighted random
+    walks over the CSG (shared substructure, mixed labels) and
+    connected subgraphs sampled from cluster members directly
+    (exact labels — this is how ring motifs reliably surface).
+    """
+    rng = random.Random(config.seed)
+    clusters = [c for c in clustering.clusters() if c]
+    candidates: List[Pattern] = []
+    seen: set[str] = set()
+
+    def admit(pattern: Pattern) -> None:
+        if pattern.code not in seen:
+            seen.add(pattern.code)
+            candidates.append(pattern)
+
+    for cluster_index, (members, summary) in enumerate(
+            zip(clusters, summaries)):
+        member_graphs = [repository[i] for i in members]
+        validator = None
+        if config.validate_candidates:
+            validator = _make_validator(member_graphs)
+        for pattern in generate_candidates(
+                summary, budget, config.walks_per_cluster, rng,
+                source=f"catapult:cluster{cluster_index}",
+                validator=validator):
+            admit(pattern)
+        for _ in range(config.member_samples):
+            member = rng.choice(member_graphs)
+            if member.order() < budget.min_size:
+                continue
+            size = rng.randint(budget.min_size,
+                               min(budget.max_size, member.order()))
+            node_set = sample_connected_node_set(member, size, rng,
+                                                 attempts=5)
+            if node_set is None:
+                continue
+            sampled = induced_subgraph(member, node_set).normalized()
+            admit(Pattern(sampled,
+                          source=f"catapult:member{cluster_index}"))
+    return candidates
+
+
+def select_canned_patterns(repository: Sequence[Graph],
+                           budget: PatternBudget,
+                           config: Optional[CatapultConfig] = None
+                           ) -> CatapultResult:
+    """Run the full CATAPULT pipeline on a repository."""
+    if not repository:
+        raise PipelineError("CATAPULT needs a non-empty repository")
+    config = config or CatapultConfig()
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    clustering = cluster_repository(repository, config)
+    timings["cluster"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    summaries = summarize_clusters(repository, clustering)
+    timings["summarize"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    candidates = generate_all_candidates(repository, clustering,
+                                         summaries, budget, config)
+    timings["candidates"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rng = random.Random(config.seed)
+    sample = list(repository)
+    if len(sample) > config.coverage_sample:
+        sample = rng.sample(sample, config.coverage_sample)
+    index = CoverageIndex(sample, max_embeddings=config.max_embeddings,
+                          size_utility=True)
+    scorer = SetScorer(index, weights=config.weights)
+    selection = greedy_select(candidates, budget, scorer)
+    timings["select"] = time.perf_counter() - start
+
+    return CatapultResult(selection.patterns, clustering, summaries,
+                          candidates, selection, timings)

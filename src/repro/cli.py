@@ -1,0 +1,249 @@
+"""Command-line interface: build, query, and render data-driven VQIs.
+
+Usage (after ``pip install -e .``)::
+
+    repro-vqi build repo.lg --spec out.json --svg panel.svg -k 8
+    repro-vqi query repo.lg --pattern 0 --spec out.json
+    repro-vqi inspect out.json
+    repro-vqi summarize network.lg --spec out.json
+
+The ``.lg`` input holds either a repository (many graphs) or a single
+network (one graph); CATAPULT or TATTOO is dispatched accordingly,
+mirroring :func:`repro.vqi.build_vqi`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.graph.io import read_lg, read_repository_json
+
+
+def _load_data(path: str):
+    """Load graphs from .lg or .json; single graph => network."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ReproError(f"input file {path!r} does not exist")
+    if file_path.suffix == ".json":
+        graphs = read_repository_json(file_path)
+    else:
+        graphs = read_lg(file_path)
+    if not graphs:
+        raise ReproError(f"{path!r} contains no graphs")
+    if len(graphs) == 1:
+        return graphs[0]
+    return graphs
+
+
+def _budget_from_args(args: argparse.Namespace):
+    from repro.patterns.base import PatternBudget
+    return PatternBudget(args.max_patterns, min_size=args.min_size,
+                         max_size=args.max_size)
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.vqi.builder import build_vqi_with_report
+    data = _load_data(args.data)
+    vqi, report = build_vqi_with_report(data, _budget_from_args(args))
+    print(f"generator: {report.generator} "
+          f"({report.duration:.2f}s)")
+    print(f"attribute panel: "
+          f"{', '.join(vqi.attribute_panel.node_alphabet())}")
+    for pattern in vqi.pattern_panel.canned:
+        from repro.patterns.topologies import classify_topology
+        print(f"  canned: {classify_topology(pattern.graph).value:<9} "
+              f"n={pattern.order()} m={pattern.size()}")
+    if args.spec:
+        Path(args.spec).write_text(vqi.spec.to_json(indent=2),
+                                   encoding="utf-8")
+        print(f"spec written to {args.spec}")
+    if args.svg:
+        Path(args.svg).write_text(vqi.render_pattern_panel(),
+                                  encoding="utf-8")
+        print(f"pattern panel rendered to {args.svg}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.vqi.spec import VQISpec
+    spec = VQISpec.from_json(Path(args.spec).read_text(encoding="utf-8"))
+    print(f"source: {spec.source}")
+    print(f"generator: {spec.generator}")
+    print(f"node labels: {len(spec.attribute_panel.node_labels)}")
+    print(f"edge labels: {len(spec.attribute_panel.edge_labels)}")
+    budget = spec.pattern_panel.budget
+    print(f"budget: {budget.max_patterns} patterns, sizes "
+          f"[{budget.min_size}, {budget.max_size}]")
+    print(f"basic patterns: {len(spec.pattern_panel.basic)}")
+    print(f"canned patterns: {len(spec.pattern_panel.canned)}")
+    for pattern in spec.pattern_panel.canned:
+        from repro.patterns.topologies import classify_topology
+        print(f"  {classify_topology(pattern.graph).value:<9} "
+              f"n={pattern.order()} m={pattern.size()} "
+              f"source={pattern.source}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.vqi.builder import build_vqi
+    from repro.vqi.spec import VQISpec
+    data = _load_data(args.data)
+    if args.spec:
+        spec = VQISpec.from_json(Path(args.spec).read_text(
+            encoding="utf-8"))
+        from repro.vqi.builder import VisualQueryInterface
+        from repro.graph.graph import Graph
+        if isinstance(data, Graph):
+            vqi = VisualQueryInterface(spec, network=data)
+        else:
+            vqi = VisualQueryInterface(spec, repository=data)
+    else:
+        vqi = build_vqi(data, _budget_from_args(args))
+    panel = vqi.pattern_panel.canned
+    if not 0 <= args.pattern < len(panel):
+        raise ReproError(
+            f"pattern index {args.pattern} out of range "
+            f"(panel has {len(panel)} canned patterns)")
+    vqi.query_panel.builder.add_pattern(panel[args.pattern])
+    results = vqi.execute(max_embeddings=args.limit)
+    print(f"query: canned pattern #{args.pattern} "
+          f"(n={panel[args.pattern].order()}, "
+          f"m={panel[args.pattern].size()})")
+    print(f"matches: {results.match_count()} graphs, "
+          f"{results.embedding_count()} embeddings "
+          f"({results.graphs_pruned} pruned by the label index)")
+    for match in results.matches[:args.limit]:
+        print(f"  {match.graph.name or match.graph_index}: "
+              f"{len(match.embeddings)} embeddings")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.graph.graph import Graph
+    from repro.summary.pattern_summary import summarize_with_patterns
+    from repro.vqi.builder import build_vqi
+    data = _load_data(args.data)
+    if not isinstance(data, Graph):
+        raise ReproError("summarize expects a single-network input")
+    vqi = build_vqi(data, _budget_from_args(args))
+    result = summarize_with_patterns(data,
+                                     list(vqi.pattern_panel.canned),
+                                     max_instances=args.instances)
+    print(f"original: {data.order()} nodes, {data.size()} edges")
+    print(f"summary : {result.summary.order()} nodes, "
+          f"{result.summary.size()} edges "
+          f"({len(result.instances)} pattern instances, "
+          f"coverage {result.coverage():.1%})")
+    if args.output:
+        from repro.graph.io import graph_to_json
+        Path(args.output).write_text(graph_to_json(result.summary,
+                                                   indent=2),
+                                     encoding="utf-8")
+        print(f"summary graph written to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.datasets import generate_workload
+    from repro.graph.graph import Graph
+    from repro.usability.report import usability_report
+    from repro.vqi.builder import build_vqi
+    data = _load_data(args.data)
+    repository = [data] if isinstance(data, Graph) else data
+    vqi = build_vqi(data, _budget_from_args(args))
+    workload = list(generate_workload(repository, args.queries,
+                                      seed=args.seed))
+    report = usability_report(workload,
+                              list(vqi.pattern_panel.canned),
+                              title=f"Usability evaluation: "
+                                    f"{args.data}",
+                              seed=args.seed)
+    if args.output:
+        report.save(args.output)
+        print(f"report written to {args.output}")
+    else:
+        print(report.markdown)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vqi",
+        description="Data-driven visual query interfaces for graphs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_budget_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-k", "--max-patterns", type=int, default=8,
+                       help="canned patterns to display (default 8)")
+        p.add_argument("--min-size", type=int, default=4,
+                       help="minimum pattern size in nodes (default 4)")
+        p.add_argument("--max-size", type=int, default=8,
+                       help="maximum pattern size in nodes (default 8)")
+
+    p_build = sub.add_parser("build",
+                             help="build a VQI spec from graph data")
+    p_build.add_argument("data", help=".lg or .json graph data")
+    p_build.add_argument("--spec", help="write the VQI spec JSON here")
+    p_build.add_argument("--svg",
+                         help="render the pattern panel SVG here")
+    add_budget_args(p_build)
+    p_build.set_defaults(func=_cmd_build)
+
+    p_inspect = sub.add_parser("inspect",
+                               help="describe a VQI spec JSON")
+    p_inspect.add_argument("spec", help="VQI spec JSON file")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_query = sub.add_parser("query",
+                             help="run a canned pattern as a query")
+    p_query.add_argument("data", help=".lg or .json graph data")
+    p_query.add_argument("--spec",
+                         help="use a previously built spec "
+                              "(skips selection)")
+    p_query.add_argument("--pattern", type=int, default=0,
+                         help="canned pattern index to run (default 0)")
+    p_query.add_argument("--limit", type=int, default=10,
+                         help="embeddings/matches to report")
+    add_budget_args(p_query)
+    p_query.set_defaults(func=_cmd_query)
+
+    p_summ = sub.add_parser("summarize",
+                            help="pattern-based network summary")
+    p_summ.add_argument("data", help=".lg or .json single network")
+    p_summ.add_argument("--instances", type=int, default=50,
+                        help="max pattern instances to collapse")
+    p_summ.add_argument("--output",
+                        help="write the summary graph JSON here")
+    add_budget_args(p_summ)
+    p_summ.set_defaults(func=_cmd_summarize)
+
+    p_report = sub.add_parser(
+        "report", help="run the usability battery and emit Markdown")
+    p_report.add_argument("data", help=".lg or .json graph data")
+    p_report.add_argument("--queries", type=int, default=20,
+                          help="workload size (default 20)")
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--output",
+                          help="write the Markdown report here")
+    add_budget_args(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Clustering substrate: subtree features, similarity, k-medoids."""
+
+from repro.clustering.features import (
+    DEFAULT_TREE_EDGES,
+    MinedTree,
+    closed_frequent_trees,
+    connected_tree_subgraphs,
+    feature_vector_from_vocabulary,
+    mine_frequent_trees,
+    repository_feature_matrix,
+    tree_feature_counts,
+)
+from repro.clustering.kmedoids import (
+    ClusteringResult,
+    kmedoids,
+    silhouette_score,
+)
+from repro.clustering.similarity import (
+    distance_matrix_from_graphs,
+    distance_matrix_from_vectors,
+    structural_distance,
+    structural_similarity,
+    vector_cosine_distance,
+    vector_euclidean,
+)
+
+__all__ = [
+    "DEFAULT_TREE_EDGES",
+    "MinedTree",
+    "closed_frequent_trees",
+    "connected_tree_subgraphs",
+    "feature_vector_from_vocabulary",
+    "mine_frequent_trees",
+    "repository_feature_matrix",
+    "tree_feature_counts",
+    "ClusteringResult",
+    "kmedoids",
+    "silhouette_score",
+    "distance_matrix_from_graphs",
+    "distance_matrix_from_vectors",
+    "structural_distance",
+    "structural_similarity",
+    "vector_cosine_distance",
+    "vector_euclidean",
+]

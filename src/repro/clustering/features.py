@@ -1,0 +1,156 @@
+"""Frequent-subtree features for clustering graph repositories.
+
+CATAPULT clusters a repository using frequent-subtree feature vectors;
+MIDAS replaces plain frequent subtrees with *frequent closed trees*
+(FCT, Bifet & Gavalda 2011) because the closure property allows
+incremental maintenance of the feature vocabulary under batch updates.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph, edge_key
+from repro.graph.operations import edge_subgraph
+from repro.matching.canonical import canonical_code
+from repro.matching.isomorphism import is_subgraph
+
+#: default maximum subtree size, in edges (4 nodes)
+DEFAULT_TREE_EDGES = 3
+
+
+def connected_tree_subgraphs(graph: Graph, max_edges: int = DEFAULT_TREE_EDGES
+                             ) -> Iterator[Tuple[FrozenSet, Graph]]:
+    """Yield (edge-subset, subtree) for every connected acyclic edge
+    subgraph with 1..max_edges edges, each subset exactly once."""
+    edges = [edge_key(u, v) for u, v in graph.edges()]
+    adjacency: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {
+        e: set() for e in edges}
+    for e1, e2 in combinations(edges, 2):
+        if set(e1) & set(e2):
+            adjacency[e1].add(e2)
+            adjacency[e2].add(e1)
+
+    def node_count(subset: FrozenSet) -> int:
+        nodes: Set[int] = set()
+        for u, v in subset:
+            nodes.add(u)
+            nodes.add(v)
+        return len(nodes)
+
+    frontier: Set[FrozenSet] = {frozenset([e]) for e in edges}
+    size = 1
+    seen: Set[FrozenSet] = set(frontier)
+    while frontier and size <= max_edges:
+        for subset in frontier:
+            if node_count(subset) == size + 1:  # acyclic check
+                yield subset, edge_subgraph(graph, subset)
+        next_frontier: Set[FrozenSet] = set()
+        for subset in frontier:
+            reachable: Set[Tuple[int, int]] = set()
+            for e in subset:
+                reachable |= adjacency[e]
+            for e in reachable - subset:
+                grown = subset | {e}
+                if grown not in seen:
+                    seen.add(grown)
+                    next_frontier.add(grown)
+        frontier = next_frontier
+        size += 1
+
+
+def tree_feature_counts(graph: Graph,
+                        max_edges: int = DEFAULT_TREE_EDGES
+                        ) -> Dict[str, int]:
+    """Occurrence counts of subtree isomorphism classes in one graph.
+
+    Keys are canonical codes; values count distinct edge subsets
+    realising that subtree.
+    """
+    counts: Dict[str, int] = {}
+    for _, subtree in connected_tree_subgraphs(graph, max_edges):
+        code = canonical_code(subtree)
+        counts[code] = counts.get(code, 0) + 1
+    return counts
+
+
+class MinedTree:
+    """A mined subtree: representative graph, code, and support."""
+
+    __slots__ = ("code", "graph", "support")
+
+    def __init__(self, code: str, graph: Graph, support: int) -> None:
+        self.code = code
+        self.graph = graph
+        self.support = support
+
+    def __repr__(self) -> str:
+        return (f"<MinedTree m={self.graph.size()} "
+                f"support={self.support}>")
+
+
+def mine_frequent_trees(repository: Sequence[Graph], min_support: int = 2,
+                        max_edges: int = DEFAULT_TREE_EDGES
+                        ) -> List[MinedTree]:
+    """Subtrees occurring in >= min_support repository graphs.
+
+    Support is per-graph (document frequency), the convention of
+    frequent-subgraph mining.
+    """
+    supports: Dict[str, int] = {}
+    representatives: Dict[str, Graph] = {}
+    for graph in repository:
+        seen_here: Set[str] = set()
+        for _, subtree in connected_tree_subgraphs(graph, max_edges):
+            code = canonical_code(subtree)
+            if code in seen_here:
+                continue
+            seen_here.add(code)
+            supports[code] = supports.get(code, 0) + 1
+            if code not in representatives:
+                representatives[code] = subtree.normalized()
+    return [MinedTree(code, representatives[code], support)
+            for code, support in sorted(supports.items())
+            if support >= min_support]
+
+
+def closed_frequent_trees(mined: Sequence[MinedTree]) -> List[MinedTree]:
+    """Filter to *closed* trees: no frequent supertree has equal support.
+
+    Closedness makes the vocabulary compact and, because closure is
+    preserved under the batch updates MIDAS applies, incrementally
+    maintainable.
+    """
+    by_size: Dict[int, List[MinedTree]] = {}
+    for tree in mined:
+        by_size.setdefault(tree.graph.size(), []).append(tree)
+    closed: List[MinedTree] = []
+    for tree in mined:
+        is_closed = True
+        for bigger in by_size.get(tree.graph.size() + 1, []):
+            if (bigger.support == tree.support
+                    and is_subgraph(tree.graph, bigger.graph)):
+                is_closed = False
+                break
+        if is_closed:
+            closed.append(tree)
+    return closed
+
+
+def feature_vector_from_vocabulary(graph: Graph,
+                                   vocabulary: Sequence[MinedTree],
+                                   max_edges: int = DEFAULT_TREE_EDGES
+                                   ) -> List[float]:
+    """Dense feature vector of one graph over a mined vocabulary."""
+    counts = tree_feature_counts(graph, max_edges)
+    return [float(counts.get(tree.code, 0)) for tree in vocabulary]
+
+
+def repository_feature_matrix(repository: Sequence[Graph],
+                              vocabulary: Sequence[MinedTree],
+                              max_edges: int = DEFAULT_TREE_EDGES
+                              ) -> List[List[float]]:
+    """Feature vectors for every repository graph (row-per-graph)."""
+    return [feature_vector_from_vocabulary(g, vocabulary, max_edges)
+            for g in repository]

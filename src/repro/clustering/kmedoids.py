@@ -1,0 +1,144 @@
+"""k-medoids clustering (PAM-style) over precomputed distances.
+
+Medoid-based clustering is the natural choice for graph repositories:
+distances come from arbitrary graph similarity functions, and every
+cluster centre is a real data graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.errors import PipelineError
+
+
+class ClusteringResult:
+    """Labels, medoid indices, and total cost of a clustering."""
+
+    __slots__ = ("labels", "medoids", "cost")
+
+    def __init__(self, labels: List[int], medoids: List[int],
+                 cost: float) -> None:
+        self.labels = labels
+        self.medoids = medoids
+        self.cost = cost
+
+    def clusters(self) -> List[List[int]]:
+        """Member indices per cluster, in medoid order."""
+        groups: List[List[int]] = [[] for _ in self.medoids]
+        for item, label in enumerate(self.labels):
+            groups[label].append(item)
+        return groups
+
+    def __repr__(self) -> str:
+        return (f"<ClusteringResult k={len(self.medoids)} "
+                f"cost={self.cost:.3f}>")
+
+
+def _assignment_cost(distances: Sequence[Sequence[float]],
+                     medoids: List[int]) -> float:
+    return sum(min(distances[i][m] for m in medoids)
+               for i in range(len(distances)))
+
+
+def _assign(distances: Sequence[Sequence[float]],
+            medoids: List[int]) -> List[int]:
+    labels: List[int] = []
+    for i in range(len(distances)):
+        best = min(range(len(medoids)), key=lambda j: distances[i][medoids[j]])
+        labels.append(best)
+    return labels
+
+
+def _init_medoids(distances: Sequence[Sequence[float]], k: int,
+                  rng: random.Random) -> List[int]:
+    """k-medoids++ style init: spread seeds by distance."""
+    n = len(distances)
+    medoids = [rng.randrange(n)]
+    while len(medoids) < k:
+        weights = [min(distances[i][m] for m in medoids) for i in range(n)]
+        total = sum(weights)
+        if total == 0:
+            # all remaining points coincide with a medoid; pick any new
+            remaining = [i for i in range(n) if i not in medoids]
+            medoids.append(rng.choice(remaining))
+            continue
+        pick = rng.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if acc >= pick and i not in medoids:
+                medoids.append(i)
+                break
+        else:
+            remaining = [i for i in range(n) if i not in medoids]
+            medoids.append(rng.choice(remaining))
+    return medoids
+
+
+def kmedoids(distances: Sequence[Sequence[float]], k: int,
+             seed: int = 0, max_iter: int = 50) -> ClusteringResult:
+    """Cluster items given a symmetric distance matrix.
+
+    Alternates assignment with per-cluster medoid updates until the
+    cost stops improving (Voronoi-iteration PAM variant).
+    """
+    n = len(distances)
+    if k < 1:
+        raise PipelineError("k must be >= 1")
+    if n == 0:
+        raise PipelineError("cannot cluster an empty repository")
+    if k > n:
+        raise PipelineError(f"k={k} exceeds the number of items ({n})")
+    rng = random.Random(seed)
+    medoids = _init_medoids(distances, k, rng)
+    cost = _assignment_cost(distances, medoids)
+    for _ in range(max_iter):
+        labels = _assign(distances, medoids)
+        improved = False
+        for j in range(k):
+            members = [i for i, lab in enumerate(labels) if lab == j]
+            if not members:
+                continue
+            best_medoid = min(
+                members,
+                key=lambda c: sum(distances[i][c] for i in members))
+            if best_medoid != medoids[j]:
+                medoids[j] = best_medoid
+                improved = True
+        new_cost = _assignment_cost(distances, medoids)
+        if not improved or new_cost >= cost:
+            cost = min(cost, new_cost)
+            break
+        cost = new_cost
+    labels = _assign(distances, medoids)
+    return ClusteringResult(labels, medoids, _assignment_cost(
+        distances, medoids))
+
+
+def silhouette_score(distances: Sequence[Sequence[float]],
+                     labels: Sequence[int]) -> float:
+    """Mean silhouette coefficient; 0.0 when undefined (k=1 or n<=k)."""
+    n = len(labels)
+    k = max(labels) + 1 if labels else 0
+    if k < 2 or n <= k:
+        return 0.0
+    clusters: List[List[int]] = [[] for _ in range(k)]
+    for i, lab in enumerate(labels):
+        clusters[lab].append(i)
+    total = 0.0
+    counted = 0
+    for i in range(n):
+        own = clusters[labels[i]]
+        if len(own) <= 1:
+            continue
+        a = sum(distances[i][j] for j in own if j != i) / (len(own) - 1)
+        b = min(
+            sum(distances[i][j] for j in other) / len(other)
+            for lab, other in enumerate(clusters)
+            if lab != labels[i] and other)
+        denom = max(a, b)
+        total += 0.0 if denom == 0 else (b - a) / denom
+        counted += 1
+    return total / counted if counted else 0.0

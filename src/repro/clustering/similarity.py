@@ -1,0 +1,76 @@
+"""Graph-to-graph similarity and distance matrices for clustering."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.graph.graph import Graph
+from repro.patterns.scoring import cosine_similarity, feature_vector
+
+
+def structural_similarity(g1: Graph, g2: Graph) -> float:
+    """Cosine similarity of structural feature vectors, in [0, 1]."""
+    return cosine_similarity(feature_vector(g1), feature_vector(g2))
+
+
+def structural_distance(g1: Graph, g2: Graph) -> float:
+    """1 - structural similarity."""
+    return 1.0 - structural_similarity(g1, g2)
+
+
+def vector_euclidean(v1: Sequence[float], v2: Sequence[float]) -> float:
+    """Euclidean distance between two dense feature vectors."""
+    if len(v1) != len(v2):
+        raise ValueError("feature vectors have different lengths")
+    return math.sqrt(sum((a - b) ** 2 for a, b in zip(v1, v2)))
+
+
+def vector_cosine_distance(v1: Sequence[float],
+                           v2: Sequence[float]) -> float:
+    """1 - cosine similarity of two dense vectors (1.0 for zero vectors)."""
+    if len(v1) != len(v2):
+        raise ValueError("feature vectors have different lengths")
+    dot = sum(a * b for a, b in zip(v1, v2))
+    n1 = math.sqrt(sum(a * a for a in v1))
+    n2 = math.sqrt(sum(b * b for b in v2))
+    if n1 == 0.0 or n2 == 0.0:
+        return 1.0
+    return 1.0 - dot / (n1 * n2)
+
+
+def distance_matrix_from_graphs(repository: Sequence[Graph]
+                                ) -> List[List[float]]:
+    """Pairwise structural distances (symmetric, zero diagonal)."""
+    features = [feature_vector(g) for g in repository]
+    n = len(repository)
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = 1.0 - cosine_similarity(features[i], features[j])
+            matrix[i][j] = d
+            matrix[j][i] = d
+    return matrix
+
+
+def distance_matrix_from_vectors(vectors: Sequence[Sequence[float]],
+                                 metric: str = "euclidean"
+                                 ) -> List[List[float]]:
+    """Pairwise distances between dense feature vectors.
+
+    ``metric`` is ``"euclidean"`` or ``"cosine"``.
+    """
+    if metric == "euclidean":
+        dist = vector_euclidean
+    elif metric == "cosine":
+        dist = vector_cosine_distance
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+    n = len(vectors)
+    matrix = [[0.0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = dist(vectors[i], vectors[j])
+            matrix[i][j] = d
+            matrix[j][i] = d
+    return matrix

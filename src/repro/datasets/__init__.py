@@ -1,0 +1,44 @@
+"""Synthetic datasets: chemical repositories, networks, workloads,
+and evolving update streams (paper-data substitutes per DESIGN.md)."""
+
+from repro.datasets.chemical import (
+    ATOMS,
+    BONDS,
+    generate_chemical_repository,
+    generate_molecule,
+)
+from repro.datasets.evolving import (
+    EvolvingRepository,
+    UpdateBatch,
+    generate_update_stream,
+)
+from repro.datasets.networks import (
+    ENTITY_LABELS,
+    NetworkConfig,
+    generate_network,
+    label_distribution,
+)
+from repro.datasets.workloads import (
+    QueryWorkload,
+    generate_network_workload,
+    generate_workload,
+    sample_connected_subgraph,
+)
+
+__all__ = [
+    "ATOMS",
+    "BONDS",
+    "generate_chemical_repository",
+    "generate_molecule",
+    "EvolvingRepository",
+    "UpdateBatch",
+    "generate_update_stream",
+    "ENTITY_LABELS",
+    "NetworkConfig",
+    "generate_network",
+    "label_distribution",
+    "QueryWorkload",
+    "generate_network_workload",
+    "generate_workload",
+    "sample_connected_subgraph",
+]

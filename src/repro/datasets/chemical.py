@@ -1,0 +1,111 @@
+"""Synthetic chemical-compound-like graph repositories.
+
+Substitute for PubChem/AIDS-style datasets (see DESIGN.md): molecules
+are assembled from a library of recurring motifs (benzene-like
+6-rings, 5-rings with a heteroatom, carboxyl-like stars, alkyl
+chains) joined by linker edges, so the repository has exactly the
+property CATAPULT exploits — a modest number of substructures that
+recur across many graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+#: heavy-atom alphabet (hydrogens omitted, as in most mining datasets)
+ATOMS: Sequence[str] = ("C", "N", "O", "S", "P")
+
+#: bond-order edge labels
+BONDS: Sequence[str] = ("1", "2")
+
+
+def benzene_ring(graph: Graph, rng: random.Random) -> List[int]:
+    """Append a benzene-like ring (C6, alternating bond labels)."""
+    ring = [graph.add_node(label="C") for _ in range(6)]
+    for i in range(6):
+        graph.add_edge(ring[i], ring[(i + 1) % 6],
+                       label=BONDS[i % 2])
+    return ring
+
+
+def hetero_ring(graph: Graph, rng: random.Random) -> List[int]:
+    """Append a 5-ring with one heteroatom (N/O/S)."""
+    hetero = rng.choice(("N", "O", "S"))
+    labels = [hetero] + ["C"] * 4
+    ring = [graph.add_node(label=lab) for lab in labels]
+    for i in range(5):
+        graph.add_edge(ring[i], ring[(i + 1) % 5], label="1")
+    return ring
+
+
+def carboxyl_group(graph: Graph, rng: random.Random) -> List[int]:
+    """Append a carboxyl-like star: C with =O and -O."""
+    c = graph.add_node(label="C")
+    o1 = graph.add_node(label="O")
+    o2 = graph.add_node(label="O")
+    graph.add_edge(c, o1, label="2")
+    graph.add_edge(c, o2, label="1")
+    return [c, o1, o2]
+
+
+def alkyl_chain(graph: Graph, rng: random.Random) -> List[int]:
+    """Append a carbon chain of 2-4 atoms."""
+    length = rng.randint(2, 4)
+    chain = [graph.add_node(label="C") for _ in range(length)]
+    for i in range(length - 1):
+        graph.add_edge(chain[i], chain[i + 1], label="1")
+    return chain
+
+
+MOTIFS = (benzene_ring, hetero_ring, carboxyl_group, alkyl_chain)
+
+
+def generate_molecule(rng: random.Random, name: str = "",
+                      min_motifs: int = 1, max_motifs: int = 3,
+                      motif_weights: Optional[Sequence[float]] = None
+                      ) -> Graph:
+    """One molecule: 1..k motifs joined by single-bond linkers."""
+    if min_motifs < 1 or max_motifs < min_motifs:
+        raise GraphError("invalid motif count range")
+    graph = Graph(name=name)
+    weights = list(motif_weights) if motif_weights else [1.0] * len(MOTIFS)
+    if len(weights) != len(MOTIFS):
+        raise GraphError(f"motif_weights must have {len(MOTIFS)} entries")
+    count = rng.randint(min_motifs, max_motifs)
+    anchors: List[int] = []
+    for _ in range(count):
+        motif = rng.choices(MOTIFS, weights=weights, k=1)[0]
+        nodes = motif(graph, rng)
+        anchor = rng.choice(nodes)
+        if anchors:
+            graph.add_edge(rng.choice(anchors), anchor, label="1")
+        anchors.append(anchor)
+    # sparse decorations: pendant heteroatoms
+    for _ in range(rng.randint(0, 2)):
+        host = rng.choice(sorted(graph.nodes()))
+        pendant = graph.add_node(label=rng.choice(("N", "O")))
+        graph.add_edge(host, pendant, label="1")
+    return graph
+
+
+def generate_chemical_repository(size: int, seed: int = 0,
+                                 min_motifs: int = 1, max_motifs: int = 3,
+                                 motif_weights: Optional[Sequence[float]]
+                                 = None) -> List[Graph]:
+    """A repository of ``size`` molecule-like graphs.
+
+    Deterministic under ``seed``.  ``motif_weights`` biases the motif
+    mix (one weight per motif: benzene, hetero-ring, carboxyl, chain),
+    which the evolving-repository generator uses to inject drift.
+    """
+    if size < 0:
+        raise GraphError("repository size must be non-negative")
+    rng = random.Random(seed)
+    return [generate_molecule(rng, name=f"mol{i}", min_motifs=min_motifs,
+                              max_motifs=max_motifs,
+                              motif_weights=motif_weights)
+            for i in range(size)]

@@ -1,0 +1,127 @@
+"""Evolving repositories: batched update streams for MIDAS.
+
+Real chemical databases grow by thousands of structures per day and
+are maintained in periodic batches (paper §2.1/§2.4).  This module
+models a repository plus a stream of :class:`UpdateBatch` objects and
+provides a generator whose later batches can *drift* (new motif mix),
+which is what flips MIDAS from minor- to major-modification handling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import MaintenanceError
+from repro.graph.graph import Graph
+from repro.datasets.chemical import generate_molecule
+
+
+class UpdateBatch:
+    """One batch of repository updates.
+
+    Parameters
+    ----------
+    added:
+        New data graphs (names must be unique within the repository).
+    removed:
+        Names of existing graphs to delete.
+    """
+
+    __slots__ = ("added", "removed")
+
+    def __init__(self, added: Sequence[Graph] = (),
+                 removed: Sequence[str] = ()) -> None:
+        self.added: List[Graph] = list(added)
+        self.removed: List[str] = list(removed)
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def __repr__(self) -> str:
+        return f"<UpdateBatch +{len(self.added)} -{len(self.removed)}>"
+
+
+class EvolvingRepository:
+    """A name-indexed repository that applies batches in order."""
+
+    def __init__(self, initial: Sequence[Graph]) -> None:
+        self._graphs: Dict[str, Graph] = {}
+        for graph in initial:
+            if not graph.name:
+                raise MaintenanceError("repository graphs need names")
+            if graph.name in self._graphs:
+                raise MaintenanceError(
+                    f"duplicate graph name {graph.name!r}")
+            self._graphs[graph.name] = graph
+        self.applied_batches = 0
+
+    def graphs(self) -> List[Graph]:
+        """Current contents, in insertion order."""
+        return list(self._graphs.values())
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graphs
+
+    def apply(self, batch: UpdateBatch) -> None:
+        """Apply one batch; validates names before mutating."""
+        for name in batch.removed:
+            if name not in self._graphs:
+                raise MaintenanceError(
+                    f"cannot remove unknown graph {name!r}")
+        for graph in batch.added:
+            if not graph.name:
+                raise MaintenanceError("added graphs need names")
+            if graph.name in self._graphs:
+                raise MaintenanceError(
+                    f"graph {graph.name!r} already present")
+        for name in batch.removed:
+            del self._graphs[name]
+        for graph in batch.added:
+            self._graphs[graph.name] = graph
+        self.applied_batches += 1
+
+
+def generate_update_stream(repository: EvolvingRepository,
+                           batches: int, batch_size: int, seed: int = 0,
+                           removal_fraction: float = 0.2,
+                           drift_after: Optional[int] = None,
+                           drift_weights: Sequence[float] = (0.1, 0.1,
+                                                             0.1, 3.0)
+                           ) -> Iterator[UpdateBatch]:
+    """Yield ``batches`` update batches for ``repository``.
+
+    Until ``drift_after`` (batch index, None = never), additions are
+    drawn from the same motif mix as the original generator (a *minor*
+    modification for MIDAS); afterwards the mix switches to
+    ``drift_weights`` (default: chain-heavy), creating the structural
+    drift of a *major* modification.
+
+    Batches must be applied in order (the generator tracks names it
+    has already scheduled for removal).
+    """
+    rng = random.Random(seed)
+    serial = 0
+    scheduled_removals: set[str] = set()
+    for index in range(batches):
+        weights = None
+        if drift_after is not None and index >= drift_after:
+            weights = list(drift_weights)
+        added = []
+        for _ in range(batch_size):
+            name = f"upd{seed}_{serial}"
+            serial += 1
+            added.append(generate_molecule(rng, name=name,
+                                           motif_weights=weights))
+        removable = [name for name in
+                     (g.name for g in repository.graphs())
+                     if name not in scheduled_removals]
+        removal_count = min(int(batch_size * removal_fraction),
+                            max(len(removable) - 1, 0))
+        removed = rng.sample(removable, removal_count) \
+            if removal_count > 0 else []
+        scheduled_removals.update(removed)
+        yield UpdateBatch(added=added, removed=removed)

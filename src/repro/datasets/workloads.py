@@ -1,0 +1,203 @@
+"""Query workload generation.
+
+Substitute for real query logs (see DESIGN.md): queries are sampled
+as connected subgraphs of the data (so every query has at least one
+answer) with a topology mix following the published statistics of
+large SPARQL logs (chains and stars dominate; cycles, petals, and
+flowers form a systematic tail).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.operations import induced_subgraph, is_connected
+from repro.patterns.topologies import (
+    QUERY_LOG_TOPOLOGY_MIX,
+    TopologyClass,
+    classify_topology,
+)
+
+
+def sample_connected_subgraph(graph: Graph, size: int, rng: random.Random,
+                              attempts: int = 30) -> Optional[Graph]:
+    """Random connected induced subgraph with ``size`` nodes, or None.
+
+    Grown by random frontier expansion from a random seed node;
+    retried up to ``attempts`` times (a seed may sit in a component
+    smaller than ``size``).
+    """
+    from repro.graph.operations import sample_connected_node_set
+    if size < 1:
+        raise GraphError("subgraph size must be >= 1")
+    node_set = sample_connected_node_set(graph, size, rng,
+                                         attempts=attempts)
+    if node_set is None:
+        return None
+    return induced_subgraph(graph, node_set).normalized()
+
+
+def _longest_path_subgraph(tree: Graph) -> Optional[Graph]:
+    """Longest path of a tree via double BFS (an answerable chain)."""
+    from collections import deque
+
+    def farthest(start: int):
+        parent = {start: None}
+        queue = deque([start])
+        last = start
+        while queue:
+            u = queue.popleft()
+            last = u
+            for v in tree.neighbors(u):
+                if v not in parent:
+                    parent[v] = u
+                    queue.append(v)
+        return last, parent
+
+    if tree.order() < 2:
+        return None
+    a, _ = farthest(next(iter(tree.nodes())))
+    b, parent = farthest(a)
+    path = [b]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    if len(path) < 2:
+        return None
+    edges = [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+    from repro.graph.operations import edge_subgraph
+    return edge_subgraph(tree, edges).normalized()
+
+
+def _thin_to_topology(query: Graph, target: TopologyClass,
+                      rng: random.Random) -> Optional[Graph]:
+    """Remove edges/nodes from an induced sample to match ``target``.
+
+    Acyclic targets are reached by deleting cycle edges until a tree
+    remains, then carving a chain (longest path) or star (max-degree
+    node plus neighbors) out of it.  Cyclic classes are kept only if
+    the sample already matches — log mixes are tendencies, not
+    guarantees.
+    """
+    work = query.copy()
+    for _ in range(3 * work.size()):
+        cls = classify_topology(work)
+        if cls == target:
+            return work
+        if not target.is_acyclic():
+            return None
+        # drop a random cycle edge while keeping connectivity
+        droppable = []
+        for u, v in list(work.edges()):
+            label = work.edge_label(u, v)
+            work.remove_edge(u, v)
+            if is_connected(work):
+                droppable.append((u, v))
+            work.add_edge(u, v, label=label)
+        if droppable:
+            u, v = rng.choice(droppable)
+            work.remove_edge(u, v)
+            continue
+        # ``work`` is now a tree; carve the target shape out of it
+        if target == TopologyClass.CHAIN:
+            return _longest_path_subgraph(work)
+        if target == TopologyClass.STAR:
+            hub = max(work.nodes(), key=lambda v: work.degree(v))
+            if work.degree(hub) < 3:
+                return None
+            star = induced_subgraph(
+                work, [hub] + list(work.neighbors(hub))).normalized()
+            return star if classify_topology(star) == target else None
+        return None
+    return None
+
+
+class QueryWorkload:
+    """A list of query graphs with workload-level statistics."""
+
+    def __init__(self, queries: List[Graph]) -> None:
+        self.queries = queries
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def topology_mix(self) -> Dict[TopologyClass, float]:
+        if not self.queries:
+            return {}
+        counts: Dict[TopologyClass, int] = {}
+        for q in self.queries:
+            cls = classify_topology(q)
+            counts[cls] = counts.get(cls, 0) + 1
+        return {cls: c / len(self.queries)
+                for cls, c in sorted(counts.items())}
+
+    def mean_size(self) -> float:
+        if not self.queries:
+            return 0.0
+        return sum(q.size() for q in self.queries) / len(self.queries)
+
+    def save(self, path) -> int:
+        """Persist the workload (one JSON array of graphs)."""
+        from repro.graph.io import write_repository_json
+        return write_repository_json(self.queries, path)
+
+    @classmethod
+    def load(cls, path) -> "QueryWorkload":
+        """Load a workload saved with :meth:`save`."""
+        from repro.graph.io import read_repository_json
+        return cls(read_repository_json(path))
+
+
+def generate_workload(data: Sequence[Graph], count: int, seed: int = 0,
+                      min_nodes: int = 3, max_nodes: int = 8,
+                      mix: Optional[Dict[TopologyClass, float]] = None
+                      ) -> QueryWorkload:
+    """Sample ``count`` answerable queries from repository graphs.
+
+    Each query is a connected subgraph of some data graph, thinned
+    toward a topology class drawn from ``mix`` (default: the real
+    query-log mix).  If thinning to the drawn class fails, the raw
+    connected sample is used — mirroring how log mixes are tendencies,
+    not guarantees.
+    """
+    if not data:
+        raise GraphError("cannot generate a workload from no data")
+    rng = random.Random(seed)
+    mix = mix or QUERY_LOG_TOPOLOGY_MIX
+    classes = list(mix)
+    weights = [mix[c] for c in classes]
+    queries: List[Graph] = []
+    guard = 0
+    while len(queries) < count and guard < 50 * count:
+        guard += 1
+        source = rng.choice(list(data))
+        size = rng.randint(min_nodes, min(max_nodes,
+                                          max(source.order(), min_nodes)))
+        sample = sample_connected_subgraph(source, size, rng)
+        if sample is None or sample.size() == 0:
+            continue
+        target_cls = rng.choices(classes, weights=weights, k=1)[0]
+        shaped = _thin_to_topology(sample, target_cls, rng)
+        query = shaped if shaped is not None else sample
+        query.name = f"q{len(queries)}"
+        queries.append(query)
+    if len(queries) < count:
+        raise GraphError(
+            f"could only sample {len(queries)}/{count} queries; "
+            "data graphs may be too small")
+    return QueryWorkload(queries)
+
+
+def generate_network_workload(network: Graph, count: int, seed: int = 0,
+                              min_nodes: int = 3, max_nodes: int = 8,
+                              mix: Optional[Dict[TopologyClass, float]]
+                              = None) -> QueryWorkload:
+    """Workload over a single large network."""
+    return generate_workload([network], count, seed=seed,
+                             min_nodes=min_nodes, max_nodes=max_nodes,
+                             mix=mix)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural misuse of a :class:`repro.graph.Graph`."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node id does not exist in the graph."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DuplicateNodeError(GraphError):
+    """A node id was added twice."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} already exists")
+        self.node = node
+
+
+class DuplicateEdgeError(GraphError):
+    """An edge was added twice."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) already exists")
+        self.edge = (u, v)
+
+
+class FormatError(ReproError):
+    """A serialized graph or VQI spec could not be parsed."""
+
+
+class BudgetError(ReproError):
+    """A pattern-selection budget is malformed or unsatisfiable."""
+
+
+class PipelineError(ReproError):
+    """A pipeline stage received input it cannot process."""
+
+
+class MaintenanceError(ReproError):
+    """A MIDAS maintenance operation was applied to inconsistent state."""

@@ -1,0 +1,208 @@
+"""Seeded random and motif graph generators.
+
+These are general-purpose structural generators; domain-flavoured
+dataset builders (chemical compounds, social networks) live in
+:mod:`repro.datasets` and compose these primitives.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def path_graph(n: int, label: str = "", edge_label: str = "") -> Graph:
+    """Simple path on ``n`` nodes (n >= 1)."""
+    if n < 1:
+        raise GraphError("path_graph requires n >= 1")
+    g = Graph(name=f"path{n}")
+    for i in range(n):
+        g.add_node(i, label=label)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, label=edge_label)
+    return g
+
+
+def cycle_graph(n: int, label: str = "", edge_label: str = "") -> Graph:
+    """Simple cycle on ``n`` nodes (n >= 3)."""
+    if n < 3:
+        raise GraphError("cycle_graph requires n >= 3")
+    g = path_graph(n, label=label, edge_label=edge_label)
+    g.name = f"cycle{n}"
+    g.add_edge(n - 1, 0, label=edge_label)
+    return g
+
+
+def star_graph(leaves: int, label: str = "", edge_label: str = "") -> Graph:
+    """Star with one hub (node 0) and ``leaves`` leaves (leaves >= 1)."""
+    if leaves < 1:
+        raise GraphError("star_graph requires leaves >= 1")
+    g = Graph(name=f"star{leaves}")
+    g.add_node(0, label=label)
+    for i in range(1, leaves + 1):
+        g.add_node(i, label=label)
+        g.add_edge(0, i, label=edge_label)
+    return g
+
+
+def complete_graph(n: int, label: str = "", edge_label: str = "") -> Graph:
+    """Clique on ``n`` nodes (n >= 1)."""
+    if n < 1:
+        raise GraphError("complete_graph requires n >= 1")
+    g = Graph(name=f"K{n}")
+    for i in range(n):
+        g.add_node(i, label=label)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j, label=edge_label)
+    return g
+
+
+def petal_graph(petals: int, petal_length: int = 2,
+                label: str = "", edge_label: str = "") -> Graph:
+    """Petal/"book" graph: ``petals`` paths sharing the same two endpoints.
+
+    Two anchor nodes (0, 1) joined by an edge, plus ``petals``
+    internally-disjoint paths of ``petal_length`` edges between them.
+    Matches the "petal" topology class of real query logs.
+    """
+    if petals < 1 or petal_length < 2:
+        raise GraphError("petal_graph requires petals >= 1, length >= 2")
+    g = Graph(name=f"petal{petals}x{petal_length}")
+    g.add_node(0, label=label)
+    g.add_node(1, label=label)
+    g.add_edge(0, 1, label=edge_label)
+    nxt = 2
+    for _ in range(petals):
+        prev = 0
+        for step in range(petal_length - 1):
+            g.add_node(nxt, label=label)
+            g.add_edge(prev, nxt, label=edge_label)
+            prev = nxt
+            nxt += 1
+        g.add_edge(prev, 1, label=edge_label)
+    return g
+
+
+def flower_graph(cycles: int, cycle_size: int = 3,
+                 label: str = "", edge_label: str = "") -> Graph:
+    """Flower: ``cycles`` cycles of ``cycle_size`` sharing one hub node."""
+    if cycles < 1 or cycle_size < 3:
+        raise GraphError("flower_graph requires cycles >= 1, size >= 3")
+    g = Graph(name=f"flower{cycles}x{cycle_size}")
+    g.add_node(0, label=label)
+    nxt = 1
+    for _ in range(cycles):
+        ring = [0]
+        for _ in range(cycle_size - 1):
+            g.add_node(nxt, label=label)
+            ring.append(nxt)
+            nxt += 1
+        for i in range(len(ring)):
+            g.add_edge(ring[i], ring[(i + 1) % len(ring)], label=edge_label)
+    return g
+
+
+def random_labels(graph: Graph, labels: Sequence[str],
+                  rng: random.Random) -> Graph:
+    """Assign node labels drawn uniformly from ``labels`` (in place)."""
+    if not labels:
+        raise GraphError("labels must be non-empty")
+    for node in graph.nodes():
+        graph.set_node_label(node, rng.choice(labels))
+    return graph
+
+
+def gnm_random_graph(n: int, m: int, rng: Optional[random.Random] = None,
+                     labels: Sequence[str] = ("",)) -> Graph:
+    """Erdos-Renyi G(n, m) with uniformly random node labels."""
+    rng = rng or random.Random()
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"cannot place {m} edges in a {n}-node simple graph")
+    g = Graph(name=f"gnm_{n}_{m}")
+    for i in range(n):
+        g.add_node(i, label=rng.choice(labels))
+    placed = 0
+    while placed < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            placed += 1
+    return g
+
+
+def random_tree(n: int, rng: Optional[random.Random] = None,
+                labels: Sequence[str] = ("",)) -> Graph:
+    """Uniform-attachment random tree on ``n`` nodes."""
+    if n < 1:
+        raise GraphError("random_tree requires n >= 1")
+    rng = rng or random.Random()
+    g = Graph(name=f"tree{n}")
+    g.add_node(0, label=rng.choice(labels))
+    for i in range(1, n):
+        g.add_node(i, label=rng.choice(labels))
+        g.add_edge(i, rng.randrange(i))
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int,
+                          rng: Optional[random.Random] = None,
+                          labels: Sequence[str] = ("",)) -> Graph:
+    """Preferential-attachment graph: each new node attaches to ``m``
+    existing nodes chosen proportionally to degree.
+
+    Produces the heavy-tailed degree distributions typical of the
+    large networks TATTOO targets.
+    """
+    if n < m + 1 or m < 1:
+        raise GraphError("barabasi_albert_graph requires n > m >= 1")
+    rng = rng or random.Random()
+    g = Graph(name=f"ba_{n}_{m}")
+    # seed clique of m+1 nodes so every new node has m distinct targets
+    for i in range(m + 1):
+        g.add_node(i, label=rng.choice(labels))
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            g.add_edge(i, j)
+    # repeated-endpoint list implements preferential attachment
+    endpoints: List[int] = []
+    for u, v in g.edges():
+        endpoints.extend((u, v))
+    for i in range(m + 1, n):
+        g.add_node(i, label=rng.choice(labels))
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(endpoints))
+        for t in targets:
+            g.add_edge(i, t)
+            endpoints.extend((i, t))
+    return g
+
+
+def planted_partition_graph(communities: int, community_size: int,
+                            p_in: float, p_out: float,
+                            rng: Optional[random.Random] = None,
+                            labels: Sequence[str] = ("",)) -> Graph:
+    """Planted-partition (stochastic block) graph.
+
+    Dense intra-community wiring creates the truss-infested regions
+    TATTOO's decomposition is designed to find.
+    """
+    if not (0.0 <= p_out <= p_in <= 1.0):
+        raise GraphError("require 0 <= p_out <= p_in <= 1")
+    rng = rng or random.Random()
+    n = communities * community_size
+    g = Graph(name=f"ppg_{communities}x{community_size}")
+    for i in range(n):
+        g.add_node(i, label=rng.choice(labels))
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = (u // community_size) == (v // community_size)
+            if rng.random() < (p_in if same else p_out):
+                g.add_edge(u, v)
+    return g

@@ -1,0 +1,142 @@
+"""Serialization for graphs and graph repositories.
+
+Two formats are supported:
+
+* **JSON** — full fidelity (labels + attributes), used by the VQI spec.
+* **``.lg`` text** — the line-based format common in subgraph-mining
+  datasets (``t # <name>`` / ``v <id> <label>`` / ``e <u> <v> <label>``),
+  used for repositories of small graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.errors import FormatError
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """JSON-serializable dict representation of a graph."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {"id": u, "label": graph.node_label(u),
+             **({"attrs": graph.node_attrs(u)} if graph.node_attrs(u) else {})}
+            for u in sorted(graph.nodes())
+        ],
+        "edges": [
+            {"u": u, "v": v, "label": graph.edge_label(u, v),
+             **({"attrs": graph.edge_attrs(u, v)}
+                if graph.edge_attrs(u, v) else {})}
+            for u, v in sorted(graph.edges())
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Inverse of :func:`graph_to_dict`."""
+    try:
+        g = Graph(name=data.get("name", ""))
+        for node in data["nodes"]:
+            g.add_node(int(node["id"]), label=node.get("label", ""),
+                       **node.get("attrs", {}))
+        for edge in data["edges"]:
+            g.add_edge(int(edge["u"]), int(edge["v"]),
+                       label=edge.get("label", ""),
+                       **edge.get("attrs", {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FormatError(f"malformed graph dict: {exc}") from exc
+    return g
+
+
+def graph_to_json(graph: Graph, indent: int = 0) -> str:
+    """Serialize one graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent or None)
+
+
+def graph_from_json(text: str) -> Graph:
+    """Parse one graph from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"invalid JSON: {exc}") from exc
+    return graph_from_dict(data)
+
+
+def write_lg(graphs: Iterable[Graph], path: PathLike) -> int:
+    """Write a repository to ``.lg`` format; returns the graph count.
+
+    Attributes are not preserved (the format has no room for them).
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for graph in graphs:
+            handle.write(f"t # {graph.name or count}\n")
+            mapping = {u: i for i, u in enumerate(sorted(graph.nodes()))}
+            for u in sorted(graph.nodes()):
+                handle.write(f"v {mapping[u]} {graph.node_label(u)}\n")
+            for u, v in sorted(graph.edges()):
+                label = graph.edge_label(u, v)
+                handle.write(f"e {mapping[u]} {mapping[v]} {label}\n")
+            count += 1
+    return count
+
+
+def read_lg(path: PathLike) -> List[Graph]:
+    """Read a repository from ``.lg`` format."""
+    graphs: List[Graph] = []
+    current: Graph | None = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            parts = line.split()
+            kind = parts[0]
+            try:
+                if kind == "t":
+                    name = parts[2] if len(parts) > 2 else ""
+                    current = Graph(name=name)
+                    graphs.append(current)
+                elif kind == "v":
+                    if current is None:
+                        raise FormatError("vertex before first 't' line")
+                    label = parts[2] if len(parts) > 2 else ""
+                    current.add_node(int(parts[1]), label=label)
+                elif kind == "e":
+                    if current is None:
+                        raise FormatError("edge before first 't' line")
+                    label = parts[3] if len(parts) > 3 else ""
+                    current.add_edge(int(parts[1]), int(parts[2]),
+                                     label=label)
+                else:
+                    raise FormatError(f"unknown record type {kind!r}")
+            except (IndexError, ValueError) as exc:
+                raise FormatError(
+                    f"{path}:{lineno}: malformed line {line!r}") from exc
+    return graphs
+
+
+def write_repository_json(graphs: Iterable[Graph], path: PathLike) -> int:
+    """Write a repository (list of graphs) as one JSON document."""
+    payload = [graph_to_dict(g) for g in graphs]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return len(payload)
+
+
+def read_repository_json(path: PathLike) -> List[Graph]:
+    """Read a repository written by :func:`write_repository_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(payload, list):
+        raise FormatError(f"{path}: expected a JSON array of graphs")
+    return [graph_from_dict(item) for item in payload]

@@ -1,0 +1,278 @@
+"""Structural operations on :class:`repro.graph.Graph`.
+
+Traversal, connectivity, subgraph extraction, and small structural
+helpers used throughout the pattern-selection pipelines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph.graph import Graph, edge_key
+
+
+def bfs_order(graph: Graph, start: int) -> List[int]:
+    """Nodes reachable from ``start`` in breadth-first order."""
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    seen = {start}
+    order = [start]
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def connected_components(graph: Graph) -> List[Set[int]]:
+    """Connected components as a list of node sets (deterministic order)."""
+    remaining = set(graph.nodes())
+    components: List[Set[int]] = []
+    for node in sorted(remaining):
+        if node not in remaining:
+            continue
+        component = set(bfs_order(graph, node))
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True for the empty graph and any graph with one component."""
+    if graph.order() == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(bfs_order(graph, first)) == graph.order()
+
+
+def induced_subgraph(graph: Graph, nodes: Iterable[int],
+                     name: str = "") -> Graph:
+    """Node-induced subgraph on ``nodes`` (keeps original node ids)."""
+    node_set = set(nodes)
+    for node in node_set:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+    sub = Graph(name=name)
+    for node in node_set:
+        sub.add_node(node, label=graph.node_label(node),
+                     **graph.node_attrs(node))
+    for u, v in graph.edges():
+        if u in node_set and v in node_set:
+            sub.add_edge(u, v, label=graph.edge_label(u, v),
+                         **graph.edge_attrs(u, v))
+    return sub
+
+
+def edge_subgraph(graph: Graph, edges: Iterable[Tuple[int, int]],
+                  name: str = "") -> Graph:
+    """Subgraph containing exactly ``edges`` and their endpoints."""
+    sub = Graph(name=name)
+    keys = [edge_key(u, v) for u, v in edges]
+    for u, v in keys:
+        if not graph.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) not in graph")
+        for node in (u, v):
+            if not sub.has_node(node):
+                sub.add_node(node, label=graph.node_label(node),
+                             **graph.node_attrs(node))
+        if not sub.has_edge(u, v):
+            sub.add_edge(u, v, label=graph.edge_label(u, v),
+                         **graph.edge_attrs(u, v))
+    return sub
+
+
+def shortest_path_length(graph: Graph, source: int,
+                         target: int) -> Optional[int]:
+    """Hop count of the shortest path, or None if disconnected."""
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return 0
+    seen = {source}
+    queue = deque([(source, 0)])
+    while queue:
+        u, dist = queue.popleft()
+        for v in graph.neighbors(u):
+            if v == target:
+                return dist + 1
+            if v not in seen:
+                seen.add(v)
+                queue.append((v, dist + 1))
+    return None
+
+
+def diameter(graph: Graph) -> int:
+    """Longest shortest path; raises on disconnected or empty graphs."""
+    if graph.order() == 0:
+        raise GraphError("diameter of an empty graph is undefined")
+    best = 0
+    for source in graph.nodes():
+        # BFS from every node; fine for the small graphs we measure.
+        dist = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        if len(dist) != graph.order():
+            raise GraphError("diameter of a disconnected graph is undefined")
+        best = max(best, max(dist.values()))
+    return best
+
+
+def triangles(graph: Graph) -> List[Tuple[int, int, int]]:
+    """All triangles as sorted node triples, each listed once."""
+    found: List[Tuple[int, int, int]] = []
+    for u in graph.nodes():
+        nbrs_u = [v for v in graph.neighbors(u) if v > u]
+        for i, v in enumerate(nbrs_u):
+            for w in nbrs_u[i + 1:]:
+                if graph.has_edge(v, w):
+                    tri = tuple(sorted((u, v, w)))
+                    found.append(tri)  # u < v,w ensures uniqueness
+    return found
+
+
+def cycle_basis_sizes(graph: Graph) -> List[int]:
+    """Sizes of a fundamental cycle basis (per spanning forest).
+
+    Used by cognitive-load measures: the number and length of
+    independent cycles is a strong predictor of perceived complexity.
+    """
+    parent: Dict[int, Optional[int]] = {}
+    depth: Dict[int, int] = {}
+    tree_edges: Set[Tuple[int, int]] = set()
+    for root in graph.nodes():
+        if root in parent:
+            continue
+        parent[root] = None
+        depth[root] = 0
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for v in graph.neighbors(u):
+                if v not in parent:
+                    parent[v] = u
+                    depth[v] = depth[u] + 1
+                    tree_edges.add(edge_key(u, v))
+                    stack.append(v)
+    sizes: List[int] = []
+    for u, v in graph.edges():
+        if edge_key(u, v) in tree_edges:
+            continue
+        # fundamental cycle = tree path u..v plus the non-tree edge
+        a, b = u, v
+        length = 1
+        while a != b:
+            if depth[a] < depth[b]:
+                a, b = b, a
+            a = parent[a]  # type: ignore[assignment]
+            length += 1
+        sizes.append(length)
+    return sizes
+
+
+def is_tree(graph: Graph) -> bool:
+    """Connected and acyclic (the empty graph counts as a tree)."""
+    if graph.order() == 0:
+        return True
+    return is_connected(graph) and graph.size() == graph.order() - 1
+
+
+def is_path_graph(graph: Graph) -> bool:
+    """A simple path: tree with max degree <= 2."""
+    if graph.order() == 0:
+        return False
+    if not is_tree(graph):
+        return False
+    return all(graph.degree(v) <= 2 for v in graph.nodes())
+
+
+def is_star(graph: Graph) -> bool:
+    """A star: one hub adjacent to all leaves, no other edges (n >= 3)."""
+    n = graph.order()
+    if n < 3 or not is_tree(graph):
+        return False
+    degrees = graph.degree_sequence()
+    return degrees[0] == n - 1 and all(d == 1 for d in degrees[1:])
+
+
+def is_cycle_graph(graph: Graph) -> bool:
+    """A single simple cycle covering all nodes (n >= 3)."""
+    n = graph.order()
+    if n < 3 or graph.size() != n:
+        return False
+    return is_connected(graph) and all(graph.degree(v) == 2
+                                       for v in graph.nodes())
+
+
+def is_clique(graph: Graph) -> bool:
+    """Complete graph on n >= 2 nodes."""
+    n = graph.order()
+    if n < 2:
+        return False
+    return graph.size() == n * (n - 1) // 2
+
+
+def disjoint_union(graphs: Sequence[Graph], name: str = "") -> Graph:
+    """Disjoint union; node ids are renumbered 0..n-1 across inputs."""
+    out = Graph(name=name)
+    offset = 0
+    for g in graphs:
+        mapping = {u: offset + i for i, u in enumerate(sorted(g.nodes()))}
+        for u in sorted(g.nodes()):
+            out.add_node(mapping[u], label=g.node_label(u),
+                         **g.node_attrs(u))
+        for u, v in g.edges():
+            out.add_edge(mapping[u], mapping[v], label=g.edge_label(u, v),
+                         **g.edge_attrs(u, v))
+        offset += g.order()
+    return out
+
+
+def sample_connected_node_set(graph: Graph, size: int, rng,
+                              attempts: int = 30) -> Optional[Set[int]]:
+    """Random connected node set of ``size`` nodes, or None.
+
+    Grown by random frontier expansion from a random seed node;
+    retried up to ``attempts`` times (a seed may sit in a component
+    smaller than ``size``).
+    """
+    if size < 1:
+        raise GraphError("sample size must be >= 1")
+    if graph.order() < size:
+        return None
+    nodes = sorted(graph.nodes())
+    for _ in range(attempts):
+        current = {rng.choice(nodes)}
+        frontier: Set[int] = set()
+        for u in current:
+            frontier.update(graph.neighbors(u))
+        while len(current) < size and frontier:
+            pick = rng.choice(sorted(frontier))
+            current.add(pick)
+            frontier.discard(pick)
+            frontier.update(v for v in graph.neighbors(pick)
+                            if v not in current)
+        if len(current) == size:
+            return current
+    return None
+
+
+def largest_component_subgraph(graph: Graph, name: str = "") -> Graph:
+    """Induced subgraph on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return Graph(name=name)
+    biggest = max(components, key=len)
+    return induced_subgraph(graph, biggest, name=name)

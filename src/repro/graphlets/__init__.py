@@ -1,0 +1,23 @@
+"""Graphlet frequency distributions (GFD).
+
+MIDAS uses the drift of the graphlet frequency distribution of a
+repository to decide whether a batch of updates is a *minor* or
+*major* modification.  This package counts connected 3- and 4-node
+graphlets exactly and exposes the Euclidean drift measure.
+"""
+
+from repro.graphlets.counting import (
+    GRAPHLET_KEYS,
+    count_graphlets,
+    gfd_distance,
+    graphlet_frequency_distribution,
+    repository_gfd,
+)
+
+__all__ = [
+    "GRAPHLET_KEYS",
+    "count_graphlets",
+    "gfd_distance",
+    "graphlet_frequency_distribution",
+    "repository_gfd",
+]

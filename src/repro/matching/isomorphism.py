@@ -1,0 +1,229 @@
+"""Subgraph isomorphism and graph isomorphism.
+
+A VF2-style backtracking matcher specialised for the small patterns
+and small/medium data graphs this library manipulates.  Node and edge
+labels must match exactly unless the pattern uses the :data:`WILDCARD`
+label, which matches anything.
+
+Two matching semantics are provided:
+
+* **monomorphism** (default): every pattern edge must map to a target
+  edge; extra edges between image nodes are allowed.  This is the
+  semantics of "pattern p covers graph G" in the canned-pattern
+  literature (p appears as a — not necessarily induced — subgraph).
+* **induced**: additionally, non-adjacent pattern nodes must map to
+  non-adjacent target nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.graph import Graph
+
+WILDCARD = "*"
+
+
+def labels_compatible(pattern_label: str, target_label: str) -> bool:
+    """Exact label match, with ``*`` in the pattern matching anything."""
+    return pattern_label == WILDCARD or pattern_label == target_label
+
+
+def _matching_order(pattern: Graph) -> List[int]:
+    """BFS order from a max-degree node; keeps the frontier connected.
+
+    A connected frontier lets every node after the first be placed
+    only next to already-matched nodes, which prunes aggressively.
+    Disconnected patterns fall back to per-component BFS orders.
+    """
+    order: List[int] = []
+    visited: Set[int] = set()
+    nodes = sorted(pattern.nodes(), key=lambda u: -pattern.degree(u))
+    for root in nodes:
+        if root in visited:
+            continue
+        queue = [root]
+        visited.add(root)
+        while queue:
+            # expand the frontier node with most matched neighbors first
+            queue.sort(key=lambda u: (-sum(1 for w in pattern.neighbors(u)
+                                           if w in visited),
+                                      -pattern.degree(u)))
+            u = queue.pop(0)
+            order.append(u)
+            for v in sorted(pattern.neighbors(u)):
+                if v not in visited:
+                    visited.add(v)
+                    queue.append(v)
+    return order
+
+
+class SubgraphMatcher:
+    """Reusable matcher for one (pattern, target) pair.
+
+    Parameters
+    ----------
+    pattern, target:
+        Graphs to match; the pattern is the smaller query structure.
+    induced:
+        Use induced-subgraph semantics (see module docstring).
+    """
+
+    def __init__(self, pattern: Graph, target: Graph,
+                 induced: bool = False) -> None:
+        self.pattern = pattern
+        self.target = target
+        self.induced = induced
+        self._order = _matching_order(pattern)
+        # pattern neighbors already matched when a node is placed
+        self._placed_before: List[List[int]] = []
+        placed: Set[int] = set()
+        for u in self._order:
+            self._placed_before.append(
+                [w for w in self.pattern.neighbors(u) if w in placed])
+            placed.add(u)
+        # candidate pools by label (wildcard -> all target nodes)
+        self._by_label: Dict[str, List[int]] = {}
+        for node in target.nodes():
+            self._by_label.setdefault(target.node_label(node), []).append(node)
+
+    def _candidates(self, u: int) -> List[int]:
+        label = self.pattern.node_label(u)
+        if label == WILDCARD:
+            return list(self.target.nodes())
+        return self._by_label.get(label, [])
+
+    def _feasible(self, u: int, t: int, mapping: Dict[int, int],
+                  used: Set[int], matched_nbrs: List[int]) -> bool:
+        if t in used:
+            return False
+        if not labels_compatible(self.pattern.node_label(u),
+                                 self.target.node_label(t)):
+            return False
+        if self.target.degree(t) < self.pattern.degree(u):
+            return False
+        for w in matched_nbrs:
+            image = mapping[w]
+            if not self.target.has_edge(t, image):
+                return False
+            if not labels_compatible(self.pattern.edge_label(u, w),
+                                     self.target.edge_label(t, image)):
+                return False
+        if self.induced:
+            # matched non-neighbors of u must not be adjacent to t
+            for w, image in mapping.items():
+                if w not in matched_nbrs and not self.pattern.has_edge(u, w):
+                    if self.target.has_edge(t, image):
+                        return False
+        return True
+
+    def iter_embeddings(self,
+                        max_results: Optional[int] = None
+                        ) -> Iterator[Dict[int, int]]:
+        """Yield pattern-node -> target-node mappings.
+
+        ``max_results`` caps enumeration (None = unbounded).  The empty
+        pattern yields exactly one empty mapping.
+        """
+        if self.pattern.order() > self.target.order():
+            return
+        if self.pattern.order() == 0:
+            yield {}
+            return
+        yield from self._extend({}, set(), 0, [max_results])
+
+    def _extend(self, mapping: Dict[int, int], used: Set[int], depth: int,
+                remaining: List[Optional[int]]) -> Iterator[Dict[int, int]]:
+        if remaining[0] is not None and remaining[0] <= 0:
+            return
+        u = self._order[depth]
+        matched_nbrs = self._placed_before[depth]
+        if matched_nbrs:
+            # intersect neighborhoods of already-placed images
+            anchor = mapping[matched_nbrs[0]]
+            pool: List[int] = [t for t in self.target.neighbors(anchor)]
+        else:
+            pool = self._candidates(u)
+        for t in pool:
+            if not self._feasible(u, t, mapping, used, matched_nbrs):
+                continue
+            mapping[u] = t
+            used.add(t)
+            if depth + 1 == len(self._order):
+                yield dict(mapping)
+                if remaining[0] is not None:
+                    remaining[0] -= 1
+                    if remaining[0] <= 0:
+                        del mapping[u]
+                        used.discard(t)
+                        return
+            else:
+                yield from self._extend(mapping, used, depth + 1, remaining)
+            del mapping[u]
+            used.discard(t)
+
+
+def subgraph_embeddings(pattern: Graph, target: Graph,
+                        induced: bool = False,
+                        max_results: Optional[int] = None
+                        ) -> List[Dict[int, int]]:
+    """All (or first ``max_results``) embeddings of pattern in target."""
+    matcher = SubgraphMatcher(pattern, target, induced=induced)
+    return list(matcher.iter_embeddings(max_results=max_results))
+
+
+def find_embedding(pattern: Graph, target: Graph,
+                   induced: bool = False) -> Optional[Dict[int, int]]:
+    """First embedding found, or None."""
+    matcher = SubgraphMatcher(pattern, target, induced=induced)
+    for mapping in matcher.iter_embeddings(max_results=1):
+        return mapping
+    return None
+
+
+def is_subgraph(pattern: Graph, target: Graph,
+                induced: bool = False) -> bool:
+    """True iff the pattern embeds in the target."""
+    return find_embedding(pattern, target, induced=induced) is not None
+
+
+def count_embeddings(pattern: Graph, target: Graph,
+                     induced: bool = False,
+                     cap: Optional[int] = None) -> int:
+    """Number of embeddings, optionally capped at ``cap``."""
+    matcher = SubgraphMatcher(pattern, target, induced=induced)
+    count = 0
+    for _ in matcher.iter_embeddings(max_results=cap):
+        count += 1
+    return count
+
+
+def covered_edges(pattern: Graph, target: Graph,
+                  max_embeddings: Optional[int] = 200
+                  ) -> Set[Tuple[int, int]]:
+    """Union of target edges covered by embeddings of the pattern.
+
+    This is the quantity the coverage measures need; it converges
+    quickly, so enumeration is capped by default.
+    """
+    matcher = SubgraphMatcher(pattern, target, induced=False)
+    covered: Set[Tuple[int, int]] = set()
+    for mapping in matcher.iter_embeddings(max_results=max_embeddings):
+        for u, v in pattern.edges():
+            a, b = mapping[u], mapping[v]
+            covered.add((a, b) if a <= b else (b, a))
+        if len(covered) == target.size():
+            break
+    return covered
+
+
+def are_isomorphic(g1: Graph, g2: Graph) -> bool:
+    """Exact label-preserving graph isomorphism."""
+    if g1.order() != g2.order() or g1.size() != g2.size():
+        return False
+    if sorted(g1.label_multiset().items()) != sorted(
+            g2.label_multiset().items()):
+        return False
+    if g1.degree_sequence() != g2.degree_sequence():
+        return False
+    return is_subgraph(g1, g2, induced=True)

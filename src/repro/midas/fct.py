@@ -1,0 +1,92 @@
+"""Incrementally-maintained frequent closed trees (FCT).
+
+MIDAS swaps CATAPULT's plain frequent-subtree features for frequent
+*closed* trees because closedness survives batch updates: supports
+can be adjusted per touched graph without re-mining the untouched
+rest of the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.clustering.features import (
+    DEFAULT_TREE_EDGES,
+    MinedTree,
+    closed_frequent_trees,
+    connected_tree_subgraphs,
+)
+from repro.graph.graph import Graph
+from repro.matching.canonical import canonical_code
+
+
+class FCTIndex:
+    """Supports of all subtrees, with frequent-closed-tree views.
+
+    The index stores *all* subtree supports (document frequency) so a
+    batch update only needs the tree codes of the touched graphs.
+    """
+
+    def __init__(self, min_support: int = 2,
+                 max_edges: int = DEFAULT_TREE_EDGES) -> None:
+        self.min_support = min_support
+        self.max_edges = max_edges
+        self._supports: Dict[str, int] = {}
+        self._representatives: Dict[str, Graph] = {}
+        self._graph_count = 0
+
+    # -- bookkeeping ------------------------------------------------------
+    def _codes_of(self, graph: Graph) -> Set[str]:
+        codes: Set[str] = set()
+        for _, subtree in connected_tree_subgraphs(graph, self.max_edges):
+            code = canonical_code(subtree)
+            if code not in codes:
+                codes.add(code)
+                if code not in self._representatives:
+                    self._representatives[code] = subtree.normalized()
+        return codes
+
+    def build(self, repository: Sequence[Graph]) -> None:
+        """Initialise from a full repository."""
+        self._supports.clear()
+        self._representatives.clear()
+        self._graph_count = 0
+        for graph in repository:
+            self.add_graph(graph)
+
+    def add_graph(self, graph: Graph) -> None:
+        """Account for one added graph."""
+        for code in self._codes_of(graph):
+            self._supports[code] = self._supports.get(code, 0) + 1
+        self._graph_count += 1
+
+    def remove_graph(self, graph: Graph) -> None:
+        """Account for one removed graph."""
+        for code in self._codes_of(graph):
+            remaining = self._supports.get(code, 0) - 1
+            if remaining <= 0:
+                self._supports.pop(code, None)
+            else:
+                self._supports[code] = remaining
+        self._graph_count -= 1
+
+    # -- views --------------------------------------------------------------
+    @property
+    def graph_count(self) -> int:
+        return self._graph_count
+
+    def support(self, code: str) -> int:
+        return self._supports.get(code, 0)
+
+    def frequent_trees(self) -> List[MinedTree]:
+        """All frequent subtrees at the current min_support."""
+        return [MinedTree(code, self._representatives[code], support)
+                for code, support in sorted(self._supports.items())
+                if support >= self.min_support]
+
+    def frequent_closed(self) -> List[MinedTree]:
+        """The frequent *closed* trees (the clustering vocabulary)."""
+        return closed_frequent_trees(self.frequent_trees())
+
+    def __len__(self) -> int:
+        return len(self._supports)

@@ -1,0 +1,325 @@
+"""MIDAS: maintenance of canned patterns under batch updates
+(Huang et al., SIGMOD 2021).
+
+Built on top of CATAPULT state (clusters, CSGs, pattern set), MIDAS
+processes an :class:`repro.datasets.UpdateBatch` as follows:
+
+1. assign added graphs to existing clusters, drop removed graphs;
+2. update the (incrementally maintained) graphlet frequency
+   distribution and measure its Euclidean drift;
+3. maintain the FCT vocabulary incrementally (per touched graph);
+4. rebuild the CSGs of modified clusters only;
+5. if the drift is below the threshold the modification is *minor* —
+   the pattern set is untouched; otherwise it is *major* — candidates
+   are walked out of the modified CSGs and merged into the pattern
+   set with multi-scan swapping, which never lowers the set score.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.catapult.random_walk import generate_candidates
+from repro.clustering.features import feature_vector_from_vocabulary
+from repro.clustering.kmedoids import kmedoids
+from repro.clustering.similarity import (
+    distance_matrix_from_vectors,
+    vector_euclidean,
+)
+from repro.datasets.evolving import UpdateBatch
+from repro.errors import MaintenanceError, PipelineError
+from repro.graph.graph import Graph
+from repro.graphlets.counting import GRAPHLET_KEYS, count_graphlets, gfd_distance
+from repro.matching.isomorphism import is_subgraph
+from repro.midas.fct import FCTIndex
+from repro.midas.swapping import SwapStats, multi_scan_swap
+from repro.patterns.base import Pattern, PatternBudget, PatternSet
+from repro.patterns.index import CoverageIndex
+from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
+from repro.patterns.selection import SetScorer, greedy_select
+from repro.summary.closure import SummaryGraph, build_summary
+from repro.catapult.pipeline import default_cluster_count
+
+
+class MidasConfig:
+    """Tunables of the MIDAS maintenance engine."""
+
+    __slots__ = ("drift_threshold", "min_tree_support", "max_tree_edges",
+                 "walks_per_cluster", "coverage_sample", "max_embeddings",
+                 "max_scans", "prune", "seed", "weights", "clusters")
+
+    def __init__(self, drift_threshold: float = 0.015,
+                 min_tree_support: int = 2, max_tree_edges: int = 3,
+                 walks_per_cluster: int = 40, coverage_sample: int = 50,
+                 max_embeddings: int = 30, max_scans: int = 3,
+                 prune: bool = True, seed: int = 0,
+                 weights: ScoreWeights = DEFAULT_WEIGHTS,
+                 clusters: Optional[int] = None) -> None:
+        self.drift_threshold = drift_threshold
+        self.min_tree_support = min_tree_support
+        self.max_tree_edges = max_tree_edges
+        self.walks_per_cluster = walks_per_cluster
+        self.coverage_sample = coverage_sample
+        self.max_embeddings = max_embeddings
+        self.max_scans = max_scans
+        self.prune = prune
+        self.seed = seed
+        self.weights = weights
+        self.clusters = clusters
+
+
+class MaintenanceReport:
+    """Outcome of applying one batch."""
+
+    __slots__ = ("batch_index", "kind", "drift", "added", "removed",
+                 "modified_clusters", "swap_stats", "duration",
+                 "score_before", "score_after")
+
+    def __init__(self, batch_index: int, kind: str, drift: float,
+                 added: int, removed: int, modified_clusters: int,
+                 swap_stats: Optional[SwapStats], duration: float,
+                 score_before: float, score_after: float) -> None:
+        self.batch_index = batch_index
+        self.kind = kind
+        self.drift = drift
+        self.added = added
+        self.removed = removed
+        self.modified_clusters = modified_clusters
+        self.swap_stats = swap_stats
+        self.duration = duration
+        self.score_before = score_before
+        self.score_after = score_after
+
+    def __repr__(self) -> str:
+        return (f"<MaintenanceReport #{self.batch_index} {self.kind} "
+                f"drift={self.drift:.4f} "
+                f"score {self.score_before:.3f}->{self.score_after:.3f}>")
+
+
+class Midas:
+    """Stateful pattern-set maintainer for an evolving repository."""
+
+    def __init__(self, repository: Sequence[Graph], budget: PatternBudget,
+                 config: Optional[MidasConfig] = None) -> None:
+        if not repository:
+            raise PipelineError("MIDAS needs a non-empty repository")
+        self.config = config or MidasConfig()
+        self.budget = budget
+        self._graphs: Dict[str, Graph] = {}
+        for graph in repository:
+            if not graph.name:
+                raise MaintenanceError("repository graphs need names")
+            if graph.name in self._graphs:
+                raise MaintenanceError(
+                    f"duplicate graph name {graph.name!r}")
+            self._graphs[graph.name] = graph
+        self._rng = random.Random(self.config.seed)
+        self._batch_index = 0
+        # incrementally maintained state
+        self.fct = FCTIndex(min_support=self.config.min_tree_support,
+                            max_edges=self.config.max_tree_edges)
+        self._graphlet_counts: Dict[str, Dict[str, int]] = {}
+        self._pooled_graphlets: Dict[str, int] = {
+            key: 0 for key in GRAPHLET_KEYS}
+        self.membership: Dict[str, int] = {}
+        self.summaries: Dict[int, SummaryGraph] = {}
+        self.patterns: PatternSet = PatternSet()
+        self._initialize()
+
+    # ------------------------------------------------------------------
+    # initialisation (CATAPULT with the FCT vocabulary)
+    # ------------------------------------------------------------------
+    def graphs(self) -> List[Graph]:
+        return list(self._graphs.values())
+
+    def _account_graphlets(self, graph: Graph, sign: int) -> None:
+        counts = self._graphlet_counts.get(graph.name)
+        if counts is None:
+            counts = count_graphlets(graph)
+            self._graphlet_counts[graph.name] = counts
+        for key, value in counts.items():
+            self._pooled_graphlets[key] += sign * value
+        if sign < 0:
+            self._graphlet_counts.pop(graph.name, None)
+
+    def gfd(self) -> Dict[str, float]:
+        """Current pooled graphlet frequency distribution."""
+        total = sum(self._pooled_graphlets.values())
+        if total == 0:
+            return {key: 0.0 for key in GRAPHLET_KEYS}
+        return {key: value / total
+                for key, value in self._pooled_graphlets.items()}
+
+    def _feature_of(self, graph: Graph) -> List[float]:
+        return feature_vector_from_vocabulary(
+            graph, self._vocabulary, self.config.max_tree_edges)
+
+    def _initialize(self) -> None:
+        graphs = self.graphs()
+        self.fct.build(graphs)
+        for graph in graphs:
+            self._account_graphlets(graph, +1)
+        self._gfd = self.gfd()
+        self._vocabulary = self.fct.frequent_closed()
+        k = self.config.clusters or default_cluster_count(len(graphs))
+        if self._vocabulary:
+            matrix = [self._feature_of(g) for g in graphs]
+            distances = distance_matrix_from_vectors(matrix, "euclidean")
+            clustering = kmedoids(distances, k, seed=self.config.seed)
+            labels = clustering.labels
+        else:
+            labels = [0] * len(graphs)
+        for graph, label in zip(graphs, labels):
+            self.membership[graph.name] = label
+        self._rebuild_summaries(set(self.membership.values()))
+        self._centroids = self._compute_centroids()
+        candidates = self._walk_candidates(set(self.summaries))
+        scorer = self._make_scorer()
+        selection = greedy_select(candidates, self.budget, scorer)
+        self.patterns = selection.patterns
+        self.last_score = selection.score
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _cluster_members(self, cluster: int) -> List[Graph]:
+        return [self._graphs[name]
+                for name, label in self.membership.items()
+                if label == cluster]
+
+    def _rebuild_summaries(self, clusters: Set[int]) -> None:
+        for cluster in clusters:
+            members = self._cluster_members(cluster)
+            if members:
+                self.summaries[cluster] = build_summary(members)
+            else:
+                self.summaries.pop(cluster, None)
+
+    def _compute_centroids(self) -> Dict[int, List[float]]:
+        centroids: Dict[int, List[float]] = {}
+        if not self._vocabulary:
+            return centroids
+        sums: Dict[int, List[float]] = {}
+        counts: Dict[int, int] = {}
+        for name, label in self.membership.items():
+            vector = self._feature_of(self._graphs[name])
+            if label not in sums:
+                sums[label] = [0.0] * len(vector)
+                counts[label] = 0
+            sums[label] = [a + b for a, b in zip(sums[label], vector)]
+            counts[label] += 1
+        for label, total in sums.items():
+            centroids[label] = [value / counts[label] for value in total]
+        return centroids
+
+    def _nearest_cluster(self, graph: Graph) -> int:
+        if not self._centroids:
+            return next(iter(self.summaries), 0)
+        vector = self._feature_of(graph)
+        return min(self._centroids,
+                   key=lambda c: vector_euclidean(vector,
+                                                  self._centroids[c]))
+
+    def _walk_candidates(self, clusters: Set[int]) -> List[Pattern]:
+        candidates: List[Pattern] = []
+        seen: Set[str] = set()
+        for cluster in sorted(clusters):
+            summary = self.summaries.get(cluster)
+            if summary is None:
+                continue
+            members = self._cluster_members(cluster)[:8]
+
+            def validator(candidate: Graph,
+                          probe: List[Graph] = members) -> bool:
+                return any(is_subgraph(candidate, m) for m in probe)
+
+            for pattern in generate_candidates(
+                    summary, self.budget, self.config.walks_per_cluster,
+                    self._rng, source=f"midas:cluster{cluster}",
+                    validator=validator):
+                if pattern.code not in seen:
+                    seen.add(pattern.code)
+                    candidates.append(pattern)
+        return candidates
+
+    def _make_scorer(self) -> SetScorer:
+        graphs = self.graphs()
+        sample = graphs
+        if len(sample) > self.config.coverage_sample:
+            sample = self._rng.sample(graphs, self.config.coverage_sample)
+        index = CoverageIndex(sample,
+                              max_embeddings=self.config.max_embeddings,
+                              size_utility=True)
+        return SetScorer(index, weights=self.config.weights)
+
+    # ------------------------------------------------------------------
+    # batch application
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> MaintenanceReport:
+        """Apply one update batch and maintain the pattern set."""
+        start = time.perf_counter()
+        self._batch_index += 1
+        modified: Set[int] = set()
+
+        for name in batch.removed:
+            graph = self._graphs.pop(name, None)
+            if graph is None:
+                raise MaintenanceError(
+                    f"cannot remove unknown graph {name!r}")
+            self.fct.remove_graph(graph)
+            self._account_graphlets(graph, -1)
+            modified.add(self.membership.pop(name))
+        for graph in batch.added:
+            if not graph.name or graph.name in self._graphs:
+                raise MaintenanceError(
+                    f"added graph needs a fresh name ({graph.name!r})")
+            self._graphs[graph.name] = graph
+            self.fct.add_graph(graph)
+            self._account_graphlets(graph, +1)
+            cluster = self._nearest_cluster(graph)
+            self.membership[graph.name] = cluster
+            modified.add(cluster)
+
+        # drift accumulates since the last time patterns were
+        # (re)selected; minor batches do not reset the baseline
+        drift = gfd_distance(self._gfd, self.gfd())
+        self._rebuild_summaries(modified)
+
+        scorer = self._make_scorer()
+        score_before = scorer.score(list(self.patterns))
+
+        if drift < self.config.drift_threshold:
+            duration = time.perf_counter() - start
+            return MaintenanceReport(
+                self._batch_index, "minor", drift,
+                added=len(batch.added), removed=len(batch.removed),
+                modified_clusters=len(modified), swap_stats=None,
+                duration=duration, score_before=score_before,
+                score_after=score_before)
+
+        # major modification: refresh vocabulary + centroids, then swap
+        self._gfd = self.gfd()
+        self._vocabulary = self.fct.frequent_closed()
+        self._centroids = self._compute_centroids()
+        candidates = self._walk_candidates(modified)
+        swapped, stats = multi_scan_swap(
+            list(self.patterns), candidates, scorer,
+            max_scans=self.config.max_scans, prune=self.config.prune)
+        patterns = PatternSet(swapped)
+        # fill the budget if the set is short of it
+        if len(patterns) < self.budget.max_patterns:
+            selection = greedy_select(candidates, self.budget, scorer,
+                                      seed_patterns=list(patterns))
+            patterns = selection.patterns
+        self.patterns = patterns
+        score_after = scorer.score(list(patterns))
+        self.last_score = score_after
+        duration = time.perf_counter() - start
+        return MaintenanceReport(
+            self._batch_index, "major", drift,
+            added=len(batch.added), removed=len(batch.removed),
+            modified_clusters=len(modified), swap_stats=stats,
+            duration=duration, score_before=score_before,
+            score_after=score_after)

@@ -1,0 +1,13 @@
+"""Frequent subgraph mining substrate (FSG/AGM-style)."""
+
+from repro.mining.fsg import (
+    FrequentSubgraph,
+    mine_frequent_subgraphs,
+    top_frequent_subgraphs,
+)
+
+__all__ = [
+    "FrequentSubgraph",
+    "mine_frequent_subgraphs",
+    "top_frequent_subgraphs",
+]

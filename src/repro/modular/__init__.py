@@ -1,0 +1,19 @@
+"""Modular canned-pattern-selection architecture (swappable stages)."""
+
+from repro.modular.architecture import (
+    CLUSTERING_STAGES,
+    EXTRACTION_STAGES,
+    MERGING_STAGES,
+    SIMILARITY_STAGES,
+    ModularPipeline,
+    ModularResult,
+)
+
+__all__ = [
+    "CLUSTERING_STAGES",
+    "EXTRACTION_STAGES",
+    "MERGING_STAGES",
+    "SIMILARITY_STAGES",
+    "ModularPipeline",
+    "ModularResult",
+]

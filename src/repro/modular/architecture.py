@@ -1,0 +1,257 @@
+"""The modular canned-pattern-selection architecture (Tzanikos et al.,
+DEXA 2021).
+
+The pipeline is decomposed into four independently swappable stages:
+
+1. **similarity** — pairwise graph similarity / distance;
+2. **clustering** — partition the repository on those distances;
+3. **merging** — merge each cluster into one continuous graph;
+4. **extraction** — extract canned patterns from the merged graphs.
+
+Each stage is a small strategy class registered by name, so
+state-of-the-art components can be substituted per deployment — the
+architectural claim the paper makes, which experiment E8 ablates.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.catapult.random_walk import generate_candidates
+from repro.clustering.features import (
+    mine_frequent_trees,
+    repository_feature_matrix,
+)
+from repro.clustering.kmedoids import kmedoids
+from repro.clustering.similarity import (
+    distance_matrix_from_graphs,
+    distance_matrix_from_vectors,
+)
+from repro.errors import PipelineError
+from repro.graph.graph import Graph
+from repro.patterns.base import Pattern, PatternBudget, PatternSet
+from repro.patterns.index import CoverageIndex
+from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
+from repro.patterns.selection import SetScorer, greedy_select
+from repro.summary.closure import build_summary
+
+Matrix = List[List[float]]
+
+
+# ----------------------------------------------------------------------
+# stage implementations
+# ----------------------------------------------------------------------
+
+
+def similarity_feature_cosine(repository: Sequence[Graph],
+                              seed: int) -> Matrix:
+    """Structural feature vectors + cosine distance."""
+    return distance_matrix_from_graphs(repository)
+
+
+def similarity_frequent_trees(repository: Sequence[Graph],
+                              seed: int) -> Matrix:
+    """Frequent-subtree vectors + Euclidean distance (CATAPULT-style)."""
+    vocabulary = mine_frequent_trees(repository, min_support=2)
+    if not vocabulary:
+        return [[0.0] * len(repository) for _ in repository]
+    matrix = repository_feature_matrix(repository, vocabulary)
+    return distance_matrix_from_vectors(matrix, metric="euclidean")
+
+
+def clustering_kmedoids(distances: Matrix, k: int, seed: int) -> List[int]:
+    """PAM-style k-medoids."""
+    return kmedoids(distances, k, seed=seed).labels
+
+
+def clustering_threshold(distances: Matrix, k: int, seed: int) -> List[int]:
+    """Greedy leader clustering: assign to the first leader within the
+    median pairwise distance, else open a new cluster (k is a soft cap).
+    """
+    n = len(distances)
+    flat = sorted(d for row in distances for d in row if d > 0)
+    threshold = flat[len(flat) // 2] if flat else 0.0
+    leaders: List[int] = []
+    labels = [0] * n
+    for i in range(n):
+        for idx, leader in enumerate(leaders):
+            if distances[i][leader] <= threshold:
+                labels[i] = idx
+                break
+        else:
+            if len(leaders) < k:
+                leaders.append(i)
+                labels[i] = len(leaders) - 1
+            else:
+                labels[i] = min(range(len(leaders)),
+                                key=lambda idx: distances[i][leaders[idx]])
+    return labels
+
+
+def merging_closure(members: Sequence[Graph], seed: int) -> Graph:
+    """Iterative graph closure (CSG), flattened to a plain graph."""
+    return build_summary(members).to_graph(random.Random(seed))
+
+
+def merging_disjoint(members: Sequence[Graph], seed: int) -> Graph:
+    """Plain disjoint union — the cheapest 'continuous graph'."""
+    from repro.graph.operations import disjoint_union
+    return disjoint_union(list(members))
+
+
+def extraction_random_walk(merged: Graph, members: Sequence[Graph],
+                           budget: PatternBudget, seed: int
+                           ) -> List[Pattern]:
+    """Support-blind random walks over the merged graph."""
+    summary = build_summary([merged])
+    rng = random.Random(seed)
+    return generate_candidates(summary, budget, walks=60, rng=rng,
+                               source="modular:walk")
+
+
+def extraction_weighted_walk(merged: Graph, members: Sequence[Graph],
+                             budget: PatternBudget, seed: int
+                             ) -> List[Pattern]:
+    """Support-weighted walks over the members' closure (CATAPULT)."""
+    summary = build_summary(list(members))
+    rng = random.Random(seed)
+    from repro.matching.isomorphism import is_subgraph
+    probe = list(members[:8])
+
+    def validator(candidate: Graph) -> bool:
+        return any(is_subgraph(candidate, m) for m in probe)
+
+    return generate_candidates(summary, budget, walks=60, rng=rng,
+                               source="modular:weighted",
+                               validator=validator)
+
+
+#: stage registries (name -> implementation)
+SIMILARITY_STAGES: Dict[str, Callable] = {
+    "feature_cosine": similarity_feature_cosine,
+    "frequent_trees": similarity_frequent_trees,
+}
+CLUSTERING_STAGES: Dict[str, Callable] = {
+    "kmedoids": clustering_kmedoids,
+    "threshold": clustering_threshold,
+}
+MERGING_STAGES: Dict[str, Callable] = {
+    "closure": merging_closure,
+    "disjoint": merging_disjoint,
+}
+EXTRACTION_STAGES: Dict[str, Callable] = {
+    "random_walk": extraction_random_walk,
+    "weighted_walk": extraction_weighted_walk,
+}
+
+
+class ModularPipeline:
+    """A concrete assembly of the four stages.
+
+    Parameters name a registered implementation per stage; unknown
+    names raise :class:`repro.errors.PipelineError` immediately.
+    """
+
+    def __init__(self, similarity: str = "frequent_trees",
+                 clustering: str = "kmedoids", merging: str = "closure",
+                 extraction: str = "weighted_walk",
+                 clusters: Optional[int] = None, seed: int = 0,
+                 weights: ScoreWeights = DEFAULT_WEIGHTS) -> None:
+        for name, registry, label in (
+                (similarity, SIMILARITY_STAGES, "similarity"),
+                (clustering, CLUSTERING_STAGES, "clustering"),
+                (merging, MERGING_STAGES, "merging"),
+                (extraction, EXTRACTION_STAGES, "extraction")):
+            if name not in registry:
+                raise PipelineError(
+                    f"unknown {label} stage {name!r}; "
+                    f"choose from {sorted(registry)}")
+        self.similarity = similarity
+        self.clustering = clustering
+        self.merging = merging
+        self.extraction = extraction
+        self.clusters = clusters
+        self.seed = seed
+        self.weights = weights
+
+    def describe(self) -> str:
+        return (f"{self.similarity} | {self.clustering} | "
+                f"{self.merging} | {self.extraction}")
+
+    def run(self, repository: Sequence[Graph],
+            budget: PatternBudget) -> "ModularResult":
+        """Execute all four stages plus the final greedy selection."""
+        if not repository:
+            raise PipelineError("modular pipeline needs a repository")
+        from repro.catapult.pipeline import default_cluster_count
+        timings: Dict[str, float] = {}
+
+        start = time.perf_counter()
+        distances = SIMILARITY_STAGES[self.similarity](repository,
+                                                       self.seed)
+        timings["similarity"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        k = self.clusters or default_cluster_count(len(repository))
+        labels = CLUSTERING_STAGES[self.clustering](distances, k,
+                                                    self.seed)
+        timings["clustering"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        groups: Dict[int, List[Graph]] = {}
+        for graph, label in zip(repository, labels):
+            groups.setdefault(label, []).append(graph)
+        merged = {label: MERGING_STAGES[self.merging](members, self.seed)
+                  for label, members in groups.items()}
+        timings["merging"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        candidates: List[Pattern] = []
+        seen: set[str] = set()
+        for label, members in groups.items():
+            for pattern in EXTRACTION_STAGES[self.extraction](
+                    merged[label], members, budget, self.seed + label):
+                if pattern.code not in seen:
+                    seen.add(pattern.code)
+                    candidates.append(pattern)
+        timings["extraction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rng = random.Random(self.seed)
+        sample = list(repository)
+        if len(sample) > 60:
+            sample = rng.sample(sample, 60)
+        scorer = SetScorer(CoverageIndex(sample, max_embeddings=30,
+                                         size_utility=True),
+                           weights=self.weights)
+        selection = greedy_select(candidates, budget, scorer)
+        timings["selection"] = time.perf_counter() - start
+
+        return ModularResult(selection.patterns, candidates, labels,
+                             timings, self.describe(), selection.score)
+
+
+class ModularResult:
+    """Output of one modular-pipeline run."""
+
+    __slots__ = ("patterns", "candidates", "labels", "timings",
+                 "configuration", "score")
+
+    def __init__(self, patterns: PatternSet, candidates: List[Pattern],
+                 labels: List[int], timings: Dict[str, float],
+                 configuration: str, score: float) -> None:
+        self.patterns = patterns
+        self.candidates = candidates
+        self.labels = labels
+        self.timings = timings
+        self.configuration = configuration
+        self.score = score
+
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    def __repr__(self) -> str:
+        return (f"<ModularResult [{self.configuration}] "
+                f"k={len(self.patterns)} score={self.score:.3f}>")

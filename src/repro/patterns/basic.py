@@ -1,0 +1,64 @@
+"""Basic (default) patterns: edge, 2-path, triangle.
+
+Basic patterns are the size-<=z generic topologies every VQI exposes
+regardless of the data (paper §2.3).  They can be instantiated with a
+concrete label alphabet or with wildcards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graph.generators import complete_graph, path_graph
+from repro.matching.isomorphism import WILDCARD
+from repro.patterns.base import Pattern
+
+
+def basic_edge(label: str = WILDCARD, edge_label: str = WILDCARD) -> Pattern:
+    """Single-edge pattern."""
+    g = path_graph(2, label=label, edge_label=edge_label)
+    g.name = "basic:edge"
+    return Pattern(g, source="basic")
+
+
+def basic_two_path(label: str = WILDCARD,
+                   edge_label: str = WILDCARD) -> Pattern:
+    """Two-edge path pattern."""
+    g = path_graph(3, label=label, edge_label=edge_label)
+    g.name = "basic:2-path"
+    return Pattern(g, source="basic")
+
+
+def basic_triangle(label: str = WILDCARD,
+                   edge_label: str = WILDCARD) -> Pattern:
+    """Triangle pattern."""
+    g = complete_graph(3, label=label, edge_label=edge_label)
+    g.name = "basic:triangle"
+    return Pattern(g, source="basic")
+
+
+def default_basic_patterns(label: str = WILDCARD,
+                           edge_label: str = WILDCARD) -> List[Pattern]:
+    """The standard basic-pattern trio (edge, 2-path, triangle)."""
+    return [basic_edge(label, edge_label),
+            basic_two_path(label, edge_label),
+            basic_triangle(label, edge_label)]
+
+
+def labeled_basic_edges(node_labels: Sequence[str],
+                        edge_label: str = WILDCARD) -> List[Pattern]:
+    """One single-edge pattern per unordered label pair.
+
+    Useful when the Attribute Panel alphabet is small and the VQI
+    prefers concrete basic patterns over wildcard ones.
+    """
+    patterns: List[Pattern] = []
+    labels = sorted(set(node_labels))
+    for i, a in enumerate(labels):
+        for b in labels[i:]:
+            g = path_graph(2, edge_label=edge_label)
+            g.set_node_label(0, a)
+            g.set_node_label(1, b)
+            g.name = f"basic:edge:{a}-{b}"
+            patterns.append(Pattern(g, source="basic"))
+    return patterns

@@ -1,0 +1,159 @@
+"""Coverage indices for pattern selection and maintenance.
+
+Selection loops evaluate set coverage thousands of times; doing a
+subgraph-isomorphism search each time would dwarf everything else.
+The :class:`CoverageIndex` precomputes, per (pattern, graph) pair,
+the set of graph edges the pattern's embeddings cover, after which
+set-coverage queries are cheap set unions.
+
+MIDAS additionally uses the two pruning structures the paper
+mentions: a pattern -> covered-graphs inverted index and a coverage
+upper bound per pattern (its solo coverage, which upper-bounds any
+marginal gain it can contribute).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph
+from repro.matching.isomorphism import covered_edges
+from repro.patterns.base import Pattern
+
+EdgeSet = FrozenSet[Tuple[int, int]]
+
+
+class CoverageIndex:
+    """Covered-edge sets of patterns over a (sample of a) repository.
+
+    Parameters
+    ----------
+    graphs:
+        The evaluation graphs (typically a repository sample or the
+        cluster representatives).
+    max_embeddings:
+        Cap on embeddings enumerated per (pattern, graph) pair.
+    """
+
+    def __init__(self, graphs: Sequence[Graph],
+                 max_embeddings: int = 50,
+                 size_utility: bool = False) -> None:
+        self.graphs: List[Graph] = list(graphs)
+        self.max_embeddings = max_embeddings
+        self.size_utility = size_utility
+        self.total_edges = sum(g.size() for g in self.graphs)
+        # pattern code -> {graph index -> covered edge set}
+        self._cover: Dict[str, Dict[int, EdgeSet]] = {}
+        self._utility: Dict[str, float] = {}
+
+    def _pattern_utility(self, pattern: Pattern) -> float:
+        """Formulation utility of a pattern, in (0, 1].
+
+        With ``size_utility`` enabled, an edge covered by a larger
+        pattern counts more (``m / (m + 2)``): reconstructing that
+        region from the pattern saves more user gestures.  This is
+        the size preference in CATAPULT's pattern score.  Disabled,
+        every pattern weighs 1 (plain edge coverage).
+        """
+        if not self.size_utility:
+            return 1.0
+        if pattern.code not in self._utility:
+            m = pattern.size()
+            self._utility[pattern.code] = m / (m + 2.0)
+        return self._utility[pattern.code]
+
+    # -- building -------------------------------------------------------
+    def add_pattern(self, pattern: Pattern) -> None:
+        """Index one pattern (idempotent)."""
+        if pattern.code in self._cover:
+            return
+        entry: Dict[int, EdgeSet] = {}
+        for idx, graph in enumerate(self.graphs):
+            if pattern.order() > graph.order():
+                continue
+            covered = covered_edges(pattern.graph, graph,
+                                    max_embeddings=self.max_embeddings)
+            if covered:
+                entry[idx] = frozenset(covered)
+        self._cover[pattern.code] = entry
+
+    def add_patterns(self, patterns: Iterable[Pattern]) -> None:
+        for pattern in patterns:
+            self.add_pattern(pattern)
+
+    def is_indexed(self, pattern: Pattern) -> bool:
+        return pattern.code in self._cover
+
+    # -- queries ----------------------------------------------------------
+    def cover_of(self, pattern: Pattern) -> Dict[int, EdgeSet]:
+        """Per-graph covered edges of one pattern (indexes on demand)."""
+        if pattern.code not in self._cover:
+            self.add_pattern(pattern)
+        return self._cover[pattern.code]
+
+    def covered_graphs(self, pattern: Pattern) -> Set[int]:
+        """Inverted index: which graphs the pattern covers (>= 1 edge)."""
+        return set(self.cover_of(pattern))
+
+    def solo_coverage(self, pattern: Pattern) -> float:
+        """Edge coverage the pattern achieves alone — an upper bound on
+        the marginal coverage it can add to any set (submodularity)."""
+        if self.total_edges == 0:
+            return 0.0
+        utility = self._pattern_utility(pattern)
+        covered = sum(len(edges) for edges in self.cover_of(pattern).values())
+        return utility * covered / self.total_edges
+
+    def _edge_values(self, patterns: Sequence[Pattern]
+                     ) -> Dict[int, Dict[Tuple[int, int], float]]:
+        """Per covered edge, the best utility among covering patterns."""
+        values: Dict[int, Dict[Tuple[int, int], float]] = {}
+        for pattern in patterns:
+            utility = self._pattern_utility(pattern)
+            for idx, edges in self.cover_of(pattern).items():
+                bucket = values.setdefault(idx, {})
+                for edge in edges:
+                    if utility > bucket.get(edge, 0.0):
+                        bucket[edge] = utility
+        return values
+
+    def set_coverage(self, patterns: Sequence[Pattern]) -> float:
+        """(Utility-weighted) edge coverage of a pattern set.
+
+        With ``size_utility`` off this is exactly
+        ``|covered edges| / |all edges|``; with it on, each covered
+        edge contributes the best utility of the patterns covering it
+        (a weighted max-coverage objective — still monotone and
+        submodular, so the greedy guarantee is unaffected).
+        """
+        if self.total_edges == 0 or not patterns:
+            return 0.0
+        values = self._edge_values(patterns)
+        covered = sum(sum(bucket.values()) for bucket in values.values())
+        return covered / self.total_edges
+
+    def marginal_coverage(self, pattern: Pattern,
+                          selected: Sequence[Pattern]) -> float:
+        """Coverage gain of adding ``pattern`` to ``selected``."""
+        if self.total_edges == 0:
+            return 0.0
+        base = self._edge_values(selected)
+        utility = self._pattern_utility(pattern)
+        gain = 0.0
+        for idx, edges in self.cover_of(pattern).items():
+            bucket = base.get(idx, {})
+            for edge in edges:
+                gain += max(0.0, utility - bucket.get(edge, 0.0))
+        return gain / self.total_edges
+
+    def set_graph_coverage(self, patterns: Sequence[Pattern]) -> float:
+        """Fraction of indexed graphs covered by >= 1 pattern."""
+        if not self.graphs:
+            return 0.0
+        covered: Set[int] = set()
+        for pattern in patterns:
+            covered |= self.covered_graphs(pattern)
+        return len(covered) / len(self.graphs)
+
+    def __len__(self) -> int:
+        return len(self._cover)

@@ -1,0 +1,353 @@
+"""Quality measures for canned patterns (paper §2.3).
+
+Three characteristics make a canned pattern set useful for visual
+query formulation, and all selection/maintenance algorithms in this
+library optimise combinations of them:
+
+* **coverage** — how much of the repository can be (re)constructed
+  from the patterns;
+* **diversity** — how structurally different the displayed patterns
+  are from each other;
+* **cognitive load** — how hard a displayed pattern is to interpret
+  visually (larger/denser/cyclier graphs load working memory more;
+  Huang et al. 2009).
+
+Measures are normalised to [0, 1] so weighted combinations are
+well-behaved.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph, edge_key
+from repro.graph.operations import triangles
+from repro.matching.canonical import canonical_code
+from repro.matching.isomorphism import covered_edges, is_subgraph
+from repro.patterns.base import Pattern
+
+# ----------------------------------------------------------------------
+# cognitive load
+# ----------------------------------------------------------------------
+
+
+def cognitive_load(graph: Graph) -> float:
+    """Cognitive load of one pattern, in [0, 1).
+
+    The measure follows the ingredients the CATAPULT/TATTOO papers
+    identify: edge count (more relationships to read), density (edge
+    crossings and inseparability), and independent cycles (paths the
+    eye must track).  It is::
+
+        load = 1 - exp(-(m/8) * (0.5 + density) * (1 + 0.25*rank))
+
+    where ``rank`` is the circuit rank (independent cycles).  A single
+    edge scores ~0.07; a 6-clique scores ~0.99.
+    """
+    m = graph.size()
+    if m == 0:
+        return 0.0
+    rank = m - graph.order() + 1  # connected patterns only
+    raw = (m / 8.0) * (0.5 + graph.density()) * (1.0 + 0.25 * max(rank, 0))
+    return 1.0 - math.exp(-raw)
+
+
+def set_cognitive_load(patterns: Iterable[Pattern]) -> float:
+    """Mean cognitive load of a pattern set (0 for the empty set)."""
+    loads = [cognitive_load(p.graph) for p in patterns]
+    if not loads:
+        return 0.0
+    return sum(loads) / len(loads)
+
+
+# ----------------------------------------------------------------------
+# coverage
+# ----------------------------------------------------------------------
+
+
+def pattern_covers(pattern: Pattern, graph: Graph) -> bool:
+    """True iff the graph contains a subgraph isomorphic to the pattern."""
+    return is_subgraph(pattern.graph, graph)
+
+
+def graph_coverage(pattern: Pattern, repository: Sequence[Graph]) -> float:
+    """Fraction of repository graphs the pattern covers."""
+    if not repository:
+        return 0.0
+    hits = sum(1 for g in repository if pattern_covers(pattern, g))
+    return hits / len(repository)
+
+
+def edge_coverage(pattern: Pattern, graph: Graph,
+                  max_embeddings: int = 200) -> float:
+    """Fraction of the graph's edges covered by pattern embeddings."""
+    if graph.size() == 0:
+        return 0.0
+    covered = covered_edges(pattern.graph, graph,
+                            max_embeddings=max_embeddings)
+    return len(covered) / graph.size()
+
+
+def set_covered_edges(patterns: Iterable[Pattern], graph: Graph,
+                      max_embeddings: int = 200
+                      ) -> Set[Tuple[int, int]]:
+    """Union of graph edges covered by any pattern in the set."""
+    covered: Set[Tuple[int, int]] = set()
+    for pattern in patterns:
+        covered |= covered_edges(pattern.graph, graph,
+                                 max_embeddings=max_embeddings)
+        if len(covered) == graph.size():
+            break
+    return covered
+
+
+def set_edge_coverage(patterns: Iterable[Pattern], graph: Graph,
+                      max_embeddings: int = 200) -> float:
+    """Fraction of one graph's edges covered by the pattern set."""
+    if graph.size() == 0:
+        return 0.0
+    return len(set_covered_edges(patterns, graph,
+                                 max_embeddings=max_embeddings)) / graph.size()
+
+
+def set_repository_coverage(patterns: Sequence[Pattern],
+                            repository: Sequence[Graph],
+                            max_embeddings: int = 50) -> float:
+    """Edge coverage of a whole repository by a pattern set.
+
+    Defined as total covered edges over total edges, so large graphs
+    weigh proportionally to their size (the CATAPULT convention).
+    """
+    total = sum(g.size() for g in repository)
+    if total == 0:
+        return 0.0
+    covered = sum(
+        len(set_covered_edges(patterns, g, max_embeddings=max_embeddings))
+        for g in repository)
+    return covered / total
+
+
+def set_graph_coverage(patterns: Sequence[Pattern],
+                       repository: Sequence[Graph]) -> float:
+    """Fraction of repository graphs covered by >= 1 pattern."""
+    if not repository:
+        return 0.0
+    hits = 0
+    for g in repository:
+        if any(pattern_covers(p, g) for p in patterns):
+            hits += 1
+    return hits / len(repository)
+
+
+# ----------------------------------------------------------------------
+# structural features and similarity
+# ----------------------------------------------------------------------
+
+
+def feature_vector(graph: Graph) -> Dict[str, float]:
+    """Sparse structural feature vector used for fast similarity.
+
+    Features: node-label counts, labeled-edge-type counts, degree
+    histogram, triangle count, circuit rank, and size terms.
+    """
+    features: Dict[str, float] = {}
+    for node in graph.nodes():
+        key = f"nl:{graph.node_label(node)}"
+        features[key] = features.get(key, 0.0) + 1.0
+        dkey = f"deg:{min(graph.degree(node), 6)}"
+        features[dkey] = features.get(dkey, 0.0) + 1.0
+    for u, v in graph.edges():
+        a, b = sorted((graph.node_label(u), graph.node_label(v)))
+        key = f"el:{a}|{graph.edge_label(u, v)}|{b}"
+        features[key] = features.get(key, 0.0) + 1.0
+    # 2-path label contexts: centre label with sorted endpoint labels
+    for centre in graph.nodes():
+        nbrs = sorted(graph.neighbors(centre))
+        for i, v in enumerate(nbrs):
+            for w in nbrs[i + 1:]:
+                a, b = sorted((graph.node_label(v), graph.node_label(w)))
+                key = f"p2:{a}|{graph.node_label(centre)}|{b}"
+                features[key] = features.get(key, 0.0) + 1.0
+    features["tri"] = float(len(triangles(graph)))
+    features["rank"] = float(max(graph.size() - graph.order() + 1, 0))
+    features["n"] = float(graph.order())
+    features["m"] = float(graph.size())
+    return features
+
+
+def cosine_similarity(f1: Dict[str, float], f2: Dict[str, float]) -> float:
+    """Cosine similarity of two sparse feature vectors."""
+    if not f1 or not f2:
+        return 0.0
+    dot = sum(value * f2.get(key, 0.0) for key, value in f1.items())
+    norm1 = math.sqrt(sum(v * v for v in f1.values()))
+    norm2 = math.sqrt(sum(v * v for v in f2.values()))
+    if norm1 == 0.0 or norm2 == 0.0:
+        return 0.0
+    return dot / (norm1 * norm2)
+
+
+def _connected_edge_subsets(graph: Graph, k: int
+                            ) -> List[FrozenSet[Tuple[int, int]]]:
+    """All connected edge subsets of exactly k edges (as frozensets)."""
+    edges = [edge_key(u, v) for u, v in graph.edges()]
+    adjacency: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+    for e in edges:
+        adjacency[e] = set()
+    for e1, e2 in combinations(edges, 2):
+        if set(e1) & set(e2):
+            adjacency[e1].add(e2)
+            adjacency[e2].add(e1)
+    results: Set[FrozenSet[Tuple[int, int]]] = set()
+    frontier: Set[FrozenSet[Tuple[int, int]]] = {
+        frozenset([e]) for e in edges}
+    size = 1
+    while size < k and frontier:
+        next_frontier: Set[FrozenSet[Tuple[int, int]]] = set()
+        for subset in frontier:
+            reachable: Set[Tuple[int, int]] = set()
+            for e in subset:
+                reachable |= adjacency[e]
+            for e in reachable - subset:
+                next_frontier.add(subset | {e})
+        frontier = next_frontier
+        size += 1
+    if size == k:
+        results = frontier
+    return sorted(results, key=sorted)
+
+
+_MCS_CACHE: Dict[Tuple[str, str], int] = {}
+
+#: largest common subgraph size (in edges) the MCS search will certify
+MCS_EDGE_CAP = 8
+
+
+def mcs_edge_count(g1: Graph, g2: Graph, cap: int = MCS_EDGE_CAP) -> int:
+    """Edges in the maximum common connected (partial) subgraph.
+
+    Exact up to ``cap`` edges: enumerates connected edge subgraphs of
+    the smaller graph from large to small and tests embedding into the
+    other.  Results are memoised on canonical codes.
+    """
+    small, big = (g1, g2) if g1.size() <= g2.size() else (g2, g1)
+    limit = min(small.size(), cap)
+    if limit == 0:
+        return 0
+    key = (canonical_code(small), canonical_code(big))
+    if key in _MCS_CACHE:
+        return _MCS_CACHE[key]
+    from repro.graph.operations import edge_subgraph
+    result = 0
+    for k in range(limit, 0, -1):
+        seen_codes: Set[str] = set()
+        for subset in _connected_edge_subsets(small, k):
+            sub = edge_subgraph(small, subset)
+            code = canonical_code(sub)
+            if code in seen_codes:
+                continue
+            seen_codes.add(code)
+            if is_subgraph(sub, big):
+                result = k
+                break
+        if result:
+            break
+    _MCS_CACHE[key] = result
+    return result
+
+
+def pattern_similarity(p1: Pattern, p2: Pattern,
+                       method: str = "feature") -> float:
+    """Structural similarity of two patterns, in [0, 1].
+
+    ``method="feature"`` uses cosine similarity of structural feature
+    vectors (fast, used inside selection loops); ``method="mcs"`` uses
+    the exact maximum-common-subgraph ratio (slower, used in reported
+    quality figures); ``method="ged"`` uses normalised exact graph
+    edit distance (strictest; small patterns only).
+    """
+    if p1.code == p2.code:
+        return 1.0
+    if method == "feature":
+        return cosine_similarity(feature_vector(p1.graph),
+                                 feature_vector(p2.graph))
+    if method == "mcs":
+        common = mcs_edge_count(p1.graph, p2.graph)
+        denom = max(p1.size(), p2.size())
+        if denom == 0:
+            return 1.0 if p1.order() == p2.order() else 0.0
+        return common / denom
+    if method == "ged":
+        from repro.matching.edit_distance import ged_similarity
+        return ged_similarity(p1.graph, p2.graph)
+    raise ValueError(f"unknown similarity method {method!r}")
+
+
+def set_diversity(patterns: Sequence[Pattern],
+                  method: str = "feature") -> float:
+    """Diversity of a pattern set: 1 - mean pairwise similarity.
+
+    Sets with fewer than two patterns have diversity 1.0 by
+    convention (nothing to be redundant with).
+    """
+    if len(patterns) < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for p1, p2 in combinations(patterns, 2):
+        total += pattern_similarity(p1, p2, method=method)
+        pairs += 1
+    return 1.0 - total / pairs
+
+
+# ----------------------------------------------------------------------
+# combined scores
+# ----------------------------------------------------------------------
+
+
+class ScoreWeights:
+    """Weights of the three quality characteristics (sum need not be 1)."""
+
+    __slots__ = ("coverage", "diversity", "cognitive_load")
+
+    def __init__(self, coverage: float = 1.0, diversity: float = 1.0,
+                 cognitive_load: float = 0.5) -> None:
+        if min(coverage, diversity, cognitive_load) < 0:
+            raise ValueError("score weights must be non-negative")
+        self.coverage = coverage
+        self.diversity = diversity
+        self.cognitive_load = cognitive_load
+
+    def __repr__(self) -> str:
+        return (f"ScoreWeights(coverage={self.coverage}, "
+                f"diversity={self.diversity}, "
+                f"cognitive_load={self.cognitive_load})")
+
+
+DEFAULT_WEIGHTS = ScoreWeights()
+
+
+def pattern_set_score(patterns: Sequence[Pattern],
+                      repository: Sequence[Graph],
+                      weights: ScoreWeights = DEFAULT_WEIGHTS,
+                      similarity_method: str = "feature",
+                      max_embeddings: int = 50) -> float:
+    """Overall quality of a pattern set over a repository, in [0, 1]-ish.
+
+    ``w_cov * coverage + w_div * diversity + w_cl * (1 - load)``,
+    normalised by the weight sum.  This is the objective both the
+    greedy selectors and the MIDAS swapping maintenance maximise.
+    """
+    weight_sum = (weights.coverage + weights.diversity
+                  + weights.cognitive_load)
+    if weight_sum == 0:
+        return 0.0
+    cov = set_repository_coverage(patterns, repository,
+                                  max_embeddings=max_embeddings)
+    div = set_diversity(patterns, method=similarity_method)
+    load = set_cognitive_load(patterns)
+    score = (weights.coverage * cov + weights.diversity * div
+             + weights.cognitive_load * (1.0 - load))
+    return score / weight_sum

@@ -1,0 +1,178 @@
+"""Greedy pattern-set selection.
+
+Both CATAPULT (over candidates walked out of cluster summary graphs)
+and TATTOO (over candidates extracted from the truss decomposition)
+finish with a greedy sweep that maximises the pattern-set score —
+coverage plus diversity minus cognitive load — under the budget.
+Because the coverage term is monotone submodular, greedy achieves the
+constant-factor approximation (1/e for the regularised non-monotone
+objective) that TATTOO proves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BudgetError
+from repro.patterns.base import Pattern, PatternBudget, PatternSet
+from repro.patterns.index import CoverageIndex
+from repro.patterns.scoring import (
+    DEFAULT_WEIGHTS,
+    ScoreWeights,
+    cognitive_load,
+    pattern_similarity,
+)
+
+
+class SetScorer:
+    """Incremental pattern-set score against a coverage index.
+
+    ``score(S) = (w_cov * cov(S) + w_div * div(S) + w_cl * (1 - load(S)))
+    / (w_cov + w_div + w_cl)`` — the same objective as
+    :func:`repro.patterns.scoring.pattern_set_score`, but with
+    coverage answered by the index and pairwise similarities cached.
+    """
+
+    def __init__(self, index: CoverageIndex,
+                 weights: ScoreWeights = DEFAULT_WEIGHTS,
+                 similarity_method: str = "feature") -> None:
+        self.index = index
+        self.weights = weights
+        self.similarity_method = similarity_method
+        self._sim_cache: Dict[Tuple[str, str], float] = {}
+        self._load_cache: Dict[str, float] = {}
+
+    def _similarity(self, p1: Pattern, p2: Pattern) -> float:
+        key = (p1.code, p2.code) if p1.code <= p2.code else (p2.code,
+                                                             p1.code)
+        if key not in self._sim_cache:
+            self._sim_cache[key] = pattern_similarity(
+                p1, p2, method=self.similarity_method)
+        return self._sim_cache[key]
+
+    def _load(self, pattern: Pattern) -> float:
+        if pattern.code not in self._load_cache:
+            self._load_cache[pattern.code] = cognitive_load(pattern.graph)
+        return self._load_cache[pattern.code]
+
+    def diversity(self, patterns: Sequence[Pattern]) -> float:
+        if len(patterns) < 2:
+            return 1.0
+        total = 0.0
+        pairs = 0
+        for i, p1 in enumerate(patterns):
+            for p2 in patterns[i + 1:]:
+                total += self._similarity(p1, p2)
+                pairs += 1
+        return 1.0 - total / pairs
+
+    def mean_load(self, patterns: Sequence[Pattern]) -> float:
+        if not patterns:
+            return 0.0
+        return sum(self._load(p) for p in patterns) / len(patterns)
+
+    def score(self, patterns: Sequence[Pattern]) -> float:
+        w = self.weights
+        weight_sum = w.coverage + w.diversity + w.cognitive_load
+        if weight_sum == 0:
+            return 0.0
+        cov = self.index.set_coverage(patterns)
+        div = self.diversity(patterns)
+        load = self.mean_load(patterns)
+        return (w.coverage * cov + w.diversity * div
+                + w.cognitive_load * (1.0 - load)) / weight_sum
+
+
+class SelectionResult:
+    """Selected patterns plus the per-round score trajectory."""
+
+    __slots__ = ("patterns", "score", "trajectory", "considered")
+
+    def __init__(self, patterns: PatternSet, score: float,
+                 trajectory: List[float], considered: int) -> None:
+        self.patterns = patterns
+        self.score = score
+        self.trajectory = trajectory
+        self.considered = considered
+
+    def __repr__(self) -> str:
+        return (f"<SelectionResult k={len(self.patterns)} "
+                f"score={self.score:.3f}>")
+
+
+def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
+                  scorer: SetScorer,
+                  seed_patterns: Sequence[Pattern] = (),
+                  improve_only: bool = False) -> SelectionResult:
+    """Greedily pick up to ``budget.max_patterns`` candidates.
+
+    Each round adds the candidate whose inclusion maximises the set
+    score.  By default the budget is *filled* (a Pattern Panel shows
+    its full complement even when the marginal candidate slightly
+    lowers the combined score); with ``improve_only=True`` the sweep
+    stops at the first round that cannot improve the score.
+
+    ``seed_patterns`` are treated as already selected (they count
+    against the budget) — MIDAS uses this to extend a maintained set.
+    """
+    admissible = [c for c in candidates if budget.admits(c.graph)]
+    selected: List[Pattern] = list(seed_patterns)
+    if len(selected) > budget.max_patterns:
+        raise BudgetError("seed patterns already exceed the budget")
+    chosen_codes = {p.code for p in selected}
+    trajectory: List[float] = []
+    current = scorer.score(selected) if selected else 0.0
+    while len(selected) < budget.max_patterns:
+        best: Optional[Pattern] = None
+        best_score = float("-inf")
+        for candidate in admissible:
+            if candidate.code in chosen_codes:
+                continue
+            score = scorer.score(selected + [candidate])
+            if score > best_score:
+                best_score = score
+                best = candidate
+        if best is None:
+            break
+        if improve_only and best_score <= current + 1e-12:
+            break
+        selected.append(best)
+        chosen_codes.add(best.code)
+        current = best_score
+        trajectory.append(current)
+    return SelectionResult(PatternSet(selected), current, trajectory,
+                           considered=len(admissible))
+
+
+def exhaustive_select(candidates: Sequence[Pattern],
+                      budget: PatternBudget,
+                      scorer: SetScorer) -> SelectionResult:
+    """Exact optimum by exhaustive search (small instances only).
+
+    Used by the E10 approximation-quality experiment as the oracle
+    against which greedy's ratio is measured.
+    """
+    from itertools import combinations
+
+    admissible = [c for c in candidates if budget.admits(c.graph)]
+    # dedup isomorphic candidates: they contribute identically
+    unique: List[Pattern] = []
+    seen: set[str] = set()
+    for candidate in admissible:
+        if candidate.code not in seen:
+            seen.add(candidate.code)
+            unique.append(candidate)
+    if len(unique) > 18:
+        raise BudgetError(
+            f"exhaustive search over {len(unique)} candidates is "
+            "intractable; this oracle is for small instances")
+    best_patterns: Sequence[Pattern] = ()
+    best_score = 0.0
+    for k in range(1, budget.max_patterns + 1):
+        for combo in combinations(unique, k):
+            score = scorer.score(list(combo))
+            if score > best_score:
+                best_score = score
+                best_patterns = combo
+    return SelectionResult(PatternSet(best_patterns), best_score, [],
+                           considered=len(unique))

@@ -1,0 +1,48 @@
+"""Visual query formulation and execution."""
+
+from repro.query.actions import (
+    Action,
+    AddEdge,
+    AddNode,
+    AddPattern,
+    DeleteEdge,
+    DeleteNode,
+    MergeNodes,
+    SetEdgeLabel,
+    SetNodeLabel,
+)
+from repro.query.builder import QueryBuilder
+from repro.query.similarity import (
+    SimilarityMatch,
+    SimilarityQueryEngine,
+    query_relaxations,
+)
+from repro.query.suggest import QuerySuggester, Suggestion
+from repro.query.engine import (
+    GraphMatch,
+    NetworkQueryEngine,
+    QueryEngine,
+    QueryResultSet,
+)
+
+__all__ = [
+    "Action",
+    "AddEdge",
+    "AddNode",
+    "AddPattern",
+    "DeleteEdge",
+    "DeleteNode",
+    "MergeNodes",
+    "SetEdgeLabel",
+    "SetNodeLabel",
+    "QueryBuilder",
+    "QuerySuggester",
+    "SimilarityMatch",
+    "SimilarityQueryEngine",
+    "query_relaxations",
+    "Suggestion",
+    "GraphMatch",
+    "NetworkQueryEngine",
+    "QueryEngine",
+    "QueryResultSet",
+]

@@ -1,0 +1,128 @@
+"""Visual query-formulation actions.
+
+Every gesture a user can make in the Query Panel is one action.  The
+action vocabulary follows the direct-manipulation VQIs the paper
+surveys: node and edge creation with label assignment (edge-at-a-time
+mode), dragging a whole pattern onto the canvas (pattern-at-a-time
+mode), merging a pattern node with an existing query node to connect
+the two, and deletions for error recovery.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.base import Pattern
+
+
+class Action:
+    """Base class; ``kind`` drives the usability time model."""
+
+    kind = "abstract"
+
+    def describe(self) -> str:
+        return self.kind
+
+
+class AddNode(Action):
+    """Place a new node (optionally labeled in the same gesture)."""
+
+    kind = "add_node"
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+
+    def describe(self) -> str:
+        return f"add node {self.label!r}"
+
+
+class AddEdge(Action):
+    """Draw an edge between two existing query nodes."""
+
+    kind = "add_edge"
+
+    def __init__(self, u: int, v: int, label: str = "") -> None:
+        self.u = u
+        self.v = v
+        self.label = label
+
+    def describe(self) -> str:
+        return f"add edge ({self.u}, {self.v}) {self.label!r}"
+
+
+class SetNodeLabel(Action):
+    """Relabel an existing query node (attribute-panel pick)."""
+
+    kind = "set_node_label"
+
+    def __init__(self, node: int, label: str) -> None:
+        self.node = node
+        self.label = label
+
+    def describe(self) -> str:
+        return f"label node {self.node} as {self.label!r}"
+
+
+class SetEdgeLabel(Action):
+    """Relabel an existing query edge."""
+
+    kind = "set_edge_label"
+
+    def __init__(self, u: int, v: int, label: str) -> None:
+        self.u = u
+        self.v = v
+        self.label = label
+
+    def describe(self) -> str:
+        return f"label edge ({self.u}, {self.v}) as {self.label!r}"
+
+
+class AddPattern(Action):
+    """Drag a canned/basic pattern from the Pattern Panel onto the
+    canvas — the single gesture that makes pattern-at-a-time mode
+    cheaper than edge-at-a-time mode."""
+
+    kind = "add_pattern"
+
+    def __init__(self, pattern: Pattern) -> None:
+        self.pattern = pattern
+
+    def describe(self) -> str:
+        return (f"drop pattern (n={self.pattern.order()}, "
+                f"m={self.pattern.size()})")
+
+
+class MergeNodes(Action):
+    """Fuse two query nodes (connects a dropped pattern to the rest)."""
+
+    kind = "merge_nodes"
+
+    def __init__(self, keep: int, remove: int) -> None:
+        self.keep = keep
+        self.remove = remove
+
+    def describe(self) -> str:
+        return f"merge node {self.remove} into {self.keep}"
+
+
+class DeleteNode(Action):
+    """Remove a query node (error recovery)."""
+
+    kind = "delete_node"
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+
+    def describe(self) -> str:
+        return f"delete node {self.node}"
+
+
+class DeleteEdge(Action):
+    """Remove a query edge (error recovery)."""
+
+    kind = "delete_edge"
+
+    def __init__(self, u: int, v: int) -> None:
+        self.u = u
+        self.v = v
+
+    def describe(self) -> str:
+        return f"delete edge ({self.u}, {self.v})"

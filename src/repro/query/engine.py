@@ -1,0 +1,115 @@
+"""Subgraph query execution over repositories and networks.
+
+The engine behind the Results Panel: given a visual query (a labeled
+graph), find the repository graphs — or network regions — that match.
+A node-label inverted index prunes the candidate graphs before the
+VF2 search runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.matching.isomorphism import (
+    WILDCARD,
+    SubgraphMatcher,
+    subgraph_embeddings,
+)
+
+
+class GraphMatch:
+    """All retained embeddings of the query in one data graph."""
+
+    __slots__ = ("graph_index", "graph", "embeddings")
+
+    def __init__(self, graph_index: int, graph: Graph,
+                 embeddings: List[Dict[int, int]]) -> None:
+        self.graph_index = graph_index
+        self.graph = graph
+        self.embeddings = embeddings
+
+    def __repr__(self) -> str:
+        return (f"<GraphMatch graph={self.graph.name or self.graph_index} "
+                f"embeddings={len(self.embeddings)}>")
+
+
+class QueryResultSet:
+    """Result of one query over a repository."""
+
+    __slots__ = ("matches", "graphs_searched", "graphs_pruned")
+
+    def __init__(self, matches: List[GraphMatch], graphs_searched: int,
+                 graphs_pruned: int) -> None:
+        self.matches = matches
+        self.graphs_searched = graphs_searched
+        self.graphs_pruned = graphs_pruned
+
+    def match_count(self) -> int:
+        return len(self.matches)
+
+    def embedding_count(self) -> int:
+        return sum(len(m.embeddings) for m in self.matches)
+
+    def __repr__(self) -> str:
+        return (f"<QueryResultSet graphs={self.match_count()} "
+                f"embeddings={self.embedding_count()}>")
+
+
+class QueryEngine:
+    """Query a repository of (small/medium) data graphs."""
+
+    def __init__(self, repository: Sequence[Graph]) -> None:
+        self.repository = list(repository)
+        # label -> indices of graphs containing >= 1 node with it
+        self._label_index: Dict[str, Set[int]] = {}
+        for idx, graph in enumerate(self.repository):
+            for label in graph.label_multiset():
+                self._label_index.setdefault(label, set()).add(idx)
+
+    def candidate_graphs(self, query: Graph) -> List[int]:
+        """Indices of graphs containing every non-wildcard query label."""
+        labels = {query.node_label(u) for u in query.nodes()}
+        labels.discard(WILDCARD)
+        candidates: Optional[Set[int]] = None
+        for label in labels:
+            hits = self._label_index.get(label, set())
+            candidates = hits if candidates is None else candidates & hits
+        if candidates is None:  # all-wildcard query
+            candidates = set(range(len(self.repository)))
+        return sorted(candidates)
+
+    def run(self, query: Graph, max_embeddings_per_graph: int = 10,
+            max_matches: Optional[int] = None) -> QueryResultSet:
+        """Execute a query; returns matches plus pruning statistics."""
+        if query.order() == 0:
+            raise GraphError("cannot execute an empty query")
+        candidates = self.candidate_graphs(query)
+        pruned = len(self.repository) - len(candidates)
+        matches: List[GraphMatch] = []
+        for idx in candidates:
+            graph = self.repository[idx]
+            embeddings = subgraph_embeddings(
+                query, graph, max_results=max_embeddings_per_graph)
+            if embeddings:
+                matches.append(GraphMatch(idx, graph, embeddings))
+                if max_matches is not None and len(matches) >= max_matches:
+                    break
+        return QueryResultSet(matches, graphs_searched=len(candidates),
+                              graphs_pruned=pruned)
+
+
+class NetworkQueryEngine:
+    """Query a single large network."""
+
+    def __init__(self, network: Graph) -> None:
+        self.network = network
+
+    def run(self, query: Graph,
+            max_embeddings: int = 100) -> List[Dict[int, int]]:
+        """Embeddings of the query in the network (capped)."""
+        if query.order() == 0:
+            raise GraphError("cannot execute an empty query")
+        matcher = SubgraphMatcher(query, self.network)
+        return list(matcher.iter_embeddings(max_results=max_embeddings))

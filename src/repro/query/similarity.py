@@ -1,0 +1,118 @@
+"""Subgraph similarity queries (paper §2.1).
+
+The surveyed VQIs support more than exact subgraph matching — notably
+*subgraph similarity* queries, where data graphs containing something
+close to the drawn query still count.  This module implements the
+standard edge-relaxation semantics: a graph matches with distance d
+if some connected spanning relaxation of the query obtained by
+deleting d edges embeds exactly.
+
+Relaxations are enumerated smallest-d first and deduplicated by
+canonical code, so results report the *minimum* relaxation distance.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, edge_key
+from repro.graph.operations import is_connected
+from repro.matching.canonical import canonical_code
+from repro.matching.isomorphism import find_embedding
+from repro.query.engine import QueryEngine
+
+
+def query_relaxations(query: Graph, max_missing: int
+                      ) -> List[Tuple[int, Graph]]:
+    """(distance, relaxed query) pairs, ordered by distance.
+
+    A relaxation deletes up to ``max_missing`` edges but must stay
+    connected and keep every query node (nodes the user drew are
+    semantics, edges are the negotiable part).  Distance-0 is the
+    query itself; isomorphic relaxations are deduplicated keeping the
+    smallest distance.
+    """
+    if query.order() == 0:
+        raise GraphError("cannot relax an empty query")
+    if max_missing < 0:
+        raise GraphError("max_missing must be >= 0")
+    edges = [edge_key(u, v) for u, v in query.edges()]
+    out: List[Tuple[int, Graph]] = [(0, query)]
+    seen: Set[str] = {canonical_code(query)}
+    for d in range(1, min(max_missing, len(edges)) + 1):
+        for removed in combinations(edges, d):
+            relaxed = query.copy()
+            for u, v in removed:
+                relaxed.remove_edge(u, v)
+            if any(relaxed.degree(v) == 0 for v in relaxed.nodes()):
+                continue  # an isolated node loses the user's intent
+            if not is_connected(relaxed):
+                continue
+            code = canonical_code(relaxed)
+            if code in seen:
+                continue
+            seen.add(code)
+            out.append((d, relaxed))
+    return out
+
+
+class SimilarityMatch:
+    """One data graph matched at its minimum relaxation distance."""
+
+    __slots__ = ("graph_index", "graph", "distance", "embedding")
+
+    def __init__(self, graph_index: int, graph: Graph, distance: int,
+                 embedding: Dict[int, int]) -> None:
+        self.graph_index = graph_index
+        self.graph = graph
+        self.distance = distance
+        self.embedding = embedding
+
+    def __repr__(self) -> str:
+        return (f"<SimilarityMatch "
+                f"{self.graph.name or self.graph_index} "
+                f"d={self.distance}>")
+
+
+class SimilarityQueryEngine:
+    """Similarity search over a repository of data graphs."""
+
+    def __init__(self, repository: Sequence[Graph]) -> None:
+        self.repository = list(repository)
+        self._exact = QueryEngine(repository)
+
+    def run(self, query: Graph, max_missing: int = 1,
+            max_matches: Optional[int] = None) -> List[SimilarityMatch]:
+        """Graphs matching within ``max_missing`` deleted query edges.
+
+        Results are sorted by distance then graph index; each graph
+        appears once, at its minimum distance.
+        """
+        relaxations = query_relaxations(query, max_missing)
+        matched: Dict[int, SimilarityMatch] = {}
+        for distance, relaxed in relaxations:
+            candidates = self._exact.candidate_graphs(relaxed)
+            for idx in candidates:
+                if idx in matched:
+                    continue  # already matched at a smaller distance
+                embedding = find_embedding(relaxed,
+                                           self.repository[idx])
+                if embedding is not None:
+                    matched[idx] = SimilarityMatch(
+                        idx, self.repository[idx], distance, embedding)
+        results = sorted(matched.values(),
+                         key=lambda m: (m.distance, m.graph_index))
+        if max_matches is not None:
+            results = results[:max_matches]
+        return results
+
+    def distance_histogram(self, query: Graph, max_missing: int = 2
+                           ) -> Dict[int, int]:
+        """How many graphs match at each minimum distance."""
+        histogram: Dict[int, int] = {}
+        for match in self.run(query, max_missing=max_missing):
+            histogram[match.distance] = histogram.get(match.distance,
+                                                      0) + 1
+        return histogram

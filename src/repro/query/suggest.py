@@ -1,0 +1,102 @@
+"""Data-driven query auto-suggestion (VIIQ-style, paper §2.1).
+
+Several surveyed VQIs auto-suggest the next query component while the
+user draws.  The data-driven realisation is straightforward: mine the
+frequencies of labeled edge types ``(label_u, edge_label, label_v)``
+from the data once, then rank possible extensions of the node the
+user selected by how often they occur.
+
+The suggester works for both repositories and single networks, and
+can optionally filter suggestions to those that keep the query
+answerable (non-empty result set).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.matching.isomorphism import is_subgraph
+from repro.query.builder import QueryBuilder
+
+#: a suggestion: extend the anchor with (edge_label, new node label)
+Suggestion = Tuple[str, str, int]
+
+
+class QuerySuggester:
+    """Ranks query extensions by their frequency in the data."""
+
+    def __init__(self, data: Sequence[Graph]) -> None:
+        if not data:
+            raise GraphError("suggester needs at least one data graph")
+        self.data = list(data)
+        # (node label, edge label, neighbor label) -> occurrence count
+        self._triples: Dict[Tuple[str, str, str], int] = {}
+        for graph in self.data:
+            for u, v in graph.edges():
+                lu, lv = graph.node_label(u), graph.node_label(v)
+                le = graph.edge_label(u, v)
+                self._triples[(lu, le, lv)] = \
+                    self._triples.get((lu, le, lv), 0) + 1
+                if lu != lv:
+                    self._triples[(lv, le, lu)] = \
+                        self._triples.get((lv, le, lu), 0) + 1
+
+    def triple_count(self, node_label: str, edge_label: str,
+                     neighbor_label: str) -> int:
+        return self._triples.get((node_label, edge_label,
+                                  neighbor_label), 0)
+
+    def suggest_extensions(self, node_label: str, top_k: int = 5
+                           ) -> List[Suggestion]:
+        """Most frequent (edge label, neighbor label) continuations
+        of a node with the given label."""
+        ranked = sorted(
+            ((le, lv, count)
+             for (lu, le, lv), count in self._triples.items()
+             if lu == node_label),
+            key=lambda item: (-item[2], item[0], item[1]))
+        return ranked[:top_k]
+
+    def suggest_for_query(self, builder: QueryBuilder, node: int,
+                          top_k: int = 5,
+                          answerable_only: bool = False
+                          ) -> List[Suggestion]:
+        """Extensions of a specific query node.
+
+        With ``answerable_only`` each suggestion is verified: the
+        extended query must still embed in at least one data graph
+        (the expensive but frustration-free mode).
+        """
+        if not builder.query.has_node(node):
+            raise GraphError(f"query has no node {node}")
+        label = builder.query.node_label(node)
+        candidates = self.suggest_extensions(label, top_k=top_k * 3
+                                             if answerable_only
+                                             else top_k)
+        if not answerable_only:
+            return candidates[:top_k]
+        verified: List[Suggestion] = []
+        for edge_label, neighbor_label, count in candidates:
+            trial = builder.query.copy()
+            fresh = max(trial.nodes(), default=-1) + 1
+            trial.add_node(fresh, label=neighbor_label)
+            trial.add_edge(node, fresh, label=edge_label)
+            if any(is_subgraph(trial, graph) for graph in self.data):
+                verified.append((edge_label, neighbor_label, count))
+            if len(verified) >= top_k:
+                break
+        return verified
+
+    def apply_suggestion(self, builder: QueryBuilder, node: int,
+                         suggestion: Suggestion) -> int:
+        """Materialise a suggestion; returns the new node's id."""
+        edge_label, neighbor_label, _ = suggestion
+        new_node = builder.add_node(neighbor_label)
+        builder.add_edge(node, new_node, edge_label)
+        return new_node
+
+    def __repr__(self) -> str:
+        return (f"<QuerySuggester graphs={len(self.data)} "
+                f"triples={len(self._triples)}>")

@@ -1,0 +1,28 @@
+"""Graph closure, cluster summary graphs, and pattern-based
+graph summarization."""
+
+from repro.summary.closure import (
+    SummaryEdge,
+    SummaryGraph,
+    SummaryNode,
+    build_summary,
+    closure_represents,
+)
+from repro.summary.pattern_summary import (
+    PatternInstance,
+    SummaryResult,
+    label_grouping_summary,
+    summarize_with_patterns,
+)
+
+__all__ = [
+    "SummaryEdge",
+    "SummaryGraph",
+    "SummaryNode",
+    "build_summary",
+    "closure_represents",
+    "PatternInstance",
+    "SummaryResult",
+    "label_grouping_summary",
+    "summarize_with_patterns",
+]

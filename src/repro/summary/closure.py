@@ -1,0 +1,226 @@
+"""Graph closure and cluster summary graphs (CSG).
+
+CATAPULT summarises each cluster of data graphs into a single *cluster
+summary graph* by iteratively applying *graph closure* (He & Singh,
+ICDE 2006): two graphs are integrated under a structure-preserving
+node mapping; where they disagree, nodes/edges carry *sets* of labels,
+and nodes present in only some members are retained as dummy-extended
+vertices.  Edge support counts (how many members contain the edge) are
+kept because CATAPULT's weighted random walks sample by support.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, edge_key
+
+
+class SummaryNode:
+    """A closure-graph vertex: label multiset plus a membership count."""
+
+    __slots__ = ("label_counts", "support")
+
+    def __init__(self, labels: Iterable[str], support: int = 1) -> None:
+        self.label_counts: Dict[str, int] = {}
+        for label in labels:
+            self.add_label(label)
+        self.support = support
+
+    def add_label(self, label: str) -> None:
+        self.label_counts[label] = self.label_counts.get(label, 0) + 1
+
+    @property
+    def labels(self) -> Set[str]:
+        return set(self.label_counts)
+
+    def __repr__(self) -> str:
+        return (f"SummaryNode({sorted(self.label_counts)!r}, "
+                f"support={self.support})")
+
+
+class SummaryEdge:
+    """A closure-graph edge: label multiset plus support count."""
+
+    __slots__ = ("label_counts", "support")
+
+    def __init__(self, labels: Iterable[str], support: int = 1) -> None:
+        self.label_counts: Dict[str, int] = {}
+        for label in labels:
+            self.add_label(label)
+        self.support = support
+
+    def add_label(self, label: str) -> None:
+        self.label_counts[label] = self.label_counts.get(label, 0) + 1
+
+    @property
+    def labels(self) -> Set[str]:
+        return set(self.label_counts)
+
+    def __repr__(self) -> str:
+        return (f"SummaryEdge({sorted(self.label_counts)!r}, "
+                f"support={self.support})")
+
+
+class SummaryGraph:
+    """Closure graph of a set of member graphs (a CSG when the members
+    form one cluster).
+
+    Node ids are internal integers; every member graph's nodes/edges
+    are represented (closure property), with supports recording in how
+    many members each element occurs.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, SummaryNode] = {}
+        self.adj: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        self.edges: Dict[Tuple[int, int], SummaryEdge] = {}
+        self.member_count = 0
+        self.member_names: List[str] = []
+        self._next_id = 0
+
+    # -- construction ---------------------------------------------------
+    def _add_node(self, labels: Iterable[str]) -> int:
+        node = self._next_id
+        self._next_id += 1
+        self.nodes[node] = SummaryNode(labels)
+        self.adj[node] = {}
+        return node
+
+    def _add_edge(self, u: int, v: int, label: str) -> None:
+        key = edge_key(u, v)
+        if key in self.edges:
+            self.edges[key].add_label(label)
+            self.edges[key].support += 1
+        else:
+            self.edges[key] = SummaryEdge([label])
+            self.adj[u][v] = key
+            self.adj[v][u] = key
+
+    def merge(self, graph: Graph) -> Dict[int, int]:
+        """Closure-merge one member graph; returns its node mapping.
+
+        The mapping is found greedily: member nodes in decreasing
+        degree order are matched to summary nodes that (a) share a
+        label where possible and (b) are adjacent to the images of
+        already-mapped neighbors; unmatched nodes become fresh
+        (dummy-extended) summary vertices.
+        """
+        if graph.order() == 0:
+            raise GraphError("cannot merge an empty graph into a summary")
+        mapping: Dict[int, int] = {}
+        used: Set[int] = set()
+        order = sorted(graph.nodes(),
+                       key=lambda u: (-graph.degree(u), u))
+        for u in order:
+            label = graph.node_label(u)
+            mapped_nbrs = [mapping[w] for w in graph.neighbors(u)
+                           if w in mapping]
+            best: Optional[int] = None
+            best_score = -1.0
+            for candidate, info in self.nodes.items():
+                if candidate in used:
+                    continue
+                adjacency = sum(1 for nbr in mapped_nbrs
+                                if nbr in self.adj[candidate])
+                label_bonus = 1.0 if label in info.labels else 0.0
+                score = 2.0 * adjacency + label_bonus
+                # require either a label match or adjacency evidence
+                if adjacency == 0 and label_bonus == 0.0:
+                    continue
+                if score > best_score:
+                    best_score = score
+                    best = candidate
+            if best is None:
+                best = self._add_node([])
+                self.nodes[best].support = 0  # support bumped below
+            mapping[u] = best
+            used.add(best)
+            self.nodes[best].add_label(label)
+            self.nodes[best].support += 1
+        for u, v in graph.edges():
+            self._add_edge(mapping[u], mapping[v], graph.edge_label(u, v))
+        self.member_count += 1
+        self.member_names.append(graph.name)
+        return mapping
+
+    # -- inspection -----------------------------------------------------
+    def order(self) -> int:
+        return len(self.nodes)
+
+    def size(self) -> int:
+        return len(self.edges)
+
+    def edge_support(self, u: int, v: int) -> int:
+        return self.edges[edge_key(u, v)].support
+
+    def neighbors(self, node: int) -> Iterable[int]:
+        return self.adj[node].keys()
+
+    def total_edge_support(self) -> int:
+        return sum(e.support for e in self.edges.values())
+
+    def sample_node_label(self, node: int, rng: random.Random) -> str:
+        """Pick a concrete label for a summary node, weighted by how
+        often each label occurred across members (so flattened walks
+        emit label combinations that actually co-occur in the data)."""
+        counts = self.nodes[node].label_counts
+        labels = sorted(counts)
+        return rng.choices(labels, weights=[counts[x] for x in labels],
+                           k=1)[0]
+
+    def sample_edge_label(self, u: int, v: int, rng: random.Random) -> str:
+        counts = self.edges[edge_key(u, v)].label_counts
+        labels = sorted(counts)
+        return rng.choices(labels, weights=[counts[x] for x in labels],
+                           k=1)[0]
+
+    def to_graph(self, rng: Optional[random.Random] = None) -> Graph:
+        """Flatten to a plain Graph, sampling one label per element."""
+        rng = rng or random.Random(0)
+        g = Graph(name="summary")
+        for node in self.nodes:
+            g.add_node(node, label=self.sample_node_label(node, rng))
+        for (u, v) in self.edges:
+            g.add_edge(u, v, label=self.sample_edge_label(u, v, rng))
+        return g
+
+    def __repr__(self) -> str:
+        return (f"<SummaryGraph n={self.order()} m={self.size()} "
+                f"members={self.member_count}>")
+
+
+def build_summary(members: Sequence[Graph]) -> SummaryGraph:
+    """Build a cluster summary graph by iterative closure.
+
+    Members are merged in decreasing size order so the largest graph
+    anchors the summary (fewer dummy vertices, tighter closure).
+    """
+    if not members:
+        raise GraphError("cannot summarise an empty cluster")
+    summary = SummaryGraph()
+    for graph in sorted(members, key=lambda g: -g.size()):
+        summary.merge(graph)
+    return summary
+
+
+def closure_represents(summary: SummaryGraph, graph: Graph,
+                       mapping: Dict[int, int]) -> bool:
+    """Check the closure property for one member under its mapping:
+    every node and edge of the member is represented in the summary
+    with a compatible label."""
+    for u in graph.nodes():
+        image = mapping.get(u)
+        if image is None or image not in summary.nodes:
+            return False
+        if graph.node_label(u) not in summary.nodes[image].labels:
+            return False
+    for u, v in graph.edges():
+        key = edge_key(mapping[u], mapping[v])
+        if key not in summary.edges:
+            return False
+        if graph.edge_label(u, v) not in summary.edges[key].labels:
+            return False
+    return True

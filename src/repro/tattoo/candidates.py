@@ -1,0 +1,262 @@
+"""Topology-driven candidate extraction for TATTOO.
+
+Real query logs contain triangle-like substructures (triangles,
+cliques, petals, flowers) and non-triangle-like ones (chains, stars,
+trees, large cycles).  TATTOO therefore extracts candidates of the
+triangle-like classes from the truss-infested region G_T and the rest
+from the truss-oblivious region G_O.  Every candidate is a concrete
+subgraph of the network (labels included), so each is guaranteed to
+have at least one embedding — coverage never needs validation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.graph.graph import Graph, edge_key
+from repro.graph.operations import (
+    bfs_order,
+    edge_subgraph,
+    induced_subgraph,
+)
+from repro.matching.canonical import canonical_code
+from repro.patterns.base import Pattern, PatternBudget
+from repro.patterns.topologies import TopologyClass
+
+
+def _dedup(candidates: Iterable[Tuple[Graph, str]],
+           budget: PatternBudget) -> List[Pattern]:
+    """Normalise, budget-filter, and canonically deduplicate."""
+    seen: Set[str] = set()
+    out: List[Pattern] = []
+    for graph, source in candidates:
+        if not budget.admits(graph):
+            continue
+        code = canonical_code(graph)
+        if code in seen:
+            continue
+        seen.add(code)
+        out.append(Pattern(graph.normalized(), source=source))
+    return out
+
+
+# ----------------------------------------------------------------------
+# truss-oblivious extractors (chains, stars, trees, cycles)
+# ----------------------------------------------------------------------
+
+
+def extract_chains(region: Graph, budget: PatternBudget,
+                   rng: random.Random, samples: int = 30) -> List[Pattern]:
+    """Random non-backtracking walks cut to budget-sized chains."""
+    nodes = sorted(region.nodes())
+    if not nodes:
+        return []
+    raw: List[Tuple[Graph, str]] = []
+    for _ in range(samples):
+        length = rng.randint(budget.min_size, budget.max_size)
+        start = rng.choice(nodes)
+        path = [start]
+        current = start
+        previous = None
+        while len(path) < length:
+            nbrs = [v for v in region.neighbors(current)
+                    if v != previous and v not in path]
+            if not nbrs:
+                break
+            previous = current
+            current = rng.choice(nbrs)
+            path.append(current)
+        if len(path) >= budget.min_size:
+            edges = [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+            raw.append((edge_subgraph(region, edges), "tattoo:chain"))
+    return _dedup(raw, budget)
+
+
+def extract_stars(region: Graph, budget: PatternBudget,
+                  rng: random.Random, hubs: int = 15) -> List[Pattern]:
+    """Highest-degree nodes with a budget-sized sample of spokes."""
+    ranked = sorted(region.nodes(), key=lambda v: -region.degree(v))
+    raw: List[Tuple[Graph, str]] = []
+    for hub in ranked[:hubs]:
+        nbrs = sorted(region.neighbors(hub))
+        if len(nbrs) < budget.min_size - 1:
+            continue
+        leaves = rng.sample(nbrs, min(len(nbrs), budget.max_size - 1))
+        edges = [(hub, leaf) for leaf in leaves]
+        raw.append((edge_subgraph(region, edges), "tattoo:star"))
+    return _dedup(raw, budget)
+
+
+def extract_trees(region: Graph, budget: PatternBudget,
+                  rng: random.Random, samples: int = 15) -> List[Pattern]:
+    """BFS trees truncated to the budget size."""
+    nodes = sorted(region.nodes())
+    if not nodes:
+        return []
+    raw: List[Tuple[Graph, str]] = []
+    for _ in range(samples):
+        root = rng.choice(nodes)
+        order = bfs_order(region, root)[:rng.randint(budget.min_size,
+                                                     budget.max_size)]
+        if len(order) < budget.min_size:
+            continue
+        included = set(order)
+        edges = []
+        seen = {root}
+        for v in order[1:]:
+            parent = next(u for u in order
+                          if u in seen and region.has_edge(u, v))
+            edges.append((parent, v))
+            seen.add(v)
+        raw.append((edge_subgraph(region, edges), "tattoo:tree"))
+    return _dedup(raw, budget)
+
+
+def extract_cycles(region: Graph, budget: PatternBudget,
+                   rng: random.Random, samples: int = 20) -> List[Pattern]:
+    """Fundamental cycles of random BFS trees, within the size budget."""
+    nodes = sorted(region.nodes())
+    if not nodes:
+        return []
+    raw: List[Tuple[Graph, str]] = []
+    for _ in range(samples):
+        root = rng.choice(nodes)
+        parent: Dict[int, Optional[int]] = {root: None}
+        order = [root]
+        queue = [root]
+        while queue:
+            u = queue.pop(0)
+            for v in region.neighbors(u):
+                if v not in parent:
+                    parent[v] = u
+                    order.append(v)
+                    queue.append(v)
+        tree_edges = {edge_key(u, p) for u, p in parent.items()
+                      if p is not None}
+        non_tree = [e for e in
+                    (edge_key(u, v) for u, v in region.edges()
+                     if u in parent and v in parent)
+                    if e not in tree_edges]
+        rng.shuffle(non_tree)
+        for u, v in non_tree[:5]:
+            # tree path u..v + the chord = a cycle
+            ancestors_u = []
+            x: Optional[int] = u
+            while x is not None:
+                ancestors_u.append(x)
+                x = parent[x]
+            seen_u = set(ancestors_u)
+            path_v = []
+            y: Optional[int] = v
+            while y is not None and y not in seen_u:
+                path_v.append(y)
+                y = parent[y]
+            if y is None:
+                continue
+            lca = y
+            cycle_nodes = ancestors_u[:ancestors_u.index(lca) + 1] + \
+                list(reversed(path_v))
+            if not (budget.min_size <= len(cycle_nodes)
+                    <= budget.max_size):
+                continue
+            edges = [(cycle_nodes[i], cycle_nodes[i + 1])
+                     for i in range(len(cycle_nodes) - 1)]
+            edges.append((cycle_nodes[-1], cycle_nodes[0]))
+            raw.append((edge_subgraph(region, edges), "tattoo:cycle"))
+    return _dedup(raw, budget)
+
+
+# ----------------------------------------------------------------------
+# truss-infested extractors (cliques, petals, flowers)
+# ----------------------------------------------------------------------
+
+
+def extract_cliques(region: Graph, budget: PatternBudget,
+                    rng: random.Random, seeds: int = 20) -> List[Pattern]:
+    """Greedy clique growth from random edges of the dense region."""
+    edges = sorted(region.edges())
+    if not edges:
+        return []
+    raw: List[Tuple[Graph, str]] = []
+    for _ in range(seeds):
+        u, v = rng.choice(edges)
+        members = [u, v]
+        candidates = [w for w in region.neighbors(u)
+                      if w != v and region.has_edge(w, v)]
+        rng.shuffle(candidates)
+        for w in candidates:
+            if len(members) >= budget.max_size:
+                break
+            if all(region.has_edge(w, x) for x in members):
+                members.append(w)
+        if len(members) >= max(budget.min_size, 3):
+            raw.append((induced_subgraph(region, members),
+                        "tattoo:clique"))
+    return _dedup(raw, budget)
+
+
+def extract_petals(region: Graph, budget: PatternBudget,
+                   rng: random.Random, seeds: int = 25) -> List[Pattern]:
+    """Books/petals: an anchor edge plus common-neighbor 2-paths."""
+    edges = sorted(region.edges())
+    if not edges:
+        return []
+    raw: List[Tuple[Graph, str]] = []
+    for _ in range(seeds):
+        u, v = rng.choice(edges)
+        common = [w for w in region.neighbors(u) if region.has_edge(w, v)]
+        if not common:
+            continue
+        rng.shuffle(common)
+        mids = common[:budget.max_size - 2]
+        if len(mids) + 2 < budget.min_size:
+            continue
+        subset_edges = [(u, v)]
+        for w in mids:
+            subset_edges.extend([(u, w), (w, v)])
+        raw.append((edge_subgraph(region, subset_edges), "tattoo:petal"))
+    return _dedup(raw, budget)
+
+
+def extract_flowers(region: Graph, budget: PatternBudget,
+                    rng: random.Random, hubs: int = 15) -> List[Pattern]:
+    """Triangle petals sharing one hub (node-disjoint otherwise)."""
+    ranked = sorted(region.nodes(), key=lambda v: -region.degree(v))
+    raw: List[Tuple[Graph, str]] = []
+    for hub in ranked[:hubs]:
+        nbrs = sorted(region.neighbors(hub))
+        triangles_at_hub: List[Tuple[int, int]] = []
+        for i, a in enumerate(nbrs):
+            for b in nbrs[i + 1:]:
+                if region.has_edge(a, b):
+                    triangles_at_hub.append((a, b))
+        rng.shuffle(triangles_at_hub)
+        used: Set[int] = set()
+        petals: List[Tuple[int, int]] = []
+        for a, b in triangles_at_hub:
+            if a in used or b in used:
+                continue
+            if 1 + 2 * (len(petals) + 1) > budget.max_size:
+                break
+            petals.append((a, b))
+            used.update((a, b))
+        if len(petals) >= 2 and 1 + 2 * len(petals) >= budget.min_size:
+            subset_edges = []
+            for a, b in petals:
+                subset_edges.extend([(hub, a), (hub, b), (a, b)])
+            raw.append((edge_subgraph(region, subset_edges),
+                        "tattoo:flower"))
+    return _dedup(raw, budget)
+
+
+#: extractor registry: topology class -> (extractor, region kind)
+EXTRACTORS = {
+    TopologyClass.CHAIN: (extract_chains, "oblivious"),
+    TopologyClass.STAR: (extract_stars, "oblivious"),
+    TopologyClass.TREE: (extract_trees, "oblivious"),
+    TopologyClass.CYCLE: (extract_cycles, "oblivious"),
+    TopologyClass.CLIQUE: (extract_cliques, "infested"),
+    TopologyClass.PETAL: (extract_petals, "infested"),
+    TopologyClass.FLOWER: (extract_flowers, "infested"),
+}

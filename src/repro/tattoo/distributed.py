@@ -1,0 +1,239 @@
+"""Distributed canned-pattern selection for massive networks.
+
+The tutorial's second open problem (§2.5): networks too large for one
+machine need "a distributed framework and novel construction ...
+algorithms built on top of it".  This module implements the natural
+partition-extract-merge design and *simulates* its distribution on
+one machine (see DESIGN.md's substitution rule — no cluster is
+available, but the algorithm and its work decomposition are real):
+
+1. **partition** the network into balanced node partitions by
+   multi-source BFS region growing;
+2. each worker extracts TATTOO candidates from its partition plus a
+   one-hop *halo* (so boundary-straddling structures stay visible)
+   and pre-selects a local shortlist against its own view, so only
+   O(budget) candidates cross the wire per worker;
+3. the coordinator merges the shortlists (canonical-code dedup) and
+   runs the global greedy selection.
+
+Per-worker wall times are recorded so the simulated parallel makespan
+(max worker time + coordinator time) can be compared against the
+single-machine pipeline, which is what experiment E14 reports.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Set
+
+from repro.errors import PipelineError
+from repro.graph.graph import Graph
+from repro.graph.operations import induced_subgraph
+from repro.patterns.base import Pattern, PatternBudget, PatternSet
+from repro.patterns.index import CoverageIndex
+from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
+from repro.tattoo.pipeline import TattooConfig, extract_candidates
+
+
+def partition_network(network: Graph, parts: int,
+                      seed: int = 0) -> List[Set[int]]:
+    """Balanced node partitions by multi-source BFS region growing.
+
+    Seeds are spread over the network; regions grow one frontier ring
+    at a time, claiming unassigned nodes, so partitions are connected
+    within each component and balanced to within a frontier ring.
+    Unreached nodes (other components) are dealt round-robin.
+    """
+    if parts < 1:
+        raise PipelineError("need at least one partition")
+    nodes = sorted(network.nodes())
+    if parts > len(nodes):
+        raise PipelineError(
+            f"cannot cut {len(nodes)} nodes into {parts} partitions")
+    rng = random.Random(seed)
+    seeds = rng.sample(nodes, parts)
+    assignment: Dict[int, int] = {s: i for i, s in enumerate(seeds)}
+    frontiers: List[Set[int]] = [{s} for s in seeds]
+    while any(frontiers):
+        for part in range(parts):
+            next_frontier: Set[int] = set()
+            for u in frontiers[part]:
+                for v in network.neighbors(u):
+                    if v not in assignment:
+                        assignment[v] = part
+                        next_frontier.add(v)
+            frontiers[part] = next_frontier
+    leftovers = [v for v in nodes if v not in assignment]
+    for i, v in enumerate(leftovers):
+        assignment[v] = i % parts
+    partitions: List[Set[int]] = [set() for _ in range(parts)]
+    for node, part in assignment.items():
+        partitions[part].add(node)
+    return partitions
+
+
+def partition_with_halo(network: Graph, partition: Set[int],
+                        hops: int = 1) -> Graph:
+    """A worker's view: its partition plus a ``hops``-hop halo."""
+    region = set(partition)
+    frontier = set(partition)
+    for _ in range(hops):
+        grown: Set[int] = set()
+        for u in frontier:
+            grown.update(network.neighbors(u))
+        frontier = grown - region
+        region |= grown
+    return induced_subgraph(network, region, name="worker-view")
+
+
+class WorkerReport:
+    """What one (simulated) worker did."""
+
+    __slots__ = ("worker", "nodes", "halo_nodes", "candidates",
+                 "duration")
+
+    def __init__(self, worker: int, nodes: int, halo_nodes: int,
+                 candidates: int, duration: float) -> None:
+        self.worker = worker
+        self.nodes = nodes
+        self.halo_nodes = halo_nodes
+        self.candidates = candidates
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return (f"<WorkerReport #{self.worker} nodes={self.nodes} "
+                f"candidates={self.candidates} "
+                f"{self.duration:.2f}s>")
+
+
+class DistributedResult:
+    """Merged selection plus the simulated distribution profile."""
+
+    __slots__ = ("patterns", "selection", "workers", "merge_duration",
+                 "select_duration", "candidate_total",
+                 "candidate_unique")
+
+    def __init__(self, patterns: PatternSet, selection: SelectionResult,
+                 workers: List[WorkerReport], merge_duration: float,
+                 select_duration: float, candidate_total: int,
+                 candidate_unique: int) -> None:
+        self.patterns = patterns
+        self.selection = selection
+        self.workers = workers
+        self.merge_duration = merge_duration
+        self.select_duration = select_duration
+        self.candidate_total = candidate_total
+        self.candidate_unique = candidate_unique
+
+    def makespan(self) -> float:
+        """Simulated parallel wall time: slowest worker + coordinator."""
+        worker_time = max((w.duration for w in self.workers),
+                          default=0.0)
+        return worker_time + self.merge_duration + self.select_duration
+
+    def sequential_work(self) -> float:
+        """Total worker CPU time (what one machine would spend)."""
+        return (sum(w.duration for w in self.workers)
+                + self.merge_duration + self.select_duration)
+
+    def __repr__(self) -> str:
+        return (f"<DistributedResult k={len(self.patterns)} "
+                f"workers={len(self.workers)} "
+                f"makespan={self.makespan():.2f}s>")
+
+
+def select_patterns_distributed(network: Graph, budget: PatternBudget,
+                                parts: int,
+                                config: Optional[TattooConfig] = None,
+                                halo_hops: int = 1,
+                                shortlist_factor: int = 2,
+                                coverage_sample_nodes: int = 2000
+                                ) -> DistributedResult:
+    """Partition-extract-merge pattern selection (simulated workers).
+
+    Each worker pre-selects ``shortlist_factor * budget.max_patterns``
+    candidates against its own view, bounding both the communication
+    volume and the coordinator's selection cost.  The coordinator's
+    coverage evaluation runs on the full network up to
+    ``coverage_sample_nodes`` nodes; beyond that a BFS sample of that
+    size stands in (a coordinator of a truly massive network never
+    holds the whole graph anyway).
+    """
+    if network.size() == 0:
+        raise PipelineError("need a network with edges")
+    if shortlist_factor < 1:
+        raise PipelineError("shortlist_factor must be >= 1")
+    config = config or TattooConfig()
+    partitions = partition_network(network, parts, seed=config.seed)
+    shortlist_budget = PatternBudget(
+        shortlist_factor * budget.max_patterns,
+        min_size=budget.min_size, max_size=budget.max_size)
+
+    workers: List[WorkerReport] = []
+    pools: List[List[Pattern]] = []
+    for worker_id, partition in enumerate(partitions):
+        start = time.perf_counter()
+        view = partition_with_halo(network, partition, hops=halo_hops)
+        shortlist: List[Pattern] = []
+        if view.size() > 0:
+            worker_config = TattooConfig(
+                truss_threshold=config.truss_threshold,
+                seed=config.seed + worker_id,
+                weights=config.weights,
+                samples_scale=config.samples_scale,
+                max_embeddings=config.max_embeddings,
+                classes=config.classes)
+            by_class = extract_candidates(view, budget, worker_config)
+            candidates: List[Pattern] = []
+            local_seen: Set[str] = set()
+            for patterns in by_class.values():
+                for pattern in patterns:
+                    if pattern.code not in local_seen:
+                        local_seen.add(pattern.code)
+                        candidates.append(pattern)
+            local_index = CoverageIndex(
+                [view], max_embeddings=config.max_embeddings,
+                size_utility=True)
+            local_scorer = SetScorer(local_index,
+                                     weights=config.weights)
+            shortlist = list(greedy_select(candidates, shortlist_budget,
+                                           local_scorer).patterns)
+        duration = time.perf_counter() - start
+        pools.append(shortlist)
+        workers.append(WorkerReport(worker_id, len(partition),
+                                    view.order() - len(partition),
+                                    len(shortlist), duration))
+
+    start = time.perf_counter()
+    merged: List[Pattern] = []
+    seen: Set[str] = set()
+    total = 0
+    for pool in pools:
+        for pattern in pool:
+            total += 1
+            if pattern.code not in seen:
+                seen.add(pattern.code)
+                merged.append(pattern)
+    merge_duration = time.perf_counter() - start
+
+    start = time.perf_counter()
+    evaluation = network
+    if network.order() > coverage_sample_nodes:
+        from repro.graph.operations import bfs_order
+        rng = random.Random(config.seed)
+        root = rng.choice(sorted(network.nodes()))
+        sample_nodes = bfs_order(network, root)[:coverage_sample_nodes]
+        evaluation = induced_subgraph(network, sample_nodes,
+                                      name="coordinator-sample")
+    index = CoverageIndex([evaluation],
+                          max_embeddings=config.max_embeddings,
+                          size_utility=True)
+    scorer = SetScorer(index, weights=config.weights)
+    selection = greedy_select(merged, budget, scorer)
+    select_duration = time.perf_counter() - start
+
+    return DistributedResult(selection.patterns, selection, workers,
+                             merge_duration, select_duration,
+                             candidate_total=total,
+                             candidate_unique=len(merged))

@@ -1,0 +1,50 @@
+"""Beyond graphs: data-driven sketch-query interfaces for time series
+(the tutorial's §2.5 "Beyond Graphs" direction)."""
+
+from repro.timeseries.sax import (
+    paa,
+    sax_word,
+    sliding_sax_words,
+    word_complexity,
+    znorm,
+)
+from repro.timeseries.series import (
+    MOTIF_LIBRARY,
+    TimeSeries,
+    TimeSeriesError,
+    generate_series,
+    generate_series_collection,
+)
+from repro.timeseries.sketch import (
+    SketchBudget,
+    SketchMatch,
+    SketchPattern,
+    SketchVQI,
+    match_sketch,
+    mine_sketch_candidates,
+    select_canned_sketches,
+    sketch_set_diversity,
+    word_distance,
+)
+
+__all__ = [
+    "paa",
+    "sax_word",
+    "sliding_sax_words",
+    "word_complexity",
+    "znorm",
+    "MOTIF_LIBRARY",
+    "TimeSeries",
+    "TimeSeriesError",
+    "generate_series",
+    "generate_series_collection",
+    "SketchBudget",
+    "SketchMatch",
+    "SketchPattern",
+    "SketchVQI",
+    "match_sketch",
+    "mine_sketch_candidates",
+    "select_canned_sketches",
+    "sketch_set_diversity",
+    "word_distance",
+]

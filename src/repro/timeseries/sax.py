@@ -1,0 +1,105 @@
+"""SAX discretization (PAA + symbolic aggregate approximation).
+
+Subsequences are z-normalized, piecewise-aggregate-approximated, and
+mapped to symbols via the standard normal-quantile breakpoints.  SAX
+words are the time-series analogue of canonical codes: identical
+words = same shape class, which is what the canned-sketch miner
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries, TimeSeriesError
+
+#: standard normal breakpoints for alphabet sizes 3..6
+_BREAKPOINTS: Dict[int, Tuple[float, ...]] = {
+    3: (-0.4307, 0.4307),
+    4: (-0.6745, 0.0, 0.6745),
+    5: (-0.8416, -0.2533, 0.2533, 0.8416),
+    6: (-0.9674, -0.4307, 0.0, 0.4307, 0.9674),
+}
+
+_ALPHABET = "abcdef"
+
+
+def paa(values: np.ndarray, segments: int) -> np.ndarray:
+    """Piecewise aggregate approximation to ``segments`` means."""
+    n = len(values)
+    if segments < 1 or segments > n:
+        raise TimeSeriesError(
+            f"cannot reduce {n} points to {segments} segments")
+    # split indices as evenly as possible
+    bounds = np.linspace(0, n, segments + 1).astype(int)
+    return np.array([values[bounds[i]:bounds[i + 1]].mean()
+                     for i in range(segments)])
+
+
+def znorm(values: np.ndarray) -> np.ndarray:
+    """Z-normalize; near-constant windows map to all-zeros."""
+    std = float(values.std())
+    if std < 1e-12:
+        return np.zeros_like(values, dtype=float)
+    return (values - values.mean()) / std
+
+
+def sax_word(values: Sequence[float], segments: int = 8,
+             alphabet: int = 4) -> str:
+    """SAX word of one subsequence."""
+    if alphabet not in _BREAKPOINTS:
+        raise TimeSeriesError(
+            f"alphabet size {alphabet} unsupported "
+            f"(choose {sorted(_BREAKPOINTS)})")
+    arr = znorm(np.asarray(values, dtype=float))
+    reduced = paa(arr, segments)
+    breakpoints = _BREAKPOINTS[alphabet]
+    word = []
+    for value in reduced:
+        symbol = 0
+        for breakpoint in breakpoints:
+            if value > breakpoint:
+                symbol += 1
+        word.append(_ALPHABET[symbol])
+    return "".join(word)
+
+
+def sliding_sax_words(series: TimeSeries, window: int, step: int = 1,
+                      segments: int = 8, alphabet: int = 4
+                      ) -> List[Tuple[int, str]]:
+    """(start, word) for every sliding window of the series."""
+    if window > len(series):
+        return []
+    if step < 1:
+        raise TimeSeriesError("step must be >= 1")
+    out: List[Tuple[int, str]] = []
+    for start in range(0, len(series) - window + 1, step):
+        out.append((start, sax_word(series.values[start:start + window],
+                                    segments=segments,
+                                    alphabet=alphabet)))
+    return out
+
+
+def word_complexity(word: str) -> float:
+    """Cognitive-load analogue for sketches, in [0, 1).
+
+    Counts direction changes and symbol span: flat or monotone shapes
+    are easy to read, oscillating full-range shapes are hard.
+    """
+    if len(word) < 2:
+        return 0.0
+    levels = [ord(c) - ord("a") for c in word]
+    changes = 0
+    previous = 0
+    for i in range(1, len(levels)):
+        delta = levels[i] - levels[i - 1]
+        direction = (delta > 0) - (delta < 0)
+        if direction != 0 and previous != 0 and direction != previous:
+            changes += 1
+        if direction != 0:
+            previous = direction
+    span = (max(levels) - min(levels)) / max(len(_ALPHABET) - 1, 1)
+    raw = changes / (len(word) - 1) + 0.5 * span
+    return min(raw / 1.5, 0.999)

@@ -1,0 +1,135 @@
+"""Time-series substrate for the sketch-query interface (§2.5).
+
+The tutorial's "Beyond Graphs" direction: the data-driven paradigm
+applies wherever visual querying is prevalent, e.g. sketch-based
+querying of time series.  This module provides the data model and a
+seeded generator that plants recurring shape motifs (spikes, steps,
+ramps, dips, oscillations) the same way the chemical generator plants
+graph motifs — so a canned-*sketch* selector has something to find.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class TimeSeriesError(ReproError):
+    """Invalid time-series input."""
+
+
+class TimeSeries:
+    """A named, fixed-length univariate series."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, values: Sequence[float], name: str = "") -> None:
+        if len(values) < 2:
+            raise TimeSeriesError("a series needs at least 2 points")
+        self.name = name
+        self.values = np.asarray(values, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def znormalized(self) -> np.ndarray:
+        """Zero-mean unit-variance copy (flat series stay zero)."""
+        std = float(self.values.std())
+        if std < 1e-12:
+            return np.zeros_like(self.values)
+        return (self.values - self.values.mean()) / std
+
+    def window(self, start: int, length: int) -> np.ndarray:
+        if start < 0 or start + length > len(self.values):
+            raise TimeSeriesError(
+                f"window [{start}, {start + length}) out of range")
+        return self.values[start:start + length]
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries {self.name!r} n={len(self.values)}>"
+
+
+# ----------------------------------------------------------------------
+# shape motifs (each returns ``length`` points in roughly [-1, 1])
+# ----------------------------------------------------------------------
+
+
+def spike_motif(length: int, rng: random.Random) -> np.ndarray:
+    xs = np.linspace(-3, 3, length)
+    return np.exp(-xs ** 2) * rng.uniform(1.5, 2.5)
+
+
+def step_motif(length: int, rng: random.Random) -> np.ndarray:
+    level = rng.uniform(1.0, 2.0)
+    out = np.zeros(length)
+    out[length // 2:] = level
+    return out
+
+
+def ramp_motif(length: int, rng: random.Random) -> np.ndarray:
+    return np.linspace(0, rng.uniform(1.0, 2.0), length)
+
+
+def dip_motif(length: int, rng: random.Random) -> np.ndarray:
+    xs = np.linspace(-3, 3, length)
+    return -np.exp(-xs ** 2) * rng.uniform(1.5, 2.5)
+
+
+def cycle_motif(length: int, rng: random.Random) -> np.ndarray:
+    periods = rng.randint(2, 3)
+    xs = np.linspace(0, periods * 2 * math.pi, length)
+    return np.sin(xs) * rng.uniform(0.8, 1.4)
+
+
+MOTIF_LIBRARY: Dict[str, Callable[[int, random.Random], np.ndarray]] = {
+    "spike": spike_motif,
+    "step": step_motif,
+    "ramp": ramp_motif,
+    "dip": dip_motif,
+    "cycle": cycle_motif,
+}
+
+
+def generate_series(rng: random.Random, length: int = 200,
+                    motif_count: int = 2, motif_length: int = 40,
+                    noise: float = 0.12,
+                    motif_weights: Optional[Sequence[float]] = None,
+                    name: str = "") -> TimeSeries:
+    """One series: a noisy baseline with planted shape motifs."""
+    if length < motif_length * motif_count:
+        raise TimeSeriesError("series too short for the motif count")
+    names = list(MOTIF_LIBRARY)
+    weights = list(motif_weights) if motif_weights else [1.0] * len(names)
+    if len(weights) != len(names):
+        raise TimeSeriesError(
+            f"motif_weights must have {len(names)} entries")
+    values = np.array([rng.gauss(0.0, noise) for _ in range(length)])
+    slots = sorted(rng.sample(range(0, length - motif_length,
+                                    motif_length),
+                              motif_count))
+    planted: List[str] = []
+    for start in slots:
+        motif_name = rng.choices(names, weights=weights, k=1)[0]
+        planted.append(motif_name)
+        shape = MOTIF_LIBRARY[motif_name](motif_length, rng)
+        values[start:start + motif_length] += shape
+    series = TimeSeries(values, name=name)
+    return series
+
+
+def generate_series_collection(count: int, seed: int = 0,
+                               length: int = 200,
+                               motif_weights: Optional[Sequence[float]]
+                               = None) -> List[TimeSeries]:
+    """A repository of series with recurring planted shapes."""
+    if count < 0:
+        raise TimeSeriesError("collection size must be non-negative")
+    rng = random.Random(seed)
+    return [generate_series(rng, length=length, name=f"ts{i}",
+                            motif_weights=motif_weights)
+            for i in range(count)]

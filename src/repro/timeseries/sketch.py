@@ -1,0 +1,246 @@
+"""Data-driven canned-sketch selection and sketch-query matching.
+
+The graph recipe transplanted to time series: mine recurring shapes
+(SAX words) from the collection, score candidates on coverage
+(how many series contain the shape), diversity (distinct words), and
+complexity (the sketch-reading analogue of cognitive load), then
+greedily fill the sketch panel.  Users start a query from a canned
+sketch instead of free-drawing — the bottom-up search mode the paper
+argues every good visual query interface needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import BudgetError
+from repro.timeseries.sax import (
+    sliding_sax_words,
+    word_complexity,
+    znorm,
+)
+from repro.timeseries.series import TimeSeries, TimeSeriesError
+
+
+class SketchPattern:
+    """A canned sketch: representative subsequence + its SAX word."""
+
+    __slots__ = ("word", "values", "support", "source")
+
+    def __init__(self, word: str, values: np.ndarray, support: int,
+                 source: str = "") -> None:
+        self.word = word
+        self.values = np.asarray(values, dtype=float)
+        self.support = support
+        self.source = source
+
+    @property
+    def complexity(self) -> float:
+        return word_complexity(self.word)
+
+    def __repr__(self) -> str:
+        return (f"<SketchPattern {self.word!r} support={self.support} "
+                f"complexity={self.complexity:.2f}>")
+
+
+class SketchBudget:
+    """Display budget for a Sketch Panel."""
+
+    __slots__ = ("max_sketches", "window")
+
+    def __init__(self, max_sketches: int, window: int = 40) -> None:
+        if max_sketches < 1:
+            raise BudgetError("budget must allow at least one sketch")
+        if window < 4:
+            raise BudgetError("sketch window must be >= 4 points")
+        self.max_sketches = max_sketches
+        self.window = window
+
+
+def mine_sketch_candidates(collection: Sequence[TimeSeries],
+                           budget: SketchBudget, step: int = 5,
+                           segments: int = 8, alphabet: int = 4,
+                           min_support: int = 2) -> List[SketchPattern]:
+    """Frequent SAX-word shapes across the collection.
+
+    Support is document frequency (series containing the word); the
+    representative subsequence is the first occurrence seen.
+    """
+    supports: Dict[str, int] = {}
+    representatives: Dict[str, np.ndarray] = {}
+    for series in collection:
+        seen: Set[str] = set()
+        for start, word in sliding_sax_words(series, budget.window,
+                                             step=step,
+                                             segments=segments,
+                                             alphabet=alphabet):
+            if word in seen:
+                continue
+            seen.add(word)
+            supports[word] = supports.get(word, 0) + 1
+            if word not in representatives:
+                representatives[word] = series.window(start,
+                                                      budget.window)
+    return [SketchPattern(word, representatives[word], support,
+                          source="mined")
+            for word, support in sorted(supports.items())
+            if support >= min_support]
+
+
+def word_distance(w1: str, w2: str) -> float:
+    """Mean per-symbol level distance between equal-length words."""
+    if len(w1) != len(w2):
+        raise TimeSeriesError("words must have equal length")
+    total = sum(abs(ord(a) - ord(b)) for a, b in zip(w1, w2))
+    return total / len(w1)
+
+
+def sketch_set_diversity(sketches: Sequence[SketchPattern]) -> float:
+    """1 == maximally spread shapes; <2 sketches count as diverse."""
+    if len(sketches) < 2:
+        return 1.0
+    total = 0.0
+    pairs = 0
+    for i, s1 in enumerate(sketches):
+        for s2 in sketches[i + 1:]:
+            total += min(word_distance(s1.word, s2.word) / 3.0, 1.0)
+            pairs += 1
+    return total / pairs
+
+
+def select_canned_sketches(collection: Sequence[TimeSeries],
+                           budget: SketchBudget,
+                           weights: Tuple[float, float, float]
+                           = (1.0, 1.0, 0.5),
+                           step: int = 5, min_support: int = 2
+                           ) -> List[SketchPattern]:
+    """Greedy sketch-panel selection (coverage + diversity - load)."""
+    if not collection:
+        raise TimeSeriesError("cannot select sketches from no data")
+    candidates = mine_sketch_candidates(collection, budget, step=step,
+                                        min_support=min_support)
+    if not candidates:
+        return []
+    w_cov, w_div, w_load = weights
+    total = len(collection)
+    # precompute each series' word set once; coverage queries become
+    # cheap set intersections
+    series_words: List[Set[str]] = [
+        {w for _, w in sliding_sax_words(series, budget.window,
+                                         step=step)}
+        for series in collection]
+
+    def score(chosen: List[SketchPattern]) -> float:
+        if not chosen:
+            return 0.0
+        covered = {sketch.word for sketch in chosen}
+        hits = sum(1 for words in series_words if words & covered)
+        cov = hits / total
+        div = sketch_set_diversity(chosen)
+        load = sum(s.complexity for s in chosen) / len(chosen)
+        return (w_cov * cov + w_div * div + w_load * (1.0 - load)) / \
+            (w_cov + w_div + w_load)
+
+    selected: List[SketchPattern] = []
+    chosen_words: Set[str] = set()
+    while len(selected) < budget.max_sketches:
+        best = None
+        best_score = float("-inf")
+        for candidate in candidates:
+            if candidate.word in chosen_words:
+                continue
+            value = score(selected + [candidate])
+            if value > best_score:
+                best_score = value
+                best = candidate
+        if best is None:
+            break
+        selected.append(best)
+        chosen_words.add(best.word)
+    return selected
+
+
+class SketchMatch:
+    """One match of a sketch query in one series."""
+
+    __slots__ = ("series", "start", "distance")
+
+    def __init__(self, series: TimeSeries, start: int,
+                 distance: float) -> None:
+        self.series = series
+        self.start = start
+        self.distance = distance
+
+    def __repr__(self) -> str:
+        return (f"<SketchMatch {self.series.name!r}@{self.start} "
+                f"d={self.distance:.3f}>")
+
+
+def match_sketch(query: Sequence[float],
+                 collection: Sequence[TimeSeries],
+                 top_k: int = 10, step: int = 1) -> List[SketchMatch]:
+    """Best z-normalized Euclidean matches of a sketch.
+
+    The classic sliding-window subsequence search behind sketch-query
+    systems: the drawn shape is compared against every window of every
+    series after z-normalization (shape, not scale, is what matters).
+    """
+    query_arr = znorm(np.asarray(query, dtype=float))
+    window = len(query_arr)
+    if window < 2:
+        raise TimeSeriesError("a sketch needs at least 2 points")
+    matches: List[SketchMatch] = []
+    for series in collection:
+        if len(series) < window:
+            continue
+        best_start = -1
+        best_distance = float("inf")
+        for start in range(0, len(series) - window + 1, step):
+            segment = znorm(series.values[start:start + window])
+            distance = float(np.linalg.norm(segment - query_arr))
+            if distance < best_distance:
+                best_distance = distance
+                best_start = start
+        if best_start >= 0:
+            matches.append(SketchMatch(series, best_start,
+                                       best_distance / np.sqrt(window)))
+    matches.sort(key=lambda m: m.distance)
+    return matches[:top_k]
+
+
+class SketchVQI:
+    """Minimal sketch-query interface: panel + query + results."""
+
+    def __init__(self, collection: Sequence[TimeSeries],
+                 budget: SketchBudget,
+                 weights: Tuple[float, float, float] = (1.0, 1.0, 0.5)
+                 ) -> None:
+        self.collection = list(collection)
+        self.budget = budget
+        self.panel = select_canned_sketches(self.collection, budget,
+                                            weights=weights)
+        self.query: Optional[np.ndarray] = None
+        self.results: List[SketchMatch] = []
+
+    def start_from_sketch(self, index: int) -> np.ndarray:
+        """Bottom-up: seed the query from a canned sketch."""
+        self.query = np.array(self.panel[index].values, dtype=float)
+        return self.query
+
+    def draw(self, values: Sequence[float]) -> np.ndarray:
+        """Top-down: free-drawn query."""
+        self.query = np.asarray(values, dtype=float)
+        return self.query
+
+    def execute(self, top_k: int = 10) -> List[SketchMatch]:
+        if self.query is None:
+            raise TimeSeriesError("no sketch drawn yet")
+        self.results = match_sketch(self.query, self.collection,
+                                    top_k=top_k)
+        return self.results
+
+    def __repr__(self) -> str:
+        return (f"<SketchVQI series={len(self.collection)} "
+                f"panel={len(self.panel)}>")

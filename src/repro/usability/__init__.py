@@ -1,0 +1,54 @@
+"""Simulated usability evaluation of VQIs."""
+
+from repro.usability.metrics import (
+    DEFAULT_ACTION_SECONDS,
+    ActionTimeModel,
+    FormulationOutcome,
+    summarize_outcomes,
+)
+from repro.usability.learning import (
+    DEFAULT_PRACTICE_ALPHA,
+    DEFAULT_RETENTION,
+    LearningCurve,
+    practice_factor,
+    practiced_time_model,
+    simulate_learning,
+)
+from repro.usability.preference import (
+    CRITERIA,
+    PreferenceProfile,
+    evaluate_preferences,
+    preference_table,
+)
+from repro.usability.report import UsabilityReport, usability_report
+from repro.usability.simulator import SimulatedUser
+from repro.usability.study import (
+    ConditionResult,
+    StudyCondition,
+    StudyResult,
+    run_study,
+)
+
+__all__ = [
+    "DEFAULT_ACTION_SECONDS",
+    "ActionTimeModel",
+    "FormulationOutcome",
+    "summarize_outcomes",
+    "SimulatedUser",
+    "UsabilityReport",
+    "usability_report",
+    "CRITERIA",
+    "DEFAULT_PRACTICE_ALPHA",
+    "DEFAULT_RETENTION",
+    "LearningCurve",
+    "practice_factor",
+    "practiced_time_model",
+    "simulate_learning",
+    "PreferenceProfile",
+    "evaluate_preferences",
+    "preference_table",
+    "ConditionResult",
+    "StudyCondition",
+    "StudyResult",
+    "run_study",
+]

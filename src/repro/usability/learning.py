@@ -1,0 +1,130 @@
+"""Learning curves: learnability and memorability, simulated.
+
+Two of the §2.1 usability criteria are about time, not a single
+session: *learnability* (how fast new users reach competence) and
+*memorability* (how much is retained after a break).  Following the
+power law of practice (Newell & Rosenbloom), panel-browsing and
+interpretation costs shrink as ``n^-alpha`` with the number of
+sessions; a break decays practice by a retention factor.
+
+The simulator replays the same workload across sessions with the
+practice-adjusted time model and reports the resulting curve, from
+which the two criteria are scored.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.patterns.base import Pattern
+from repro.usability.metrics import ActionTimeModel
+from repro.usability.simulator import SimulatedUser
+
+#: power-law-of-practice exponent (literature-typical 0.2-0.4)
+DEFAULT_PRACTICE_ALPHA = 0.3
+#: fraction of practice surviving a long break
+DEFAULT_RETENTION = 0.6
+
+
+def practice_factor(session: int,
+                    alpha: float = DEFAULT_PRACTICE_ALPHA) -> float:
+    """Cost multiplier after ``session`` sessions (1-based)."""
+    if session < 1:
+        raise ValueError("sessions are 1-based")
+    return session ** (-alpha)
+
+
+def practiced_time_model(base: Optional[ActionTimeModel],
+                         session: int,
+                         alpha: float = DEFAULT_PRACTICE_ALPHA
+                         ) -> ActionTimeModel:
+    """A time model with practice applied to the perceptual costs.
+
+    Motor costs (pointing, clicking) barely improve; what shrinks
+    with familiarity is scanning and interpreting the panel, so only
+    those constants are scaled.
+    """
+    base = base or ActionTimeModel()
+    factor = practice_factor(session, alpha)
+    return ActionTimeModel(
+        action_seconds=base.action_seconds,
+        scan_seconds=base.scan_seconds * factor,
+        interpret_seconds=base.interpret_seconds * factor,
+        error_recovery_seconds=base.error_recovery_seconds)
+
+
+class LearningCurve:
+    """Per-session mean formulation seconds, plus criterion scores."""
+
+    __slots__ = ("session_seconds", "post_break_seconds")
+
+    def __init__(self, session_seconds: List[float],
+                 post_break_seconds: float) -> None:
+        self.session_seconds = session_seconds
+        self.post_break_seconds = post_break_seconds
+
+    def learnability(self) -> float:
+        """Relative speedup from first to last session, in [0, 1)."""
+        first = self.session_seconds[0]
+        last = self.session_seconds[-1]
+        if first <= 0:
+            return 0.0
+        return max(0.0, 1.0 - last / first)
+
+    def memorability(self) -> float:
+        """Practice retained over the break, in [0, 1].
+
+        1 = the post-break session is as fast as the last practiced
+        one; 0 = all the way back to (or beyond) session one.
+        """
+        first = self.session_seconds[0]
+        last = self.session_seconds[-1]
+        span = first - last
+        if span <= 0:
+            return 1.0
+        lost = max(self.post_break_seconds - last, 0.0)
+        return max(0.0, 1.0 - lost / span)
+
+    def __repr__(self) -> str:
+        return (f"<LearningCurve sessions={len(self.session_seconds)} "
+                f"learnability={self.learnability():.2f} "
+                f"memorability={self.memorability():.2f}>")
+
+
+def simulate_learning(workload: Sequence[Graph],
+                      panel: Sequence[Pattern], sessions: int = 5,
+                      alpha: float = DEFAULT_PRACTICE_ALPHA,
+                      retention: float = DEFAULT_RETENTION,
+                      error_probability: float = 0.0,
+                      seed: int = 0) -> LearningCurve:
+    """Replay one workload over ``sessions`` sessions plus a
+    post-break probe session."""
+    if sessions < 2:
+        raise ValueError("need at least two sessions for a curve")
+    if not 0.0 <= retention <= 1.0:
+        raise ValueError("retention must be in [0, 1]")
+    session_seconds: List[float] = []
+    for session in range(1, sessions + 1):
+        model = practiced_time_model(None, session, alpha)
+        user = SimulatedUser(time_model=model,
+                             error_probability=error_probability,
+                             seed=seed)
+        total = sum(user.formulate_with_patterns(query, panel).seconds
+                    for query in workload)
+        session_seconds.append(total / max(len(workload), 1))
+    # break: effective practice level drops to retention * sessions
+    effective = max(1.0, retention * sessions)
+    factor = effective ** (-alpha)
+    base = ActionTimeModel()
+    post_model = ActionTimeModel(
+        action_seconds=base.action_seconds,
+        scan_seconds=base.scan_seconds * factor,
+        interpret_seconds=base.interpret_seconds * factor,
+        error_recovery_seconds=base.error_recovery_seconds)
+    user = SimulatedUser(time_model=post_model,
+                         error_probability=error_probability, seed=seed)
+    post_total = sum(user.formulate_with_patterns(query, panel).seconds
+                     for query in workload)
+    return LearningCurve(session_seconds,
+                         post_total / max(len(workload), 1))

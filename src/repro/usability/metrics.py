@@ -1,0 +1,108 @@
+"""HCI-grounded cost model for visual query formulation.
+
+Action times follow the Keystroke-Level-Model tradition: every
+gesture decomposes into mental preparation, pointing, and clicking,
+with literature-typical constants.  Browsing the Pattern Panel before
+dropping a pattern costs time that grows with the number of displayed
+patterns and their cognitive load — the reason the canned-pattern
+literature insists on small, low-load, high-coverage panels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.patterns.base import Pattern
+from repro.patterns.scoring import cognitive_load
+
+#: seconds per atomic gesture (mental prep + point + click/drag)
+DEFAULT_ACTION_SECONDS: Dict[str, float] = {
+    "add_node": 1.1,
+    "add_edge": 1.5,
+    "set_node_label": 1.2,
+    "set_edge_label": 1.2,
+    "add_pattern": 1.3,
+    "merge_nodes": 1.4,
+    "delete_node": 0.9,
+    "delete_edge": 0.9,
+}
+
+#: scanning one pattern thumbnail in the panel
+SCAN_SECONDS = 0.30
+#: interpreting a thumbnail, scaled by its cognitive load
+INTERPRET_SECONDS = 1.0
+#: recovering from one formulation error (notice + delete + redo)
+ERROR_RECOVERY_SECONDS = 2.5
+
+
+class ActionTimeModel:
+    """Maps action kinds and panel browsing to elapsed seconds."""
+
+    def __init__(self,
+                 action_seconds: Dict[str, float] | None = None,
+                 scan_seconds: float = SCAN_SECONDS,
+                 interpret_seconds: float = INTERPRET_SECONDS,
+                 error_recovery_seconds: float = ERROR_RECOVERY_SECONDS
+                 ) -> None:
+        self.action_seconds = dict(action_seconds
+                                   or DEFAULT_ACTION_SECONDS)
+        self.scan_seconds = scan_seconds
+        self.interpret_seconds = interpret_seconds
+        self.error_recovery_seconds = error_recovery_seconds
+
+    def action_time(self, kind: str) -> float:
+        if kind not in self.action_seconds:
+            raise KeyError(f"no time constant for action kind {kind!r}")
+        return self.action_seconds[kind]
+
+    def browse_time(self, panel_patterns: Sequence[Pattern]) -> float:
+        """Expected time to locate a pattern in the panel.
+
+        The user scans thumbnails sequentially and interprets each one
+        (interpretation effort grows with cognitive load); on average
+        half the panel is scanned before the wanted pattern is found.
+        """
+        if not panel_patterns:
+            return 0.0
+        per_pattern = [
+            self.scan_seconds
+            + self.interpret_seconds * cognitive_load(p.graph)
+            for p in panel_patterns]
+        return sum(per_pattern) / 2.0
+
+
+class FormulationOutcome:
+    """Measured cost of formulating one query."""
+
+    __slots__ = ("steps", "seconds", "errors", "pattern_uses",
+                 "action_counts")
+
+    def __init__(self, steps: int, seconds: float, errors: int,
+                 pattern_uses: int,
+                 action_counts: Dict[str, int]) -> None:
+        self.steps = steps
+        self.seconds = seconds
+        self.errors = errors
+        self.pattern_uses = pattern_uses
+        self.action_counts = action_counts
+
+    def __repr__(self) -> str:
+        return (f"<FormulationOutcome steps={self.steps} "
+                f"time={self.seconds:.1f}s errors={self.errors}>")
+
+
+def summarize_outcomes(outcomes: Iterable[FormulationOutcome]
+                       ) -> Dict[str, float]:
+    """Mean steps / time / errors over a workload."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        return {"queries": 0, "mean_steps": 0.0, "mean_seconds": 0.0,
+                "mean_errors": 0.0, "mean_pattern_uses": 0.0}
+    n = len(outcomes)
+    return {
+        "queries": n,
+        "mean_steps": sum(o.steps for o in outcomes) / n,
+        "mean_seconds": sum(o.seconds for o in outcomes) / n,
+        "mean_errors": sum(o.errors for o in outcomes) / n,
+        "mean_pattern_uses": sum(o.pattern_uses for o in outcomes) / n,
+    }

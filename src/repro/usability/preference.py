@@ -1,0 +1,151 @@
+"""Preference measures: modelled questionnaire scores (paper §2.3).
+
+Usability evaluations report *performance* measures (steps, time,
+errors — see :mod:`repro.usability.study`) and *preference* measures:
+"a user's opinion about the interface which is not directly
+observable", gathered via questionnaires.  As a stand-in for human
+questionnaires (see DESIGN.md's substitution table), this module
+derives per-criterion preference scores from the measurable
+correlates HCI research ties them to:
+
+* **efficiency** — normalised formulation speed;
+* **errors** — slip rate and implied recovery burden;
+* **flexibility** — number of formulation modes the interface offers
+  (edge-at-a-time, pattern-at-a-time, attribute picking);
+* **learnability / memorability** — familiarity and cognitive load of
+  the exposed patterns (small generic shapes are learned and
+  remembered; dense exotic ones are not);
+* **satisfaction** — Berlyne-style response to the panel's visual
+  complexity, discounted by gesture frustration (many atomic actions
+  for one task frustrate; Shneiderman & Plaisant).
+
+All scores are in [0, 1], higher is better.  The model is
+deterministic: identical experiences yield identical "opinions".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.patterns.base import Pattern
+from repro.patterns.scoring import set_cognitive_load
+from repro.usability.metrics import FormulationOutcome
+from repro.vqi.aesthetics import berlyne_satisfaction, panel_aesthetics
+
+#: the usability criteria of Dix et al. the paper lists (§2.1)
+CRITERIA = ("learnability", "flexibility", "robustness", "efficiency",
+            "memorability", "errors", "satisfaction")
+
+
+class PreferenceProfile:
+    """Per-criterion preference scores for one interface condition."""
+
+    __slots__ = ("scores",)
+
+    def __init__(self, scores: Dict[str, float]) -> None:
+        missing = set(CRITERIA) - set(scores)
+        if missing:
+            raise ValueError(f"missing criteria: {sorted(missing)}")
+        self.scores = {key: min(max(value, 0.0), 1.0)
+                       for key, value in scores.items()}
+
+    def composite(self) -> float:
+        """Unweighted mean over the seven criteria."""
+        return sum(self.scores[c] for c in CRITERIA) / len(CRITERIA)
+
+    def __getitem__(self, criterion: str) -> float:
+        return self.scores[criterion]
+
+    def __repr__(self) -> str:
+        return f"<PreferenceProfile composite={self.composite():.2f}>"
+
+
+def _gesture_frustration(outcomes: Sequence[FormulationOutcome]) -> float:
+    """Fraction of tasks needing many atomic actions (0 = relaxed)."""
+    if not outcomes:
+        return 0.0
+    mean_steps = sum(o.steps for o in outcomes) / len(outcomes)
+    # 5 steps per query reads as effortless; 25+ as painful
+    return min(max((mean_steps - 5.0) / 20.0, 0.0), 1.0)
+
+
+def evaluate_preferences(outcomes: Sequence[FormulationOutcome],
+                         panel: Sequence[Pattern],
+                         baseline_seconds: float) -> PreferenceProfile:
+    """Model questionnaire answers after a session.
+
+    ``baseline_seconds`` is the mean manual formulation time for the
+    same workload — the anchor against which users judge speed.
+    """
+    outcomes = list(outcomes)
+    n = max(len(outcomes), 1)
+    mean_seconds = sum(o.seconds for o in outcomes) / n
+    mean_errors = sum(o.errors for o in outcomes) / n
+    mean_steps = sum(o.steps for o in outcomes) / n
+    pattern_uses = sum(o.pattern_uses for o in outcomes) / n
+
+    # efficiency: perceived speed relative to the manual anchor
+    if baseline_seconds <= 0:
+        efficiency = 0.5
+    else:
+        ratio = mean_seconds / baseline_seconds
+        efficiency = min(max(1.25 - 0.75 * ratio, 0.0), 1.0)
+
+    # errors: each slip per task hurts noticeably
+    errors = math.exp(-1.5 * mean_errors)
+
+    # flexibility: formulation modes actually available/used
+    modes = 1.0  # edge-at-a-time always exists
+    if panel:
+        modes += 1.0  # pattern-at-a-time offered
+    if pattern_uses > 0:
+        modes += 0.5  # and it actually helped
+    flexibility = min(modes / 2.5, 1.0)
+
+    # learnability/memorability: generic small patterns are easy to
+    # internalise; heavy panels are not
+    if panel:
+        load = set_cognitive_load(panel)
+        learnability = 1.0 - 0.7 * load
+        memorability = 1.0 - 0.5 * load - 0.02 * max(len(panel) - 8, 0)
+    else:
+        learnability = 0.85  # nothing new to learn, but no help either
+        memorability = 0.80
+
+    # robustness: confidence of achieving the goal — dominated by
+    # error experience and step burden
+    robustness = min(max(1.0 - 0.02 * mean_steps - 0.3 * mean_errors,
+                         0.0), 1.0)
+
+    # satisfaction: aesthetic response minus gesture frustration
+    if panel:
+        aesthetics = panel_aesthetics([p.graph for p in panel])
+        aesthetic_term = aesthetics["satisfaction"]
+    else:
+        aesthetic_term = berlyne_satisfaction(0.0)
+    satisfaction = aesthetic_term * (1.0
+                                     - 0.6 * _gesture_frustration(
+                                         outcomes))
+
+    return PreferenceProfile({
+        "learnability": learnability,
+        "flexibility": flexibility,
+        "robustness": robustness,
+        "efficiency": efficiency,
+        "memorability": memorability,
+        "errors": errors,
+        "satisfaction": satisfaction,
+    })
+
+
+def preference_table(profiles: Dict[str, PreferenceProfile]
+                     ) -> List[List[str]]:
+    """Printable rows: one per condition, criteria + composite."""
+    rows: List[List[str]] = []
+    for name, profile in profiles.items():
+        row = [name]
+        row.extend(f"{profile[c]:.2f}" for c in CRITERIA)
+        row.append(f"{profile.composite():.2f}")
+        rows.append(row)
+    return rows

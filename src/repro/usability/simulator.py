@@ -1,0 +1,174 @@
+"""Simulated users formulating visual queries.
+
+Substitute for the human-subject studies the surveyed papers ran
+(see DESIGN.md): a simulated user is given a target query graph and a
+VQI configuration, and mechanically produces the action sequence a
+competent user would.  Two strategies are modelled:
+
+* **edge-at-a-time** — the manual-VQI baseline: every node is placed
+  and labeled, every edge drawn (and labeled) individually;
+* **pattern-at-a-time** — the data-driven mode: the user repeatedly
+  drops the panel pattern that pays for itself best (covering many
+  target edges for one drop plus merge gestures), then finishes the
+  remainder edge-at-a-time.
+
+An optional per-action slip probability injects errors whose recovery
+costs extra actions and time, reproducing the papers' "fewer steps ->
+fewer errors" effect.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.graph.graph import Graph, edge_key
+from repro.matching.isomorphism import WILDCARD, subgraph_embeddings
+from repro.patterns.base import Pattern
+from repro.usability.metrics import ActionTimeModel, FormulationOutcome
+
+
+class SimulatedUser:
+    """A deterministic (seeded) query-formulating agent."""
+
+    def __init__(self, time_model: Optional[ActionTimeModel] = None,
+                 error_probability: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= error_probability < 1.0:
+            raise ValueError("error probability must be in [0, 1)")
+        self.time_model = time_model or ActionTimeModel()
+        self.error_probability = error_probability
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def _charge(self, kind: str, counts: Dict[str, int],
+                state: Dict[str, float]) -> None:
+        """Account one action, with probabilistic slip recovery."""
+        counts[kind] = counts.get(kind, 0) + 1
+        state["steps"] += 1
+        state["seconds"] += self.time_model.action_time(kind)
+        if (self.error_probability
+                and self._rng.random() < self.error_probability):
+            state["errors"] += 1
+            state["steps"] += 2  # delete + redo
+            state["seconds"] += self.time_model.error_recovery_seconds
+
+    # ------------------------------------------------------------------
+    def formulate_manual(self, target: Graph) -> FormulationOutcome:
+        """Edge-at-a-time formulation of the whole target query."""
+        counts: Dict[str, int] = {}
+        state = {"steps": 0.0, "seconds": 0.0, "errors": 0.0}
+        for node in target.nodes():
+            self._charge("add_node", counts, state)
+            if target.node_label(node) not in ("", WILDCARD):
+                self._charge("set_node_label", counts, state)
+        for u, v in target.edges():
+            self._charge("add_edge", counts, state)
+            if target.edge_label(u, v) not in ("", WILDCARD):
+                self._charge("set_edge_label", counts, state)
+        return FormulationOutcome(int(state["steps"]), state["seconds"],
+                                  int(state["errors"]), 0, counts)
+
+    # ------------------------------------------------------------------
+    def _best_placement(self, target: Graph, patterns: Sequence[Pattern],
+                        covered: Set[Tuple[int, int]],
+                        placed: Set[int]
+                        ) -> Optional[Tuple[Pattern, Dict[int, int],
+                                            float]]:
+        """The pattern placement with the best net gesture savings.
+
+        A placement of pattern p via embedding f costs one drop plus
+        one merge per already-placed image node plus one label fix per
+        wildcard element; it saves the manual cost of the new nodes
+        and newly covered edges.  Returns the placement with maximal
+        positive savings, or None.
+        """
+        best: Optional[Tuple[Pattern, Dict[int, int], float]] = None
+        for pattern in patterns:
+            if pattern.size() < 2:
+                continue  # single edges save nothing over manual mode
+            embeddings = subgraph_embeddings(pattern.graph, target,
+                                             max_results=20)
+            for mapping in embeddings:
+                new_edges = 0
+                labeled_new_edges = 0
+                for u, v in pattern.graph.edges():
+                    key = edge_key(mapping[u], mapping[v])
+                    if key not in covered:
+                        new_edges += 1
+                        if target.edge_label(*key) not in ("", WILDCARD):
+                            labeled_new_edges += 1
+                if new_edges == 0:
+                    continue
+                image = set(mapping.values())
+                merges = len(image & placed)
+                new_nodes = len(image - placed)
+                labeled_new_nodes = sum(
+                    1 for t in image - placed
+                    if target.node_label(t) not in ("", WILDCARD))
+                node_fixes = sum(
+                    1 for u in pattern.graph.nodes()
+                    if pattern.graph.node_label(u) == WILDCARD
+                    and target.node_label(mapping[u]) not in ("", WILDCARD))
+                edge_fixes = sum(
+                    1 for u, v in pattern.graph.edges()
+                    if pattern.graph.edge_label(u, v) == WILDCARD
+                    and target.edge_label(mapping[u], mapping[v])
+                    not in ("", WILDCARD))
+                manual_cost = (new_nodes + labeled_new_nodes
+                               + new_edges + labeled_new_edges)
+                pattern_cost = 1 + merges + node_fixes + edge_fixes
+                savings = manual_cost - pattern_cost
+                if savings <= 0:
+                    continue
+                if best is None or savings > best[2]:
+                    best = (pattern, mapping, savings)
+        return best
+
+    def formulate_with_patterns(self, target: Graph,
+                                panel: Sequence[Pattern]
+                                ) -> FormulationOutcome:
+        """Pattern-at-a-time formulation using the given Pattern Panel."""
+        counts: Dict[str, int] = {}
+        state = {"steps": 0.0, "seconds": 0.0, "errors": 0.0}
+        covered: Set[Tuple[int, int]] = set()
+        placed: Set[int] = set()
+        pattern_uses = 0
+        while True:
+            placement = self._best_placement(target, panel, covered,
+                                             placed)
+            if placement is None:
+                break
+            pattern, mapping, _ = placement
+            pattern_uses += 1
+            state["seconds"] += self.time_model.browse_time(panel)
+            self._charge("add_pattern", counts, state)
+            image = set(mapping.values())
+            for _ in image & placed:
+                self._charge("merge_nodes", counts, state)
+            for u in pattern.graph.nodes():
+                if (pattern.graph.node_label(u) == WILDCARD
+                        and target.node_label(mapping[u])
+                        not in ("", WILDCARD)):
+                    self._charge("set_node_label", counts, state)
+            for u, v in pattern.graph.edges():
+                covered.add(edge_key(mapping[u], mapping[v]))
+                if (pattern.graph.edge_label(u, v) == WILDCARD
+                        and target.edge_label(mapping[u], mapping[v])
+                        not in ("", WILDCARD)):
+                    self._charge("set_edge_label", counts, state)
+            placed |= image
+        # finish the remainder edge-at-a-time
+        for node in target.nodes():
+            if node not in placed:
+                self._charge("add_node", counts, state)
+                if target.node_label(node) not in ("", WILDCARD):
+                    self._charge("set_node_label", counts, state)
+                placed.add(node)
+        for u, v in target.edges():
+            if edge_key(u, v) not in covered:
+                self._charge("add_edge", counts, state)
+                if target.edge_label(u, v) not in ("", WILDCARD):
+                    self._charge("set_edge_label", counts, state)
+        return FormulationOutcome(int(state["steps"]), state["seconds"],
+                                  int(state["errors"]), pattern_uses,
+                                  counts)

@@ -1,0 +1,114 @@
+"""Usability study runner: manual vs data-driven VQI over a workload.
+
+Reproduces the performance-measure side of the usability evaluations
+the tutorial summarises (§2.3/§2.4): query formulation steps, time,
+and error counts, per interface condition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.patterns.base import Pattern
+from repro.usability.metrics import (
+    ActionTimeModel,
+    FormulationOutcome,
+    summarize_outcomes,
+)
+from repro.usability.simulator import SimulatedUser
+
+
+class StudyCondition:
+    """One interface condition in a study.
+
+    ``panel`` is the pattern list available to the simulated user —
+    empty for a pure edge-at-a-time manual VQI, basic patterns for a
+    typical manual VQI, basic + canned for a data-driven VQI.
+    """
+
+    __slots__ = ("name", "panel")
+
+    def __init__(self, name: str, panel: Sequence[Pattern] = ()) -> None:
+        self.name = name
+        self.panel = list(panel)
+
+    def __repr__(self) -> str:
+        return f"<StudyCondition {self.name!r} panel={len(self.panel)}>"
+
+
+class ConditionResult:
+    """Per-condition outcomes and aggregates."""
+
+    __slots__ = ("condition", "outcomes", "summary")
+
+    def __init__(self, condition: StudyCondition,
+                 outcomes: List[FormulationOutcome]) -> None:
+        self.condition = condition
+        self.outcomes = outcomes
+        self.summary = summarize_outcomes(outcomes)
+
+    def __repr__(self) -> str:
+        return (f"<ConditionResult {self.condition.name!r} "
+                f"steps={self.summary['mean_steps']:.1f} "
+                f"time={self.summary['mean_seconds']:.1f}s>")
+
+
+class StudyResult:
+    """All conditions of one study, with comparison helpers."""
+
+    def __init__(self, results: List[ConditionResult]) -> None:
+        self.results = results
+
+    def by_name(self, name: str) -> ConditionResult:
+        for result in self.results:
+            if result.condition.name == name:
+                return result
+        raise KeyError(f"no condition named {name!r}")
+
+    def speedup(self, baseline: str, treatment: str) -> float:
+        """Formulation-time ratio baseline/treatment (>1 = faster)."""
+        base = self.by_name(baseline).summary["mean_seconds"]
+        treat = self.by_name(treatment).summary["mean_seconds"]
+        return base / treat if treat > 0 else float("inf")
+
+    def step_reduction(self, baseline: str, treatment: str) -> float:
+        """Relative step reduction of treatment vs baseline, in [0, 1]."""
+        base = self.by_name(baseline).summary["mean_steps"]
+        treat = self.by_name(treatment).summary["mean_steps"]
+        return 1.0 - treat / base if base > 0 else 0.0
+
+    def table_rows(self) -> List[Dict[str, float]]:
+        """Printable rows: one per condition."""
+        rows = []
+        for result in self.results:
+            row: Dict[str, float] = {"condition": result.condition.name}
+            row.update(result.summary)
+            rows.append(row)
+        return rows
+
+
+def run_study(workload: Sequence[Graph],
+              conditions: Sequence[StudyCondition],
+              time_model: Optional[ActionTimeModel] = None,
+              error_probability: float = 0.0,
+              seed: int = 0) -> StudyResult:
+    """Simulate every query under every condition.
+
+    Each condition gets an identically-seeded user so differences come
+    from the interface, not the random slips.
+    """
+    results: List[ConditionResult] = []
+    for condition in conditions:
+        user = SimulatedUser(time_model=time_model,
+                             error_probability=error_probability,
+                             seed=seed)
+        outcomes: List[FormulationOutcome] = []
+        for query in workload:
+            if condition.panel:
+                outcomes.append(
+                    user.formulate_with_patterns(query, condition.panel))
+            else:
+                outcomes.append(user.formulate_manual(query))
+        results.append(ConditionResult(condition, outcomes))
+    return StudyResult(results)

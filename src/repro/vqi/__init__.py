@@ -1,0 +1,87 @@
+"""Headless visual query interface: panels, spec, builder, aesthetics."""
+
+from repro.vqi.aesthetics import (
+    BERLYNE_OPTIMUM,
+    BERLYNE_WIDTH,
+    angular_resolution,
+    berlyne_satisfaction,
+    contour_congestion,
+    edge_crossings,
+    layout_quality,
+    node_congestion,
+    panel_aesthetics,
+    visual_clutter,
+    visual_complexity,
+)
+from repro.vqi.builder import (
+    BuildReport,
+    VisualQueryInterface,
+    build_vqi,
+    build_vqi_with_report,
+)
+from repro.vqi.diff import SpecDiff, spec_diff
+from repro.vqi.layout import circular_layout, layout_graph, spring_layout
+from repro.vqi.maintenance import MaintainedVQI, build_maintained_vqi
+from repro.vqi.optimize import (
+    LayoutObjective,
+    arrange_panel,
+    layout_cost,
+    optimize_layout,
+    panel_scan_cost,
+)
+from repro.vqi.panels import (
+    AttributePanel,
+    PatternPanel,
+    QueryPanel,
+    ResultsPanel,
+)
+from repro.vqi.render import render_graph_svg, render_pattern_panel_svg
+from repro.vqi.results import (
+    ResultGroup,
+    group_results,
+    render_results_panel_svg,
+    results_complexity_reduction,
+)
+from repro.vqi.spec import SPEC_VERSION, VQISpec
+
+__all__ = [
+    "BERLYNE_OPTIMUM",
+    "BERLYNE_WIDTH",
+    "angular_resolution",
+    "berlyne_satisfaction",
+    "contour_congestion",
+    "edge_crossings",
+    "layout_quality",
+    "node_congestion",
+    "panel_aesthetics",
+    "visual_clutter",
+    "visual_complexity",
+    "BuildReport",
+    "VisualQueryInterface",
+    "build_vqi",
+    "build_vqi_with_report",
+    "SpecDiff",
+    "spec_diff",
+    "circular_layout",
+    "layout_graph",
+    "spring_layout",
+    "MaintainedVQI",
+    "build_maintained_vqi",
+    "LayoutObjective",
+    "arrange_panel",
+    "layout_cost",
+    "optimize_layout",
+    "panel_scan_cost",
+    "AttributePanel",
+    "PatternPanel",
+    "QueryPanel",
+    "ResultsPanel",
+    "render_graph_svg",
+    "render_pattern_panel_svg",
+    "ResultGroup",
+    "group_results",
+    "render_results_panel_svg",
+    "results_complexity_reduction",
+    "SPEC_VERSION",
+    "VQISpec",
+]

@@ -1,0 +1,208 @@
+"""Aesthetic / visual-complexity metrics for VQI layouts (paper §2.5).
+
+Implements the metric families HCI work quantifies interface
+aesthetics with — edge crossings, node congestion, angular
+resolution, visual clutter, contour congestion — plus Berlyne's
+inverted-U model relating visual complexity to user satisfaction,
+which experiment E9 reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph.graph import Graph
+from repro.vqi.layout import Position, layout_graph
+
+
+def _segments_cross(p1: Position, p2: Position, p3: Position,
+                    p4: Position) -> bool:
+    """Proper intersection of open segments (shared endpoints ignored)."""
+
+    def orient(a: Position, b: Position, c: Position) -> float:
+        return ((b[0] - a[0]) * (c[1] - a[1])
+                - (b[1] - a[1]) * (c[0] - a[0]))
+
+    if len({p1, p2, p3, p4}) < 4:
+        return False
+    d1 = orient(p3, p4, p1)
+    d2 = orient(p3, p4, p2)
+    d3 = orient(p1, p2, p3)
+    d4 = orient(p1, p2, p4)
+    return (d1 * d2 < 0) and (d3 * d4 < 0)
+
+
+def edge_crossings(graph: Graph,
+                   positions: Dict[int, Position]) -> int:
+    """Number of pairwise edge crossings in the layout."""
+    edges = list(graph.edges())
+    crossings = 0
+    for (u1, v1), (u2, v2) in combinations(edges, 2):
+        if len({u1, v1, u2, v2}) < 4:
+            continue  # edges sharing a node cannot properly cross
+        if _segments_cross(positions[u1], positions[v1],
+                           positions[u2], positions[v2]):
+            crossings += 1
+    return crossings
+
+
+def node_congestion(graph: Graph, positions: Dict[int, Position],
+                    radius: float = 0.08) -> float:
+    """Fraction of node pairs closer than ``radius`` (overlap proxy)."""
+    nodes = sorted(graph.nodes())
+    if len(nodes) < 2:
+        return 0.0
+    close = 0
+    pairs = 0
+    for u, v in combinations(nodes, 2):
+        pairs += 1
+        dx = positions[u][0] - positions[v][0]
+        dy = positions[u][1] - positions[v][1]
+        if math.hypot(dx, dy) < radius:
+            close += 1
+    return close / pairs
+
+
+def angular_resolution(graph: Graph,
+                       positions: Dict[int, Position]) -> float:
+    """Mean (over nodes with degree >= 2) of the minimum angle between
+    incident edges, in radians; larger is easier to read."""
+    total = 0.0
+    counted = 0
+    for u in graph.nodes():
+        nbrs = sorted(graph.neighbors(u))
+        if len(nbrs) < 2:
+            continue
+        angles = sorted(
+            math.atan2(positions[v][1] - positions[u][1],
+                       positions[v][0] - positions[u][0])
+            for v in nbrs)
+        gaps = [angles[i + 1] - angles[i] for i in range(len(angles) - 1)]
+        gaps.append(2 * math.pi - (angles[-1] - angles[0]))
+        total += min(gaps)
+        counted += 1
+    return total / counted if counted else math.pi
+
+
+def visual_clutter(graph: Graph, grid: int = 4,
+                   positions: Dict[int, Position] | None = None) -> float:
+    """Feature-congestion clutter proxy: mean squared cell occupancy.
+
+    The unit square is divided into ``grid x grid`` cells; each node
+    and each edge midpoint occupies a cell.  Uneven, crowded cells
+    (squared counts) read as clutter.
+    """
+    positions = positions or layout_graph(graph)
+    if not positions:
+        return 0.0
+    cells: Dict[Tuple[int, int], int] = {}
+
+    def drop(x: float, y: float) -> None:
+        cx = min(int(x * grid), grid - 1)
+        cy = min(int(y * grid), grid - 1)
+        cells[(cx, cy)] = cells.get((cx, cy), 0) + 1
+
+    for node, (x, y) in positions.items():
+        drop(x, y)
+    for u, v in graph.edges():
+        drop((positions[u][0] + positions[v][0]) / 2,
+             (positions[u][1] + positions[v][1]) / 2)
+    total_items = graph.order() + graph.size()
+    if total_items == 0:
+        return 0.0
+    return sum(c * c for c in cells.values()) / (total_items ** 2)
+
+
+def contour_congestion(graph: Graph,
+                       positions: Dict[int, Position] | None = None,
+                       threshold: float = 0.05) -> float:
+    """Fraction of edge pairs whose midpoints are nearly coincident —
+    a proxy for contours that are hard to tell apart."""
+    positions = positions or layout_graph(graph)
+    edges = list(graph.edges())
+    if len(edges) < 2:
+        return 0.0
+    mids = [((positions[u][0] + positions[v][0]) / 2,
+             (positions[u][1] + positions[v][1]) / 2) for u, v in edges]
+    close = 0
+    pairs = 0
+    for m1, m2 in combinations(mids, 2):
+        pairs += 1
+        if math.hypot(m1[0] - m2[0], m1[1] - m2[1]) < threshold:
+            close += 1
+    return close / pairs
+
+
+def layout_quality(graph: Graph,
+                   positions: Dict[int, Position] | None = None) -> float:
+    """Composite layout quality in [0, 1]: fewer crossings, less
+    congestion, wider angles -> higher quality."""
+    positions = positions or layout_graph(graph)
+    if graph.order() == 0:
+        return 1.0
+    m = graph.size()
+    max_crossings = max(m * (m - 1) / 2, 1.0)
+    crossing_term = 1.0 - edge_crossings(graph, positions) / max_crossings
+    congestion_term = 1.0 - node_congestion(graph, positions)
+    angle_term = angular_resolution(graph, positions) / math.pi
+    return max(0.0, min(1.0,
+                        0.5 * crossing_term + 0.3 * congestion_term
+                        + 0.2 * angle_term))
+
+
+def visual_complexity(graph: Graph,
+                      positions: Dict[int, Position] | None = None
+                      ) -> float:
+    """Overall visual complexity of one displayed graph, in [0, 1).
+
+    Combines structural size/density with layout-level clutter — the
+    quantity Berlyne's inverted-U relates to pleasantness.
+    """
+    positions = positions or layout_graph(graph)
+    structural = 1.0 - math.exp(-(graph.size() / 10.0)
+                                * (0.5 + graph.density()))
+    clutter = visual_clutter(graph, positions=positions)
+    crossings = edge_crossings(graph, positions)
+    crossing_load = 1.0 - math.exp(-crossings / 4.0)
+    return max(0.0, min(0.999,
+                        0.5 * structural + 0.25 * clutter
+                        + 0.25 * crossing_load))
+
+
+#: Berlyne inverted-U parameters: satisfaction peaks at moderate
+#: complexity (c*) and falls off symmetrically with width sigma.
+BERLYNE_OPTIMUM = 0.45
+BERLYNE_WIDTH = 0.25
+
+
+def berlyne_satisfaction(complexity: float,
+                         optimum: float = BERLYNE_OPTIMUM,
+                         width: float = BERLYNE_WIDTH) -> float:
+    """Inverted-U (Gaussian) satisfaction of a stimulus, in (0, 1]."""
+    return math.exp(-((complexity - optimum) ** 2) / (2 * width * width))
+
+
+def panel_aesthetics(graphs: Sequence[Graph],
+                     seed: int = 0) -> Dict[str, float]:
+    """Aggregate aesthetics of a panel displaying several graphs."""
+    if not graphs:
+        return {"visual_complexity": 0.0, "layout_quality": 1.0,
+                "satisfaction": berlyne_satisfaction(0.0),
+                "crossings": 0.0}
+    complexities: List[float] = []
+    qualities: List[float] = []
+    crossings: List[float] = []
+    for i, graph in enumerate(graphs):
+        positions = layout_graph(graph, seed=seed + i)
+        complexities.append(visual_complexity(graph, positions))
+        qualities.append(layout_quality(graph, positions))
+        crossings.append(float(edge_crossings(graph, positions)))
+    mean_complexity = sum(complexities) / len(complexities)
+    return {
+        "visual_complexity": mean_complexity,
+        "layout_quality": sum(qualities) / len(qualities),
+        "satisfaction": berlyne_satisfaction(mean_complexity),
+        "crossings": sum(crossings) / len(crossings),
+    }

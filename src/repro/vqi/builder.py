@@ -1,0 +1,168 @@
+"""Data-driven VQI construction facade (the library's front door).
+
+``build_vqi`` takes *data* — a repository of small graphs or one
+large network — and a display budget, and returns a fully-populated
+:class:`VisualQueryInterface`: attribute alphabets traversed from the
+data, basic patterns, canned patterns selected by CATAPULT (for
+repositories) or TATTOO (for networks), a query canvas, and a live
+query engine feeding the results panel.  The same call works on any
+data source: that is the portability claim of the data-driven
+paradigm (paper §2.2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.catapult.pipeline import CatapultConfig, select_canned_patterns
+from repro.errors import PipelineError
+from repro.graph.graph import Graph
+from repro.graph.operations import edge_subgraph
+from repro.patterns.base import PatternBudget
+from repro.patterns.basic import default_basic_patterns
+from repro.query.engine import (
+    GraphMatch,
+    NetworkQueryEngine,
+    QueryEngine,
+    QueryResultSet,
+)
+from repro.tattoo.pipeline import TattooConfig, select_network_patterns
+from repro.vqi.panels import (
+    AttributePanel,
+    PatternPanel,
+    QueryPanel,
+    ResultsPanel,
+)
+from repro.vqi.render import render_pattern_panel_svg
+from repro.vqi.spec import VQISpec
+
+DataSource = Union[Graph, Sequence[Graph]]
+
+
+class VisualQueryInterface:
+    """A live, headless VQI bound to its data source."""
+
+    def __init__(self, spec: VQISpec,
+                 repository: Optional[Sequence[Graph]] = None,
+                 network: Optional[Graph] = None) -> None:
+        if (repository is None) == (network is None):
+            raise PipelineError(
+                "bind a VQI to either a repository or a network")
+        self.spec = spec
+        self.attribute_panel = spec.attribute_panel
+        self.pattern_panel = spec.pattern_panel
+        self.query_panel = QueryPanel()
+        self.results_panel = ResultsPanel()
+        self.repository = list(repository) if repository is not None \
+            else None
+        self.network = network
+        self._engine = (QueryEngine(self.repository)
+                        if self.repository is not None
+                        else NetworkQueryEngine(network))
+
+    # -- querying -----------------------------------------------------------
+    def execute(self, max_embeddings: int = 10) -> QueryResultSet:
+        """Run the current query and populate the Results Panel."""
+        query = self.query_panel.query
+        if self.repository is not None:
+            results = self._engine.run(
+                query, max_embeddings_per_graph=max_embeddings)
+        else:
+            embeddings = self._engine.run(query,
+                                          max_embeddings=max_embeddings)
+            matches: List[GraphMatch] = []
+            for i, mapping in enumerate(embeddings):
+                edges = [(mapping[u], mapping[v])
+                         for u, v in query.edges()]
+                matched = edge_subgraph(self.network, edges,
+                                        name=f"match{i}")
+                matches.append(GraphMatch(i, matched, [mapping]))
+            results = QueryResultSet(matches, graphs_searched=1,
+                                     graphs_pruned=0)
+        self.results_panel.show(results)
+        return results
+
+    def reset_query(self) -> None:
+        self.query_panel.reset()
+
+    # -- rendering ------------------------------------------------------------
+    def render_pattern_panel(self, columns: int = 4) -> str:
+        """SVG of the Pattern Panel (basic + canned)."""
+        return render_pattern_panel_svg(self.pattern_panel.all_patterns(),
+                                        columns=columns)
+
+    def __repr__(self) -> str:
+        kind = "repository" if self.repository is not None else "network"
+        return (f"<VisualQueryInterface {kind} "
+                f"canned={len(self.pattern_panel.canned)}>")
+
+
+class BuildReport:
+    """Provenance of one build (per-stage timings, generator used)."""
+
+    __slots__ = ("generator", "duration", "details")
+
+    def __init__(self, generator: str, duration: float,
+                 details: Dict[str, float]) -> None:
+        self.generator = generator
+        self.duration = duration
+        self.details = details
+
+    def __repr__(self) -> str:
+        return (f"<BuildReport {self.generator} "
+                f"{self.duration:.2f}s>")
+
+
+def build_vqi(data: DataSource, budget: PatternBudget,
+              catapult_config: Optional[CatapultConfig] = None,
+              tattoo_config: Optional[TattooConfig] = None,
+              source_name: str = "") -> VisualQueryInterface:
+    """Build a data-driven VQI from any graph data source.
+
+    A single :class:`repro.graph.Graph` is treated as a large network
+    (TATTOO); a sequence of graphs as a repository (CATAPULT).
+    """
+    vqi, _ = build_vqi_with_report(data, budget,
+                                   catapult_config=catapult_config,
+                                   tattoo_config=tattoo_config,
+                                   source_name=source_name)
+    return vqi
+
+
+def build_vqi_with_report(data: DataSource, budget: PatternBudget,
+                          catapult_config: Optional[CatapultConfig] = None,
+                          tattoo_config: Optional[TattooConfig] = None,
+                          source_name: str = ""
+                          ) -> tuple[VisualQueryInterface, BuildReport]:
+    """Like :func:`build_vqi`, also returning build provenance."""
+    start = time.perf_counter()
+    if isinstance(data, Graph):
+        attribute_panel = AttributePanel.from_network(data)
+        result = select_network_patterns(data, budget,
+                                         tattoo_config or TattooConfig())
+        canned = result.patterns
+        generator = "tattoo"
+        timings = dict(result.timings)
+        repository = None
+        network = data
+        source = source_name or data.name or "network"
+    else:
+        repository = list(data)
+        if not repository:
+            raise PipelineError("cannot build a VQI from no data")
+        attribute_panel = AttributePanel.from_repository(repository)
+        result = select_canned_patterns(
+            repository, budget, catapult_config or CatapultConfig())
+        canned = result.patterns
+        generator = "catapult"
+        timings = dict(result.timings)
+        network = None
+        source = source_name or "repository"
+
+    pattern_panel = PatternPanel(default_basic_patterns(), canned, budget)
+    spec = VQISpec(source, generator, attribute_panel, pattern_panel)
+    vqi = VisualQueryInterface(spec, repository=repository,
+                               network=network)
+    report = BuildReport(generator, time.perf_counter() - start, timings)
+    return vqi, report

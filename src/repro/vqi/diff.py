@@ -1,0 +1,107 @@
+"""Diffing VQI specs across maintenance events.
+
+Operators of a maintained VQI want to see *what changed* when MIDAS
+(or the network maintainer) refreshed the interface: which canned
+patterns were swapped in or out, and how the attribute alphabets
+moved.  :func:`spec_diff` computes that, comparing patterns by
+isomorphism class so node renumbering never reads as a change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.patterns.base import Pattern
+from repro.vqi.spec import VQISpec
+
+
+class SpecDiff:
+    """Difference between two VQI specs (old -> new)."""
+
+    __slots__ = ("added_patterns", "removed_patterns",
+                 "kept_patterns", "added_node_labels",
+                 "removed_node_labels", "added_edge_labels",
+                 "removed_edge_labels", "generator_changed")
+
+    def __init__(self, added_patterns: List[Pattern],
+                 removed_patterns: List[Pattern],
+                 kept_patterns: List[Pattern],
+                 added_node_labels: List[str],
+                 removed_node_labels: List[str],
+                 added_edge_labels: List[str],
+                 removed_edge_labels: List[str],
+                 generator_changed: bool) -> None:
+        self.added_patterns = added_patterns
+        self.removed_patterns = removed_patterns
+        self.kept_patterns = kept_patterns
+        self.added_node_labels = added_node_labels
+        self.removed_node_labels = removed_node_labels
+        self.added_edge_labels = added_edge_labels
+        self.removed_edge_labels = removed_edge_labels
+        self.generator_changed = generator_changed
+
+    def is_empty(self) -> bool:
+        """True iff the two specs present the same interface."""
+        return not (self.added_patterns or self.removed_patterns
+                    or self.added_node_labels
+                    or self.removed_node_labels
+                    or self.added_edge_labels
+                    or self.removed_edge_labels
+                    or self.generator_changed)
+
+    def pattern_churn(self) -> float:
+        """Fraction of the new panel that is new, in [0, 1]."""
+        total = len(self.added_patterns) + len(self.kept_patterns)
+        if total == 0:
+            return 0.0
+        return len(self.added_patterns) / total
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        if self.is_empty():
+            return "no changes"
+        parts = []
+        if self.added_patterns:
+            parts.append(f"+{len(self.added_patterns)} patterns")
+        if self.removed_patterns:
+            parts.append(f"-{len(self.removed_patterns)} patterns")
+        if self.added_node_labels:
+            parts.append(f"+labels {sorted(self.added_node_labels)}")
+        if self.removed_node_labels:
+            parts.append(f"-labels {sorted(self.removed_node_labels)}")
+        if self.added_edge_labels or self.removed_edge_labels:
+            parts.append("edge-label changes")
+        if self.generator_changed:
+            parts.append("generator changed")
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<SpecDiff {self.summary()}>"
+
+
+def spec_diff(old: VQISpec, new: VQISpec) -> SpecDiff:
+    """Compare two specs; patterns match by isomorphism class."""
+    old_by_code: Dict[str, Pattern] = {p.code: p
+                                       for p in old.pattern_panel.canned}
+    new_by_code: Dict[str, Pattern] = {p.code: p
+                                       for p in new.pattern_panel.canned}
+    added = [p for code, p in new_by_code.items()
+             if code not in old_by_code]
+    removed = [p for code, p in old_by_code.items()
+               if code not in new_by_code]
+    kept = [p for code, p in new_by_code.items() if code in old_by_code]
+
+    old_nodes = set(old.attribute_panel.node_labels)
+    new_nodes = set(new.attribute_panel.node_labels)
+    old_edges = set(old.attribute_panel.edge_labels)
+    new_edges = set(new.attribute_panel.edge_labels)
+
+    return SpecDiff(
+        added_patterns=added,
+        removed_patterns=removed,
+        kept_patterns=kept,
+        added_node_labels=sorted(new_nodes - old_nodes),
+        removed_node_labels=sorted(old_nodes - new_nodes),
+        added_edge_labels=sorted(new_edges - old_edges),
+        removed_edge_labels=sorted(old_edges - new_edges),
+        generator_changed=old.generator != new.generator)

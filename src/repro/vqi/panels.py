@@ -1,0 +1,141 @@
+"""The four VQI panels (paper §2.1).
+
+* :class:`AttributePanel` — node/edge label alphabet of the data
+  source (data-dependent, auto-populated);
+* :class:`PatternPanel` — basic + canned patterns (data-dependent,
+  auto-populated, the hard part);
+* :class:`QueryPanel` — the user's query under construction;
+* :class:`ResultsPanel` — matches of the executed query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import PipelineError
+from repro.graph.graph import Graph
+from repro.patterns.base import Pattern, PatternBudget, PatternSet
+from repro.query.builder import QueryBuilder
+from repro.query.engine import QueryResultSet
+from repro.vqi.aesthetics import panel_aesthetics
+
+
+class AttributePanel:
+    """Label alphabets with occurrence counts, sorted by frequency."""
+
+    def __init__(self, node_labels: Dict[str, int],
+                 edge_labels: Dict[str, int]) -> None:
+        self.node_labels = dict(node_labels)
+        self.edge_labels = dict(edge_labels)
+
+    @classmethod
+    def from_repository(cls, repository: Sequence[Graph]
+                        ) -> "AttributePanel":
+        """Traverse a repository and collect both alphabets."""
+        node_labels: Dict[str, int] = {}
+        edge_labels: Dict[str, int] = {}
+        for graph in repository:
+            for label, count in graph.label_multiset().items():
+                node_labels[label] = node_labels.get(label, 0) + count
+            for (u, v), label in graph.edge_labels().items():
+                edge_labels[label] = edge_labels.get(label, 0) + 1
+        return cls(node_labels, edge_labels)
+
+    @classmethod
+    def from_network(cls, network: Graph) -> "AttributePanel":
+        return cls.from_repository([network])
+
+    def node_alphabet(self) -> List[str]:
+        """Node labels, most frequent first."""
+        return sorted(self.node_labels, key=lambda x: (-self.node_labels[x],
+                                                       x))
+
+    def edge_alphabet(self) -> List[str]:
+        return sorted(self.edge_labels, key=lambda x: (-self.edge_labels[x],
+                                                       x))
+
+    def __repr__(self) -> str:
+        return (f"<AttributePanel node_labels={len(self.node_labels)} "
+                f"edge_labels={len(self.edge_labels)}>")
+
+
+class PatternPanel:
+    """Displayed patterns: the basic trio plus the canned selection."""
+
+    def __init__(self, basic: Sequence[Pattern], canned: PatternSet,
+                 budget: PatternBudget) -> None:
+        self.basic = list(basic)
+        self.canned = canned
+        self.budget = budget
+
+    def all_patterns(self) -> List[Pattern]:
+        return self.basic + list(self.canned)
+
+    def within_budget(self) -> bool:
+        return len(self.canned) <= self.budget.max_patterns
+
+    def aesthetics(self) -> Dict[str, float]:
+        """Aesthetic metrics over the displayed pattern drawings."""
+        return panel_aesthetics([p.graph for p in self.all_patterns()])
+
+    def __repr__(self) -> str:
+        return (f"<PatternPanel basic={len(self.basic)} "
+                f"canned={len(self.canned)}>")
+
+
+class QueryPanel:
+    """Wraps the query builder (the canvas)."""
+
+    def __init__(self) -> None:
+        self.builder = QueryBuilder()
+
+    @property
+    def query(self) -> Graph:
+        return self.builder.query
+
+    def reset(self) -> None:
+        self.builder = QueryBuilder()
+
+    def __repr__(self) -> str:
+        return f"<QueryPanel {self.builder!r}>"
+
+
+class ResultsPanel:
+    """Holds the latest result set plus display aesthetics."""
+
+    def __init__(self) -> None:
+        self.results: Optional[QueryResultSet] = None
+
+    def show(self, results: QueryResultSet) -> None:
+        self.results = results
+
+    def is_empty(self) -> bool:
+        return self.results is None or not self.results.matches
+
+    def displayed_graphs(self, limit: int = 5) -> List[Graph]:
+        if self.results is None:
+            return []
+        return [m.graph for m in self.results.matches[:limit]]
+
+    def aesthetics(self, limit: int = 5) -> Dict[str, float]:
+        return panel_aesthetics(self.displayed_graphs(limit))
+
+    def grouped(self, max_graphs: Optional[int] = 30):
+        """Results grouped by isomorphism class (see
+        :func:`repro.vqi.results.group_results`)."""
+        from repro.vqi.results import group_results
+        if self.results is None:
+            return []
+        return group_results(self.results, max_graphs=max_graphs)
+
+    def render_svg(self, columns: int = 3) -> str:
+        """Cognitive-load-aware SVG of the grouped results."""
+        from repro.vqi.results import render_results_panel_svg
+        if self.results is None:
+            raise PipelineError("no results to render")
+        return render_results_panel_svg(self.results, columns=columns)
+
+    def __repr__(self) -> str:
+        if self.results is None:
+            return "<ResultsPanel empty>"
+        return f"<ResultsPanel {self.results!r}>"

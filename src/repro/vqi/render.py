@@ -1,0 +1,125 @@
+"""SVG rendering of graphs, patterns, and whole VQI panels.
+
+Headless stand-in for a GUI front-end: the output is plain SVG text,
+good enough to eyeball a generated Pattern Panel in a browser and to
+demonstrate that a :class:`repro.vqi.VQISpec` contains everything a
+renderer needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.patterns.base import Pattern
+from repro.vqi.layout import Position, layout_graph
+
+_NODE_RADIUS = 12
+_PALETTE = ("#4878a8", "#a85448", "#58a868", "#a88948", "#7858a8",
+            "#48a0a8", "#a84878", "#6c757d")
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _color_for(label: str, palette_index: Dict[str, str]) -> str:
+    if label not in palette_index:
+        palette_index[label] = _PALETTE[len(palette_index) % len(_PALETTE)]
+    return palette_index[label]
+
+
+def render_graph_svg(graph: Graph, width: int = 220, height: int = 220,
+                     seed: int = 0,
+                     positions: Optional[Dict[int, Position]] = None,
+                     palette_index: Optional[Dict[str, str]] = None,
+                     standalone: bool = True) -> str:
+    """Render one graph as an SVG fragment (or standalone document)."""
+    positions = positions or layout_graph(graph, seed=seed)
+    palette_index = palette_index if palette_index is not None else {}
+    parts: List[str] = []
+    if standalone:
+        parts.append(
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">')
+
+    def sx(x: float) -> float:
+        return round(x * (width - 2 * _NODE_RADIUS) + _NODE_RADIUS, 1)
+
+    def sy(y: float) -> float:
+        return round(y * (height - 2 * _NODE_RADIUS) + _NODE_RADIUS, 1)
+
+    for u, v in sorted(graph.edges()):
+        x1, y1 = positions[u]
+        x2, y2 = positions[v]
+        label = graph.edge_label(u, v)
+        parts.append(
+            f'<line x1="{sx(x1)}" y1="{sy(y1)}" x2="{sx(x2)}" '
+            f'y2="{sy(y2)}" stroke="#888" stroke-width="1.5"/>')
+        if label:
+            mx, my = (sx(x1) + sx(x2)) / 2, (sy(y1) + sy(y2)) / 2
+            parts.append(
+                f'<text x="{mx}" y="{my}" font-size="9" fill="#666" '
+                f'text-anchor="middle">{_escape(label)}</text>')
+    for node in sorted(graph.nodes()):
+        x, y = positions[node]
+        label = graph.node_label(node)
+        color = _color_for(label, palette_index)
+        parts.append(
+            f'<circle cx="{sx(x)}" cy="{sy(y)}" r="{_NODE_RADIUS}" '
+            f'fill="{color}" stroke="#333"/>')
+        parts.append(
+            f'<text x="{sx(x)}" y="{sy(y) + 4}" font-size="10" '
+            f'fill="#fff" text-anchor="middle">'
+            f'{_escape(label[:4])}</text>')
+    if standalone:
+        parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_pattern_panel_svg(patterns: Sequence[Pattern],
+                             columns: int = 4, cell: int = 160,
+                             seed: int = 0, arrange: bool = False,
+                             optimize: bool = False) -> str:
+    """Render a Pattern Panel as a grid of pattern thumbnails.
+
+    ``arrange`` orders thumbnails by increasing visual complexity
+    (the cognitive-load-aware presentation of §2.5); ``optimize``
+    anneals each thumbnail's layout against the aesthetics objective
+    before rendering (slower, prettier).
+    """
+    if arrange:
+        from repro.vqi.optimize import arrange_panel
+        patterns = arrange_panel(patterns)
+    count = len(patterns)
+    columns = max(1, columns)
+    rows = (count + columns - 1) // columns if count else 1
+    width = columns * cell
+    height = rows * cell
+    palette_index: Dict[str, str] = {}
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fafafa"/>',
+    ]
+    for i, pattern in enumerate(patterns):
+        col, row = i % columns, i // columns
+        x0, y0 = col * cell, row * cell
+        parts.append(
+            f'<rect x="{x0 + 2}" y="{y0 + 2}" width="{cell - 4}" '
+            f'height="{cell - 4}" fill="#fff" stroke="#ddd"/>')
+        parts.append(f'<g transform="translate({x0 + 10},{y0 + 10})">')
+        positions = None
+        if optimize:
+            from repro.vqi.optimize import optimize_layout
+            positions = optimize_layout(pattern.graph, seed=seed + i,
+                                        iterations=200)
+        parts.append(render_graph_svg(
+            pattern.graph, width=cell - 20, height=cell - 20,
+            seed=seed + i, positions=positions,
+            palette_index=palette_index,
+            standalone=False))
+        parts.append("</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)

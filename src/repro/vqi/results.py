@@ -1,0 +1,132 @@
+"""Cognitive-load-aware presentation of query results (paper §2.5).
+
+The tutorial notes that result presentation is "largely unexplored":
+a Results Panel that dumps every embedding reads like a hairball.
+This module implements the two obvious data-driven levers:
+
+* **isomorphism grouping** — result subgraphs are grouped by
+  canonical code; the panel shows one representative per structure
+  class with a multiplicity badge, shrinking dozens of matches into
+  a handful of distinct shapes;
+* **complexity-ordered rendering** — representatives are drawn
+  simplest-first with optimized layouts, reusing the Pattern Panel's
+  aesthetics machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.graph import Graph
+from repro.matching.canonical import canonical_code
+from repro.query.engine import QueryResultSet
+from repro.vqi.aesthetics import visual_complexity
+from repro.vqi.layout import layout_graph
+from repro.vqi.render import render_graph_svg
+
+
+class ResultGroup:
+    """All result graphs sharing one structure (isomorphism class)."""
+
+    __slots__ = ("representative", "count", "graph_names")
+
+    def __init__(self, representative: Graph, count: int,
+                 graph_names: List[str]) -> None:
+        self.representative = representative
+        self.count = count
+        self.graph_names = graph_names
+
+    def __repr__(self) -> str:
+        return (f"<ResultGroup count={self.count} "
+                f"n={self.representative.order()}>")
+
+
+def group_results(results: QueryResultSet,
+                  max_graphs: Optional[int] = None) -> List[ResultGroup]:
+    """Group matched graphs by isomorphism class, largest group first.
+
+    For repository queries each matched *data graph* is one item; for
+    network queries (where matches are small result subgraphs) each
+    match is one item.  ``max_graphs`` caps how many matches are
+    examined (canonicalisation of big graphs is not free).
+    """
+    groups: Dict[str, ResultGroup] = {}
+    matches = results.matches
+    if max_graphs is not None:
+        matches = matches[:max_graphs]
+    for match in matches:
+        code = canonical_code(match.graph)
+        existing = groups.get(code)
+        name = match.graph.name or str(match.graph_index)
+        if existing is None:
+            groups[code] = ResultGroup(match.graph, 1, [name])
+        else:
+            existing.count += 1
+            existing.graph_names.append(name)
+    ordered = sorted(groups.values(),
+                     key=lambda g: (-g.count,
+                                    g.representative.order()))
+    return ordered
+
+
+def results_complexity_reduction(results: QueryResultSet,
+                                 max_graphs: Optional[int] = 30
+                                 ) -> Dict[str, float]:
+    """How much grouping shrinks what the user must read.
+
+    Returns the raw item count, the group count, and the mean visual
+    complexity of the representatives.
+    """
+    groups = group_results(results, max_graphs=max_graphs)
+    shown = results.matches if max_graphs is None \
+        else results.matches[:max_graphs]
+    if not groups:
+        return {"items": 0.0, "groups": 0.0, "mean_complexity": 0.0,
+                "reduction": 0.0}
+    complexities = [visual_complexity(g.representative)
+                    for g in groups]
+    items = float(len(shown))
+    return {
+        "items": items,
+        "groups": float(len(groups)),
+        "mean_complexity": sum(complexities) / len(complexities),
+        "reduction": 1.0 - len(groups) / items if items else 0.0,
+    }
+
+
+def render_results_panel_svg(results: QueryResultSet,
+                             columns: int = 3, cell: int = 180,
+                             max_groups: int = 9,
+                             max_graphs: Optional[int] = 30) -> str:
+    """Render grouped results: one card per structure class, with a
+    multiplicity badge, ordered simplest-first."""
+    groups = group_results(results, max_graphs=max_graphs)[:max_groups]
+    groups.sort(key=lambda g: visual_complexity(g.representative))
+    columns = max(1, columns)
+    rows = (len(groups) + columns - 1) // columns if groups else 1
+    width = columns * cell
+    height = rows * cell
+    palette: Dict[str, str] = {}
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fafafa"/>',
+    ]
+    for i, group in enumerate(groups):
+        col, row = i % columns, i // columns
+        x0, y0 = col * cell, row * cell
+        parts.append(
+            f'<rect x="{x0 + 2}" y="{y0 + 2}" width="{cell - 4}" '
+            f'height="{cell - 4}" fill="#fff" stroke="#ddd"/>')
+        parts.append(f'<g transform="translate({x0 + 10},{y0 + 24})">')
+        positions = layout_graph(group.representative, seed=i)
+        parts.append(render_graph_svg(
+            group.representative, width=cell - 20, height=cell - 34,
+            positions=positions, palette_index=palette,
+            standalone=False))
+        parts.append("</g>")
+        parts.append(
+            f'<text x="{x0 + 10}" y="{y0 + 16}" font-size="11" '
+            f'fill="#444">x{group.count}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)

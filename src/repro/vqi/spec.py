@@ -1,0 +1,98 @@
+"""Portable, serializable VQI specification.
+
+The portability argument for data-driven VQIs (paper §2.2) is that
+the *data-dependent* interface content — attribute alphabets and the
+pattern panel — can be generated for any source and shipped as plain
+data.  :class:`VQISpec` is that shippable artifact: a JSON document a
+front-end can render without any knowledge of how the patterns were
+selected.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import FormatError
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.patterns.base import Pattern, PatternBudget, PatternSet
+from repro.vqi.panels import AttributePanel, PatternPanel
+
+SPEC_VERSION = 1
+
+
+class VQISpec:
+    """Everything needed to render a data-driven VQI."""
+
+    def __init__(self, source: str, generator: str,
+                 attribute_panel: AttributePanel,
+                 pattern_panel: PatternPanel) -> None:
+        self.source = source
+        self.generator = generator
+        self.attribute_panel = attribute_panel
+        self.pattern_panel = pattern_panel
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SPEC_VERSION,
+            "source": self.source,
+            "generator": self.generator,
+            "attributes": {
+                "node_labels": self.attribute_panel.node_labels,
+                "edge_labels": self.attribute_panel.edge_labels,
+            },
+            "budget": {
+                "max_patterns": self.pattern_panel.budget.max_patterns,
+                "min_size": self.pattern_panel.budget.min_size,
+                "max_size": self.pattern_panel.budget.max_size,
+            },
+            "basic_patterns": [
+                {"source": p.source, "graph": graph_to_dict(p.graph)}
+                for p in self.pattern_panel.basic],
+            "canned_patterns": [
+                {"source": p.source, "graph": graph_to_dict(p.graph)}
+                for p in self.pattern_panel.canned],
+        }
+
+    def to_json(self, indent: int = 0) -> str:
+        return json.dumps(self.to_dict(), indent=indent or None)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "VQISpec":
+        try:
+            if data["version"] != SPEC_VERSION:
+                raise FormatError(
+                    f"unsupported VQI spec version {data['version']!r}")
+            attribute_panel = AttributePanel(
+                data["attributes"]["node_labels"],
+                data["attributes"]["edge_labels"])
+            budget = PatternBudget(
+                data["budget"]["max_patterns"],
+                min_size=data["budget"]["min_size"],
+                max_size=data["budget"]["max_size"])
+            basic = [Pattern(graph_from_dict(item["graph"]),
+                             source=item.get("source", ""))
+                     for item in data["basic_patterns"]]
+            canned = PatternSet(
+                Pattern(graph_from_dict(item["graph"]),
+                        source=item.get("source", ""))
+                for item in data["canned_patterns"])
+        except (KeyError, TypeError) as exc:
+            raise FormatError(f"malformed VQI spec: {exc}") from exc
+        pattern_panel = PatternPanel(basic, canned, budget)
+        return cls(data.get("source", ""), data.get("generator", ""),
+                   attribute_panel, pattern_panel)
+
+    @classmethod
+    def from_json(cls, text: str) -> "VQISpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"invalid VQI spec JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def __repr__(self) -> str:
+        return (f"<VQISpec source={self.source!r} "
+                f"generator={self.generator!r} "
+                f"canned={len(self.pattern_panel.canned)}>")

@@ -1,0 +1,177 @@
+"""Tests for layout and aesthetics metrics."""
+
+import math
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.vqi import (
+    angular_resolution,
+    berlyne_satisfaction,
+    circular_layout,
+    contour_congestion,
+    edge_crossings,
+    layout_graph,
+    layout_quality,
+    node_congestion,
+    panel_aesthetics,
+    render_graph_svg,
+    render_pattern_panel_svg,
+    spring_layout,
+    visual_clutter,
+    visual_complexity,
+)
+from repro.patterns import Pattern
+
+
+class TestLayout:
+    def test_positions_in_unit_square(self):
+        g = complete_graph(8)
+        for x, y in spring_layout(g, seed=1).values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_all_nodes_positioned(self):
+        g = cycle_graph(7)
+        assert set(layout_graph(g)) == set(g.nodes())
+
+    def test_deterministic(self):
+        g = cycle_graph(6)
+        assert spring_layout(g, seed=5) == spring_layout(g, seed=5)
+
+    def test_tiny_graphs(self):
+        assert circular_layout(Graph()) == {}
+        g = Graph()
+        g.add_node(0)
+        assert layout_graph(g) == {0: (0.5, 0.5)}
+        g.add_node(1)
+        g.add_edge(0, 1)
+        assert len(layout_graph(g)) == 2
+
+    def test_spring_separates_nodes(self):
+        g = path_graph(5)
+        positions = spring_layout(g, seed=2)
+        values = list(positions.values())
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                assert math.dist(values[i], values[j]) > 0.01
+
+
+class TestCrossings:
+    def test_planar_straight_square(self):
+        g = cycle_graph(4)
+        square = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (1.0, 1.0),
+                  3: (0.0, 1.0)}
+        assert edge_crossings(g, square) == 0
+
+    def test_crossed_square(self):
+        # same square but with the two diagonals
+        g = cycle_graph(4)
+        g.add_edge(0, 2)
+        g.add_edge(1, 3)
+        square = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (1.0, 1.0),
+                  3: (0.0, 1.0)}
+        assert edge_crossings(g, square) == 1  # the diagonals cross
+
+    def test_shared_endpoint_not_crossing(self):
+        g = path_graph(3)
+        positions = {0: (0.0, 0.0), 1: (0.5, 0.5), 2: (1.0, 0.0)}
+        assert edge_crossings(g, positions) == 0
+
+
+class TestMetrics:
+    def test_node_congestion_detects_overlap(self):
+        g = path_graph(3)
+        stacked = {0: (0.5, 0.5), 1: (0.5, 0.51), 2: (0.9, 0.9)}
+        spread = {0: (0.1, 0.1), 1: (0.5, 0.9), 2: (0.9, 0.1)}
+        assert node_congestion(g, stacked) > node_congestion(g, spread)
+
+    def test_angular_resolution_star(self):
+        g = star_graph(4)
+        # hub at centre, leaves at compass points: min angle pi/2
+        positions = {0: (0.5, 0.5), 1: (1.0, 0.5), 2: (0.5, 1.0),
+                     3: (0.0, 0.5), 4: (0.5, 0.0)}
+        assert angular_resolution(g, positions) == pytest.approx(
+            math.pi / 2)
+
+    def test_visual_clutter_monotone_in_density(self):
+        sparse = visual_clutter(path_graph(4))
+        dense = visual_clutter(complete_graph(8))
+        assert dense >= 0.0 and sparse >= 0.0
+
+    def test_contour_congestion_range(self):
+        assert 0.0 <= contour_congestion(complete_graph(6)) <= 1.0
+        assert contour_congestion(path_graph(2)) == 0.0
+
+    def test_layout_quality_range(self):
+        for g in (path_graph(4), complete_graph(6), Graph()):
+            assert 0.0 <= layout_quality(g) <= 1.0
+
+    def test_complexity_ordering(self):
+        assert (visual_complexity(complete_graph(7))
+                > visual_complexity(path_graph(3)))
+
+    def test_complexity_range(self):
+        for g in (path_graph(2), complete_graph(9)):
+            assert 0.0 <= visual_complexity(g) < 1.0
+
+
+class TestBerlyne:
+    def test_peak_at_optimum(self):
+        from repro.vqi import BERLYNE_OPTIMUM
+        assert berlyne_satisfaction(BERLYNE_OPTIMUM) == 1.0
+
+    def test_inverted_u_shape(self):
+        low = berlyne_satisfaction(0.05)
+        mid = berlyne_satisfaction(0.45)
+        high = berlyne_satisfaction(0.95)
+        assert mid > low
+        assert mid > high
+
+    def test_symmetry(self):
+        assert berlyne_satisfaction(0.35) == pytest.approx(
+            berlyne_satisfaction(0.55))
+
+
+class TestPanelAesthetics:
+    def test_empty_panel(self):
+        metrics = panel_aesthetics([])
+        assert metrics["layout_quality"] == 1.0
+
+    def test_keys_and_ranges(self):
+        metrics = panel_aesthetics([path_graph(4), complete_graph(5)])
+        assert 0.0 <= metrics["visual_complexity"] < 1.0
+        assert 0.0 <= metrics["satisfaction"] <= 1.0
+
+
+class TestRendering:
+    def test_graph_svg_wellformed(self):
+        g = cycle_graph(5, label="C")
+        svg = render_graph_svg(g)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<circle") == 5
+        assert svg.count("<line") == 5
+
+    def test_labels_escaped(self):
+        g = Graph()
+        g.add_node(0, label="<&>")
+        svg = render_graph_svg(g)
+        assert "<&>" not in svg
+        assert "&lt;" in svg
+
+    def test_panel_grid(self):
+        patterns = [Pattern(cycle_graph(n, label="A"))
+                    for n in range(3, 8)]
+        svg = render_pattern_panel_svg(patterns, columns=2)
+        assert svg.count("<rect") == 1 + len(patterns)  # bg + cells
+
+    def test_empty_panel_svg(self):
+        svg = render_pattern_panel_svg([])
+        assert svg.startswith("<svg")

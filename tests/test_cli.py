@@ -1,0 +1,135 @@
+"""Tests for the repro-vqi command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import (
+    NetworkConfig,
+    generate_chemical_repository,
+    generate_network,
+)
+from repro.graph import write_lg, write_repository_json
+
+
+@pytest.fixture(scope="module")
+def repo_lg(tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "repo.lg"
+    write_lg(generate_chemical_repository(25, seed=3), path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def repo_json(tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "repo.json"
+    write_repository_json(generate_chemical_repository(25, seed=3),
+                          path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def network_lg(tmp_path_factory):
+    path = tmp_path_factory.mktemp("data") / "net.lg"
+    write_lg([generate_network(NetworkConfig(nodes=120), seed=4)], path)
+    return str(path)
+
+
+class TestBuild:
+    def test_build_repository(self, repo_lg, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        svg = tmp_path / "panel.svg"
+        code = main(["build", repo_lg, "--spec", str(spec),
+                     "--svg", str(svg), "-k", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generator: catapult" in out
+        assert spec.exists()
+        assert svg.read_text().startswith("<svg")
+        payload = json.loads(spec.read_text())
+        assert payload["generator"] == "catapult"
+        assert len(payload["canned_patterns"]) <= 4
+
+    def test_build_network_uses_tattoo(self, network_lg, capsys):
+        code = main(["build", network_lg, "-k", "4"])
+        assert code == 0
+        assert "generator: tattoo" in capsys.readouterr().out
+
+    def test_build_json_input(self, repo_json, capsys):
+        assert main(["build", repo_json, "-k", "3"]) == 0
+        assert "catapult" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["build", "/nonexistent.lg"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInspect:
+    def test_inspect(self, repo_lg, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        main(["build", repo_lg, "--spec", str(spec), "-k", "4"])
+        capsys.readouterr()
+        assert main(["inspect", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "generator: catapult" in out
+        assert "canned patterns:" in out
+
+
+class TestQuery:
+    def test_query_fresh_build(self, repo_lg, capsys):
+        assert main(["query", repo_lg, "--pattern", "0",
+                     "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "matches:" in out
+
+    def test_query_with_spec(self, repo_lg, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        main(["build", repo_lg, "--spec", str(spec), "-k", "4"])
+        capsys.readouterr()
+        assert main(["query", repo_lg, "--spec", str(spec),
+                     "--pattern", "0"]) == 0
+        assert "matches:" in capsys.readouterr().out
+
+    def test_query_pattern_out_of_range(self, repo_lg, capsys):
+        assert main(["query", repo_lg, "--pattern", "99",
+                     "-k", "3"]) == 1
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestSummarize:
+    def test_summarize_network(self, network_lg, tmp_path, capsys):
+        out_file = tmp_path / "summary.json"
+        assert main(["summarize", network_lg, "-k", "4",
+                     "--output", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "summary :" in out
+        assert out_file.exists()
+
+    def test_summarize_rejects_repository(self, repo_lg, capsys):
+        assert main(["summarize", repo_lg]) == 1
+        assert "single-network" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_report_to_file(self, repo_lg, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", repo_lg, "--queries", "6", "-k", "3",
+                     "--output", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "## Performance measures" in text
+        assert "## Learning curve" in text
+
+    def test_report_to_stdout(self, repo_lg, capsys):
+        assert main(["report", repo_lg, "--queries", "5",
+                     "-k", "3"]) == 0
+        assert "Preference measures" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Tests for the top-level public API surface (repro / repro.core)."""
+
+import pytest
+
+
+class TestPublicSurface:
+    def test_top_level_exports(self):
+        import repro
+        assert repro.__version__
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_exports(self):
+        from repro import core
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_subpackage_all_lists_resolve(self):
+        """Every name in every subpackage __all__ actually exists."""
+        import importlib
+        packages = [
+            "repro.graph", "repro.matching", "repro.patterns",
+            "repro.clustering", "repro.summary", "repro.truss",
+            "repro.graphlets", "repro.catapult", "repro.tattoo",
+            "repro.midas", "repro.modular", "repro.vqi",
+            "repro.query", "repro.usability", "repro.datasets",
+            "repro.timeseries", "repro.mining",
+        ]
+        for package_name in packages:
+            module = importlib.import_module(package_name)
+            assert module.__all__, f"{package_name} exports nothing"
+            for name in module.__all__:
+                assert hasattr(module, name), \
+                    f"{package_name}.{name} missing"
+
+    def test_minimal_workflow_through_top_level(self):
+        """The README quickstart, via the shortest import path."""
+        from repro import PatternBudget, build_vqi
+        from repro.datasets import generate_chemical_repository
+        repo = generate_chemical_repository(15, seed=71)
+        vqi = build_vqi(repo, PatternBudget(3, min_size=4, max_size=7))
+        vqi.query_panel.builder.add_pattern(vqi.pattern_panel.canned[0])
+        assert vqi.execute().match_count() > 0
+
+    def test_error_hierarchy(self):
+        from repro import errors
+        subclasses = [errors.GraphError, errors.FormatError,
+                      errors.BudgetError, errors.PipelineError,
+                      errors.MaintenanceError]
+        for exc_type in subclasses:
+            assert issubclass(exc_type, errors.ReproError)
+        assert issubclass(errors.NodeNotFoundError, errors.GraphError)
+        assert issubclass(errors.DuplicateEdgeError, errors.GraphError)
+
+    def test_timeseries_error_in_hierarchy(self):
+        from repro.errors import ReproError
+        from repro.timeseries import TimeSeriesError
+        assert issubclass(TimeSeriesError, ReproError)
+
+    def test_error_messages_carry_context(self):
+        from repro.errors import EdgeNotFoundError, NodeNotFoundError
+        node_error = NodeNotFoundError(42)
+        assert node_error.node == 42
+        assert "42" in str(node_error)
+        edge_error = EdgeNotFoundError(1, 2)
+        assert edge_error.edge == (1, 2)

@@ -1,0 +1,216 @@
+"""Tests for the synthetic dataset generators."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    ATOMS,
+    EvolvingRepository,
+    NetworkConfig,
+    UpdateBatch,
+    generate_chemical_repository,
+    generate_molecule,
+    generate_network,
+    generate_update_stream,
+    generate_workload,
+    label_distribution,
+    sample_connected_subgraph,
+)
+from repro.errors import GraphError, MaintenanceError
+from repro.graph import is_connected, triangles
+from repro.matching import is_subgraph
+from repro.patterns import TopologyClass, classify_topology
+
+
+class TestChemical:
+    def test_repository_size_and_names(self):
+        repo = generate_chemical_repository(12, seed=0)
+        assert len(repo) == 12
+        assert len({g.name for g in repo}) == 12
+
+    def test_deterministic(self):
+        a = generate_chemical_repository(6, seed=3)
+        b = generate_chemical_repository(6, seed=3)
+        for g1, g2 in zip(a, b):
+            assert g1.same_as(g2)
+
+    def test_molecules_connected_with_atom_labels(self):
+        repo = generate_chemical_repository(10, seed=1)
+        for g in repo:
+            assert is_connected(g)
+            assert set(g.label_multiset()) <= set(ATOMS)
+
+    def test_motif_weights_shift_structure(self):
+        ringy = generate_chemical_repository(
+            20, seed=2, motif_weights=[5.0, 0.1, 0.1, 0.1])
+        chainy = generate_chemical_repository(
+            20, seed=2, motif_weights=[0.1, 0.1, 0.1, 5.0])
+        mean = lambda repo: sum(g.size() - g.order() + 1
+                                for g in repo) / len(repo)
+        assert mean(ringy) > mean(chainy)  # more rings = higher rank
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            generate_chemical_repository(-1)
+        with pytest.raises(GraphError):
+            generate_molecule(random.Random(0), min_motifs=0)
+        with pytest.raises(GraphError):
+            generate_molecule(random.Random(0), motif_weights=[1.0])
+
+
+class TestNetworks:
+    def test_shape(self):
+        net = generate_network(NetworkConfig(nodes=200), seed=1)
+        assert net.order() == 200
+        assert is_connected(net)
+
+    def test_planted_triangles(self):
+        sparse = NetworkConfig(nodes=150, cliques=0, petals=0, flowers=0,
+                               attachment=1)
+        dense = NetworkConfig(nodes=150, cliques=10, clique_size=5,
+                              petals=0, flowers=0, attachment=1)
+        n_sparse = len(triangles(generate_network(sparse, seed=3)))
+        n_dense = len(triangles(generate_network(dense, seed=3)))
+        assert n_dense > n_sparse
+
+    def test_label_distribution(self):
+        net = generate_network(NetworkConfig(nodes=100), seed=2)
+        dist = label_distribution(net)
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+    def test_config_validation(self):
+        with pytest.raises(GraphError):
+            NetworkConfig(nodes=5)
+        with pytest.raises(GraphError):
+            NetworkConfig(clique_size=2)
+
+
+class TestWorkloads:
+    def test_sample_connected_subgraph(self):
+        net = generate_network(NetworkConfig(nodes=100), seed=4)
+        rng = random.Random(1)
+        sample = sample_connected_subgraph(net, 6, rng)
+        assert sample is not None
+        assert sample.order() == 6
+        assert is_connected(sample)
+
+    def test_sample_too_large(self):
+        net = generate_network(NetworkConfig(nodes=50), seed=4)
+        assert sample_connected_subgraph(net, 51, random.Random(0)) is None
+
+    def test_sample_invalid_size(self):
+        net = generate_network(NetworkConfig(nodes=50), seed=4)
+        with pytest.raises(GraphError):
+            sample_connected_subgraph(net, 0, random.Random(0))
+
+    def test_queries_answerable(self):
+        repo = generate_chemical_repository(20, seed=5)
+        workload = generate_workload(repo, 10, seed=6)
+        assert len(workload) == 10
+        for query in workload:
+            assert any(is_subgraph(query, g) for g in repo)
+
+    def test_topology_mix_has_acyclic_majority(self):
+        repo = generate_chemical_repository(30, seed=7)
+        workload = generate_workload(repo, 40, seed=8)
+        mix = workload.topology_mix()
+        acyclic = sum(share for cls, share in mix.items()
+                      if cls.is_acyclic())
+        assert acyclic > 0.5
+
+    def test_explicit_mix(self):
+        repo = generate_chemical_repository(20, seed=9)
+        workload = generate_workload(
+            repo, 10, seed=10, mix={TopologyClass.CHAIN: 1.0})
+        mix = workload.topology_mix()
+        assert mix.get(TopologyClass.CHAIN, 0.0) > 0.5
+
+    def test_mean_size(self):
+        repo = generate_chemical_repository(20, seed=11)
+        workload = generate_workload(repo, 5, seed=12)
+        assert workload.mean_size() > 0
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(GraphError):
+            generate_workload([], 5)
+
+
+class TestEvolvingRepository:
+    def make(self, n=10, seed=1):
+        return EvolvingRepository(generate_chemical_repository(n,
+                                                               seed=seed))
+
+    def test_apply_batch(self):
+        repo = self.make()
+        rng = random.Random(2)
+        batch = UpdateBatch(added=[generate_molecule(rng, name="x1")],
+                            removed=[repo.graphs()[0].name])
+        repo.apply(batch)
+        assert len(repo) == 10
+        assert "x1" in repo
+
+    def test_remove_unknown_rejected(self):
+        repo = self.make()
+        with pytest.raises(MaintenanceError):
+            repo.apply(UpdateBatch(removed=["ghost"]))
+
+    def test_add_duplicate_rejected(self):
+        repo = self.make()
+        rng = random.Random(3)
+        existing = repo.graphs()[0].name
+        with pytest.raises(MaintenanceError):
+            repo.apply(UpdateBatch(added=[generate_molecule(
+                rng, name=existing)]))
+
+    def test_validation_happens_before_mutation(self):
+        repo = self.make()
+        rng = random.Random(4)
+        bad = UpdateBatch(added=[generate_molecule(rng, name="ok")],
+                          removed=["ghost"])
+        with pytest.raises(MaintenanceError):
+            repo.apply(bad)
+        assert "ok" not in repo
+        assert len(repo) == 10
+
+    def test_duplicate_names_rejected_at_init(self):
+        graphs = generate_chemical_repository(3, seed=5)
+        graphs.append(graphs[0].copy())
+        with pytest.raises(MaintenanceError):
+            EvolvingRepository(graphs)
+
+
+class TestUpdateStream:
+    def test_stream_applies_cleanly(self):
+        repo = EvolvingRepository(generate_chemical_repository(20, seed=6))
+        initial = len(repo)
+        for batch in generate_update_stream(repo, batches=4, batch_size=5,
+                                            seed=7):
+            assert not batch.is_empty()
+            repo.apply(batch)
+        assert repo.applied_batches == 4
+        assert len(repo) > initial  # additions outpace removals
+
+    def test_drift_changes_additions(self):
+        repo = EvolvingRepository(generate_chemical_repository(20, seed=8))
+        batches = list(generate_update_stream(
+            repo, batches=2, batch_size=10, seed=9, drift_after=1,
+            removal_fraction=0.0,
+            drift_weights=(0.01, 0.01, 0.01, 10.0)))
+        rank = lambda gs: sum(g.size() - g.order() + 1
+                              for g in gs) / len(gs)
+        assert rank(batches[0].added) > rank(batches[1].added)
+
+
+class TestWorkloadPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        repo = generate_chemical_repository(15, seed=14)
+        workload = generate_workload(repo, 6, seed=15)
+        path = tmp_path / "workload.json"
+        assert workload.save(path) == 6
+        from repro.datasets import QueryWorkload
+        restored = QueryWorkload.load(path)
+        assert len(restored) == 6
+        for original, loaded in zip(workload, restored):
+            assert loaded.same_as(original)
+        assert restored.topology_mix() == workload.topology_mix()

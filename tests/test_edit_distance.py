@@ -1,0 +1,136 @@
+"""Tests for exact graph edit distance."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    build_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.matching import (
+    are_isomorphic,
+    ged_similarity,
+    graph_edit_distance,
+)
+from repro.patterns import Pattern, pattern_similarity
+
+
+class TestKnownValues:
+    def test_identical_zero(self):
+        g = cycle_graph(5, label="A")
+        assert graph_edit_distance(g, g) == 0
+
+    def test_isomorphic_zero(self):
+        g = cycle_graph(5, label="A")
+        h = g.relabeled({0: 3, 1: 4, 2: 0, 3: 1, 4: 2})
+        assert graph_edit_distance(g, h) == 0
+
+    def test_single_relabel(self):
+        g = path_graph(3, label="A")
+        h = path_graph(3, label="A")
+        h.set_node_label(2, "B")
+        assert graph_edit_distance(g, h) == 1
+
+    def test_edge_relabel(self):
+        g = build_graph([(0, "A"), (1, "A")], labeled_edges=[(0, 1, "x")])
+        h = build_graph([(0, "A"), (1, "A")], labeled_edges=[(0, 1, "y")])
+        assert graph_edit_distance(g, h) == 1
+
+    def test_edge_deletion(self):
+        assert graph_edit_distance(cycle_graph(4, label="A"),
+                                   path_graph(4, label="A")) == 1
+
+    def test_node_plus_edge_insertion(self):
+        assert graph_edit_distance(path_graph(3, label="A"),
+                                   path_graph(4, label="A")) == 2
+
+    def test_empty_graphs(self):
+        assert graph_edit_distance(Graph(), Graph()) == 0
+        assert graph_edit_distance(Graph(), complete_graph(3)) == 6
+        assert graph_edit_distance(complete_graph(3), Graph()) == 6
+
+    def test_star_vs_path(self):
+        # S3 -> P4: move one leaf: delete hub-leaf edge, add leaf-leaf
+        assert graph_edit_distance(star_graph(3, label="A"),
+                                   path_graph(4, label="A")) == 2
+
+    def test_k4_vs_c4(self):
+        assert graph_edit_distance(complete_graph(4, label="A"),
+                                   cycle_graph(4, label="A")) == 2
+
+    def test_size_guard(self):
+        with pytest.raises(GraphError):
+            graph_edit_distance(complete_graph(10), complete_graph(10))
+
+
+class TestMetricProperties:
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry(self, seed1, seed2):
+        from repro.graph import gnm_random_graph
+        rng1, rng2 = random.Random(seed1), random.Random(seed2)
+        g1 = gnm_random_graph(5, rng1.randint(3, 7), rng1,
+                              labels=["A", "B"])
+        g2 = gnm_random_graph(5, rng2.randint(3, 7), rng2,
+                              labels=["A", "B"])
+        assert (graph_edit_distance(g1, g2)
+                == graph_edit_distance(g2, g1))
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_iff_isomorphic(self, seed):
+        from repro.graph import gnm_random_graph
+        rng = random.Random(seed)
+        g1 = gnm_random_graph(5, rng.randint(3, 7), rng,
+                              labels=["A", "B"])
+        g2 = gnm_random_graph(5, rng.randint(3, 7), rng,
+                              labels=["A", "B"])
+        zero = graph_edit_distance(g1, g2) == 0
+        assert zero == are_isomorphic(g1, g2)
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_triangle_inequality(self, seed):
+        from repro.graph import gnm_random_graph
+        rng = random.Random(seed)
+        graphs = [gnm_random_graph(4, rng.randint(2, 5), rng,
+                                   labels=["A"]) for _ in range(3)]
+        d01 = graph_edit_distance(graphs[0], graphs[1])
+        d12 = graph_edit_distance(graphs[1], graphs[2])
+        d02 = graph_edit_distance(graphs[0], graphs[2])
+        assert d02 <= d01 + d12
+
+
+class TestSimilarity:
+    def test_range_and_extremes(self):
+        g = cycle_graph(4, label="A")
+        assert ged_similarity(g, g) == 1.0
+        assert ged_similarity(Graph(), Graph()) == 1.0
+        far = complete_graph(4, label="Z")
+        assert 0.0 <= ged_similarity(g, far) < 1.0
+
+    def test_pattern_similarity_method(self):
+        p1 = Pattern(cycle_graph(4, label="A"))
+        p2 = Pattern(path_graph(4, label="A"))
+        sim = pattern_similarity(p1, p2, method="ged")
+        assert 0.0 < sim < 1.0
+        # one edge apart out of 15 total elements
+        assert sim == pytest.approx(1.0 - 1.0 / 15.0)
+
+    def test_method_ordering_sanity(self):
+        """All three methods agree that close beats far."""
+        close1 = Pattern(path_graph(4, label="A"))
+        close2 = Pattern(path_graph(5, label="A"))
+        far = Pattern(complete_graph(4, label="B"))
+        for method in ("feature", "mcs", "ged"):
+            assert (pattern_similarity(close1, close2, method=method)
+                    > pattern_similarity(close1, far, method=method))

@@ -1,0 +1,48 @@
+"""Smoke-run the shipped examples (they are part of the public API).
+
+Each example is executed in a scratch directory via runpy, so file
+artifacts (SVGs, spec JSONs) land in tmp and stdout stays quiet.
+Only the two fastest examples run here; the rest are exercised by
+the benchmarks and by their underlying integration tests.
+"""
+
+import os
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, tmp_path, capsys):
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    cwd = os.getcwd()
+    os.chdir(tmp_path)
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        os.chdir(cwd)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, capsys):
+        out = run_example("quickstart.py", tmp_path, capsys)
+        assert "repository: 80" in out
+        assert "results:" in out
+        assert (tmp_path / "pattern_panel.svg").exists()
+
+    def test_timeseries_sketch_search(self, tmp_path, capsys):
+        out = run_example("timeseries_sketch_search.py", tmp_path,
+                          capsys)
+        assert "Sketch Panel" in out
+        assert "distance=" in out
+
+    def test_all_examples_compile(self):
+        """Every example at least parses (cheap regression net)."""
+        import py_compile
+        for script in sorted(EXAMPLES.glob("*.py")):
+            py_compile.compile(str(script), doraise=True)

@@ -1,0 +1,107 @@
+"""Tests for random graph generators (seeded, structural invariants)."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    barabasi_albert_graph,
+    gnm_random_graph,
+    is_connected,
+    is_tree,
+    planted_partition_graph,
+    random_labels,
+    random_tree,
+    triangles,
+)
+
+
+class TestGnm:
+    def test_exact_counts(self):
+        g = gnm_random_graph(10, 15, random.Random(1))
+        assert g.order() == 10
+        assert g.size() == 15
+
+    def test_deterministic_under_seed(self):
+        a = gnm_random_graph(12, 20, random.Random(42), labels=["A", "B"])
+        b = gnm_random_graph(12, 20, random.Random(42), labels=["A", "B"])
+        assert a.same_as(b)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(4, 7, random.Random(0))
+
+    def test_labels_drawn_from_alphabet(self):
+        g = gnm_random_graph(20, 10, random.Random(3), labels=["X", "Y"])
+        assert set(g.label_multiset()) <= {"X", "Y"}
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        for seed in range(5):
+            g = random_tree(15, random.Random(seed))
+            assert is_tree(g)
+
+    def test_single_node(self):
+        assert random_tree(1, random.Random(0)).order() == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            random_tree(0, random.Random(0))
+
+
+class TestBarabasiAlbert:
+    def test_size_formula(self):
+        n, m = 50, 3
+        g = barabasi_albert_graph(n, m, random.Random(5))
+        seed_edges = (m + 1) * m // 2
+        assert g.order() == n
+        assert g.size() == seed_edges + (n - m - 1) * m
+
+    def test_connected(self):
+        g = barabasi_albert_graph(60, 2, random.Random(9))
+        assert is_connected(g)
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(300, 2, random.Random(1))
+        degrees = g.degree_sequence()
+        assert degrees[0] > 4 * (sum(degrees) / len(degrees))
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 3, random.Random(0))
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(10, 0, random.Random(0))
+
+
+class TestPlantedPartition:
+    def test_shape(self):
+        g = planted_partition_graph(3, 10, 0.8, 0.02, random.Random(2))
+        assert g.order() == 30
+
+    def test_dense_communities_have_triangles(self):
+        g = planted_partition_graph(2, 12, 0.9, 0.0, random.Random(4))
+        assert len(triangles(g)) > 20
+
+    def test_probability_validation(self):
+        with pytest.raises(GraphError):
+            planted_partition_graph(2, 5, 0.1, 0.5, random.Random(0))
+
+    def test_no_out_edges_when_p_out_zero(self):
+        g = planted_partition_graph(2, 8, 0.5, 0.0, random.Random(7))
+        for u, v in g.edges():
+            assert u // 8 == v // 8
+
+
+class TestRandomLabels:
+    def test_assigns_in_place(self):
+        g = gnm_random_graph(10, 5, random.Random(0))
+        out = random_labels(g, ["Q"], random.Random(1))
+        assert out is g
+        assert g.label_multiset() == {"Q": 10}
+
+    def test_empty_alphabet_rejected(self):
+        g = gnm_random_graph(3, 2, random.Random(0))
+        with pytest.raises(GraphError):
+            random_labels(g, [], random.Random(0))

@@ -1,0 +1,242 @@
+"""Unit tests for the Graph data model."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateEdgeError,
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+)
+from repro.graph import Graph, build_graph, edge_key
+
+
+def triangle():
+    g = Graph(name="tri")
+    for i in range(3):
+        g.add_node(i, label="C")
+    g.add_edge(0, 1, label="s")
+    g.add_edge(1, 2, label="s")
+    g.add_edge(0, 2, label="d")
+    return g
+
+
+class TestNodeOperations:
+    def test_add_node_returns_id(self):
+        g = Graph()
+        assert g.add_node(5, label="A") == 5
+
+    def test_add_node_auto_id(self):
+        g = Graph()
+        assert g.add_node(label="A") == 0
+        assert g.add_node(label="B") == 1
+
+    def test_auto_id_skips_existing(self):
+        g = Graph()
+        g.add_node(10)
+        assert g.add_node() == 11
+
+    def test_duplicate_node_rejected(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(DuplicateNodeError):
+            g.add_node(1)
+
+    def test_node_label_roundtrip(self):
+        g = Graph()
+        g.add_node(0, label="N")
+        assert g.node_label(0) == "N"
+        g.set_node_label(0, "O")
+        assert g.node_label(0) == "O"
+
+    def test_node_label_missing_node(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.node_label(3)
+
+    def test_node_attrs(self):
+        g = Graph()
+        g.add_node(0, label="C", charge=-1)
+        assert g.node_attrs(0) == {"charge": -1}
+        g.node_attrs(0)["charge"] = 2
+        assert g.node_attrs(0)["charge"] == 2
+
+    def test_remove_node_removes_incident_edges(self):
+        g = triangle()
+        g.remove_node(1)
+        assert g.order() == 2
+        assert g.size() == 1
+        assert g.has_edge(0, 2)
+
+    def test_remove_missing_node(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node(0)
+
+    def test_contains_and_len(self):
+        g = triangle()
+        assert 0 in g and 3 not in g
+        assert len(g) == 3
+
+
+class TestEdgeOperations:
+    def test_add_edge_canonical_key(self):
+        g = Graph()
+        g.add_node(0)
+        g.add_node(1)
+        assert g.add_edge(1, 0) == (0, 1)
+        assert edge_key(1, 0) == (0, 1)
+
+    def test_edge_requires_nodes(self):
+        g = Graph()
+        g.add_node(0)
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        g.add_node(0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 0)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1)
+        with pytest.raises(DuplicateEdgeError):
+            g.add_edge(1, 0)
+
+    def test_edge_label_both_directions(self):
+        g = triangle()
+        assert g.edge_label(0, 2) == "d"
+        assert g.edge_label(2, 0) == "d"
+
+    def test_set_edge_label(self):
+        g = triangle()
+        g.set_edge_label(0, 1, "t")
+        assert g.edge_label(1, 0) == "t"
+
+    def test_edge_label_missing(self):
+        g = Graph()
+        g.add_node(0)
+        g.add_node(1)
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_label(0, 1)
+
+    def test_remove_edge(self):
+        g = triangle()
+        g.remove_edge(2, 1)
+        assert not g.has_edge(1, 2)
+        assert g.size() == 2
+
+    def test_remove_missing_edge(self):
+        g = triangle()
+        g.remove_edge(0, 1)
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(0, 1)
+
+    def test_edge_attrs(self):
+        g = Graph()
+        g.add_node(0)
+        g.add_node(1)
+        g.add_edge(0, 1, weight=3)
+        assert g.edge_attrs(1, 0) == {"weight": 3}
+
+
+class TestInspection:
+    def test_order_size(self):
+        g = triangle()
+        assert (g.order(), g.size()) == (3, 3)
+
+    def test_neighbors_and_degree(self):
+        g = triangle()
+        assert sorted(g.neighbors(0)) == [1, 2]
+        assert g.degree(0) == 2
+
+    def test_neighbors_missing(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            list(g.neighbors(9))
+
+    def test_density(self):
+        assert triangle().density() == 1.0
+        g = Graph()
+        assert g.density() == 0.0
+        g.add_node(0)
+        assert g.density() == 0.0
+
+    def test_degree_sequence(self):
+        g = triangle()
+        g.add_node(3, label="H")
+        g.add_edge(0, 3)
+        assert g.degree_sequence() == [3, 2, 2, 1]
+
+    def test_label_multiset(self):
+        g = triangle()
+        g.add_node(3, label="H")
+        assert g.label_multiset() == {"C": 3, "H": 1}
+
+
+class TestCopiesAndRelabeling:
+    def test_copy_independent(self):
+        g = triangle()
+        h = g.copy()
+        h.remove_edge(0, 1)
+        h.set_node_label(0, "X")
+        assert g.has_edge(0, 1)
+        assert g.node_label(0) == "C"
+
+    def test_copy_preserves_attrs(self):
+        g = Graph()
+        g.add_node(0, label="C", charge=1)
+        g.add_node(1, label="C")
+        g.add_edge(0, 1, label="b", order=2)
+        h = g.copy()
+        assert h.node_attrs(0) == {"charge": 1}
+        assert h.edge_attrs(0, 1) == {"order": 2}
+
+    def test_relabeled(self):
+        g = triangle()
+        h = g.relabeled({0: 10, 1: 11, 2: 12})
+        assert h.has_edge(10, 11) and h.has_edge(10, 12)
+        assert h.node_label(10) == "C"
+        assert h.edge_label(10, 12) == "d"
+
+    def test_relabeled_requires_injective(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.relabeled({0: 5, 1: 5, 2: 6})
+
+    def test_relabeled_requires_total(self):
+        g = triangle()
+        with pytest.raises(GraphError):
+            g.relabeled({0: 5, 1: 6})
+
+    def test_normalized(self):
+        g = triangle().relabeled({0: 100, 1: 50, 2: 75})
+        h = g.normalized()
+        assert sorted(h.nodes()) == [0, 1, 2]
+
+    def test_same_as(self):
+        assert triangle().same_as(triangle())
+        g = triangle()
+        g.set_node_label(0, "N")
+        assert not g.same_as(triangle())
+
+
+class TestBuildGraph:
+    def test_build_with_labeled_edges(self):
+        g = build_graph([(0, "A"), (1, "B")], labeled_edges=[(0, 1, "x")],
+                        name="g")
+        assert g.edge_label(0, 1) == "x"
+        assert g.name == "g"
+
+    def test_build_with_plain_edges(self):
+        g = build_graph([(0, "A"), (1, "B"), (2, "C")],
+                        edges=[(0, 1), (1, 2)])
+        assert g.size() == 2
+
+    def test_repr(self):
+        assert "n=3" in repr(triangle())

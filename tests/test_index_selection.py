@@ -1,0 +1,194 @@
+"""Tests for CoverageIndex, SetScorer, and greedy/exhaustive selection."""
+
+import pytest
+
+from repro.errors import BudgetError
+from repro.graph import (
+    build_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.patterns import (
+    CoverageIndex,
+    Pattern,
+    PatternBudget,
+    ScoreWeights,
+    SetScorer,
+    exhaustive_select,
+    greedy_select,
+    pattern_set_score,
+)
+
+
+def repo():
+    return [path_graph(5, label="A"), cycle_graph(5, label="A"),
+            complete_graph(4, label="A"), star_graph(4, label="A")]
+
+
+def patterns():
+    return [Pattern(path_graph(4, label="A")),
+            Pattern(cycle_graph(4, label="A")),
+            Pattern(complete_graph(3, label="A")),
+            Pattern(star_graph(3, label="A"))]
+
+
+class TestCoverageIndex:
+    def test_solo_coverage_range(self):
+        index = CoverageIndex(repo())
+        for p in patterns():
+            assert 0.0 <= index.solo_coverage(p) <= 1.0
+
+    def test_covered_graphs_inverted_index(self):
+        index = CoverageIndex(repo())
+        tri = Pattern(complete_graph(3, label="A"))
+        # triangles occur only in K4
+        assert index.covered_graphs(tri) == {2}
+
+    def test_set_coverage_union(self):
+        index = CoverageIndex(repo())
+        p4 = Pattern(path_graph(4, label="A"))
+        both = index.set_coverage([p4, Pattern(complete_graph(3,
+                                                              label="A"))])
+        assert both >= index.set_coverage([p4])
+
+    def test_marginal_coverage_submodular(self):
+        index = CoverageIndex(repo())
+        p4 = Pattern(path_graph(4, label="A"))
+        tri = Pattern(complete_graph(3, label="A"))
+        star = Pattern(star_graph(3, label="A"))
+        # gain of tri given more context can only shrink
+        assert (index.marginal_coverage(tri, [p4, star])
+                <= index.marginal_coverage(tri, [p4]) + 1e-12)
+
+    def test_marginal_equals_difference(self):
+        index = CoverageIndex(repo())
+        p4 = Pattern(path_graph(4, label="A"))
+        tri = Pattern(complete_graph(3, label="A"))
+        diff = index.set_coverage([p4, tri]) - index.set_coverage([p4])
+        assert index.marginal_coverage(tri, [p4]) == pytest.approx(diff)
+
+    def test_empty_inputs(self):
+        index = CoverageIndex([])
+        assert index.set_coverage(patterns()) == 0.0
+        index2 = CoverageIndex(repo())
+        assert index2.set_coverage([]) == 0.0
+
+    def test_add_pattern_idempotent(self):
+        index = CoverageIndex(repo())
+        p = patterns()[0]
+        index.add_pattern(p)
+        index.add_pattern(p)
+        assert len(index) == 1
+
+    def test_set_graph_coverage(self):
+        index = CoverageIndex(repo())
+        p4 = Pattern(path_graph(4, label="A"))
+        # P4 embeds in P5, C5, K4 but not in the star (max path = 3)
+        assert index.set_graph_coverage([p4]) == pytest.approx(0.75)
+        p3 = Pattern(path_graph(3, label="A"))
+        assert index.set_graph_coverage([p3]) == 1.0
+
+
+class TestSetScorer:
+    def test_score_matches_reference(self):
+        """SetScorer agrees with pattern_set_score on the same sample."""
+        sample = repo()
+        index = CoverageIndex(sample, max_embeddings=50)
+        scorer = SetScorer(index)
+        pats = patterns()[:2]
+        assert scorer.score(pats) == pytest.approx(
+            pattern_set_score(pats, sample, max_embeddings=50))
+
+    def test_empty_set(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        assert scorer.score([]) >= 0.0
+
+    def test_diversity_cached_consistent(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        pats = patterns()
+        first = scorer.diversity(pats)
+        second = scorer.diversity(pats)
+        assert first == second
+
+
+class TestGreedySelect:
+    def test_fills_budget(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(3, min_size=3, max_size=5)
+        result = greedy_select(patterns(), budget, scorer)
+        assert len(result.patterns) == 3
+
+    def test_budget_size_filter(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(4, min_size=4, max_size=4)
+        result = greedy_select(patterns(), budget, scorer)
+        assert all(p.order() == 4 for p in result.patterns)
+
+    def test_improve_only_stops_early(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(4, min_size=3, max_size=5)
+        filled = greedy_select(patterns(), budget, scorer)
+        improving = greedy_select(patterns(), budget, scorer,
+                                  improve_only=True)
+        assert len(improving.patterns) <= len(filled.patterns)
+
+    def test_seed_patterns_kept(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(3, min_size=3, max_size=5)
+        seed = [patterns()[0]]
+        result = greedy_select(patterns()[1:], budget, scorer,
+                               seed_patterns=seed)
+        assert patterns()[0] in result.patterns
+
+    def test_seed_overflow_rejected(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(1, min_size=3, max_size=5)
+        with pytest.raises(BudgetError):
+            greedy_select(patterns(), budget, scorer,
+                          seed_patterns=patterns()[:2])
+
+    def test_no_candidates(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(3, min_size=3, max_size=5)
+        result = greedy_select([], budget, scorer)
+        assert len(result.patterns) == 0
+
+    def test_trajectory_length(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(2, min_size=3, max_size=5)
+        result = greedy_select(patterns(), budget, scorer)
+        assert len(result.trajectory) == len(result.patterns)
+
+
+class TestExhaustiveSelect:
+    def test_oracle_beats_or_ties_greedy(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(2, min_size=3, max_size=5)
+        greedy = greedy_select(patterns(), budget, scorer,
+                               improve_only=True)
+        exact = exhaustive_select(patterns(), budget, scorer)
+        assert exact.score >= greedy.score - 1e-12
+
+    def test_greedy_within_approximation_bound(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(2, min_size=3, max_size=5)
+        greedy = greedy_select(patterns(), budget, scorer)
+        exact = exhaustive_select(patterns(), budget, scorer)
+        best_seen = max(greedy.trajectory) if greedy.trajectory else 0.0
+        assert best_seen >= exact.score / 2.718281828 - 1e-9
+
+    def test_too_many_candidates_rejected(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(2, min_size=2, max_size=30)
+        many = [Pattern(path_graph(n, label="A")) for n in range(2, 22)]
+        with pytest.raises(BudgetError):
+            exhaustive_select(many, budget, scorer)
+
+    def test_dedups_isomorphic_candidates(self):
+        scorer = SetScorer(CoverageIndex(repo()))
+        budget = PatternBudget(2, min_size=3, max_size=5)
+        doubled = patterns() + [Pattern(path_graph(4, label="A"))]
+        result = exhaustive_select(doubled, budget, scorer)
+        assert result.considered == len(patterns())

@@ -1,0 +1,152 @@
+"""End-to-end integration scenarios across subsystems."""
+
+import random
+
+import pytest
+
+from repro.core import PatternBudget, build_vqi, build_vqi_with_report
+from repro.datasets import (
+    EvolvingRepository,
+    NetworkConfig,
+    generate_chemical_repository,
+    generate_network,
+    generate_update_stream,
+    generate_workload,
+)
+from repro.patterns import default_basic_patterns, pattern_set_score
+from repro.query import QuerySuggester
+from repro.usability import SimulatedUser, StudyCondition, run_study
+from repro.vqi import MaintainedVQI, VQISpec, build_maintained_vqi
+
+
+class TestRepositoryLifecycle:
+    """Build -> formulate -> execute -> export -> reimport -> requery."""
+
+    def test_full_repository_lifecycle(self):
+        repo = generate_chemical_repository(40, seed=51)
+        budget = PatternBudget(5, min_size=4, max_size=8)
+        vqi, report = build_vqi_with_report(repo, budget)
+        assert report.generator == "catapult"
+
+        # formulate a query from a canned pattern and execute
+        pattern = vqi.pattern_panel.canned[0]
+        vqi.query_panel.builder.add_pattern(pattern)
+        results = vqi.execute()
+        assert results.match_count() > 0
+
+        # every reported embedding is a real subgraph occurrence
+        for match in results.matches[:3]:
+            for embedding in match.embeddings:
+                for u, v in vqi.query_panel.query.edges():
+                    assert match.graph.has_edge(embedding[u],
+                                                embedding[v])
+
+        # the spec round-trips and rebinds to the same data
+        restored = VQISpec.from_json(vqi.spec.to_json())
+        from repro.vqi import VisualQueryInterface
+        vqi2 = VisualQueryInterface(restored, repository=repo)
+        vqi2.query_panel.builder.add_pattern(
+            vqi2.pattern_panel.canned[0])
+        results2 = vqi2.execute()
+        assert results2.match_count() == results.match_count()
+
+    def test_suggestion_driven_formulation_is_answerable(self):
+        """Attribute panel + suggester build a query that matches."""
+        repo = generate_chemical_repository(30, seed=52)
+        budget = PatternBudget(4, min_size=4, max_size=8)
+        vqi = build_vqi(repo, budget)
+        suggester = QuerySuggester(repo)
+        builder = vqi.query_panel.builder
+        start_label = vqi.attribute_panel.node_alphabet()[0]
+        node = builder.add_node(start_label)
+        for _ in range(2):
+            suggestions = suggester.suggest_for_query(
+                builder, node, top_k=1, answerable_only=True)
+            if not suggestions:
+                break
+            node = suggester.apply_suggestion(builder, node,
+                                              suggestions[0])
+        results = vqi.execute()
+        assert results.match_count() > 0
+
+
+class TestEvolutionLifecycle:
+    """Build maintained VQI -> evolve -> formulate on evolved data."""
+
+    def test_maintained_vqi_stays_usable(self):
+        repo = generate_chemical_repository(50, seed=53)
+        budget = PatternBudget(5, min_size=4, max_size=8)
+        maintained = build_maintained_vqi(repo, budget)
+        score_initial = maintained.midas.last_score
+
+        evolving = EvolvingRepository([g.copy() for g in repo])
+        stream = generate_update_stream(
+            evolving, batches=3, batch_size=12, seed=54, drift_after=0,
+            drift_weights=(0.05, 0.05, 0.05, 6.0))
+        for batch in stream:
+            evolving.apply(batch)
+            maintained.apply_batch(batch)
+
+        # panel and engine reflect the evolved repository
+        assert len(maintained.vqi.repository) == len(evolving.graphs())
+        vqi = maintained.vqi
+        vqi.query_panel.builder.add_pattern(vqi.pattern_panel.canned[0])
+        assert vqi.execute().match_count() > 0
+        # pattern quality did not collapse
+        score = pattern_set_score(list(maintained.midas.patterns),
+                                  evolving.graphs())
+        assert score > 0.2
+
+    def test_usability_pipeline_on_network(self):
+        """TATTOO VQI + workload + simulated study, end to end."""
+        network = generate_network(NetworkConfig(nodes=250), seed=55)
+        budget = PatternBudget(6, min_size=4, max_size=8)
+        vqi = build_vqi(network, budget)
+        workload = list(generate_workload([network], 10, seed=56,
+                                          min_nodes=4, max_nodes=7))
+        study = run_study(workload, [
+            StudyCondition("manual", []),
+            StudyCondition("data-driven",
+                           default_basic_patterns()
+                           + list(vqi.pattern_panel.canned)),
+        ], seed=57)
+        assert (study.by_name("data-driven").summary["mean_steps"]
+                < study.by_name("manual").summary["mean_steps"])
+
+
+class TestCrossDomainPortability:
+    def test_one_builder_many_domains(self):
+        """The §2.2 portability claim, executed end to end."""
+        budget = PatternBudget(4, min_size=4, max_size=8)
+        sources = [
+            generate_chemical_repository(25, seed=58),
+            generate_network(NetworkConfig(nodes=150), seed=59),
+        ]
+        specs = []
+        for data in sources:
+            vqi = build_vqi(data, budget)
+            spec_json = vqi.spec.to_json()
+            specs.append(spec_json)
+            # the spec alone is enough to render the interface
+            restored = VQISpec.from_json(spec_json)
+            from repro.vqi import render_pattern_panel_svg
+            svg = render_pattern_panel_svg(
+                restored.pattern_panel.all_patterns())
+            assert svg.startswith("<svg")
+        assert specs[0] != specs[1]  # content is data-driven
+
+    def test_beyond_graphs_same_recipe(self):
+        """The time-series sketch VQI follows the same shape: mined
+        panel -> bottom-up query -> matches."""
+        from repro.timeseries import (
+            SketchBudget,
+            SketchVQI,
+            generate_series_collection,
+        )
+        collection = generate_series_collection(25, seed=60)
+        vqi = SketchVQI(collection, SketchBudget(4, window=40))
+        assert vqi.panel
+        vqi.start_from_sketch(0)
+        matches = vqi.execute(top_k=3)
+        assert matches
+        assert matches[0].distance <= matches[-1].distance

@@ -1,0 +1,132 @@
+"""Tests for graph serialization (JSON and .lg formats)."""
+
+import random
+
+import pytest
+
+from repro.errors import FormatError
+from repro.graph import (
+    Graph,
+    build_graph,
+    gnm_random_graph,
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    read_lg,
+    read_repository_json,
+    write_lg,
+    write_repository_json,
+)
+
+
+def sample():
+    g = build_graph([(0, "C"), (1, "N"), (2, "O")],
+                    labeled_edges=[(0, 1, "1"), (1, 2, "2")], name="mol")
+    g.node_attrs(0)["charge"] = 1
+    g.edge_attrs(0, 1)["order"] = 1
+    return g
+
+
+class TestJsonRoundtrip:
+    def test_dict_roundtrip(self):
+        g = sample()
+        h = graph_from_dict(graph_to_dict(g))
+        assert h.same_as(g)
+        assert h.name == "mol"
+        assert h.node_attrs(0) == {"charge": 1}
+        assert h.edge_attrs(0, 1) == {"order": 1}
+
+    def test_json_roundtrip(self):
+        g = sample()
+        assert graph_from_json(graph_to_json(g)).same_as(g)
+
+    def test_json_indent(self):
+        assert "\n" in graph_to_json(sample(), indent=2)
+
+    def test_empty_graph(self):
+        assert graph_from_json(graph_to_json(Graph())).order() == 0
+
+    def test_malformed_json(self):
+        with pytest.raises(FormatError):
+            graph_from_json("{not json")
+
+    def test_malformed_dict(self):
+        with pytest.raises(FormatError):
+            graph_from_dict({"nodes": [{"no_id": 1}], "edges": []})
+
+    def test_random_graph_roundtrip(self):
+        g = gnm_random_graph(15, 25, random.Random(3), labels=["A", "B"])
+        assert graph_from_json(graph_to_json(g)).same_as(g)
+
+
+class TestLgFormat:
+    def test_roundtrip(self, tmp_path):
+        graphs = [sample(), gnm_random_graph(8, 10, random.Random(1),
+                                             labels=["X"])]
+        path = tmp_path / "repo.lg"
+        assert write_lg(graphs, path) == 2
+        loaded = read_lg(path)
+        assert len(loaded) == 2
+        # ids are normalized on write; compare structure via normalization
+        assert loaded[0].same_as(graphs[0].normalized())
+        assert loaded[1].same_as(graphs[1].normalized())
+
+    def test_names_preserved(self, tmp_path):
+        path = tmp_path / "one.lg"
+        write_lg([sample()], path)
+        assert read_lg(path)[0].name == "mol"
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.lg"
+        path.write_text("")
+        assert read_lg(path) == []
+
+    def test_vertex_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.lg"
+        path.write_text("v 0 A\n")
+        with pytest.raises(FormatError):
+            read_lg(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.lg"
+        path.write_text("t # g\nz 1 2\n")
+        with pytest.raises(FormatError):
+            read_lg(path)
+
+    def test_malformed_edge_rejected(self, tmp_path):
+        path = tmp_path / "bad.lg"
+        path.write_text("t # g\nv 0 A\ne 0\n")
+        with pytest.raises(FormatError):
+            read_lg(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "ok.lg"
+        path.write_text("t # g\n\nv 0 A\nv 1 B\n\ne 0 1 x\n")
+        g = read_lg(path)[0]
+        assert g.size() == 1 and g.edge_label(0, 1) == "x"
+
+
+class TestRepositoryJson:
+    def test_roundtrip(self, tmp_path):
+        rng = random.Random(9)
+        graphs = [gnm_random_graph(6, 7, rng, labels=["A", "B"])
+                  for _ in range(5)]
+        path = tmp_path / "repo.json"
+        assert write_repository_json(graphs, path) == 5
+        loaded = read_repository_json(path)
+        assert len(loaded) == 5
+        for original, restored in zip(graphs, loaded):
+            assert restored.same_as(original)
+
+    def test_non_array_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": []}')
+        with pytest.raises(FormatError):
+            read_repository_json(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("nope")
+        with pytest.raises(FormatError):
+            read_repository_json(path)

@@ -1,0 +1,203 @@
+"""Tests for subgraph matching, including a brute-force oracle check."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    build_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.matching import (
+    WILDCARD,
+    are_isomorphic,
+    count_embeddings,
+    covered_edges,
+    find_embedding,
+    is_subgraph,
+    labels_compatible,
+    subgraph_embeddings,
+)
+
+
+def brute_force_embeddings(pattern, target, induced=False):
+    """Oracle: enumerate all injective mappings and filter."""
+    p_nodes = sorted(pattern.nodes())
+    results = []
+    for image in itertools.permutations(sorted(target.nodes()),
+                                        len(p_nodes)):
+        mapping = dict(zip(p_nodes, image))
+        ok = True
+        for u in p_nodes:
+            if not labels_compatible(pattern.node_label(u),
+                                     target.node_label(mapping[u])):
+                ok = False
+                break
+        if not ok:
+            continue
+        for u, v in pattern.edges():
+            if not target.has_edge(mapping[u], mapping[v]):
+                ok = False
+                break
+            if not labels_compatible(
+                    pattern.edge_label(u, v),
+                    target.edge_label(mapping[u], mapping[v])):
+                ok = False
+                break
+        if ok and induced:
+            for u, v in itertools.combinations(p_nodes, 2):
+                if (not pattern.has_edge(u, v)
+                        and target.has_edge(mapping[u], mapping[v])):
+                    ok = False
+                    break
+        if ok:
+            results.append(mapping)
+    return results
+
+
+def as_key_set(mappings):
+    return {tuple(sorted(m.items())) for m in mappings}
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_monomorphism_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        target = gnm_random_graph(8, 12, rng, labels=["A", "B"])
+        pattern = gnm_random_graph(3, rng.randint(2, 3), rng,
+                                   labels=["A", "B"])
+        got = as_key_set(subgraph_embeddings(pattern, target))
+        want = as_key_set(brute_force_embeddings(pattern, target))
+        assert got == want
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_induced_matches_oracle(self, seed):
+        rng = random.Random(100 + seed)
+        target = gnm_random_graph(7, 10, rng, labels=["A", "B"])
+        pattern = gnm_random_graph(3, 2, rng, labels=["A", "B"])
+        got = as_key_set(subgraph_embeddings(pattern, target, induced=True))
+        want = as_key_set(brute_force_embeddings(pattern, target,
+                                                 induced=True))
+        assert got == want
+
+    def test_disconnected_pattern_matches_oracle(self):
+        pattern = build_graph([(0, "A"), (1, "A"), (2, "B")],
+                              edges=[(0, 1)])
+        target = gnm_random_graph(7, 9, random.Random(5), labels=["A", "B"])
+        got = as_key_set(subgraph_embeddings(pattern, target))
+        want = as_key_set(brute_force_embeddings(pattern, target))
+        assert got == want
+
+
+class TestCounting:
+    def test_triangle_in_k4(self):
+        # 4 triangles x 6 automorphisms
+        assert count_embeddings(complete_graph(3), complete_graph(4)) == 24
+
+    def test_path_in_cycle(self):
+        # n positions x 2 directions
+        assert count_embeddings(path_graph(3), cycle_graph(6)) == 12
+
+    def test_cap_respected(self):
+        assert count_embeddings(path_graph(2), complete_graph(6), cap=5) == 5
+
+    def test_pattern_larger_than_target(self):
+        assert count_embeddings(path_graph(5), path_graph(3)) == 0
+
+    def test_empty_pattern_one_embedding(self):
+        assert count_embeddings(Graph(), path_graph(3)) == 1
+
+
+class TestLabels:
+    def test_label_mismatch_blocks(self):
+        pattern = build_graph([(0, "X"), (1, "X")], edges=[(0, 1)])
+        target = build_graph([(0, "X"), (1, "Y")], edges=[(0, 1)])
+        assert not is_subgraph(pattern, target)
+
+    def test_wildcard_node_label(self):
+        pattern = build_graph([(0, WILDCARD), (1, "Y")], edges=[(0, 1)])
+        target = build_graph([(0, "X"), (1, "Y")], edges=[(0, 1)])
+        assert is_subgraph(pattern, target)
+
+    def test_edge_label_mismatch_blocks(self):
+        pattern = build_graph([(0, "A"), (1, "A")],
+                              labeled_edges=[(0, 1, "double")])
+        target = build_graph([(0, "A"), (1, "A")],
+                             labeled_edges=[(0, 1, "single")])
+        assert not is_subgraph(pattern, target)
+
+    def test_wildcard_edge_label(self):
+        pattern = build_graph([(0, "A"), (1, "A")],
+                              labeled_edges=[(0, 1, WILDCARD)])
+        target = build_graph([(0, "A"), (1, "A")],
+                             labeled_edges=[(0, 1, "single")])
+        assert is_subgraph(pattern, target)
+
+
+class TestFindAndCover:
+    def test_find_embedding_valid(self):
+        pattern = cycle_graph(4, label="A")
+        target = complete_graph(5, label="A")
+        mapping = find_embedding(pattern, target)
+        assert mapping is not None
+        for u, v in pattern.edges():
+            assert target.has_edge(mapping[u], mapping[v])
+
+    def test_find_embedding_none(self):
+        assert find_embedding(cycle_graph(3, label="A"),
+                              path_graph(5, label="A")) is None
+
+    def test_covered_edges_full_cover(self):
+        covered = covered_edges(path_graph(2, label=""), complete_graph(4))
+        assert covered == set(complete_graph(4).edges())
+
+    def test_covered_edges_partial(self):
+        target = build_graph([(0, "A"), (1, "A"), (2, "B"), (3, "B")],
+                             edges=[(0, 1), (1, 2), (2, 3)])
+        pattern = build_graph([(0, "A"), (1, "A")], edges=[(0, 1)])
+        assert covered_edges(pattern, target) == {(0, 1)}
+
+    def test_covered_edges_no_match(self):
+        pattern = build_graph([(0, "Z"), (1, "Z")], edges=[(0, 1)])
+        assert covered_edges(pattern, path_graph(4, label="A")) == set()
+
+
+class TestInduced:
+    def test_path_in_triangle_monomorphism_only(self):
+        p3 = path_graph(3)
+        tri = complete_graph(3)
+        assert is_subgraph(p3, tri)
+        assert not is_subgraph(p3, tri, induced=True)
+
+    def test_induced_star_in_clique(self):
+        assert not is_subgraph(star_graph(3), complete_graph(5),
+                               induced=True)
+
+
+class TestIsomorphism:
+    def test_relabel_is_isomorphic(self):
+        g = gnm_random_graph(8, 12, random.Random(2), labels=["A", "B"])
+        mapping = {u: (u * 7) % 8 for u in range(8)}
+        assert are_isomorphic(g, g.relabeled(mapping))
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not are_isomorphic(path_graph(3), path_graph(4))
+
+    def test_same_counts_different_structure(self):
+        assert not are_isomorphic(star_graph(3), path_graph(4))
+
+    def test_label_sensitive(self):
+        a = build_graph([(0, "X"), (1, "Y")], edges=[(0, 1)])
+        b = build_graph([(0, "X"), (1, "X")], edges=[(0, 1)])
+        assert not are_isomorphic(a, b)
+
+    def test_c6_vs_two_triangles(self):
+        from repro.graph import disjoint_union
+        two_tris = disjoint_union([complete_graph(3), complete_graph(3)])
+        assert not are_isomorphic(cycle_graph(6), two_tris)

@@ -1,0 +1,111 @@
+"""Tests for the FSG-style frequent subgraph miner."""
+
+import pytest
+
+from repro.datasets import generate_chemical_repository
+from repro.errors import PipelineError
+from repro.graph import build_graph, complete_graph, path_graph
+from repro.matching import is_subgraph
+from repro.mining import (
+    mine_frequent_subgraphs,
+    top_frequent_subgraphs,
+)
+
+
+def small_repo():
+    """Three graphs sharing a triangle; one has a unique square."""
+    tri = complete_graph(3, label="A")
+    tri_plus = complete_graph(3, label="A")
+    tri_plus.add_node(3, label="B")
+    tri_plus.add_edge(0, 3)
+    square = build_graph([(i, "A") for i in range(4)],
+                         edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    return [tri, tri_plus, square]
+
+
+class TestMining:
+    def test_supports_are_document_frequency(self):
+        mined = mine_frequent_subgraphs(small_repo(), min_support=2,
+                                        max_edges=3)
+        by_code = {m.code: m for m in mined}
+        from repro.matching import canonical_code
+        tri_code = canonical_code(complete_graph(3, label="A"))
+        assert tri_code in by_code
+        assert by_code[tri_code].support == 2
+
+    def test_all_results_frequent_and_valid(self):
+        repo = small_repo()
+        mined = mine_frequent_subgraphs(repo, min_support=2,
+                                        max_edges=4)
+        for m in mined:
+            occurrences = sum(1 for g in repo
+                              if is_subgraph(m.graph, g))
+            assert occurrences == m.support
+            assert m.support >= 2
+
+    def test_no_isomorphic_duplicates(self):
+        mined = mine_frequent_subgraphs(small_repo(), min_support=1,
+                                        max_edges=3,
+                                        max_patterns_per_level=None)
+        codes = [m.code for m in mined]
+        assert len(codes) == len(set(codes))
+
+    def test_max_edges_respected(self):
+        mined = mine_frequent_subgraphs(small_repo(), min_support=1,
+                                        max_edges=2)
+        assert all(m.size() <= 2 for m in mined)
+
+    def test_anti_monotone_closure(self):
+        """Every frequent subgraph's one-edge-smaller connected
+        subgraphs are also in the result set (at >= its support)."""
+        repo = small_repo()
+        mined = mine_frequent_subgraphs(repo, min_support=2,
+                                        max_edges=3,
+                                        max_patterns_per_level=None)
+        by_code = {m.code: m.support for m in mined}
+        from repro.graph import edge_subgraph, is_connected
+        from repro.matching import canonical_code
+        for m in mined:
+            if m.size() < 2:
+                continue
+            for u, v in m.graph.edges():
+                remaining = [e for e in m.graph.edges()
+                             if e != (u, v)]
+                sub = edge_subgraph(m.graph, remaining)
+                if not is_connected(sub) or sub.order() < m.graph.order() - 1:
+                    continue
+                code = canonical_code(sub)
+                if sub.order() == m.graph.order():
+                    continue  # dropped edge but kept both endpoints
+                assert code in by_code
+                assert by_code[code] >= m.support
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            mine_frequent_subgraphs([], min_support=1)
+        with pytest.raises(PipelineError):
+            mine_frequent_subgraphs(small_repo(), min_support=0)
+
+    def test_level_cap_bounds_work(self):
+        repo = generate_chemical_repository(15, seed=7)
+        capped = mine_frequent_subgraphs(repo, min_support=3,
+                                         max_edges=3,
+                                         max_patterns_per_level=10)
+        assert capped  # still mines something
+
+
+class TestTopFrequent:
+    def test_count_and_window(self):
+        repo = generate_chemical_repository(20, seed=8)
+        top = top_frequent_subgraphs(repo, 5, min_nodes=3, max_nodes=5,
+                                     min_support=2, max_edges=4)
+        assert len(top) <= 5
+        for m in top:
+            assert 3 <= m.graph.order() <= 5
+
+    def test_sorted_by_support(self):
+        repo = generate_chemical_repository(20, seed=8)
+        top = top_frequent_subgraphs(repo, 6, min_support=2,
+                                     max_edges=3)
+        supports = [m.support for m in top]
+        assert supports == sorted(supports, reverse=True)

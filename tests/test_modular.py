@@ -1,0 +1,85 @@
+"""Tests for the modular (Tzanikos-style) selection architecture."""
+
+import pytest
+
+from repro.datasets import generate_chemical_repository
+from repro.errors import PipelineError
+from repro.modular import (
+    CLUSTERING_STAGES,
+    EXTRACTION_STAGES,
+    MERGING_STAGES,
+    SIMILARITY_STAGES,
+    ModularPipeline,
+)
+from repro.patterns import PatternBudget
+
+
+@pytest.fixture(scope="module")
+def repo():
+    return generate_chemical_repository(25, seed=17)
+
+
+@pytest.fixture(scope="module")
+def budget():
+    return PatternBudget(4, min_size=4, max_size=8)
+
+
+class TestConfiguration:
+    def test_registries_populated(self):
+        assert set(SIMILARITY_STAGES) == {"feature_cosine",
+                                          "frequent_trees"}
+        assert set(CLUSTERING_STAGES) == {"kmedoids", "threshold"}
+        assert set(MERGING_STAGES) == {"closure", "disjoint"}
+        assert set(EXTRACTION_STAGES) == {"random_walk", "weighted_walk"}
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(PipelineError):
+            ModularPipeline(similarity="nope")
+        with pytest.raises(PipelineError):
+            ModularPipeline(clustering="nope")
+        with pytest.raises(PipelineError):
+            ModularPipeline(merging="nope")
+        with pytest.raises(PipelineError):
+            ModularPipeline(extraction="nope")
+
+    def test_describe(self):
+        pipeline = ModularPipeline()
+        assert pipeline.describe().count("|") == 3
+
+
+class TestExecution:
+    def test_default_assembly_runs(self, repo, budget):
+        result = ModularPipeline(seed=3).run(repo, budget)
+        assert 0 < len(result.patterns) <= budget.max_patterns
+        assert result.score > 0.0
+        assert set(result.timings) == {"similarity", "clustering",
+                                       "merging", "extraction",
+                                       "selection"}
+
+    def test_every_stage_combination_runs(self, repo, budget):
+        """The architectural claim: all 16 assemblies are valid."""
+        small = repo[:12]
+        for similarity in SIMILARITY_STAGES:
+            for clustering in CLUSTERING_STAGES:
+                for merging in MERGING_STAGES:
+                    for extraction in EXTRACTION_STAGES:
+                        pipeline = ModularPipeline(
+                            similarity=similarity, clustering=clustering,
+                            merging=merging, extraction=extraction,
+                            clusters=2, seed=1)
+                        result = pipeline.run(small, budget)
+                        assert len(result.patterns) >= 0
+                        assert result.total_time() > 0.0
+
+    def test_labels_cover_repository(self, repo, budget):
+        result = ModularPipeline(seed=3).run(repo, budget)
+        assert len(result.labels) == len(repo)
+
+    def test_empty_repo_rejected(self, budget):
+        with pytest.raises(PipelineError):
+            ModularPipeline().run([], budget)
+
+    def test_deterministic(self, repo, budget):
+        a = ModularPipeline(seed=5).run(repo, budget)
+        b = ModularPipeline(seed=5).run(repo, budget)
+        assert a.patterns.codes() == b.patterns.codes()

@@ -1,0 +1,185 @@
+"""Tests for continuous network maintenance (future-work direction)."""
+
+import random
+
+import pytest
+
+from repro.datasets import NetworkConfig, generate_network
+from repro.errors import MaintenanceError, PipelineError
+from repro.graph import Graph
+from repro.patterns import PatternBudget
+from repro.tattoo import (
+    NetworkMaintainer,
+    NetworkMaintenanceConfig,
+    NetworkUpdate,
+)
+from repro.truss import edge_support
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_network(NetworkConfig(nodes=200, cliques=6,
+                                          petals=4, flowers=3), seed=9)
+
+
+@pytest.fixture(scope="module")
+def budget():
+    return PatternBudget(5, min_size=4, max_size=8)
+
+
+def fresh_maintainer(network, budget, **kwargs):
+    config = NetworkMaintenanceConfig(**kwargs)
+    return NetworkMaintainer(network, budget, config)
+
+
+def random_update(maintainer, rng, new_nodes=2, new_edges=6):
+    nodes = sorted(maintainer.network.nodes())
+    next_id = max(nodes) + 1
+    added_nodes = [(next_id + i, "person") for i in range(new_nodes)]
+    added_edges = []
+    for i in range(new_nodes):
+        added_edges.append((next_id + i, rng.choice(nodes), ""))
+    attempts = 0
+    while len(added_edges) < new_nodes + new_edges and attempts < 100:
+        attempts += 1
+        u, v = rng.sample(nodes, 2)
+        if (not maintainer.network.has_edge(u, v)
+                and not any(e[:2] == (u, v) or e[:2] == (v, u)
+                            for e in added_edges)):
+            added_edges.append((u, v, ""))
+    return NetworkUpdate(added_nodes=added_nodes,
+                         added_edges=added_edges)
+
+
+class TestUpdateValidation:
+    def test_empty_network_rejected(self, budget):
+        with pytest.raises(PipelineError):
+            NetworkMaintainer(Graph(), budget)
+
+    def test_duplicate_node_rejected(self, network, budget):
+        m = fresh_maintainer(network, budget)
+        existing = next(iter(m.network.nodes()))
+        with pytest.raises(MaintenanceError):
+            m.apply_update(NetworkUpdate(added_nodes=[(existing, "x")]))
+
+    def test_edge_to_missing_node_rejected(self, network, budget):
+        m = fresh_maintainer(network, budget)
+        with pytest.raises(MaintenanceError):
+            m.apply_update(NetworkUpdate(
+                added_edges=[(10 ** 9, 0, "")]))
+
+    def test_duplicate_edge_rejected(self, network, budget):
+        m = fresh_maintainer(network, budget)
+        u, v = next(iter(m.network.edges()))
+        with pytest.raises(MaintenanceError):
+            m.apply_update(NetworkUpdate(added_edges=[(u, v, "")]))
+
+    def test_missing_edge_removal_rejected(self, network, budget):
+        m = fresh_maintainer(network, budget)
+        with pytest.raises(MaintenanceError):
+            m.apply_update(NetworkUpdate(removed_edges=[(0, 10 ** 9)]))
+
+    def test_missing_node_removal_rejected(self, network, budget):
+        m = fresh_maintainer(network, budget)
+        with pytest.raises(MaintenanceError):
+            m.apply_update(NetworkUpdate(removed_nodes=[10 ** 9]))
+
+    def test_drift_threshold_validation(self):
+        with pytest.raises(MaintenanceError):
+            NetworkMaintenanceConfig(drift_threshold=-0.1)
+
+
+class TestIncrementalSupport:
+    def test_support_matches_oracle_after_insertions(self, network,
+                                                     budget):
+        m = fresh_maintainer(network, budget, drift_threshold=1.0)
+        rng = random.Random(1)
+        for _ in range(3):
+            m.apply_update(random_update(m, rng))
+        assert m.support_snapshot() == edge_support(m.network)
+
+    def test_support_matches_oracle_after_deletions(self, network,
+                                                    budget):
+        m = fresh_maintainer(network, budget, drift_threshold=1.0)
+        rng = random.Random(2)
+        edges = sorted(m.network.edges())
+        removed = rng.sample(edges, 10)
+        m.apply_update(NetworkUpdate(removed_edges=removed))
+        assert m.support_snapshot() == edge_support(m.network)
+
+    def test_support_matches_oracle_after_node_removal(self, network,
+                                                       budget):
+        m = fresh_maintainer(network, budget, drift_threshold=1.0)
+        rng = random.Random(3)
+        victim = rng.choice(sorted(m.network.nodes()))
+        m.apply_update(NetworkUpdate(removed_nodes=[victim]))
+        assert not m.network.has_node(victim)
+        assert m.support_snapshot() == edge_support(m.network)
+
+    def test_original_network_untouched(self, network, budget):
+        before_edges = network.size()
+        m = fresh_maintainer(network, budget, drift_threshold=1.0)
+        rng = random.Random(4)
+        m.apply_update(random_update(m, rng))
+        assert network.size() == before_edges
+
+
+class TestMaintenanceBehaviour:
+    def test_minor_update_keeps_patterns(self, network, budget):
+        m = fresh_maintainer(network, budget, drift_threshold=0.9)
+        before = m.patterns.codes()
+        rng = random.Random(5)
+        report = m.apply_update(random_update(m, rng, new_nodes=1,
+                                              new_edges=1))
+        assert report.kind == "minor"
+        assert m.patterns.codes() == before
+        assert report.score_after == report.score_before
+
+    def test_major_update_never_degrades_surviving_score(self, network,
+                                                         budget):
+        m = fresh_maintainer(network, budget, drift_threshold=0.0)
+        rng = random.Random(6)
+        report = m.apply_update(random_update(m, rng, new_nodes=3,
+                                              new_edges=12))
+        assert report.kind == "major"
+        assert report.swap_stats is not None
+        # the swap phase itself never loses quality
+        assert (report.swap_stats.score_after
+                >= report.swap_stats.score_before - 1e-9)
+
+    def test_drift_accumulates_across_minor_updates(self, network,
+                                                    budget):
+        m = fresh_maintainer(network, budget, drift_threshold=0.9)
+        rng = random.Random(7)
+        d1 = m.apply_update(random_update(m, rng, 1, 2)).drift
+        d2 = m.apply_update(random_update(m, rng, 1, 2)).drift
+        assert d2 >= d1
+
+    def test_major_resets_drift(self, network, budget):
+        m = fresh_maintainer(network, budget, drift_threshold=0.0)
+        rng = random.Random(8)
+        m.apply_update(random_update(m, rng))
+        assert m.drift() == 0.0
+
+    def test_vanished_pattern_triggers_refresh(self, budget):
+        """Deleting the region a pattern lives in forces maintenance."""
+        from repro.graph import complete_graph, path_graph, disjoint_union
+        net = disjoint_union([complete_graph(5, label="a"),
+                              path_graph(30, label="b")])
+        m = NetworkMaintainer(net, PatternBudget(3, min_size=4,
+                                                 max_size=6),
+                              NetworkMaintenanceConfig(
+                                  drift_threshold=0.9))
+        clique_nodes = [v for v in m.network.nodes()
+                        if m.network.node_label(v) == "a"]
+        report = m.apply_update(NetworkUpdate(
+            removed_nodes=clique_nodes))
+        assert report.kind == "major"
+        # no pattern references the deleted clique anymore
+        for pattern in m.patterns:
+            assert "a" not in pattern.graph.label_multiset()
+
+    def test_update_repr_and_empty(self):
+        update = NetworkUpdate()
+        assert update.is_empty()
+        assert "+n0" in repr(update)

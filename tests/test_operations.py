@@ -1,0 +1,251 @@
+"""Unit tests for graph structural operations."""
+
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graph import (
+    Graph,
+    bfs_order,
+    build_graph,
+    complete_graph,
+    connected_components,
+    cycle_basis_sizes,
+    cycle_graph,
+    diameter,
+    disjoint_union,
+    edge_subgraph,
+    flower_graph,
+    induced_subgraph,
+    is_clique,
+    is_connected,
+    is_cycle_graph,
+    is_path_graph,
+    is_star,
+    is_tree,
+    largest_component_subgraph,
+    path_graph,
+    petal_graph,
+    shortest_path_length,
+    star_graph,
+    triangles,
+)
+
+
+def two_components():
+    """Triangle (0-2) plus disjoint edge (3-4)."""
+    return build_graph([(i, "A") for i in range(5)],
+                       edges=[(0, 1), (1, 2), (0, 2), (3, 4)])
+
+
+class TestTraversal:
+    def test_bfs_order_starts_at_start(self):
+        g = path_graph(4)
+        assert bfs_order(g, 0) == [0, 1, 2, 3]
+
+    def test_bfs_missing_start(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_order(Graph(), 0)
+
+    def test_bfs_stays_in_component(self):
+        g = two_components()
+        assert set(bfs_order(g, 3)) == {3, 4}
+
+    def test_connected_components(self):
+        comps = connected_components(two_components())
+        assert sorted(map(sorted, comps)) == [[0, 1, 2], [3, 4]]
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(5))
+        assert not is_connected(two_components())
+        assert is_connected(Graph())
+
+    def test_shortest_path_length(self):
+        g = path_graph(5)
+        assert shortest_path_length(g, 0, 4) == 4
+        assert shortest_path_length(g, 2, 2) == 0
+
+    def test_shortest_path_disconnected(self):
+        assert shortest_path_length(two_components(), 0, 4) is None
+
+    def test_diameter(self):
+        assert diameter(path_graph(5)) == 4
+        assert diameter(cycle_graph(6)) == 3
+        assert diameter(complete_graph(4)) == 1
+
+    def test_diameter_errors(self):
+        with pytest.raises(GraphError):
+            diameter(Graph())
+        with pytest.raises(GraphError):
+            diameter(two_components())
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self):
+        g = two_components()
+        sub = induced_subgraph(g, [0, 1, 3])
+        assert sub.order() == 3
+        assert sub.size() == 1
+        assert sub.has_edge(0, 1)
+
+    def test_induced_subgraph_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            induced_subgraph(two_components(), [0, 99])
+
+    def test_induced_preserves_labels(self):
+        g = build_graph([(0, "X"), (1, "Y")], labeled_edges=[(0, 1, "e")])
+        sub = induced_subgraph(g, [0, 1])
+        assert sub.node_label(0) == "X"
+        assert sub.edge_label(0, 1) == "e"
+
+    def test_edge_subgraph(self):
+        g = complete_graph(4)
+        sub = edge_subgraph(g, [(0, 1), (1, 2)])
+        assert sub.order() == 3
+        assert sub.size() == 2
+        assert not sub.has_edge(0, 2)
+
+    def test_edge_subgraph_duplicate_edges_ok(self):
+        g = complete_graph(3)
+        sub = edge_subgraph(g, [(0, 1), (1, 0)])
+        assert sub.size() == 1
+
+    def test_edge_subgraph_missing_edge(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            edge_subgraph(g, [(0, 2)])
+
+    def test_largest_component(self):
+        sub = largest_component_subgraph(two_components())
+        assert sorted(sub.nodes()) == [0, 1, 2]
+
+    def test_largest_component_empty(self):
+        assert largest_component_subgraph(Graph()).order() == 0
+
+
+class TestTriangles:
+    def test_triangle_count_k4(self):
+        assert len(triangles(complete_graph(4))) == 4
+
+    def test_no_triangles_in_tree(self):
+        assert triangles(path_graph(6)) == []
+
+    def test_triangles_unique(self):
+        tris = triangles(complete_graph(5))
+        assert len(tris) == len(set(tris)) == 10
+
+
+class TestCycleBasis:
+    def test_tree_has_empty_basis(self):
+        assert cycle_basis_sizes(path_graph(6)) == []
+
+    def test_single_cycle(self):
+        assert cycle_basis_sizes(cycle_graph(5)) == [5]
+
+    def test_k4_basis_count(self):
+        # |E| - |V| + components = 6 - 4 + 1 = 3 independent cycles
+        sizes = cycle_basis_sizes(complete_graph(4))
+        assert len(sizes) == 3
+        assert all(s >= 3 for s in sizes)
+
+    def test_disconnected_basis(self):
+        g = disjoint_union([cycle_graph(3), cycle_graph(4)])
+        assert sorted(cycle_basis_sizes(g)) == [3, 4]
+
+    def test_basis_size_matches_circuit_rank(self):
+        g = petal_graph(3, 3)
+        rank = g.size() - g.order() + 1
+        assert len(cycle_basis_sizes(g)) == rank
+
+
+class TestShapePredicates:
+    def test_is_tree(self):
+        assert is_tree(path_graph(4))
+        assert is_tree(star_graph(5))
+        assert not is_tree(cycle_graph(4))
+        assert not is_tree(two_components())
+        assert is_tree(Graph())
+
+    def test_is_path_graph(self):
+        assert is_path_graph(path_graph(2))
+        assert is_path_graph(path_graph(7))
+        assert not is_path_graph(star_graph(3))
+        assert not is_path_graph(cycle_graph(4))
+        assert not is_path_graph(Graph())
+
+    def test_is_star(self):
+        assert is_star(star_graph(3))
+        assert is_star(star_graph(8))
+        # P3 is simultaneously a path and a 2-leaf star; the topology
+        # classifier resolves the tie in favour of "chain".
+        assert is_star(path_graph(3))
+        assert not is_star(path_graph(4))
+        assert not is_star(cycle_graph(4))
+
+    def test_is_cycle_graph(self):
+        assert is_cycle_graph(cycle_graph(3))
+        assert is_cycle_graph(cycle_graph(9))
+        assert not is_cycle_graph(path_graph(3))
+        assert not is_cycle_graph(complete_graph(4))
+
+    def test_is_clique(self):
+        assert is_clique(complete_graph(2))
+        assert is_clique(complete_graph(5))
+        assert not is_clique(cycle_graph(4))
+        assert not is_clique(Graph())
+
+
+class TestDisjointUnion:
+    def test_union_counts(self):
+        g = disjoint_union([path_graph(3), cycle_graph(3)])
+        assert g.order() == 6
+        assert g.size() == 5
+        assert len(connected_components(g)) == 2
+
+    def test_union_relabels_from_zero(self):
+        g = disjoint_union([path_graph(2), path_graph(2)])
+        assert sorted(g.nodes()) == [0, 1, 2, 3]
+
+    def test_union_preserves_labels(self):
+        a = build_graph([(0, "X")])
+        b = build_graph([(0, "Y")])
+        g = disjoint_union([a, b])
+        assert sorted(g.label_multiset()) == ["X", "Y"]
+
+    def test_union_empty_list(self):
+        assert disjoint_union([]).order() == 0
+
+
+class TestMotifGenerators:
+    def test_petal_structure(self):
+        g = petal_graph(2, 2)
+        # anchors 0,1 + one interior node per petal
+        assert g.order() == 4
+        assert g.size() == 5
+        assert g.degree(0) == 3 and g.degree(1) == 3
+
+    def test_petal_cycle_rank(self):
+        g = petal_graph(4, 3)
+        assert g.size() - g.order() + 1 == 4
+
+    def test_flower_structure(self):
+        g = flower_graph(3, 3)
+        assert g.degree(0) == 6
+        assert len(triangles(g)) == 3
+
+    def test_flower_validation(self):
+        with pytest.raises(GraphError):
+            flower_graph(0, 3)
+        with pytest.raises(GraphError):
+            flower_graph(1, 2)
+
+    def test_generator_validation(self):
+        with pytest.raises(GraphError):
+            path_graph(0)
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+        with pytest.raises(GraphError):
+            star_graph(0)
+        with pytest.raises(GraphError):
+            complete_graph(0)
+        with pytest.raises(GraphError):
+            petal_graph(1, 1)

@@ -1,0 +1,112 @@
+"""Tests for aesthetics-aware layout optimization and panel arrangement."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+)
+from repro.patterns import Pattern
+from repro.vqi import (
+    LayoutObjective,
+    arrange_panel,
+    circular_layout,
+    layout_cost,
+    layout_graph,
+    optimize_layout,
+    panel_scan_cost,
+    edge_crossings,
+    visual_complexity,
+)
+
+
+class TestObjective:
+    def test_crossings_dominate(self):
+        g = cycle_graph(4)
+        g.add_edge(0, 2)
+        g.add_edge(1, 3)
+        square = {0: (0.0, 0.0), 1: (1.0, 0.0), 2: (1.0, 1.0),
+                  3: (0.0, 1.0)}
+        planar = {0: (0.0, 0.5), 1: (0.5, 0.0), 2: (1.0, 0.5),
+                  3: (0.5, 1.0)}
+        # planar has fewer crossings than the crossed-diagonal square
+        assert (edge_crossings(g, planar)
+                <= edge_crossings(g, square))
+
+    def test_cost_non_negative(self):
+        g = gnm_random_graph(8, 12, random.Random(1))
+        assert layout_cost(g, layout_graph(g)) >= 0.0
+
+    def test_custom_weights(self):
+        g = complete_graph(5)
+        positions = circular_layout(g)
+        heavy = LayoutObjective(crossing_weight=100.0)
+        light = LayoutObjective(crossing_weight=0.0)
+        assert heavy.cost(g, positions) > light.cost(g, positions)
+
+
+class TestOptimizeLayout:
+    def test_never_worse_than_initial(self):
+        for seed in range(3):
+            g = gnm_random_graph(9, 14, random.Random(seed))
+            initial = circular_layout(g)
+            optimized = optimize_layout(g, seed=seed, iterations=150,
+                                        initial=initial)
+            assert (layout_cost(g, optimized)
+                    <= layout_cost(g, initial) + 1e-9)
+
+    def test_improves_bad_layout(self):
+        g = gnm_random_graph(10, 16, random.Random(2))
+        initial = circular_layout(g)
+        optimized = optimize_layout(g, seed=1, iterations=400,
+                                    initial=initial)
+        assert layout_cost(g, optimized) < layout_cost(g, initial)
+
+    def test_positions_stay_in_unit_square(self):
+        g = complete_graph(6)
+        for x, y in optimize_layout(g, seed=3, iterations=100).values():
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_tiny_graphs(self):
+        g = path_graph(1)
+        assert optimize_layout(g) == layout_graph(g)
+
+    def test_deterministic(self):
+        g = gnm_random_graph(8, 12, random.Random(4))
+        a = optimize_layout(g, seed=9, iterations=100)
+        b = optimize_layout(g, seed=9, iterations=100)
+        assert a == b
+
+
+class TestPanelArrangement:
+    def panel(self):
+        return [Pattern(complete_graph(6, label="A")),
+                Pattern(path_graph(4, label="A")),
+                Pattern(cycle_graph(5, label="A")),
+                Pattern(path_graph(2, label="A"))]
+
+    def test_arranged_by_complexity(self):
+        arranged = arrange_panel(self.panel())
+        complexities = [visual_complexity(p.graph) for p in arranged]
+        assert complexities == sorted(complexities)
+
+    def test_arrangement_lowers_scan_cost(self):
+        shuffled = self.panel()
+        random.Random(0).shuffle(shuffled)
+        # worst case: most complex first
+        worst = list(reversed(arrange_panel(shuffled)))
+        assert (panel_scan_cost(arrange_panel(shuffled))
+                <= panel_scan_cost(worst))
+
+    def test_scan_cost_empty(self):
+        assert panel_scan_cost([]) == 0.0
+
+    def test_arrangement_stable_for_ties(self):
+        panel = [Pattern(path_graph(3, label="A")),
+                 Pattern(path_graph(3, label="B"))]
+        assert arrange_panel(panel) == arrange_panel(panel)

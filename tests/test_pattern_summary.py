@@ -1,0 +1,132 @@
+"""Tests for pattern-based graph summarization."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+)
+from repro.patterns import Pattern
+from repro.summary import (
+    label_grouping_summary,
+    summarize_with_patterns,
+)
+
+
+def two_triangles_and_a_path():
+    """Two disjoint triangles bridged by a path."""
+    g = disjoint_union([complete_graph(3, label="A"),
+                        complete_graph(3, label="A")])
+    g.add_node(6, label="B")
+    g.add_edge(2, 6)
+    g.add_edge(6, 3)
+    return g
+
+
+class TestPatternSummary:
+    def test_instances_collapse(self):
+        g = two_triangles_and_a_path()
+        result = summarize_with_patterns(
+            g, [Pattern(complete_graph(3, label="A"))])
+        assert len(result.instances) == 2
+        # 2 supernodes + bridging node
+        assert result.summary.order() == 3
+        assert result.coverage() == pytest.approx(6 / 8)
+
+    def test_supernode_labels_are_topologies(self):
+        g = two_triangles_and_a_path()
+        result = summarize_with_patterns(
+            g, [Pattern(complete_graph(3, label="A"))])
+        labels = [result.summary.node_label(v)
+                  for v in result.summary.nodes()]
+        assert labels.count("triangle") == 2
+
+    def test_member_counts_recorded(self):
+        g = two_triangles_and_a_path()
+        result = summarize_with_patterns(
+            g, [Pattern(complete_graph(3, label="A"))])
+        members = sorted(result.summary.node_attrs(v).get("members", 0)
+                         for v in result.summary.nodes())
+        assert members == [1, 3, 3]
+
+    def test_instances_are_disjoint(self):
+        g = disjoint_union([cycle_graph(6, label="A")] * 3)
+        result = summarize_with_patterns(
+            g, [Pattern(cycle_graph(6, label="A"))])
+        seen_nodes = set()
+        for instance in result.instances:
+            assert not (instance.nodes & seen_nodes)
+            seen_nodes |= instance.nodes
+
+    def test_superedge_multiplicity(self):
+        g = two_triangles_and_a_path()
+        result = summarize_with_patterns(
+            g, [Pattern(complete_graph(3, label="A"))])
+        total_multiplicity = sum(
+            result.summary.edge_attrs(u, v).get("multiplicity", 0)
+            for u, v in result.summary.edges())
+        assert total_multiplicity == 2  # the two bridge edges
+
+    def test_no_patterns_identity_like(self):
+        g = path_graph(5, label="A")
+        result = summarize_with_patterns(g, [])
+        assert result.summary.order() == 5
+        assert result.coverage() == 0.0
+
+    def test_compression_metrics(self):
+        g = two_triangles_and_a_path()
+        result = summarize_with_patterns(
+            g, [Pattern(complete_graph(3, label="A"))])
+        assert result.node_compression() == pytest.approx(3 / 7)
+        assert result.edge_compression() < 1.0
+
+    def test_load_reduction_positive_for_dense_graph(self):
+        g = disjoint_union([complete_graph(5, label="A")] * 2)
+        g.add_edge(0, 5)
+        result = summarize_with_patterns(
+            g, [Pattern(complete_graph(5, label="A"))])
+        assert result.load_reduction(g) > 0.0
+
+    def test_max_instances_respected(self):
+        g = disjoint_union([complete_graph(3, label="A")] * 5)
+        result = summarize_with_patterns(
+            g, [Pattern(complete_graph(3, label="A"))], max_instances=2)
+        assert len(result.instances) == 2
+
+    def test_empty_graph(self):
+        result = summarize_with_patterns(Graph(), [])
+        assert result.summary.order() == 0
+        assert result.node_compression() == 1.0
+
+
+class TestLabelGroupingBaseline:
+    def test_one_supernode_per_label(self):
+        g = two_triangles_and_a_path()
+        result = label_grouping_summary(g)
+        assert result.summary.order() == 2  # labels A and B
+
+    def test_self_edges_dropped(self):
+        g = complete_graph(4, label="X")
+        result = label_grouping_summary(g)
+        assert result.summary.order() == 1
+        assert result.summary.size() == 0
+
+    def test_members_recorded(self):
+        g = two_triangles_and_a_path()
+        result = label_grouping_summary(g)
+        members = sorted(result.summary.node_attrs(v)["members"]
+                         for v in result.summary.nodes())
+        assert members == [1, 6]
+
+    def test_pattern_summary_preserves_more_topology(self):
+        """The tutorial's argument: pattern-based summaries keep
+        readable structure; label grouping collapses it entirely."""
+        g = two_triangles_and_a_path()
+        pattern_based = summarize_with_patterns(
+            g, [Pattern(complete_graph(3, label="A"))])
+        label_based = label_grouping_summary(g)
+        assert pattern_based.summary.order() > label_based.summary.order()
+        assert pattern_based.coverage() > label_based.coverage()

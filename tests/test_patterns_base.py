@@ -1,0 +1,158 @@
+"""Tests for Pattern, PatternBudget, and PatternSet."""
+
+import pytest
+
+from repro.errors import BudgetError, GraphError
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+    star_graph,
+)
+from repro.patterns import (
+    Pattern,
+    PatternBudget,
+    PatternSet,
+    basic_edge,
+    basic_triangle,
+    basic_two_path,
+    default_basic_patterns,
+    labeled_basic_edges,
+)
+
+
+class TestPattern:
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            Pattern(Graph())
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(GraphError):
+            Pattern(disjoint_union([path_graph(2), path_graph(2)]))
+
+    def test_basic_vs_canned(self):
+        assert Pattern(path_graph(3)).is_basic
+        assert Pattern(complete_graph(3)).is_basic
+        assert Pattern(cycle_graph(4)).is_canned
+        assert not Pattern(cycle_graph(4)).is_basic
+
+    def test_equality_by_isomorphism(self):
+        p1 = Pattern(cycle_graph(5, label="A"))
+        relabeled = cycle_graph(5, label="A").relabeled(
+            {0: 4, 1: 0, 2: 1, 3: 2, 4: 3})
+        p2 = Pattern(relabeled)
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_inequality(self):
+        assert Pattern(path_graph(4)) != Pattern(star_graph(3))
+
+    def test_order_size(self):
+        p = Pattern(cycle_graph(5))
+        assert (p.order(), p.size()) == (5, 5)
+
+    def test_source_recorded(self):
+        assert Pattern(path_graph(2), source="x").source == "x"
+
+    def test_repr(self):
+        assert "canned" in repr(Pattern(cycle_graph(4)))
+
+
+class TestPatternBudget:
+    def test_admits_in_range(self):
+        b = PatternBudget(5, min_size=4, max_size=8)
+        assert b.admits(cycle_graph(4))
+        assert b.admits(cycle_graph(8))
+        assert not b.admits(path_graph(3))
+        assert not b.admits(cycle_graph(9))
+
+    def test_invalid_budget(self):
+        with pytest.raises(BudgetError):
+            PatternBudget(0)
+        with pytest.raises(BudgetError):
+            PatternBudget(3, min_size=5, max_size=4)
+        with pytest.raises(BudgetError):
+            PatternBudget(3, min_size=0)
+
+
+class TestPatternSet:
+    def test_dedup_by_isomorphism(self):
+        s = PatternSet()
+        assert s.add(Pattern(cycle_graph(4, label="A")))
+        shifted = cycle_graph(4, label="A").relabeled(
+            {0: 3, 1: 0, 2: 1, 3: 2})
+        assert not s.add(Pattern(shifted))
+        assert len(s) == 1
+
+    def test_iteration_order(self):
+        patterns = [Pattern(path_graph(2)), Pattern(path_graph(3)),
+                    Pattern(cycle_graph(4))]
+        s = PatternSet(patterns)
+        assert list(s) == patterns
+
+    def test_contains(self):
+        s = PatternSet([Pattern(star_graph(3))])
+        assert Pattern(star_graph(3)) in s
+        assert Pattern(path_graph(4)) not in s
+
+    def test_remove(self):
+        s = PatternSet([Pattern(path_graph(2)), Pattern(path_graph(3))])
+        assert s.remove(Pattern(path_graph(2)))
+        assert len(s) == 1
+        assert not s.remove(Pattern(path_graph(2)))
+
+    def test_replace_preserves_position(self):
+        a, b, c = (Pattern(path_graph(2)), Pattern(path_graph(3)),
+                   Pattern(path_graph(4)))
+        s = PatternSet([a, b])
+        assert s.replace(a, c)
+        assert list(s) == [c, b]
+
+    def test_replace_fails_on_duplicate(self):
+        a, b = Pattern(path_graph(2)), Pattern(path_graph(3))
+        s = PatternSet([a, b])
+        assert not s.replace(a, b)
+        assert list(s) == [a, b]
+
+    def test_replace_fails_on_missing(self):
+        s = PatternSet([Pattern(path_graph(2))])
+        assert not s.replace(Pattern(star_graph(3)), Pattern(path_graph(4)))
+
+    def test_basic_canned_split(self):
+        s = PatternSet([Pattern(path_graph(2)), Pattern(cycle_graph(5))])
+        assert len(s.basic()) == 1
+        assert len(s.canned()) == 1
+
+    def test_copy_independent(self):
+        s = PatternSet([Pattern(path_graph(2))])
+        t = s.copy()
+        t.add(Pattern(path_graph(3)))
+        assert len(s) == 1
+
+    def test_getitem_and_sizes(self):
+        p = Pattern(cycle_graph(4))
+        s = PatternSet([p])
+        assert s[0] is p
+        assert s.sizes() == [(4, 4)]
+
+
+class TestBasicPatterns:
+    def test_default_trio(self):
+        trio = default_basic_patterns()
+        assert len(trio) == 3
+        assert all(p.is_basic for p in trio)
+
+    def test_shapes(self):
+        assert basic_edge().size() == 1
+        assert basic_two_path().size() == 2
+        assert basic_triangle().size() == 3
+
+    def test_labeled_basic_edges_pairs(self):
+        patterns = labeled_basic_edges(["C", "N"])
+        # C-C, C-N, N-N
+        assert len(patterns) == 3
+
+    def test_labeled_basic_edges_dedup_labels(self):
+        assert len(labeled_basic_edges(["C", "C"])) == 1

@@ -1,0 +1,242 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each class pins one invariant the library's algorithms rely on:
+coverage monotonicity/submodularity, the swapping never-degrade
+guarantee, truss-peeling consistency with the naive definition,
+closure representation, SAX shape invariance, and query-builder
+round-trips.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, edge_key, induced_subgraph, is_connected
+from repro.matching import is_subgraph
+from repro.patterns import (
+    CoverageIndex,
+    Pattern,
+    PatternBudget,
+    PatternSet,
+    SetScorer,
+    greedy_select,
+)
+
+SUPPRESSED = [HealthCheck.too_slow]
+
+
+@st.composite
+def labeled_graphs(draw, min_nodes=2, max_nodes=8, labels="AB"):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    g = Graph()
+    for i in range(n):
+        g.add_node(i, label=draw(st.sampled_from(labels)))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(st.lists(st.sampled_from(possible), unique=True,
+                           max_size=len(possible)))
+    for u, v in chosen:
+        g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=2, max_nodes=7, labels="AB"):
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    g = Graph()
+    for i in range(n):
+        g.add_node(i, label=draw(st.sampled_from(labels)))
+    # random spanning tree guarantees connectivity
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        g.add_edge(i, parent)
+    extra = [(i, j) for i in range(n) for j in range(i + 1, n)
+             if not g.has_edge(i, j)]
+    for u, v in draw(st.lists(st.sampled_from(extra), unique=True,
+                              max_size=len(extra))) if extra else []:
+        g.add_edge(u, v)
+    return g
+
+
+class TestCoverageProperties:
+    @given(connected_graphs(), labeled_graphs(min_nodes=4, max_nodes=9))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_coverage_monotone_in_patterns(self, pattern_graph, data):
+        index = CoverageIndex([data])
+        p = Pattern(pattern_graph)
+        single = index.set_coverage([p])
+        assert 0.0 <= single <= 1.0
+        # adding a pattern never lowers coverage
+        assert index.set_coverage([p, p]) >= single - 1e-12
+
+    @given(connected_graphs(max_nodes=5),
+           connected_graphs(max_nodes=5),
+           connected_graphs(max_nodes=5),
+           labeled_graphs(min_nodes=4, max_nodes=9))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_marginal_coverage_submodular(self, g1, g2, g3, data):
+        index = CoverageIndex([data])
+        p1, p2, p3 = Pattern(g1), Pattern(g2), Pattern(g3)
+        small_context = index.marginal_coverage(p3, [p1])
+        large_context = index.marginal_coverage(p3, [p1, p2])
+        assert large_context <= small_context + 1e-12
+
+    @given(connected_graphs(max_nodes=6),
+           labeled_graphs(min_nodes=4, max_nodes=9))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_solo_coverage_bounds_marginal(self, pattern_graph, data):
+        index = CoverageIndex([data])
+        p = Pattern(pattern_graph)
+        q = Pattern(pattern_graph.copy())
+        assert (index.marginal_coverage(p, [])
+                <= index.solo_coverage(p) + 1e-12)
+
+
+class TestSelectionProperties:
+    @given(st.lists(connected_graphs(min_nodes=3, max_nodes=6),
+                    min_size=1, max_size=6),
+           labeled_graphs(min_nodes=5, max_nodes=9))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_greedy_respects_budget(self, pattern_graphs, data):
+        candidates = [Pattern(g) for g in pattern_graphs]
+        scorer = SetScorer(CoverageIndex([data]))
+        budget = PatternBudget(3, min_size=3, max_size=6)
+        result = greedy_select(candidates, budget, scorer)
+        assert len(result.patterns) <= 3
+        for pattern in result.patterns:
+            assert budget.admits(pattern.graph)
+
+    @given(st.lists(connected_graphs(min_nodes=3, max_nodes=6),
+                    min_size=2, max_size=6),
+           labeled_graphs(min_nodes=5, max_nodes=9))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_swapping_never_degrades(self, pattern_graphs, data):
+        from repro.midas import multi_scan_swap
+        patterns = [Pattern(g) for g in pattern_graphs]
+        current, candidates = patterns[:1], patterns[1:]
+        scorer = SetScorer(CoverageIndex([data]))
+        _, stats = multi_scan_swap(current, candidates, scorer)
+        assert stats.score_after >= stats.score_before - 1e-12
+
+
+class TestPatternSetProperties:
+    @given(st.lists(connected_graphs(min_nodes=2, max_nodes=5),
+                    max_size=8))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_patternset_no_isomorphic_duplicates(self, graphs):
+        pattern_set = PatternSet(Pattern(g) for g in graphs)
+        codes = pattern_set.codes()
+        assert len(codes) == len(set(codes))
+        # every input is represented by an isomorphic member
+        for g in graphs:
+            assert Pattern(g) in pattern_set
+
+
+class TestTrussProperties:
+    @given(labeled_graphs(min_nodes=3, max_nodes=9))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_trussness_definition(self, g):
+        """Every edge of trussness k lies in the k-truss: the subgraph
+        of edges with trussness >= k has support >= k - 2 on it."""
+        from repro.graph import edge_subgraph
+        from repro.truss import edge_support, truss_decomposition
+        trussness = truss_decomposition(g)
+        assert set(trussness) == set(g.edges())
+        for k in set(trussness.values()):
+            edges_k = [e for e, t in trussness.items() if t >= k]
+            sub = edge_subgraph(g, edges_k)
+            support = edge_support(sub)
+            assert all(s >= k - 2 for s in support.values())
+
+    @given(labeled_graphs(min_nodes=3, max_nodes=9))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_trussness_at_least_two(self, g):
+        from repro.truss import truss_decomposition
+        assert all(k >= 2 for k in truss_decomposition(g).values())
+
+
+class TestClosureProperties:
+    @given(st.lists(connected_graphs(min_nodes=2, max_nodes=6),
+                    min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_every_member_represented(self, members):
+        from repro.summary import SummaryGraph, closure_represents
+        summary = SummaryGraph()
+        for member in members:
+            mapping = summary.merge(member)
+            assert closure_represents(summary, member, mapping)
+
+    @given(st.lists(connected_graphs(min_nodes=2, max_nodes=6),
+                    min_size=1, max_size=5))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_summary_size_bounds(self, members):
+        from repro.summary import build_summary
+        summary = build_summary(members)
+        assert summary.order() <= sum(m.order() for m in members)
+        assert summary.order() >= max(m.order() for m in members)
+
+
+class TestSamplingProperties:
+    @given(labeled_graphs(min_nodes=4, max_nodes=10),
+           st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_sampled_subgraphs_connected_and_answerable(self, g, size,
+                                                        seed):
+        from repro.datasets import sample_connected_subgraph
+        sample = sample_connected_subgraph(g, size, random.Random(seed))
+        if sample is not None:
+            assert sample.order() == size
+            assert is_connected(sample)
+            assert is_subgraph(sample, g)
+
+
+class TestQueryBuilderProperties:
+    @given(connected_graphs(min_nodes=2, max_nodes=7))
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_pattern_drop_reproduces_pattern(self, g):
+        """Dropping a pattern yields a query isomorphic to it."""
+        from repro.matching import are_isomorphic
+        from repro.query import QueryBuilder
+        builder = QueryBuilder()
+        builder.add_pattern(Pattern(g))
+        assert are_isomorphic(builder.query, g)
+
+
+class TestSaxProperties:
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False),
+                    min_size=16, max_size=64),
+           st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=-50.0, max_value=50.0))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_sax_affine_invariance(self, values, scale, shift):
+        from repro.timeseries import sax_word
+        import numpy as np
+        base = np.asarray(values)
+        transformed = base * scale + shift
+        assert sax_word(base) == sax_word(transformed)
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10,
+                              allow_nan=False),
+                    min_size=8, max_size=40))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=SUPPRESSED)
+    def test_word_complexity_bounded(self, values):
+        from repro.timeseries import sax_word, word_complexity
+        word = sax_word(values, segments=8, alphabet=4)
+        assert 0.0 <= word_complexity(word) < 1.0

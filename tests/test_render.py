@@ -1,0 +1,87 @@
+"""Tests for SVG rendering options and the rendering pipeline."""
+
+import pytest
+
+from repro.graph import complete_graph, cycle_graph, path_graph
+from repro.patterns import Pattern
+from repro.vqi import (
+    render_graph_svg,
+    render_pattern_panel_svg,
+    visual_complexity,
+)
+
+
+def panel():
+    return [Pattern(complete_graph(5, label="A")),
+            Pattern(path_graph(4, label="B")),
+            Pattern(cycle_graph(5, label="C"))]
+
+
+class TestGraphSvg:
+    def test_standalone_document(self):
+        svg = render_graph_svg(cycle_graph(4, label="X"))
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_fragment_mode(self):
+        svg = render_graph_svg(cycle_graph(4), standalone=False)
+        assert not svg.startswith("<svg")
+        assert "<circle" in svg
+
+    def test_custom_positions_used(self):
+        g = path_graph(2)
+        positions = {0: (0.0, 0.0), 1: (1.0, 1.0)}
+        svg = render_graph_svg(g, width=100, height=100,
+                               positions=positions)
+        # node radius offsets corner coordinates to 12 and 88
+        assert 'cx="12' in svg
+        assert 'cx="88' in svg
+
+    def test_edge_labels_rendered(self):
+        g = path_graph(2)
+        g.set_edge_label(0, 1, "bond")
+        svg = render_graph_svg(g)
+        assert ">bond<" in svg
+
+    def test_shared_palette_consistent(self):
+        palette = {}
+        svg1 = render_graph_svg(path_graph(2, label="Z"),
+                                palette_index=palette)
+        color = palette["Z"]
+        svg2 = render_graph_svg(cycle_graph(3, label="Z"),
+                                palette_index=palette)
+        assert color in svg1 and color in svg2
+
+
+class TestPanelSvg:
+    def test_grid_dimensions(self):
+        svg = render_pattern_panel_svg(panel(), columns=2, cell=100)
+        assert 'width="200"' in svg
+        assert 'height="200"' in svg  # 3 patterns -> 2 rows
+
+    def test_arrange_orders_by_complexity(self):
+        patterns = panel()  # clique first (most complex)
+        svg_plain = render_pattern_panel_svg(patterns, columns=3)
+        svg_arranged = render_pattern_panel_svg(patterns, columns=3,
+                                                arrange=True)
+        # complexity order differs from input order -> different SVG
+        complexities = [visual_complexity(p.graph) for p in patterns]
+        assert complexities != sorted(complexities)
+        assert svg_plain != svg_arranged
+
+    def test_optimize_changes_layout(self):
+        patterns = [Pattern(complete_graph(6, label="A"))]
+        svg_plain = render_pattern_panel_svg(patterns)
+        svg_optimized = render_pattern_panel_svg(patterns,
+                                                 optimize=True)
+        assert svg_plain != svg_optimized
+        assert svg_optimized.count("<circle") == 6
+
+    def test_single_column(self):
+        svg = render_pattern_panel_svg(panel(), columns=1, cell=80)
+        assert 'width="80"' in svg
+        assert 'height="240"' in svg
+
+    def test_columns_clamped(self):
+        svg = render_pattern_panel_svg(panel(), columns=0)
+        assert svg.startswith("<svg")

@@ -1,0 +1,105 @@
+"""Tests for cognitive-load-aware result grouping and rendering."""
+
+import pytest
+
+from repro.core import PatternBudget, build_vqi
+from repro.datasets import NetworkConfig, generate_chemical_repository, \
+    generate_network
+from repro.errors import PipelineError
+from repro.graph import complete_graph, cycle_graph, path_graph
+from repro.query import GraphMatch, QueryResultSet
+from repro.vqi import (
+    ResultsPanel,
+    group_results,
+    render_results_panel_svg,
+    results_complexity_reduction,
+)
+
+
+def fake_results(graphs):
+    matches = [GraphMatch(i, g, [{}]) for i, g in enumerate(graphs)]
+    return QueryResultSet(matches, graphs_searched=len(graphs),
+                          graphs_pruned=0)
+
+
+class TestGrouping:
+    def test_isomorphic_results_fold(self):
+        shifted = cycle_graph(5, label="A").relabeled(
+            {0: 4, 1: 0, 2: 1, 3: 2, 4: 3})
+        results = fake_results([cycle_graph(5, label="A"), shifted,
+                                path_graph(4, label="A")])
+        groups = group_results(results)
+        assert len(groups) == 2
+        assert groups[0].count == 2  # the two cycles
+        assert len(groups[0].graph_names) == 2
+
+    def test_ordering_by_multiplicity(self):
+        results = fake_results([path_graph(3, label="A")] * 3
+                               + [complete_graph(4, label="A")])
+        groups = group_results(results)
+        assert groups[0].count == 3
+
+    def test_max_graphs_cap(self):
+        results = fake_results([path_graph(3, label="A")] * 10)
+        groups = group_results(results, max_graphs=4)
+        assert groups[0].count == 4
+
+    def test_empty(self):
+        assert group_results(fake_results([])) == []
+
+
+class TestReduction:
+    def test_full_fold_on_identical_structures(self):
+        results = fake_results([cycle_graph(4, label="A")] * 8)
+        stats = results_complexity_reduction(results)
+        assert stats["items"] == 8.0
+        assert stats["groups"] == 1.0
+        assert stats["reduction"] == pytest.approx(7 / 8)
+
+    def test_no_fold_on_distinct_structures(self):
+        results = fake_results([path_graph(n, label="A")
+                                for n in range(2, 6)])
+        stats = results_complexity_reduction(results)
+        assert stats["reduction"] == 0.0
+
+    def test_empty(self):
+        stats = results_complexity_reduction(fake_results([]))
+        assert stats["items"] == 0.0
+
+
+class TestNetworkResultsFold:
+    def test_network_query_results_fold_hard(self):
+        """All embeddings of one query are isomorphic -> one group."""
+        network = generate_network(NetworkConfig(nodes=150), seed=63)
+        vqi = build_vqi(network, PatternBudget(4, min_size=4,
+                                               max_size=7))
+        vqi.query_panel.builder.add_pattern(vqi.pattern_panel.canned[0])
+        results = vqi.execute(max_embeddings=8)
+        stats = results_complexity_reduction(results)
+        if stats["items"] > 1:
+            assert stats["reduction"] > 0.5
+
+
+class TestRendering:
+    def test_svg_with_badges(self):
+        results = fake_results([cycle_graph(4, label="A")] * 3)
+        svg = render_results_panel_svg(results)
+        assert svg.startswith("<svg")
+        assert ">x3<" in svg
+
+    def test_max_groups_cap(self):
+        results = fake_results([path_graph(n, label="A")
+                                for n in range(2, 10)])
+        svg = render_results_panel_svg(results, columns=2,
+                                       max_groups=4)
+        # 4 group cards + background rect
+        assert svg.count("<rect") == 5
+
+    def test_panel_integration(self):
+        panel = ResultsPanel()
+        with pytest.raises(PipelineError):
+            panel.render_svg()
+        assert panel.grouped() == []
+        panel.show(fake_results([cycle_graph(4, label="A")] * 2))
+        assert len(panel.grouped()) == 1
+        assert panel.render_svg().startswith("<svg")

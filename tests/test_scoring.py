@@ -1,0 +1,208 @@
+"""Tests for coverage, diversity, and cognitive-load measures."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    build_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.patterns import (
+    Pattern,
+    ScoreWeights,
+    cognitive_load,
+    cosine_similarity,
+    edge_coverage,
+    feature_vector,
+    graph_coverage,
+    mcs_edge_count,
+    pattern_covers,
+    pattern_set_score,
+    pattern_similarity,
+    set_cognitive_load,
+    set_covered_edges,
+    set_diversity,
+    set_edge_coverage,
+    set_graph_coverage,
+    set_repository_coverage,
+)
+
+
+def repo():
+    """Small repository: paths, cycles, and a clique, all label 'A'."""
+    return [path_graph(4, label="A"), path_graph(5, label="A"),
+            cycle_graph(5, label="A"), complete_graph(4, label="A")]
+
+
+class TestCognitiveLoad:
+    def test_range(self):
+        for g in (path_graph(2), complete_graph(8), cycle_graph(12)):
+            assert 0.0 <= cognitive_load(g) < 1.0
+
+    def test_monotone_in_size_for_paths(self):
+        loads = [cognitive_load(path_graph(n)) for n in range(2, 9)]
+        assert loads == sorted(loads)
+
+    def test_dense_beats_sparse(self):
+        assert cognitive_load(complete_graph(6)) > cognitive_load(
+            path_graph(6))
+
+    def test_cycle_beats_path_same_nodes(self):
+        assert cognitive_load(cycle_graph(6)) > cognitive_load(
+            path_graph(6))
+
+    def test_empty_is_zero(self):
+        assert cognitive_load(path_graph(1)) == 0.0
+
+    def test_set_load_mean(self):
+        patterns = [Pattern(path_graph(2)), Pattern(complete_graph(5))]
+        expected = (cognitive_load(path_graph(2))
+                    + cognitive_load(complete_graph(5))) / 2
+        assert set_cognitive_load(patterns) == pytest.approx(expected)
+
+    def test_set_load_empty(self):
+        assert set_cognitive_load([]) == 0.0
+
+
+class TestCoverage:
+    def test_pattern_covers(self):
+        p = Pattern(path_graph(3, label="A"))
+        assert pattern_covers(p, cycle_graph(5, label="A"))
+        assert not pattern_covers(p, path_graph(2, label="A"))
+
+    def test_graph_coverage_fraction(self):
+        p = Pattern(complete_graph(3, label="A"))
+        # only C5? no; only K4 contains a triangle
+        assert graph_coverage(p, repo()) == pytest.approx(1 / 4)
+
+    def test_graph_coverage_empty_repo(self):
+        assert graph_coverage(Pattern(path_graph(2)), []) == 0.0
+
+    def test_edge_coverage_full(self):
+        p = Pattern(path_graph(2, label="A"))
+        assert edge_coverage(p, cycle_graph(6, label="A")) == 1.0
+
+    def test_edge_coverage_partial(self):
+        target = build_graph(
+            [(0, "A"), (1, "A"), (2, "B"), (3, "B")],
+            edges=[(0, 1), (1, 2), (2, 3)])
+        p = Pattern(build_graph([(0, "A"), (1, "A")], edges=[(0, 1)]))
+        assert edge_coverage(p, target) == pytest.approx(1 / 3)
+
+    def test_set_covered_edges_union(self):
+        target = build_graph(
+            [(0, "A"), (1, "A"), (2, "B"), (3, "B")],
+            edges=[(0, 1), (1, 2), (2, 3)])
+        pa = Pattern(build_graph([(0, "A"), (1, "A")], edges=[(0, 1)]))
+        pb = Pattern(build_graph([(0, "B"), (1, "B")], edges=[(0, 1)]))
+        assert set_covered_edges([pa, pb], target) == {(0, 1), (2, 3)}
+        assert set_edge_coverage([pa, pb], target) == pytest.approx(2 / 3)
+
+    def test_set_coverage_monotone(self):
+        repository = repo()
+        p1 = [Pattern(path_graph(3, label="A"))]
+        p2 = p1 + [Pattern(complete_graph(3, label="A"))]
+        assert (set_repository_coverage(p2, repository)
+                >= set_repository_coverage(p1, repository))
+
+    def test_set_graph_coverage(self):
+        patterns = [Pattern(path_graph(4, label="A"))]
+        # P4 embeds in P4, P5, C5, K4 -> all covered
+        assert set_graph_coverage(patterns, repo()) == 1.0
+
+    def test_empty_everything(self):
+        assert set_repository_coverage([], repo()) == 0.0
+        assert set_graph_coverage([], repo()) == 0.0
+        assert set_repository_coverage([Pattern(path_graph(2))], []) == 0.0
+
+
+class TestSimilarityAndDiversity:
+    def test_identical_patterns_similarity_one(self):
+        p = Pattern(cycle_graph(5, label="A"))
+        q = Pattern(cycle_graph(5, label="A").relabeled(
+            {0: 2, 1: 3, 2: 4, 3: 0, 4: 1}))
+        assert pattern_similarity(p, q) == 1.0
+        assert pattern_similarity(p, q, method="mcs") == 1.0
+
+    def test_feature_similarity_range(self):
+        p = Pattern(path_graph(4, label="A"))
+        q = Pattern(star_graph(4, label="B"))
+        assert 0.0 <= pattern_similarity(p, q) <= 1.0
+
+    def test_mcs_edge_count_path_in_cycle(self):
+        # longest common connected subgraph of P5 and C5 is P5 (4 edges)
+        assert mcs_edge_count(path_graph(5, label="A"),
+                              cycle_graph(5, label="A")) == 4
+
+    def test_mcs_respects_labels(self):
+        a = path_graph(3, label="X")
+        b = path_graph(3, label="Y")
+        assert mcs_edge_count(a, b) == 0
+
+    def test_mcs_symmetric(self):
+        g1 = star_graph(4, label="A")
+        g2 = path_graph(5, label="A")
+        assert mcs_edge_count(g1, g2) == mcs_edge_count(g2, g1)
+
+    def test_diversity_singleton_is_one(self):
+        assert set_diversity([Pattern(path_graph(3))]) == 1.0
+        assert set_diversity([]) == 1.0
+
+    def test_duplicate_patterns_zero_diversity(self):
+        p = Pattern(cycle_graph(4, label="A"))
+        q = Pattern(cycle_graph(4, label="A"))
+        assert set_diversity([p, q]) == pytest.approx(0.0)
+
+    def test_diverse_set_scores_higher(self):
+        similar = [Pattern(path_graph(4, label="A")),
+                   Pattern(path_graph(5, label="A"))]
+        diverse = [Pattern(path_graph(4, label="A")),
+                   Pattern(complete_graph(4, label="B"))]
+        assert set_diversity(diverse) > set_diversity(similar)
+
+    def test_unknown_method_rejected(self):
+        p, q = Pattern(path_graph(2)), Pattern(path_graph(3))
+        with pytest.raises(ValueError):
+            pattern_similarity(p, q, method="nope")
+
+    def test_cosine_similarity_edge_cases(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+        f = feature_vector(path_graph(3, label="A"))
+        assert cosine_similarity(f, f) == pytest.approx(1.0)
+
+
+class TestPatternSetScore:
+    def test_score_in_unit_interval(self):
+        patterns = [Pattern(path_graph(4, label="A")),
+                    Pattern(complete_graph(3, label="A"))]
+        score = pattern_set_score(patterns, repo())
+        assert 0.0 <= score <= 1.0
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            ScoreWeights(coverage=-1)
+
+    def test_zero_weights_zero_score(self):
+        weights = ScoreWeights(0.0, 0.0, 0.0)
+        assert pattern_set_score([Pattern(path_graph(2))], repo(),
+                                 weights=weights) == 0.0
+
+    def test_coverage_only_weighting(self):
+        weights = ScoreWeights(coverage=1.0, diversity=0.0,
+                               cognitive_load=0.0)
+        patterns = [Pattern(path_graph(2, label="A"))]
+        score = pattern_set_score(patterns, repo(), weights=weights)
+        assert score == pytest.approx(
+            set_repository_coverage(patterns, repo()))
+
+    def test_deterministic(self):
+        patterns = [Pattern(path_graph(4, label="A"))]
+        repository = [gnm_random_graph(8, 12, random.Random(3),
+                                       labels=["A"])]
+        assert (pattern_set_score(patterns, repository)
+                == pattern_set_score(patterns, repository))

@@ -1,0 +1,123 @@
+"""Tests for subgraph similarity queries (edge relaxation)."""
+
+import pytest
+
+from repro.datasets import generate_chemical_repository
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    build_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.query import (
+    SimilarityQueryEngine,
+    query_relaxations,
+)
+
+
+class TestRelaxations:
+    def test_distance_zero_is_query(self):
+        q = cycle_graph(4, label="A")
+        relaxations = query_relaxations(q, max_missing=0)
+        assert len(relaxations) == 1
+        assert relaxations[0][0] == 0
+        assert relaxations[0][1] is q
+
+    def test_cycle_relaxes_to_path(self):
+        q = cycle_graph(4, label="A")
+        relaxations = query_relaxations(q, max_missing=1)
+        # C4 minus any edge = P4; all four deletions are isomorphic
+        assert len(relaxations) == 2
+        assert relaxations[1][0] == 1
+        assert relaxations[1][1].size() == 3
+
+    def test_disconnecting_relaxations_skipped(self):
+        q = path_graph(3, label="A")
+        relaxations = query_relaxations(q, max_missing=1)
+        # removing either path edge isolates a node -> only d=0 remains
+        assert len(relaxations) == 1
+
+    def test_ordered_by_distance(self):
+        q = complete_graph(4, label="A")
+        relaxations = query_relaxations(q, max_missing=2)
+        distances = [d for d, _ in relaxations]
+        assert distances == sorted(distances)
+
+    def test_isomorphic_relaxations_deduplicated(self):
+        q = complete_graph(4, label="A")
+        one_missing = [r for d, r in query_relaxations(q, 1) if d == 1]
+        assert len(one_missing) == 1  # K4 minus any edge: one class
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            query_relaxations(Graph(), 1)
+        with pytest.raises(GraphError):
+            query_relaxations(path_graph(3), -1)
+
+
+class TestSimilarityEngine:
+    def repo(self):
+        return [path_graph(4, label="A"),        # 0: chain
+                cycle_graph(4, label="A"),       # 1: square
+                complete_graph(4, label="A"),    # 2: clique
+                path_graph(4, label="B")]        # 3: wrong labels
+
+    def test_exact_match_distance_zero(self):
+        engine = SimilarityQueryEngine(self.repo())
+        matches = engine.run(cycle_graph(4, label="A"), max_missing=1)
+        by_index = {m.graph_index: m.distance for m in matches}
+        assert by_index[1] == 0   # the square itself
+        assert by_index[2] == 0   # C4 embeds in K4
+        assert by_index[0] == 1   # the chain needs one edge dropped
+        assert 3 not in by_index  # labels still must match
+
+    def test_minimum_distance_reported(self):
+        engine = SimilarityQueryEngine(self.repo())
+        matches = engine.run(complete_graph(4, label="A"),
+                             max_missing=3)
+        by_index = {m.graph_index: m.distance for m in matches}
+        assert by_index[2] == 0
+        assert by_index[1] == 2   # K4 -> C4 needs both chords gone
+        assert by_index[0] == 3   # K4 -> P4 needs three edges gone
+
+    def test_embedding_is_valid(self):
+        engine = SimilarityQueryEngine(self.repo())
+        for match in engine.run(cycle_graph(4, label="A"),
+                                max_missing=1):
+            # embedding maps all query nodes into the data graph
+            assert len(match.embedding) == 4
+            for target in match.embedding.values():
+                assert match.graph.has_node(target)
+
+    def test_max_matches(self):
+        engine = SimilarityQueryEngine(self.repo())
+        matches = engine.run(path_graph(3, label="A"), max_missing=0,
+                             max_matches=2)
+        assert len(matches) == 2
+
+    def test_results_sorted(self):
+        engine = SimilarityQueryEngine(self.repo())
+        matches = engine.run(complete_graph(4, label="A"),
+                             max_missing=3)
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+
+    def test_histogram(self):
+        engine = SimilarityQueryEngine(self.repo())
+        histogram = engine.distance_histogram(
+            complete_graph(4, label="A"), max_missing=3)
+        assert histogram == {0: 1, 2: 1, 3: 1}
+
+    def test_on_generated_repository(self):
+        repo = generate_chemical_repository(20, seed=13)
+        engine = SimilarityQueryEngine(repo)
+        # a benzene ring with one wrong chord: similarity finds rings
+        q = cycle_graph(6, label="C")
+        for i in range(6):
+            q.set_edge_label(i, (i + 1) % 6, "1" if i % 2 else "2")
+        q.add_edge(0, 3, label="1")
+        exact = engine.run(q, max_missing=0)
+        relaxed = engine.run(q, max_missing=1)
+        assert len(relaxed) >= len(exact)

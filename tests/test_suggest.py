@@ -1,0 +1,105 @@
+"""Tests for data-driven query auto-suggestion."""
+
+import pytest
+
+from repro.datasets import generate_chemical_repository
+from repro.errors import GraphError
+from repro.graph import build_graph
+from repro.query import QueryBuilder, QuerySuggester
+
+
+def tiny_data():
+    """Two graphs with known triple frequencies."""
+    g1 = build_graph([(0, "A"), (1, "B"), (2, "C")],
+                     labeled_edges=[(0, 1, "x"), (1, 2, "y")])
+    g2 = build_graph([(0, "A"), (1, "B")],
+                     labeled_edges=[(0, 1, "x")])
+    return [g1, g2]
+
+
+class TestTripleMining:
+    def test_counts(self):
+        s = QuerySuggester(tiny_data())
+        assert s.triple_count("A", "x", "B") == 2
+        assert s.triple_count("B", "x", "A") == 2  # symmetric
+        assert s.triple_count("B", "y", "C") == 1
+        assert s.triple_count("A", "y", "C") == 0
+
+    def test_same_label_counted_once_per_edge(self):
+        g = build_graph([(0, "A"), (1, "A")],
+                        labeled_edges=[(0, 1, "e")])
+        s = QuerySuggester([g])
+        assert s.triple_count("A", "e", "A") == 1
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(GraphError):
+            QuerySuggester([])
+
+
+class TestSuggestions:
+    def test_ranked_by_frequency(self):
+        s = QuerySuggester(tiny_data())
+        suggestions = s.suggest_extensions("B")
+        assert suggestions[0][:2] == ("x", "A")  # count 2 beats count 1
+        assert suggestions[1][:2] == ("y", "C")
+
+    def test_top_k(self):
+        repo = generate_chemical_repository(20, seed=3)
+        s = QuerySuggester(repo)
+        assert len(s.suggest_extensions("C", top_k=2)) == 2
+
+    def test_unknown_label_no_suggestions(self):
+        s = QuerySuggester(tiny_data())
+        assert s.suggest_extensions("ZZZ") == []
+
+    def test_suggest_for_query_node(self):
+        s = QuerySuggester(tiny_data())
+        qb = QueryBuilder()
+        node = qb.add_node("A")
+        suggestions = s.suggest_for_query(qb, node)
+        assert suggestions[0][:2] == ("x", "B")
+
+    def test_missing_query_node_rejected(self):
+        s = QuerySuggester(tiny_data())
+        qb = QueryBuilder()
+        with pytest.raises(GraphError):
+            s.suggest_for_query(qb, 7)
+
+    def test_answerable_only_filters(self):
+        # "A-x-B" then extending B with another "x"-edge to A exists
+        # only in no graph (each graph has one A); the unverified list
+        # would still suggest it.
+        s = QuerySuggester(tiny_data())
+        qb = QueryBuilder()
+        a = qb.add_node("A")
+        b = qb.add_node("B")
+        qb.add_edge(a, b, "x")
+        unverified = s.suggest_for_query(qb, b, top_k=5)
+        verified = s.suggest_for_query(qb, b, top_k=5,
+                                       answerable_only=True)
+        assert ("x", "A", 2) in unverified
+        assert ("x", "A", 2) not in verified
+        assert ("y", "C", 1) in verified
+
+    def test_apply_suggestion(self):
+        s = QuerySuggester(tiny_data())
+        qb = QueryBuilder()
+        node = qb.add_node("A")
+        suggestion = s.suggest_for_query(qb, node)[0]
+        new_node = s.apply_suggestion(qb, node, suggestion)
+        assert qb.query.node_label(new_node) == "B"
+        assert qb.query.edge_label(node, new_node) == "x"
+        assert qb.step_count() == 3  # add A, add B, add edge
+
+    def test_answerable_suggestions_truly_answerable(self):
+        from repro.matching import is_subgraph
+        repo = generate_chemical_repository(15, seed=9)
+        s = QuerySuggester(repo)
+        qb = QueryBuilder()
+        node = qb.add_node("C")
+        for suggestion in s.suggest_for_query(qb, node, top_k=3,
+                                              answerable_only=True):
+            trial = QueryBuilder()
+            n0 = trial.add_node("C")
+            s.apply_suggestion(trial, n0, suggestion)
+            assert any(is_subgraph(trial.query, g) for g in repo)

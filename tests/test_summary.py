@@ -1,0 +1,131 @@
+"""Tests for graph closure and cluster summary graphs."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    build_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+)
+from repro.summary import (
+    SummaryGraph,
+    build_summary,
+    closure_represents,
+)
+
+
+def labeled_path(labels, edge_labels=None):
+    g = build_graph([(i, lab) for i, lab in enumerate(labels)])
+    for i in range(len(labels) - 1):
+        label = edge_labels[i] if edge_labels else ""
+        g.add_edge(i, i + 1, label=label)
+    return g
+
+
+class TestMerge:
+    def test_single_member_identity(self):
+        g = labeled_path(["A", "B", "C"])
+        summary = SummaryGraph()
+        mapping = summary.merge(g)
+        assert summary.order() == 3
+        assert summary.size() == 2
+        assert summary.member_count == 1
+        assert closure_represents(summary, g, mapping)
+
+    def test_merge_empty_rejected(self):
+        from repro.graph import Graph
+        summary = SummaryGraph()
+        with pytest.raises(GraphError):
+            summary.merge(Graph())
+
+    def test_identical_members_fold(self):
+        summary = SummaryGraph()
+        m1 = summary.merge(labeled_path(["A", "B", "C"]))
+        m2 = summary.merge(labeled_path(["A", "B", "C"]))
+        # second member should map onto the first (no dummy growth)
+        assert summary.order() == 3
+        assert summary.size() == 2
+        assert summary.member_count == 2
+        assert all(summary.edges[key].support == 2
+                   for key in summary.edges)
+
+    def test_divergent_members_grow(self):
+        summary = SummaryGraph()
+        summary.merge(labeled_path(["A", "B"]))
+        summary.merge(labeled_path(["X", "Y"]))
+        # nothing shared: dummy extension keeps both represented
+        assert summary.order() >= 3
+
+    def test_label_sets_accumulate(self):
+        summary = SummaryGraph()
+        summary.merge(labeled_path(["A", "B", "C"]))
+        summary.merge(labeled_path(["A", "B", "D"]))
+        labels = set()
+        for node in summary.nodes.values():
+            labels |= node.labels
+        assert {"A", "B", "C", "D"} <= labels
+
+    def test_closure_property_for_all_members(self):
+        rng = random.Random(3)
+        members = [gnm_random_graph(6, 7, rng, labels=["A", "B"])
+                   for _ in range(4)]
+        summary = SummaryGraph()
+        for member in members:
+            mapping = summary.merge(member)
+            assert closure_represents(summary, member, mapping)
+
+
+class TestBuildSummary:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(GraphError):
+            build_summary([])
+
+    def test_member_bookkeeping(self):
+        summary = build_summary([path_graph(3, label="A"),
+                                 path_graph(4, label="A")])
+        assert summary.member_count == 2
+        assert len(summary.member_names) == 2
+
+    def test_summary_at_least_largest_member(self):
+        members = [path_graph(3, label="A"), cycle_graph(6, label="A")]
+        summary = build_summary(members)
+        assert summary.order() >= 6
+        assert summary.size() >= 6
+
+    def test_edge_support_totals(self):
+        members = [path_graph(3, label="A") for _ in range(3)]
+        summary = build_summary(members)
+        assert summary.total_edge_support() == 6  # 2 edges x 3 members
+
+
+class TestSampling:
+    def test_to_graph_labels_from_sets(self):
+        summary = build_summary([labeled_path(["A", "B"]),
+                                 labeled_path(["A", "C"])])
+        flat = summary.to_graph(random.Random(0))
+        for node in flat.nodes():
+            assert flat.node_label(node) in {"A", "B", "C"}
+
+    def test_weighted_sampling_prefers_majority(self):
+        summary = SummaryGraph()
+        for _ in range(9):
+            summary.merge(labeled_path(["A", "B"]))
+        summary.merge(labeled_path(["A", "Z"]))
+        rng = random.Random(1)
+        node = next(n for n, info in summary.nodes.items()
+                    if "Z" in info.labels)
+        draws = [summary.sample_node_label(node, rng) for _ in range(200)]
+        assert draws.count("Z") < draws.count("B")
+
+    def test_edge_support_accessor(self):
+        summary = build_summary([labeled_path(["A", "B"])])
+        (u, v), = summary.edges.keys()
+        assert summary.edge_support(u, v) == 1
+
+    def test_repr(self):
+        summary = build_summary([path_graph(2)])
+        assert "members=1" in repr(summary)

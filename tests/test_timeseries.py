@@ -1,0 +1,219 @@
+"""Tests for the time-series sketch-query interface."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetError
+from repro.timeseries import (
+    SketchBudget,
+    SketchVQI,
+    TimeSeries,
+    TimeSeriesError,
+    generate_series,
+    generate_series_collection,
+    match_sketch,
+    mine_sketch_candidates,
+    paa,
+    sax_word,
+    select_canned_sketches,
+    sketch_set_diversity,
+    sliding_sax_words,
+    word_complexity,
+    word_distance,
+    znorm,
+)
+
+
+class TestTimeSeries:
+    def test_construction(self):
+        ts = TimeSeries([1.0, 2.0, 3.0], name="x")
+        assert len(ts) == 3
+
+    def test_too_short(self):
+        with pytest.raises(TimeSeriesError):
+            TimeSeries([1.0])
+
+    def test_znormalized(self):
+        ts = TimeSeries([1.0, 2.0, 3.0, 4.0])
+        z = ts.znormalized()
+        assert abs(z.mean()) < 1e-9
+        assert abs(z.std() - 1.0) < 1e-9
+
+    def test_flat_znorm_zero(self):
+        ts = TimeSeries([5.0] * 10)
+        assert np.allclose(ts.znormalized(), 0.0)
+
+    def test_window_bounds(self):
+        ts = TimeSeries(list(range(10)))
+        assert list(ts.window(2, 3)) == [2, 3, 4]
+        with pytest.raises(TimeSeriesError):
+            ts.window(8, 5)
+
+
+class TestGenerators:
+    def test_collection_deterministic(self):
+        a = generate_series_collection(5, seed=1)
+        b = generate_series_collection(5, seed=1)
+        for s1, s2 in zip(a, b):
+            assert np.allclose(s1.values, s2.values)
+
+    def test_length_validation(self):
+        with pytest.raises(TimeSeriesError):
+            generate_series(random.Random(0), length=50,
+                            motif_count=3, motif_length=40)
+
+    def test_weights_validation(self):
+        with pytest.raises(TimeSeriesError):
+            generate_series(random.Random(0), motif_weights=[1.0])
+
+    def test_negative_count(self):
+        with pytest.raises(TimeSeriesError):
+            generate_series_collection(-1)
+
+
+class TestSax:
+    def test_paa_means(self):
+        values = np.array([1.0, 1.0, 3.0, 3.0])
+        assert list(paa(values, 2)) == [1.0, 3.0]
+
+    def test_paa_validation(self):
+        with pytest.raises(TimeSeriesError):
+            paa(np.array([1.0, 2.0]), 5)
+
+    def test_sax_word_length_and_alphabet(self):
+        word = sax_word(np.sin(np.linspace(0, 6, 64)), segments=8,
+                        alphabet=4)
+        assert len(word) == 8
+        assert set(word) <= set("abcd")
+
+    def test_sax_shape_invariance(self):
+        """Scaling/shifting a shape leaves its SAX word unchanged."""
+        base = np.sin(np.linspace(0, 6, 64))
+        assert sax_word(base) == sax_word(3.0 * base + 100.0)
+
+    def test_ramp_word_monotone(self):
+        word = sax_word(np.linspace(0, 1, 64), segments=4, alphabet=4)
+        assert list(word) == sorted(word)
+
+    def test_unsupported_alphabet(self):
+        with pytest.raises(TimeSeriesError):
+            sax_word([1.0, 2.0, 3.0, 4.0], segments=2, alphabet=9)
+
+    def test_sliding_words_count(self):
+        ts = TimeSeries(list(range(20)))
+        words = sliding_sax_words(ts, window=10, step=5)
+        assert [start for start, _ in words] == [0, 5, 10]
+
+    def test_sliding_step_validation(self):
+        ts = TimeSeries(list(range(20)))
+        with pytest.raises(TimeSeriesError):
+            sliding_sax_words(ts, window=10, step=0)
+
+    def test_word_complexity_ordering(self):
+        flat = word_complexity("aaaaaaaa")
+        ramp = word_complexity("aabbccdd")
+        zigzag = word_complexity("adadadad")
+        assert flat < ramp < zigzag
+        assert 0.0 <= zigzag < 1.0
+
+
+class TestSketchSelection:
+    @pytest.fixture(scope="class")
+    def collection(self):
+        return generate_series_collection(30, seed=5)
+
+    def test_mined_candidates_supported(self, collection):
+        budget = SketchBudget(5, window=40)
+        candidates = mine_sketch_candidates(collection, budget)
+        assert candidates
+        assert all(c.support >= 2 for c in candidates)
+
+    def test_selection_respects_budget(self, collection):
+        budget = SketchBudget(4, window=40)
+        sketches = select_canned_sketches(collection, budget)
+        assert 0 < len(sketches) <= 4
+
+    def test_selected_words_distinct(self, collection):
+        budget = SketchBudget(5, window=40)
+        sketches = select_canned_sketches(collection, budget)
+        words = [s.word for s in sketches]
+        assert len(words) == len(set(words))
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            select_canned_sketches([], SketchBudget(3))
+
+    def test_budget_validation(self):
+        with pytest.raises(BudgetError):
+            SketchBudget(0)
+        with pytest.raises(BudgetError):
+            SketchBudget(3, window=2)
+
+    def test_diversity_measure(self):
+        from repro.timeseries import SketchPattern
+        s1 = SketchPattern("aaaa", np.zeros(4), 1)
+        s2 = SketchPattern("dddd", np.zeros(4), 1)
+        assert sketch_set_diversity([s1, s2]) == 1.0
+        assert sketch_set_diversity([s1, s1]) == 0.0
+        assert sketch_set_diversity([s1]) == 1.0
+
+    def test_word_distance_validation(self):
+        with pytest.raises(TimeSeriesError):
+            word_distance("ab", "abc")
+
+
+class TestMatching:
+    def test_planted_shape_found(self):
+        rng = random.Random(7)
+        series = generate_series(rng, name="target")
+        # query = an exact window of the target series
+        query = series.window(60, 40)
+        matches = match_sketch(query, [series], top_k=1)
+        assert matches
+        assert matches[0].distance < 0.4
+
+    def test_shape_invariant_matching(self):
+        base = np.sin(np.linspace(0, 6, 50))
+        ts = TimeSeries(np.concatenate([np.zeros(30), base * 5 + 10,
+                                        np.zeros(30)]), name="scaled")
+        matches = match_sketch(base, [ts], top_k=1)
+        assert matches[0].distance < 0.1
+        assert abs(matches[0].start - 30) <= 2
+
+    def test_top_k(self):
+        collection = generate_series_collection(10, seed=9)
+        query = collection[0].window(0, 30)
+        matches = match_sketch(query, collection, top_k=3)
+        assert len(matches) == 3
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+
+    def test_short_query_rejected(self):
+        with pytest.raises(TimeSeriesError):
+            match_sketch([1.0], generate_series_collection(2, seed=1))
+
+
+class TestSketchVQI:
+    def test_end_to_end(self):
+        collection = generate_series_collection(25, seed=11)
+        vqi = SketchVQI(collection, SketchBudget(4, window=40))
+        assert len(vqi.panel) > 0
+        vqi.start_from_sketch(0)
+        results = vqi.execute(top_k=5)
+        assert results
+        # the representative's own series should match near-perfectly
+        assert results[0].distance < 0.05
+
+    def test_draw_then_execute(self):
+        collection = generate_series_collection(10, seed=12)
+        vqi = SketchVQI(collection, SketchBudget(3, window=40))
+        vqi.draw(np.linspace(0, 1, 30))
+        assert vqi.execute(top_k=2)
+
+    def test_execute_without_sketch_rejected(self):
+        collection = generate_series_collection(5, seed=13)
+        vqi = SketchVQI(collection, SketchBudget(3, window=40))
+        with pytest.raises(TimeSeriesError):
+            vqi.execute()

@@ -1,0 +1,107 @@
+"""Tests for the query-log topology classifier."""
+
+from repro.graph import (
+    Graph,
+    build_graph,
+    complete_graph,
+    cycle_graph,
+    flower_graph,
+    path_graph,
+    petal_graph,
+    random_tree,
+    star_graph,
+)
+from repro.patterns import (
+    QUERY_LOG_TOPOLOGY_MIX,
+    TopologyClass,
+    classify_topology,
+    non_triangle_classes,
+    topology_histogram,
+    triangle_like_classes,
+)
+
+import random
+
+
+class TestClassifier:
+    def test_singleton(self):
+        g = Graph()
+        g.add_node(0, label="A")
+        assert classify_topology(g) == TopologyClass.SINGLETON
+
+    def test_chain(self):
+        for n in (2, 3, 6):
+            assert classify_topology(path_graph(n)) == TopologyClass.CHAIN
+
+    def test_star(self):
+        assert classify_topology(star_graph(3)) == TopologyClass.STAR
+        assert classify_topology(star_graph(7)) == TopologyClass.STAR
+
+    def test_p3_is_chain_not_star(self):
+        assert classify_topology(path_graph(3)) == TopologyClass.CHAIN
+
+    def test_tree(self):
+        # spider with legs of length 2: neither chain nor star
+        g = build_graph([(i, "") for i in range(7)],
+                        edges=[(0, 1), (1, 2), (0, 3), (3, 4), (0, 5),
+                               (5, 6)])
+        assert classify_topology(g) == TopologyClass.TREE
+
+    def test_triangle(self):
+        assert classify_topology(complete_graph(3)) == TopologyClass.TRIANGLE
+        assert classify_topology(cycle_graph(3)) == TopologyClass.TRIANGLE
+
+    def test_cycle(self):
+        for n in (4, 5, 8):
+            assert classify_topology(cycle_graph(n)) == TopologyClass.CYCLE
+
+    def test_clique(self):
+        assert classify_topology(complete_graph(4)) == TopologyClass.CLIQUE
+        assert classify_topology(complete_graph(6)) == TopologyClass.CLIQUE
+
+    def test_petal(self):
+        assert classify_topology(petal_graph(2, 2)) == TopologyClass.PETAL
+        assert classify_topology(petal_graph(3, 3)) == TopologyClass.PETAL
+
+    def test_k4_minus_edge_is_petal(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)
+        assert classify_topology(g) == TopologyClass.PETAL
+
+    def test_flower(self):
+        assert classify_topology(flower_graph(2, 3)) == TopologyClass.FLOWER
+        assert classify_topology(flower_graph(3, 4)) == TopologyClass.FLOWER
+
+    def test_tadpole_is_general(self):
+        # triangle with a pendant path
+        g = build_graph([(i, "") for i in range(5)],
+                        edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        assert classify_topology(g) == TopologyClass.GENERAL
+
+    def test_random_trees_classified_acyclic(self):
+        for seed in range(5):
+            g = random_tree(8, random.Random(seed))
+            assert classify_topology(g).is_acyclic()
+
+
+class TestHistogramAndMix:
+    def test_histogram(self):
+        graphs = [path_graph(4), path_graph(5), star_graph(3),
+                  complete_graph(3)]
+        hist = topology_histogram(graphs)
+        assert hist[TopologyClass.CHAIN] == 2
+        assert hist[TopologyClass.STAR] == 1
+        assert hist[TopologyClass.TRIANGLE] == 1
+
+    def test_query_log_mix_sums_to_one(self):
+        assert abs(sum(QUERY_LOG_TOPOLOGY_MIX.values()) - 1.0) < 1e-9
+
+    def test_acyclic_classes_dominate_mix(self):
+        acyclic = sum(share for cls, share in QUERY_LOG_TOPOLOGY_MIX.items()
+                      if cls.is_acyclic())
+        assert acyclic > 0.5
+
+    def test_class_partitions(self):
+        assert not (triangle_like_classes() & non_triangle_classes())
+        assert TopologyClass.TRIANGLE in triangle_like_classes()
+        assert TopologyClass.CHAIN in non_triangle_classes()

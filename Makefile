@@ -1,0 +1,17 @@
+PYTHON ?= python
+
+.PHONY: lint lint-json test compile check
+
+lint:
+	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
+
+lint-json:
+	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro --format json
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+compile:
+	$(PYTHON) -m compileall -q src
+
+check: compile lint test

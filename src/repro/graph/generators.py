@@ -119,7 +119,7 @@ def random_labels(graph: Graph, labels: Sequence[str],
 def gnm_random_graph(n: int, m: int, rng: Optional[random.Random] = None,
                      labels: Sequence[str] = ("",)) -> Graph:
     """Erdos-Renyi G(n, m) with uniformly random node labels."""
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     max_edges = n * (n - 1) // 2
     if m > max_edges:
         raise GraphError(f"cannot place {m} edges in a {n}-node simple graph")
@@ -141,7 +141,7 @@ def random_tree(n: int, rng: Optional[random.Random] = None,
     """Uniform-attachment random tree on ``n`` nodes."""
     if n < 1:
         raise GraphError("random_tree requires n >= 1")
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     g = Graph(name=f"tree{n}")
     g.add_node(0, label=rng.choice(labels))
     for i in range(1, n):
@@ -161,7 +161,7 @@ def barabasi_albert_graph(n: int, m: int,
     """
     if n < m + 1 or m < 1:
         raise GraphError("barabasi_albert_graph requires n > m >= 1")
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     g = Graph(name=f"ba_{n}_{m}")
     # seed clique of m+1 nodes so every new node has m distinct targets
     for i in range(m + 1):
@@ -195,7 +195,7 @@ def planted_partition_graph(communities: int, community_size: int,
     """
     if not (0.0 <= p_out <= p_in <= 1.0):
         raise GraphError("require 0 <= p_out <= p_in <= 1")
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     n = communities * community_size
     g = Graph(name=f"ppg_{communities}x{community_size}")
     for i in range(n):

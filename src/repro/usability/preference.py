@@ -72,7 +72,8 @@ def _gesture_frustration(outcomes: Sequence[FormulationOutcome]) -> float:
 
 def evaluate_preferences(outcomes: Sequence[FormulationOutcome],
                          panel: Sequence[Pattern],
-                         baseline_seconds: float) -> PreferenceProfile:
+                         baseline_seconds: float,
+                         seed: int = 0) -> PreferenceProfile:
     """Model questionnaire answers after a session.
 
     ``baseline_seconds`` is the mean manual formulation time for the
@@ -120,7 +121,7 @@ def evaluate_preferences(outcomes: Sequence[FormulationOutcome],
 
     # satisfaction: aesthetic response minus gesture frustration
     if panel:
-        aesthetics = panel_aesthetics([p.graph for p in panel])
+        aesthetics = panel_aesthetics([p.graph for p in panel], seed=seed)
         aesthetic_term = aesthetics["satisfaction"]
     else:
         aesthetic_term = berlyne_satisfaction(0.0)

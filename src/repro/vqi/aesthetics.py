@@ -87,14 +87,15 @@ def angular_resolution(graph: Graph,
 
 
 def visual_clutter(graph: Graph, grid: int = 4,
-                   positions: Dict[int, Position] | None = None) -> float:
+                   positions: Dict[int, Position] | None = None,
+                   seed: int = 0) -> float:
     """Feature-congestion clutter proxy: mean squared cell occupancy.
 
     The unit square is divided into ``grid x grid`` cells; each node
     and each edge midpoint occupies a cell.  Uneven, crowded cells
     (squared counts) read as clutter.
     """
-    positions = positions or layout_graph(graph)
+    positions = positions or layout_graph(graph, seed=seed)
     if not positions:
         return 0.0
     cells: Dict[Tuple[int, int], int] = {}
@@ -117,10 +118,11 @@ def visual_clutter(graph: Graph, grid: int = 4,
 
 def contour_congestion(graph: Graph,
                        positions: Dict[int, Position] | None = None,
-                       threshold: float = 0.05) -> float:
+                       threshold: float = 0.05,
+                       seed: int = 0) -> float:
     """Fraction of edge pairs whose midpoints are nearly coincident —
     a proxy for contours that are hard to tell apart."""
-    positions = positions or layout_graph(graph)
+    positions = positions or layout_graph(graph, seed=seed)
     edges = list(graph.edges())
     if len(edges) < 2:
         return 0.0
@@ -136,10 +138,11 @@ def contour_congestion(graph: Graph,
 
 
 def layout_quality(graph: Graph,
-                   positions: Dict[int, Position] | None = None) -> float:
+                   positions: Dict[int, Position] | None = None,
+                   seed: int = 0) -> float:
     """Composite layout quality in [0, 1]: fewer crossings, less
     congestion, wider angles -> higher quality."""
-    positions = positions or layout_graph(graph)
+    positions = positions or layout_graph(graph, seed=seed)
     if graph.order() == 0:
         return 1.0
     m = graph.size()
@@ -153,14 +156,14 @@ def layout_quality(graph: Graph,
 
 
 def visual_complexity(graph: Graph,
-                      positions: Dict[int, Position] | None = None
-                      ) -> float:
+                      positions: Dict[int, Position] | None = None,
+                      seed: int = 0) -> float:
     """Overall visual complexity of one displayed graph, in [0, 1).
 
     Combines structural size/density with layout-level clutter — the
     quantity Berlyne's inverted-U relates to pleasantness.
     """
-    positions = positions or layout_graph(graph)
+    positions = positions or layout_graph(graph, seed=seed)
     structural = 1.0 - math.exp(-(graph.size() / 10.0)
                                 * (0.5 + graph.density()))
     clutter = visual_clutter(graph, positions=positions)

@@ -87,10 +87,10 @@ class VisualQueryInterface:
         self.query_panel.reset()
 
     # -- rendering ------------------------------------------------------------
-    def render_pattern_panel(self, columns: int = 4) -> str:
+    def render_pattern_panel(self, columns: int = 4, seed: int = 0) -> str:
         """SVG of the Pattern Panel (basic + canned)."""
         return render_pattern_panel_svg(self.pattern_panel.all_patterns(),
-                                        columns=columns)
+                                        columns=columns, seed=seed)
 
     def __repr__(self) -> str:
         kind = "repository" if self.repository is not None else "network"

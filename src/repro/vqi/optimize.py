@@ -122,7 +122,8 @@ def layout_cost(graph: Graph, positions: Dict[int, Position],
     return (objective or LayoutObjective()).cost(graph, positions)
 
 
-def arrange_panel(patterns: Sequence[Pattern]) -> List[Pattern]:
+def arrange_panel(patterns: Sequence[Pattern],
+                  seed: int = 0) -> List[Pattern]:
     """Order panel patterns by increasing visual complexity.
 
     A monotone complexity ramp lets users anchor on simple shapes and
@@ -130,11 +131,12 @@ def arrange_panel(patterns: Sequence[Pattern]) -> List[Pattern]:
     (§2.1: presentation is part of the load, not just content).
     """
     return sorted(patterns,
-                  key=lambda p: (visual_complexity(p.graph),
+                  key=lambda p: (visual_complexity(p.graph, seed=seed),
                                  p.order(), p.code))
 
 
-def panel_scan_cost(patterns: Sequence[Pattern]) -> float:
+def panel_scan_cost(patterns: Sequence[Pattern],
+                    seed: int = 0) -> float:
     """Extraneous-load proxy for a panel ordering.
 
     Sum of per-step complexity jumps plus position-weighted
@@ -143,7 +145,8 @@ def panel_scan_cost(patterns: Sequence[Pattern]) -> float:
     """
     if not patterns:
         return 0.0
-    complexities = [visual_complexity(p.graph) for p in patterns]
+    complexities = [visual_complexity(p.graph, seed=seed)
+                    for p in patterns]
     n = len(complexities)
     jumps = sum(abs(complexities[i + 1] - complexities[i])
                 for i in range(n - 1))

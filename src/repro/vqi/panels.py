@@ -74,9 +74,10 @@ class PatternPanel:
     def within_budget(self) -> bool:
         return len(self.canned) <= self.budget.max_patterns
 
-    def aesthetics(self) -> Dict[str, float]:
+    def aesthetics(self, seed: int = 0) -> Dict[str, float]:
         """Aesthetic metrics over the displayed pattern drawings."""
-        return panel_aesthetics([p.graph for p in self.all_patterns()])
+        return panel_aesthetics([p.graph for p in self.all_patterns()],
+                                seed=seed)
 
     def __repr__(self) -> str:
         return (f"<PatternPanel basic={len(self.basic)} "
@@ -117,8 +118,8 @@ class ResultsPanel:
             return []
         return [m.graph for m in self.results.matches[:limit]]
 
-    def aesthetics(self, limit: int = 5) -> Dict[str, float]:
-        return panel_aesthetics(self.displayed_graphs(limit))
+    def aesthetics(self, limit: int = 5, seed: int = 0) -> Dict[str, float]:
+        return panel_aesthetics(self.displayed_graphs(limit), seed=seed)
 
     def grouped(self, max_graphs: Optional[int] = 30):
         """Results grouped by isomorphism class (see
@@ -128,12 +129,13 @@ class ResultsPanel:
             return []
         return group_results(self.results, max_graphs=max_graphs)
 
-    def render_svg(self, columns: int = 3) -> str:
+    def render_svg(self, columns: int = 3, seed: int = 0) -> str:
         """Cognitive-load-aware SVG of the grouped results."""
         from repro.vqi.results import render_results_panel_svg
         if self.results is None:
             raise PipelineError("no results to render")
-        return render_results_panel_svg(self.results, columns=columns)
+        return render_results_panel_svg(self.results, columns=columns,
+                                        seed=seed)
 
     def __repr__(self) -> str:
         if self.results is None:

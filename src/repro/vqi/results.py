@@ -70,8 +70,8 @@ def group_results(results: QueryResultSet,
 
 
 def results_complexity_reduction(results: QueryResultSet,
-                                 max_graphs: Optional[int] = 30
-                                 ) -> Dict[str, float]:
+                                 max_graphs: Optional[int] = 30,
+                                 seed: int = 0) -> Dict[str, float]:
     """How much grouping shrinks what the user must read.
 
     Returns the raw item count, the group count, and the mean visual
@@ -83,7 +83,7 @@ def results_complexity_reduction(results: QueryResultSet,
     if not groups:
         return {"items": 0.0, "groups": 0.0, "mean_complexity": 0.0,
                 "reduction": 0.0}
-    complexities = [visual_complexity(g.representative)
+    complexities = [visual_complexity(g.representative, seed=seed)
                     for g in groups]
     items = float(len(shown))
     return {
@@ -97,11 +97,13 @@ def results_complexity_reduction(results: QueryResultSet,
 def render_results_panel_svg(results: QueryResultSet,
                              columns: int = 3, cell: int = 180,
                              max_groups: int = 9,
-                             max_graphs: Optional[int] = 30) -> str:
+                             max_graphs: Optional[int] = 30,
+                             seed: int = 0) -> str:
     """Render grouped results: one card per structure class, with a
     multiplicity badge, ordered simplest-first."""
     groups = group_results(results, max_graphs=max_graphs)[:max_groups]
-    groups.sort(key=lambda g: visual_complexity(g.representative))
+    groups.sort(key=lambda g: visual_complexity(g.representative,
+                                                seed=seed))
     columns = max(1, columns)
     rows = (len(groups) + columns - 1) // columns if groups else 1
     width = columns * cell

@@ -1,0 +1,16 @@
+"""Fixture: deterministic RNG use that R001 must not flag."""
+
+import random
+from random import Random
+
+
+def jitter(values, rng: random.Random):
+    noisy = [v + rng.random() for v in values]
+    rng.shuffle(noisy)
+    return noisy
+
+
+def replay(seed: int):
+    rng = random.Random(seed)
+    fallback = Random(0)
+    return rng.random(), fallback.random()

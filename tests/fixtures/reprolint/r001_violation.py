@@ -1,0 +1,13 @@
+"""Fixture: every spelling of nondeterministic RNG use (R001)."""
+
+import random
+from random import choice
+
+
+def jitter(values):
+    rng = random.Random()  # expect: R001
+    noisy = [v + rng.random() for v in values]
+    pick = random.choice(noisy)  # expect: R001
+    other = choice(noisy)  # expect: R001
+    random.shuffle(noisy)  # expect: R001
+    return pick, other, noisy

@@ -1,0 +1,12 @@
+"""Fixture: permitted imports — stdlib plus numpy (R002)."""
+
+import importlib
+import json
+import math
+
+import numpy
+
+
+def allowed(values):
+    stats = importlib.import_module("statistics")
+    return json.dumps([math.sqrt(v) for v in values]), numpy, stats

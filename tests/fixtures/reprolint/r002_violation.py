@@ -1,0 +1,13 @@
+"""Fixture: forbidden oracle dependencies in library code (R002)."""
+
+import importlib
+
+import networkx  # expect: R002
+from scipy import sparse  # expect: R002
+import scipy.sparse.linalg  # expect: R002
+
+
+def oracle_check(graph):
+    algorithms = importlib.import_module("networkx.algorithms")  # expect: R002
+    dynamic = __import__("scipy")  # expect: R002
+    return networkx, sparse, algorithms, dynamic

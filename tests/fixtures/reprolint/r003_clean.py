@@ -1,0 +1,16 @@
+"""Fixture: every enumeration call carries its cap (R003)."""
+
+
+def score_pattern(matcher, pattern, target, patterns, graph, vqi,
+                  count_embeddings, covered_edges, set_covered_edges,
+                  forwarded_args, forwarded_kwargs):
+    mappings = list(matcher.iter_embeddings(max_results=10))
+    explicit_none = list(matcher.iter_embeddings(max_results=None))
+    total = count_embeddings(pattern, target, cap=50)
+    edges = covered_edges(pattern, target, 200)
+    union = set_covered_edges(patterns, graph, max_embeddings=100)
+    results = vqi.execute(max_embeddings=10)
+    forwarded = covered_edges(*forwarded_args)
+    expanded = vqi.execute(**forwarded_kwargs)
+    return (mappings, explicit_none, total, edges, union, results,
+            forwarded, expanded)

@@ -1,0 +1,11 @@
+"""Fixture: enumeration call sites missing an explicit cap (R003)."""
+
+
+def score_pattern(matcher, pattern, target, patterns, graph, vqi,
+                  count_embeddings, covered_edges, set_covered_edges):
+    mappings = list(matcher.iter_embeddings())  # expect: R003
+    total = count_embeddings(pattern, target)  # expect: R003
+    edges = covered_edges(pattern, target)  # expect: R003
+    union = set_covered_edges(patterns, graph)  # expect: R003
+    results = vqi.execute()  # expect: R003
+    return mappings, total, edges, union, results

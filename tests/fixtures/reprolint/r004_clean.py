@@ -1,0 +1,17 @@
+"""Fixture: safe defaults — None sentinels and immutables (R004)."""
+
+
+def accumulate(item, acc=None):
+    acc = list(acc) if acc is not None else []
+    acc.append(item)
+    return acc
+
+
+def register(name, table=None, label="", weights=(1.0, 2.0)):
+    table = dict(table) if table is not None else {}
+    table[name] = label or None
+    return table, weights
+
+
+def windowed(values, size=3, fill=frozenset()):
+    return [values[i:i + size] for i in range(len(values))], fill

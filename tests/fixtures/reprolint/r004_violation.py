@@ -1,0 +1,24 @@
+"""Fixture: mutable default arguments (R004)."""
+
+from collections import defaultdict
+
+
+def accumulate(item, acc=[]):  # expect: R004
+    acc.append(item)
+    return acc
+
+
+def register(name, table={}):  # expect: R004
+    table[name] = True
+    return table
+
+
+def collect(*items, seen=set()):  # expect: R004
+    seen.update(items)
+    return seen
+
+
+def bucketize(pairs, buckets=defaultdict(list)):  # expect: R004
+    for key, value in pairs:
+        buckets[key].append(value)
+    return buckets

@@ -1,0 +1,29 @@
+"""Fixture: the compliant ways to call rng-consuming helpers (R005)."""
+
+import random
+
+
+def sample_nodes(graph, rng=None):
+    rng = rng or random.Random(0)
+    nodes = sorted(graph)
+    return nodes[: rng.randint(1, max(len(nodes), 1))]
+
+
+def summarize(graph, rng=None):
+    # caller exposes rng itself and threads it through
+    return sample_nodes(graph, rng=rng)
+
+
+def digest(graph, seed=0):
+    # exposing a seed parameter is equally acceptable
+    return sample_nodes(graph, random.Random(seed))
+
+
+def _internal_probe(graph):
+    # private helpers are trusted; their public callers are checked
+    return sample_nodes(graph)
+
+
+def replay(graph):
+    # passing an explicitly seeded rng is deterministic
+    return sample_nodes(graph, rng=random.Random(7))

@@ -1,0 +1,20 @@
+"""Fixture: public API hiding a randomized helper (R005)."""
+
+import random
+
+
+def sample_nodes(graph, rng=None):
+    rng = rng or random.Random(0)
+    nodes = sorted(graph)
+    return nodes[: rng.randint(1, max(len(nodes), 1))]
+
+
+def perturb(values, *, seed=0):
+    rng = random.Random(seed)
+    return [v + rng.random() for v in values]
+
+
+def summarize(graph):
+    sample = sample_nodes(graph)  # expect: R005
+    weights = perturb([1.0, 2.0])  # expect: R005
+    return sample, weights

@@ -1,0 +1,25 @@
+"""Fixture: acceptable exception handling (R006)."""
+
+
+def load_stage(path, log):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        log.append(f"load failed: {exc}")
+        raise
+
+
+def optional_accelerator():
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        pass  # gating an optional dependency is the accepted idiom
+    return None
+
+
+def run_stage(stage, fallback):
+    try:
+        return stage.run()
+    except ValueError as exc:
+        return fallback(exc)

@@ -1,0 +1,26 @@
+"""Fixture: exception handling that swallows pipeline errors (R006)."""
+
+
+def load_stage(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except:  # expect: R006
+        return None
+
+
+def run_stage(stage):
+    try:
+        stage.run()
+    except ValueError:  # expect: R006
+        pass
+
+
+def merge_shards(shards):
+    merged = []
+    for shard in shards:
+        try:
+            merged.extend(shard.results())
+        except (KeyError, RuntimeError):  # expect: R006
+            ...
+    return merged

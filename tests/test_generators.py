@@ -105,3 +105,29 @@ class TestRandomLabels:
         g = gnm_random_graph(3, 2, random.Random(0))
         with pytest.raises(GraphError):
             random_labels(g, [], random.Random(0))
+
+
+class TestDefaultRngIsSeeded:
+    """Omitting ``rng`` must be deterministic (DESIGN.md: explicit
+    seeds everywhere) — the fallback is a fixed ``random.Random(0)``,
+    not OS entropy."""
+
+    def test_gnm_default_is_reproducible(self):
+        assert gnm_random_graph(12, 18).same_as(gnm_random_graph(12, 18))
+
+    def test_tree_default_is_reproducible(self):
+        assert random_tree(15).same_as(random_tree(15))
+
+    def test_ba_default_is_reproducible(self):
+        a = barabasi_albert_graph(20, 2)
+        b = barabasi_albert_graph(20, 2)
+        assert a.same_as(b)
+
+    def test_ppg_default_is_reproducible(self):
+        a = planted_partition_graph(2, 6, 0.6, 0.1)
+        b = planted_partition_graph(2, 6, 0.6, 0.1)
+        assert a.same_as(b)
+
+    def test_default_matches_seed_zero(self):
+        assert gnm_random_graph(10, 12).same_as(
+            gnm_random_graph(10, 12, random.Random(0)))

@@ -1,0 +1,267 @@
+"""Tier-1 gate and unit tests for the reprolint invariant checker.
+
+The headline test runs the full pass over ``src/repro`` and asserts
+zero violations — DESIGN.md's determinism, dependency-hygiene, and
+complexity-cap contracts are machine-checked on every test run.
+Fixture tests then pin each rule to exact (rule id, file, line)
+findings using ``# expect: RXXX`` markers embedded in deliberate
+violation snippets under ``tests/fixtures/reprolint/``.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOLS_DIR = REPO_ROOT / "tools"
+SRC_TREE = REPO_ROOT / "src" / "repro"
+FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "reprolint"
+
+sys.path.insert(0, str(TOOLS_DIR))
+
+from reprolint import LintConfig, all_rules, lint_paths  # noqa: E402
+from reprolint.reporters import json_report, text_report  # noqa: E402
+from reprolint.runner import lint_source  # noqa: E402
+from reprolint.violations import PARSE_ERROR  # noqa: E402
+
+EXPECT_MARKER = re.compile(r"#\s*expect:\s*(R\d{3}(?:\s*,\s*R\d{3})*)")
+ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006")
+
+
+def expected_findings(path: Path):
+    """(line, rule) pairs declared by ``# expect:`` markers."""
+    expected = set()
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        match = EXPECT_MARKER.search(line)
+        if match:
+            for rule in match.group(1).split(","):
+                expected.add((lineno, rule.strip()))
+    return expected
+
+
+class TestSrcTreeIsClean(unittest.TestCase):
+    """The repo's own contracts hold: zero violations under src/."""
+
+    def test_full_pass_over_src_repro(self):
+        result = lint_paths([str(SRC_TREE)])
+        self.assertGreater(result.files_checked, 50)
+        self.assertEqual(
+            [], [v.format() for v in result.violations],
+            "src/repro violates its own DESIGN.md contracts")
+        self.assertTrue(result.ok)
+
+    def test_every_rule_ran(self):
+        result = lint_paths([str(SRC_TREE)])
+        self.assertEqual(tuple(ALL_RULE_IDS), result.rules_run)
+
+
+class TestFixtures(unittest.TestCase):
+    """Each rule finds exactly its planted violations, nothing else."""
+
+    def lint_fixture(self, name):
+        path = FIXTURE_DIR / name
+        self.assertTrue(path.exists(), f"missing fixture {name}")
+        result = lint_paths([str(path)])
+        return path, result
+
+    def assert_matches_markers(self, name):
+        path, result = self.lint_fixture(name)
+        expected = expected_findings(path)
+        self.assertTrue(expected, f"{name} declares no expect markers")
+        found = {(v.line, v.rule) for v in result.violations}
+        self.assertEqual(expected, found)
+        for violation in result.violations:
+            self.assertEqual(str(path), violation.path)
+            self.assertGreaterEqual(violation.col, 0)
+            self.assertTrue(violation.message)
+
+    def assert_clean(self, name):
+        path, result = self.lint_fixture(name)
+        self.assertEqual(
+            [], [v.format() for v in result.violations],
+            f"{name} should lint clean")
+
+    def test_violation_fixtures(self):
+        for rule_id in ALL_RULE_IDS:
+            with self.subTest(rule=rule_id):
+                self.assert_matches_markers(
+                    f"{rule_id.lower()}_violation.py")
+
+    def test_clean_fixtures(self):
+        for rule_id in ALL_RULE_IDS:
+            with self.subTest(rule=rule_id):
+                self.assert_clean(f"{rule_id.lower()}_clean.py")
+
+    def test_each_violation_fixture_exercises_only_its_rule(self):
+        for rule_id in ALL_RULE_IDS:
+            path = FIXTURE_DIR / f"{rule_id.lower()}_violation.py"
+            rules = {rule for _, rule in expected_findings(path)}
+            self.assertEqual({rule_id}, rules)
+
+
+class TestSuppression(unittest.TestCase):
+    SNIPPET = ("import random\n"
+               "\n"
+               "def jitter():\n"
+               "    return random.Random(){comment}\n")
+
+    def test_line_suppression_mutes_the_rule(self):
+        clean = lint_source(self.SNIPPET.format(
+            comment="  # reprolint: disable=R001"))
+        self.assertEqual([], clean)
+
+    def test_line_suppression_is_rule_specific(self):
+        still_flagged = lint_source(self.SNIPPET.format(
+            comment="  # reprolint: disable=R002"))
+        self.assertEqual(["R001"], [v.rule for v in still_flagged])
+
+    def test_disable_all(self):
+        clean = lint_source(self.SNIPPET.format(
+            comment="  # reprolint: disable=all"))
+        self.assertEqual([], clean)
+
+    def test_file_level_suppression(self):
+        source = ("# reprolint: disable-file=R001\n"
+                  + self.SNIPPET.format(comment=""))
+        self.assertEqual([], lint_source(source))
+
+    def test_unsuppressed_line_still_flagged(self):
+        source = self.SNIPPET.format(
+            comment="  # reprolint: disable=R001")
+        source += "\ndef other():\n    return random.Random()\n"
+        flagged = lint_source(source)
+        self.assertEqual(["R001"], [v.rule for v in flagged])
+
+
+class TestConfig(unittest.TestCase):
+    def test_select_and_disable(self):
+        source = ("import networkx\n"
+                  "import random\n"
+                  "def f():\n"
+                  "    return random.Random()\n")
+        only_r002 = lint_source(
+            source, config=LintConfig(select=frozenset({"R002"})))
+        self.assertEqual(["R002"], [v.rule for v in only_r002])
+        without_r001 = lint_source(
+            source, config=LintConfig(disable=frozenset({"R001"})))
+        self.assertEqual(["R002"], [v.rule for v in without_r001])
+
+    def test_config_file_overrides_forbidden_imports(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            config_path = os.path.join(tmp, "reprolint.json")
+            with open(config_path, "w", encoding="utf-8") as handle:
+                json.dump({"forbidden_imports": ["pandas"]}, handle)
+            config = LintConfig.from_file(config_path)
+        self.assertEqual([], lint_source("import networkx\n",
+                                         config=config))
+        flagged = lint_source("import pandas\n", config=config)
+        self.assertEqual(["R002"], [v.rule for v in flagged])
+
+    def test_parse_error_reported_as_r000(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = os.path.join(tmp, "broken.py")
+            with open(bad, "w", encoding="utf-8") as handle:
+                handle.write("def broken(:\n")
+            result = lint_paths([bad])
+        self.assertFalse(result.ok)
+        self.assertEqual([PARSE_ERROR], [v.rule for v in result.violations])
+
+
+class TestReporters(unittest.TestCase):
+    def result_with_violations(self):
+        return lint_paths([str(FIXTURE_DIR / "r001_violation.py")])
+
+    def test_text_report_format(self):
+        report = text_report(self.result_with_violations())
+        self.assertIn("r001_violation.py:8:", report)
+        self.assertIn("R001", report)
+        self.assertIn("violation(s)", report)
+
+    def test_text_report_clean(self):
+        report = text_report(
+            lint_paths([str(FIXTURE_DIR / "r001_clean.py")]))
+        self.assertIn("no violations", report)
+
+    def test_json_report_shape(self):
+        payload = json.loads(json_report(self.result_with_violations()))
+        self.assertEqual(payload["violation_count"],
+                         len(payload["violations"]))
+        self.assertEqual({"R001": payload["violation_count"]},
+                         payload["violations_per_rule"])
+        first = payload["violations"][0]
+        self.assertEqual({"path", "line", "col", "rule", "message"},
+                         set(first))
+        self.assertEqual(list(ALL_RULE_IDS), payload["rules_run"])
+
+
+class TestCli(unittest.TestCase):
+    """End-to-end: ``python -m reprolint`` exit codes and output."""
+
+    def run_cli(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(TOOLS_DIR)] + env.get("PYTHONPATH", "").split(os.pathsep))
+        return subprocess.run(
+            [sys.executable, "-m", "reprolint", *args],
+            capture_output=True, text=True, env=env,
+            cwd=str(REPO_ROOT))
+
+    def test_src_tree_exits_zero(self):
+        proc = self.run_cli("src/repro")
+        self.assertEqual(0, proc.returncode, proc.stdout + proc.stderr)
+        self.assertIn("no violations", proc.stdout)
+
+    def test_violation_fixture_exits_nonzero(self):
+        proc = self.run_cli(
+            str(FIXTURE_DIR / "r003_violation.py"))
+        self.assertEqual(1, proc.returncode)
+        self.assertIn("R003", proc.stdout)
+
+    def test_json_format(self):
+        proc = self.run_cli(str(FIXTURE_DIR / "r002_violation.py"),
+                            "--format", "json")
+        self.assertEqual(1, proc.returncode)
+        payload = json.loads(proc.stdout)
+        self.assertTrue(all(v["rule"] == "R002"
+                            for v in payload["violations"]))
+
+    def test_disable_silences_rule(self):
+        proc = self.run_cli(str(FIXTURE_DIR / "r001_violation.py"),
+                            "--disable", "R001")
+        self.assertEqual(0, proc.returncode, proc.stdout)
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        self.assertEqual(0, proc.returncode)
+        for rule_id in ALL_RULE_IDS:
+            self.assertIn(rule_id, proc.stdout)
+
+    def test_missing_path_is_usage_error(self):
+        proc = self.run_cli("no/such/dir")
+        self.assertEqual(2, proc.returncode)
+
+    def test_unknown_rule_id_is_usage_error(self):
+        # a typo'd --select must not silently run zero rules
+        proc = self.run_cli("src/repro", "--select", "R999")
+        self.assertEqual(2, proc.returncode)
+        self.assertIn("unknown rule id", proc.stderr)
+
+
+class TestRuleMetadata(unittest.TestCase):
+    def test_registry_is_complete_and_documented(self):
+        rules = all_rules()
+        self.assertEqual(list(ALL_RULE_IDS), [cls.id for cls in rules])
+        for cls in rules:
+            self.assertTrue(cls.name)
+            self.assertTrue(cls.description)
+
+
+if __name__ == "__main__":
+    unittest.main()

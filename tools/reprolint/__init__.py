@@ -1,0 +1,58 @@
+"""reprolint — AST-based invariant checker for the repro library.
+
+The reproduction commits to three load-bearing contracts (DESIGN.md,
+"Design choices"):
+
+1. **Determinism** — every randomized component takes an explicit
+   ``random.Random`` seed; nothing reads the shared module-level RNG.
+2. **Dependency hygiene** — ``src/`` is pure stdlib + numpy; networkx
+   and scipy exist only as test oracles.
+3. **Complexity caps** — every embedding-enumeration path is bounded by
+   an explicit ``max_embeddings``-style cap.
+
+reprolint machine-checks those contracts (plus two general hygiene
+rules) with a single stdlib-only ``ast`` pass:
+
+========  =====================================================
+Rule      Invariant
+========  =====================================================
+R001      no unseeded / module-level RNG use
+R002      no forbidden third-party imports under ``src/``
+R003      enumeration calls must pass an explicit cap
+R004      no mutable default arguments
+R005      public API that consumes randomness must expose rng/seed
+R006      no bare ``except`` or silent ``except: pass``
+========  =====================================================
+
+Usage::
+
+    python -m reprolint src/repro              # text report, exit 1 on hit
+    python -m reprolint src/repro --format json
+    python -m reprolint --list-rules
+
+Violations are suppressed in source with a trailing comment on the
+reported line::
+
+    rng = random.Random()  # reprolint: disable=R001
+
+or for a whole file with ``# reprolint: disable-file=R001`` on a
+comment-only line.
+"""
+
+from reprolint.config import LintConfig
+from reprolint.registry import all_rules, get_rule, register
+from reprolint.runner import LintResult, lint_paths
+from reprolint.violations import Violation
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "LintConfig",
+    "LintResult",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "register",
+    "__version__",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m reprolint [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from reprolint.config import LintConfig
+from reprolint.registry import all_rules
+from reprolint.reporters import REPORTERS
+from reprolint.runner import lint_paths
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def _parse_rule_list(raw: Optional[str]) -> frozenset:
+    if not raw:
+        return frozenset()
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=("AST-based invariant checker for the repro library: "
+                     "determinism, dependency hygiene, and "
+                     "complexity-cap contracts."))
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=sorted(REPORTERS),
+                        default="text", help="report format")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    parser.add_argument("--disable", metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--config", metavar="FILE",
+                        help="JSON file overriding the default contract "
+                             "tables")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print registered rules and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.id}  {cls.name}")
+        lines.append(f"      {cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+
+    try:
+        config = (LintConfig.from_file(args.config) if args.config
+                  else LintConfig())
+    except (OSError, ValueError) as exc:
+        print(f"reprolint: bad config: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    select = _parse_rule_list(args.select) or config.select
+    disable = _parse_rule_list(args.disable) | config.disable
+    known = {cls.id for cls in all_rules()}
+    unknown = (select | disable) - known
+    if unknown:
+        print(f"reprolint: unknown rule id(s): "
+              f"{', '.join(sorted(unknown))} "
+              f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+        return EXIT_ERROR
+    config = config.with_rule_filter(select, disable)
+
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        for path in missing:
+            print(f"reprolint: no such path: {path}", file=sys.stderr)
+        return EXIT_ERROR
+
+    result = lint_paths(args.paths, config)
+    sys.stdout.write(REPORTERS[args.format](result))
+    if args.format == "text":
+        sys.stdout.write("\n")
+    return EXIT_CLEAN if result.ok else EXIT_VIOLATIONS
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

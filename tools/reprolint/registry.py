@@ -1,0 +1,68 @@
+"""Rule registry.
+
+A rule is a class with ``id``/``name``/``description`` attributes, an
+optional project-wide ``collect`` phase, and a per-file ``check`` phase.
+Registration happens at import time via the :func:`register` decorator;
+``reprolint.rules`` imports every rule module so that importing the
+package once populates the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Type, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from reprolint.runner import FileContext, ProjectIndex
+    from reprolint.violations import Violation
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (``R\\d{3}``), ``name`` (kebab-case slug) and
+    ``description`` (one line, shown by ``--list-rules``).  One instance
+    is created per lint run, so rules may keep run-local state between
+    ``collect`` and ``check``.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def collect(self, ctx: "FileContext", project: "ProjectIndex") -> None:
+        """First pass over every file; populate cross-file facts."""
+
+    def check(self, ctx: "FileContext",
+              project: "ProjectIndex") -> Iterator["Violation"]:
+        """Second pass; yield violations for one file."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} must define id and name")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, ordered by id."""
+    import reprolint.rules  # noqa: F401  (side effect: registration)
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    import reprolint.rules  # noqa: F401
+    return _REGISTRY[rule_id]
+
+
+def known_ids() -> Iterable[str]:
+    import reprolint.rules  # noqa: F401
+    return sorted(_REGISTRY)

@@ -1,0 +1,45 @@
+"""Text and JSON reporters over a :class:`LintResult`."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict
+
+from reprolint.runner import LintResult
+
+
+def text_report(result: LintResult) -> str:
+    """Human-oriented report: one line per violation plus a summary."""
+    lines = [violation.format() for violation in result.violations]
+    if result.violations:
+        per_rule = Counter(v.rule for v in result.violations)
+        breakdown = ", ".join(f"{rule}: {count}"
+                              for rule, count in sorted(per_rule.items()))
+        lines.append("")
+        lines.append(f"{len(result.violations)} violation(s) in "
+                     f"{result.files_checked} file(s) ({breakdown})")
+    else:
+        lines.append(f"{result.files_checked} file(s) checked, "
+                     "no violations")
+    return "\n".join(lines)
+
+
+def json_report(result: LintResult) -> str:
+    """Machine-oriented report (stable key order, newline-terminated)."""
+    per_rule: Dict[str, int] = dict(
+        sorted(Counter(v.rule for v in result.violations).items()))
+    payload = {
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "violation_count": len(result.violations),
+        "violations_per_rule": per_rule,
+        "violations": [v.to_dict() for v in result.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+REPORTERS = {
+    "text": text_report,
+    "json": json_report,
+}

@@ -1,0 +1,10 @@
+"""Rule modules; importing this package registers every rule."""
+
+from reprolint.rules import (  # noqa: F401
+    r001_unseeded_rng,
+    r002_dependency_hygiene,
+    r003_uncapped_enumeration,
+    r004_mutable_defaults,
+    r005_public_rng,
+    r006_except_hygiene,
+)

@@ -1,0 +1,55 @@
+"""R001 no-unseeded-rng.
+
+DESIGN.md: "All randomized components take explicit ``random.Random``
+seeds; experiments are deterministic."  Two spellings break that:
+
+* ``random.Random()`` with no argument — seeds from OS entropy, so two
+  runs of the same experiment diverge silently;
+* any call that reads the *module-level* RNG (``random.choice`` and
+  friends, including via ``from random import choice``) — shared global
+  state that every other caller perturbs, which is exactly what breaks
+  result merging once TATTOO work is sharded across workers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "R001"
+    name = "no-unseeded-rng"
+    description = ("random.Random() must be seeded and module-level "
+                   "random.* calls are forbidden")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        module_rng = ctx.config.module_rng_functions
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolve(node.func)
+            if origin == "random.Random":
+                if not node.args and not node.keywords:
+                    yield Violation(
+                        path=ctx.path, line=node.lineno,
+                        col=node.col_offset, rule=self.id,
+                        message=("random.Random() without a seed is "
+                                 "nondeterministic; pass an explicit seed "
+                                 "(e.g. random.Random(0))"))
+            elif (origin is not None
+                  and origin.startswith("random.")
+                  and origin.split(".", 1)[1] in module_rng):
+                func_name = origin.split(".", 1)[1]
+                yield Violation(
+                    path=ctx.path, line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message=(f"random.{func_name}() uses the shared "
+                             "module-level RNG; thread an explicit "
+                             "random.Random instance instead"))

@@ -1,0 +1,74 @@
+"""R002 dependency-hygiene.
+
+DESIGN.md keeps the library a pure-Python + numpy artifact: networkx
+and scipy appear only in ``tests/`` as correctness oracles.  An import
+sneaking into ``src/`` would make every downstream result depend on a
+library whose algorithms this repo exists to reimplement.
+
+Detected spellings: ``import networkx``, ``from scipy import sparse``,
+``importlib.import_module("networkx")`` and ``__import__("scipy")``
+with a literal module string.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+
+def _top_module(dotted: str) -> str:
+    return dotted.lstrip(".").split(".")[0]
+
+
+def _literal_import_target(node: ast.Call,
+                           ctx: FileContext) -> Optional[str]:
+    """Module name for import_module/__import__ calls, if literal."""
+    is_dunder = (isinstance(node.func, ast.Name)
+                 and node.func.id == "__import__")
+    origin = ctx.resolve(node.func)
+    if not is_dunder and origin != "importlib.import_module":
+        return None
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None
+
+
+@register
+class DependencyHygieneRule(Rule):
+    id = "R002"
+    name = "dependency-hygiene"
+    description = ("forbidden third-party imports (networkx/scipy) in "
+                   "library code")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        forbidden = ctx.config.forbidden_imports
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = _top_module(alias.name)
+                    if top in forbidden:
+                        yield self._violation(ctx, node, top)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import — always in-package
+                    continue
+                top = _top_module(node.module or "")
+                if top in forbidden:
+                    yield self._violation(ctx, node, top)
+            elif isinstance(node, ast.Call):
+                target = _literal_import_target(node, ctx)
+                if target and _top_module(target) in forbidden:
+                    yield self._violation(ctx, node, _top_module(target))
+
+    def _violation(self, ctx: FileContext, node: ast.AST,
+                   module: str) -> Violation:
+        return Violation(
+            path=ctx.path, line=node.lineno, col=node.col_offset,
+            rule=self.id,
+            message=(f"'{module}' is a test-only oracle dependency; "
+                     "library code must stay stdlib + numpy"))

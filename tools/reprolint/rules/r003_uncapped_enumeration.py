@@ -1,0 +1,65 @@
+"""R003 uncapped-enumeration.
+
+Subgraph-embedding enumeration is worst-case exponential; DESIGN.md
+caps it everywhere (``max_embeddings``) so that interactive VQI paths
+stay within latency budget and CATAPULT/TATTOO scoring stays bounded.
+A call site that *omits* the cap silently inherits whatever default the
+callee chose — or worse, ``None`` — and becomes the one uncapped path
+that blows up on the first dense production graph.
+
+The rule is driven by a configurable signature table
+(``LintConfig.enumeration_signatures``): each known enumeration entry
+point lists the keyword(s) that carry its cap and the positional arity
+at which the cap slot is necessarily filled.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+
+def _terminal_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@register
+class UncappedEnumerationRule(Rule):
+    id = "R003"
+    name = "uncapped-enumeration"
+    description = ("embedding-enumeration calls must pass an explicit "
+                   "max_embeddings-style cap")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        table = ctx.config.enumeration_signatures
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            sig = table.get(name)
+            if sig is None:
+                continue
+            if any(kw.arg is None or kw.arg in sig.cap_keywords
+                   for kw in node.keywords):
+                continue  # cap keyword present, or **kwargs forwarding
+            positional = len(node.args)
+            if any(isinstance(arg, ast.Starred) for arg in node.args):
+                continue  # *args forwarding — give benefit of the doubt
+            if positional >= sig.min_positional:
+                continue  # cap slot filled positionally
+            caps = " or ".join(f"{kw}=" for kw in sig.cap_keywords)
+            yield Violation(
+                path=ctx.path, line=node.lineno, col=node.col_offset,
+                rule=self.id,
+                message=(f"call to '{name}' without an explicit "
+                         f"enumeration cap; pass {caps} (enumeration is "
+                         "worst-case exponential)"))

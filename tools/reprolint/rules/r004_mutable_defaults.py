@@ -1,0 +1,76 @@
+"""R004 mutable-default-args.
+
+A ``def f(acc=[])`` default is evaluated once and shared across calls —
+in a library whose pipelines are re-run and merged (MIDAS maintenance,
+distributed TATTOO), state leaking between invocations masquerades as
+nondeterminism and is miserable to bisect.  Flags list/dict/set
+displays and comprehensions, and calls to the obvious mutable
+constructors, used as parameter defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque",
+    "defaultdict", "OrderedDict", "Counter",
+})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultsRule(Rule):
+    id = "R004"
+    name = "mutable-default-args"
+    description = "mutable default argument values shared across calls"
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _check_function(self, ctx: FileContext,
+                        node: _FunctionNode) -> Iterator[Violation]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional)
+                                           - len(args.defaults):],
+                                args.defaults):
+            if _is_mutable_default(default):
+                yield self._violation(ctx, default, arg.arg, node)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and _is_mutable_default(default):
+                yield self._violation(ctx, default, arg.arg, node)
+
+    def _violation(self, ctx: FileContext, default: ast.expr,
+                   param: str, func: _FunctionNode) -> Violation:
+        func_name = getattr(func, "name", "<lambda>")
+        return Violation(
+            path=ctx.path, line=default.lineno, col=default.col_offset,
+            rule=self.id,
+            message=(f"parameter '{param}' of '{func_name}' has a mutable "
+                     "default evaluated once at def time; default to None "
+                     "and construct inside the function"))

@@ -1,0 +1,158 @@
+"""R005 public-api-needs-rng-param.
+
+The determinism contract is transitive: if a public function leans on a
+randomized helper, callers can only reproduce its output if the public
+function itself exposes seeding.  The dangerous link in that chain is a
+call that *omits* an optional ``rng``/``seed`` argument — the helper
+falls back to its default stream and the caller has no way to redirect
+it.  (Required rng parameters cannot be omitted without a TypeError, so
+only optional ones are indexed.)
+
+Enforced link by link, this yields the transitive closure: a helper
+with an ``rng`` parameter is itself rng-consuming, so *its* public
+callers face the same check in turn.
+
+The collect phase indexes, project-wide, every function definition with
+an optional parameter named in ``LintConfig.rng_param_names``; the
+check phase flags calls to those functions that drop the argument from
+inside a public function which exposes no rng/seed parameter of its
+own.  Calls from private helpers (``_name``) are trusted — their public
+entry points are checked instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Union
+
+from reprolint.registry import Rule, register
+from reprolint.runner import (
+    FileContext,
+    ProjectIndex,
+    RngFunctionFact,
+)
+from reprolint.violations import Violation
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _rng_param_fact(node: _FunctionNode, path: str, qualname: str,
+                    rng_names: tuple) -> Optional[RngFunctionFact]:
+    args = node.args
+    positional = args.posonlyargs + args.args
+    first_default = len(positional) - len(args.defaults)
+    for index, arg in enumerate(positional):
+        if arg.arg in rng_names and index >= first_default:
+            method_like = bool(positional) and positional[0].arg in (
+                "self", "cls")
+            return RngFunctionFact(qualname=qualname, path=path,
+                                   param=arg.arg, index=index,
+                                   method_like=method_like)
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if arg.arg in rng_names and default is not None:
+            return RngFunctionFact(qualname=qualname, path=path,
+                                   param=arg.arg, index=-1,
+                                   method_like=False)
+    return None
+
+
+def _has_rng_param(node: _FunctionNode, rng_names: tuple) -> bool:
+    args = node.args
+    every = args.posonlyargs + args.args + args.kwonlyargs
+    return any(arg.arg in rng_names for arg in every)
+
+
+def _call_supplies_rng(call: ast.Call, fact: RngFunctionFact) -> bool:
+    for kw in call.keywords:
+        if kw.arg is None or kw.arg == fact.param:
+            return True  # explicit keyword or **kwargs forwarding
+    if any(isinstance(arg, ast.Starred) for arg in call.args):
+        return True  # *args forwarding — benefit of the doubt
+    if fact.index < 0:
+        return False  # keyword-only rng, not supplied
+    effective = fact.index
+    if fact.method_like and isinstance(call.func, ast.Attribute):
+        effective -= 1  # bound call: self already supplied
+    return len(call.args) > effective
+
+
+@register
+class PublicRngRule(Rule):
+    id = "R005"
+    name = "public-api-needs-rng-param"
+    description = ("public functions calling rng-consuming helpers must "
+                   "expose rng/seed themselves")
+
+    def collect(self, ctx: FileContext, project: ProjectIndex) -> None:
+        rng_names = tuple(ctx.config.rng_param_names)
+
+        class Collector(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.stack: List[str] = []
+
+            def _visit_function(self, node: _FunctionNode) -> None:
+                qualname = ".".join(self.stack + [node.name])
+                fact = _rng_param_fact(node, ctx.path, qualname, rng_names)
+                if fact is not None:
+                    project.add_rng_function(fact)
+                self.stack.append(node.name)
+                self.generic_visit(node)
+                self.stack.pop()
+
+            visit_FunctionDef = _visit_function
+            visit_AsyncFunctionDef = _visit_function
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self.stack.append(node.name)
+                self.generic_visit(node)
+                self.stack.pop()
+
+        Collector().visit(ctx.tree)
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        rng_names = tuple(ctx.config.rng_param_names)
+        rule = self
+        found: List[Violation] = []
+
+        class Checker(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.func_stack: List[_FunctionNode] = []
+
+            def _visit_function(self, node: _FunctionNode) -> None:
+                self.func_stack.append(node)
+                self.generic_visit(node)
+                self.func_stack.pop()
+
+            visit_FunctionDef = _visit_function
+            visit_AsyncFunctionDef = _visit_function
+
+            def visit_Call(self, node: ast.Call) -> None:
+                self.generic_visit(node)
+                name = ""
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                facts = project.rng_functions.get(name)
+                if not facts or not self.func_stack:
+                    return
+                caller = self.func_stack[-1]
+                if caller.name.startswith("_"):
+                    return  # private helper; its public callers are checked
+                if any(_has_rng_param(f, rng_names)
+                       for f in self.func_stack):
+                    return  # caller (or an enclosing scope) exposes seeding
+                if any(_call_supplies_rng(node, fact) for fact in facts):
+                    return
+                fact = facts[0]
+                found.append(Violation(
+                    path=ctx.path, line=node.lineno, col=node.col_offset,
+                    rule=rule.id,
+                    message=(f"public function '{caller.name}' calls "
+                             f"rng-consuming '{name}' without passing "
+                             f"'{fact.param}'; expose an rng/seed "
+                             "parameter or pass one explicitly")))
+
+        Checker().visit(ctx.tree)
+        yield from found

@@ -1,0 +1,80 @@
+"""R006 bare-except / except-pass.
+
+Pipeline stages (CATAPULT -> clustering -> VQI assembly, TATTOO
+sharded selection, MIDAS maintenance) are chained: a stage that
+swallows an exception hands the next stage silently-partial state, and
+MIDAS's never-degrade guarantee is only as strong as the errors it is
+allowed to see.  Flags ``except:`` with no exception type, and handlers
+of any type whose body is only ``pass``/``...`` — except for the
+optional-dependency gating idiom (``except ImportError: pass`` and
+friends, configurable via ``LintConfig.except_pass_allowlist``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+
+def _exception_names(node: ast.ExceptHandler) -> Set[str]:
+    """Terminal names of the caught exception type(s)."""
+    types = []
+    if isinstance(node.type, ast.Tuple):
+        types = list(node.type.elts)
+    elif node.type is not None:
+        types = [node.type]
+    names: Set[str] = set()
+    for expr in types:
+        if isinstance(expr, ast.Name):
+            names.add(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.add(expr.attr)
+    return names
+
+
+def _body_is_silent(body: list) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value,
+                                                     ast.Constant):
+            continue  # docstring or bare ``...``
+        return False
+    return True
+
+
+@register
+class ExceptHygieneRule(Rule):
+    id = "R006"
+    name = "bare-except"
+    description = "bare except clauses and silent except-pass handlers"
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        allowlist = ctx.config.except_pass_allowlist
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Violation(
+                    path=ctx.path, line=node.lineno, col=node.col_offset,
+                    rule=self.id,
+                    message=("bare 'except:' catches SystemExit and "
+                             "KeyboardInterrupt; name the exceptions "
+                             "this stage can actually handle"))
+                continue
+            if _body_is_silent(node.body):
+                names = _exception_names(node)
+                if names and names <= allowlist:
+                    continue  # optional-dependency gating idiom
+                caught = ", ".join(sorted(names)) or "<dynamic>"
+                yield Violation(
+                    path=ctx.path, line=node.lineno, col=node.col_offset,
+                    rule=self.id,
+                    message=(f"handler for {caught} swallows the error "
+                             "with 'pass'; downstream stages would see "
+                             "silently-partial state"))

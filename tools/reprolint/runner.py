@@ -1,0 +1,199 @@
+"""Two-phase lint driver.
+
+Phase 1 parses every target file once (AST + suppression pragmas +
+import table) and lets each rule ``collect`` cross-file facts into a
+shared :class:`ProjectIndex` — R005 needs to know, project-wide, which
+functions accept an optional ``rng`` before it can judge any call site.
+Phase 2 runs each rule's ``check`` per file and filters the findings
+through suppression pragmas and the rule select/disable sets.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from reprolint.config import LintConfig
+from reprolint.registry import Rule, all_rules
+from reprolint.suppress import SuppressionIndex
+from reprolint.violations import PARSE_ERROR, Violation
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "node_modules"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    suppressions: SuppressionIndex
+    #: local name -> dotted origin, e.g. ``{"rnd": "random",
+    #: "Random": "random.Random", "choice": "random.choice"}``.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str,
+              config: LintConfig) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, source=source, tree=tree, config=config,
+                  suppressions=SuppressionIndex.from_source(source))
+        ctx.imports = _collect_imports(tree)
+        return ctx
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted origin of a Name/Attribute expression, if imported.
+
+        ``random.Random`` resolves to ``"random.Random"`` whether it is
+        spelled ``random.Random``, ``rnd.Random`` (aliased import) or
+        bare ``Random`` (from-import).  Locally defined names resolve
+        to ``None``.
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                # ``import a.b`` binds ``a``; ``import a.b as c`` binds
+                # ``c`` to the full dotted path.
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    table[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{module}.{alias.name}" if module else alias.name
+    return table
+
+
+@dataclass(frozen=True)
+class RngFunctionFact:
+    """A function somewhere in the project with an *optional* rng/seed
+    parameter — the only kind a caller can silently omit (R005)."""
+
+    qualname: str
+    path: str
+    param: str
+    #: Index of the rng parameter in the positional parameter list.
+    index: int
+    #: First positional parameter is self/cls, so attribute calls
+    #: supply one fewer positional argument.
+    method_like: bool
+
+
+@dataclass
+class ProjectIndex:
+    """Cross-file facts accumulated during the collect phase."""
+
+    #: terminal function name -> facts for every same-named definition.
+    rng_functions: Dict[str, List[RngFunctionFact]] = field(
+        default_factory=dict)
+
+    def add_rng_function(self, fact: RngFunctionFact) -> None:
+        name = fact.qualname.rsplit(".", 1)[-1]
+        self.rng_functions.setdefault(name, []).append(fact)
+
+
+@dataclass
+class LintResult:
+    violations: List[Violation]
+    files_checked: int
+    rules_run: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield .py files under each path, deterministically ordered."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in _SKIP_DIRS
+                                 and not d.startswith("."))
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(paths: Sequence[str],
+               config: Optional[LintConfig] = None) -> LintResult:
+    """Run every enabled rule over every Python file under ``paths``."""
+    config = config or LintConfig()
+    rules: List[Rule] = [cls() for cls in all_rules()
+                         if config.rule_enabled(cls.id)]
+
+    contexts: List[FileContext] = []
+    violations: List[Violation] = []
+    files_checked = 0
+    for path in iter_python_files(paths):
+        files_checked += 1
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            contexts.append(FileContext.parse(path, source, config))
+        except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            violations.append(Violation(
+                path=path, line=line, col=0, rule=PARSE_ERROR,
+                message=f"file could not be parsed: {exc}"))
+
+    project = ProjectIndex()
+    for rule in rules:
+        for ctx in contexts:
+            rule.collect(ctx, project)
+
+    for rule in rules:
+        for ctx in contexts:
+            for violation in rule.check(ctx, project):
+                if ctx.suppressions.is_suppressed(violation.rule,
+                                                  violation.line):
+                    continue
+                violations.append(violation)
+
+    violations.sort()
+    return LintResult(violations=violations, files_checked=files_checked,
+                      rules_run=tuple(rule.id for rule in rules))
+
+
+def lint_source(source: str, path: str = "<string>",
+                config: Optional[LintConfig] = None) -> List[Violation]:
+    """Lint a source string (unit-test convenience)."""
+    config = config or LintConfig()
+    ctx = FileContext.parse(path, source, config)
+    rules: List[Rule] = [cls() for cls in all_rules()
+                         if config.rule_enabled(cls.id)]
+    project = ProjectIndex()
+    for rule in rules:
+        rule.collect(ctx, project)
+    found: List[Violation] = []
+    for rule in rules:
+        for violation in rule.check(ctx, project):
+            if not ctx.suppressions.is_suppressed(violation.rule,
+                                                  violation.line):
+                found.append(violation)
+    found.sort()
+    return found

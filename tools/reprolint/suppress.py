@@ -1,0 +1,76 @@
+"""Per-rule suppression comments.
+
+Two forms are recognised, both scanned with :mod:`tokenize` so that
+string literals containing the magic words are never misread:
+
+* line-level, trailing the offending statement's *reported* line::
+
+      rng = random.Random()  # reprolint: disable=R001
+      thing = run(a, b)      # reprolint: disable=R003,R005
+
+* file-level, on a comment-only line anywhere in the file::
+
+      # reprolint: disable-file=R002
+
+``disable=all`` (or ``disable-file=all``) suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+_ALL = "all"
+
+
+@dataclass
+class SuppressionIndex:
+    """Which rules are muted on which physical lines of one file."""
+
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+    file_rules: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _PRAGMA.search(tok.string)
+                if not match:
+                    continue
+                rules = {r.strip() for r in match.group("rules").split(",")}
+                if match.group("scope") == "disable-file":
+                    index.file_rules |= rules
+                else:
+                    index.line_rules.setdefault(
+                        tok.start[0], set()).update(rules)
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Unparseable files are reported as R000 by the runner; no
+            # suppressions can apply to them anyway.
+            pass
+        return index
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if _ALL in self.file_rules or rule_id in self.file_rules:
+            return True
+        on_line = self.line_rules.get(line)
+        if not on_line:
+            return False
+        return _ALL in on_line or rule_id in on_line
+
+    def all_rule_ids(self) -> FrozenSet[str]:
+        """Every rule id mentioned by any pragma (for diagnostics)."""
+        mentioned: Set[str] = set(self.file_rules)
+        for rules in self.line_rules.values():
+            mentioned |= rules
+        return frozenset(mentioned)

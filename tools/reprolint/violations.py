@@ -1,0 +1,37 @@
+"""Violation record shared by every rule and reporter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Pseudo-rule id used for files that fail to parse.
+PARSE_ERROR = "R000"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where it is, which contract it breaks, and why.
+
+    Ordering is (path, line, col, rule) so sorted reports group by file
+    and read top to bottom.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — clickable in most editors."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

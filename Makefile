@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: lint lint-json test compile check
+.PHONY: lint lint-json test compile check bench-smoke
 
 lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
@@ -13,5 +13,9 @@ test:
 
 compile:
 	$(PYTHON) -m compileall -q src
+
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner.py --smoke \
+		--out BENCH_perf.json
 
 check: compile lint test

@@ -1,0 +1,197 @@
+"""Perf-layer benchmark: wall time and cache effect at 1 vs 4 workers.
+
+Runs E2/E4/E6-shaped workloads (CATAPULT selection, TATTOO network
+extraction, MIDAS maintenance) at ``workers in {1, 4}`` and writes a
+JSON report with wall times, match-cache hit rates, and — the part
+CI actually gates on — a determinism check that every worker count
+produced the identical pattern set.  Speedups are hardware-dependent
+(a single-core runner shows none); the determinism booleans are not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py --smoke \
+        --out BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.catapult import CatapultConfig, select_canned_patterns
+from repro.datasets import (
+    EvolvingRepository,
+    NetworkConfig,
+    generate_chemical_repository,
+    generate_network,
+    generate_update_stream,
+)
+from repro.midas import Midas, MidasConfig
+from repro.patterns import PatternBudget
+from repro.perf import cache_stats, clear_match_cache
+from repro.tattoo import TattooConfig, select_network_patterns
+
+WORKER_COUNTS = (1, 4)
+
+
+def _cache_delta(before: Dict[str, float],
+                 after: Dict[str, float]) -> Dict[str, float]:
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    total = hits + misses
+    return {
+        "hits": int(hits),
+        "misses": int(misses),
+        "hit_rate": hits / total if total else 0.0,
+        "vf2_calls": int(after["vf2_calls"] - before["vf2_calls"]),
+    }
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_catapult(smoke: bool) -> Dict[str, object]:
+    """E2-shaped: CATAPULT selection over a chemical repository."""
+    size = 30 if smoke else 150
+    repo = generate_chemical_repository(size, seed=7)
+    budget = PatternBudget(5, min_size=4, max_size=8)
+    runs = {}
+    for workers in WORKER_COUNTS:
+        clear_match_cache()
+        before = cache_stats()
+        config = CatapultConfig(seed=1, workers=workers,
+                                walks_per_cluster=10 if smoke else 30)
+        result, wall = _timed(
+            lambda: select_canned_patterns(repo, budget, config))
+        runs[str(workers)] = {
+            "wall_seconds": wall,
+            "pattern_codes": sorted(result.patterns.codes()),
+            "cache": _cache_delta(before, cache_stats()),
+        }
+    return _finish("catapult_e2", {"repository_size": size}, runs)
+
+
+def run_tattoo(smoke: bool) -> Dict[str, object]:
+    """E4-shaped: TATTOO extraction + selection on one network."""
+    nodes = 150 if smoke else 600
+    network = generate_network(NetworkConfig(nodes=nodes, cliques=4,
+                                             petals=3, flowers=3), seed=2)
+    budget = PatternBudget(5, min_size=4, max_size=8)
+    runs = {}
+    for workers in WORKER_COUNTS:
+        clear_match_cache()
+        before = cache_stats()
+        config = TattooConfig(seed=1, workers=workers)
+        result, wall = _timed(
+            lambda: select_network_patterns(network, budget, config))
+        runs[str(workers)] = {
+            "wall_seconds": wall,
+            "pattern_codes": sorted(result.patterns.codes()),
+            "cache": _cache_delta(before, cache_stats()),
+        }
+    return _finish("tattoo_e4", {"network_nodes": nodes}, runs)
+
+
+def run_midas(smoke: bool) -> Dict[str, object]:
+    """E6-shaped: MIDAS maintenance over an update stream.
+
+    The engine-lifetime cache is the point here: every batch rebuilds
+    its coverage index, so from batch 2 onward hits should dominate.
+    """
+    initial = 30 if smoke else 100
+    batches = 2 if smoke else 5
+    runs = {}
+    for workers in WORKER_COUNTS:
+        clear_match_cache()
+        repo = generate_chemical_repository(initial, seed=31)
+        budget = PatternBudget(5, min_size=4, max_size=8)
+        midas = Midas(repo, budget,
+                      MidasConfig(seed=2, workers=workers))
+        evolving = EvolvingRepository([g.copy() for g in repo])
+        stream = generate_update_stream(evolving, batches=batches,
+                                        batch_size=8, seed=32)
+
+        def drive():
+            for batch in stream:
+                evolving.apply(batch)
+                midas.apply_batch(batch)
+            return midas
+
+        _, wall = _timed(drive)
+        stats = midas.cache_stats() or {}
+        runs[str(workers)] = {
+            "wall_seconds": wall,
+            "pattern_codes": sorted(midas.patterns.codes()),
+            "cache": {
+                "hits": int(stats.get("hits", 0)),
+                "misses": int(stats.get("misses", 0)),
+                "hit_rate": stats.get("hit_rate", 0.0),
+            },
+        }
+    return _finish("midas_e6",
+                   {"initial_size": initial, "batches": batches}, runs)
+
+
+def _finish(name: str, params: Dict[str, object],
+            runs: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    codes = [run["pattern_codes"] for run in runs.values()]
+    deterministic = all(c == codes[0] for c in codes)
+    serial = runs[str(WORKER_COUNTS[0])]["wall_seconds"]
+    parallel = runs[str(WORKER_COUNTS[-1])]["wall_seconds"]
+    return {
+        "name": name,
+        "params": params,
+        "runs": runs,
+        "deterministic_across_workers": deterministic,
+        "speedup": serial / parallel if parallel else 0.0,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="output JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small inputs for CI (seconds, not minutes)")
+    args = parser.parse_args(argv)
+
+    report = {
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "worker_counts": list(WORKER_COUNTS),
+        "experiments": [],
+    }
+    failures = []
+    for runner in (run_catapult, run_tattoo, run_midas):
+        experiment = runner(args.smoke)
+        report["experiments"].append(experiment)
+        flag = "ok" if experiment["deterministic_across_workers"] \
+            else "NOT DETERMINISTIC"
+        if not experiment["deterministic_across_workers"]:
+            failures.append(experiment["name"])
+        print(f"{experiment['name']}: "
+              f"speedup x{experiment['speedup']:.2f} "
+              f"[{flag}]")
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if failures:
+        print(f"determinism check FAILED for: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

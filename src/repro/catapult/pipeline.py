@@ -33,17 +33,26 @@ from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
+from repro.perf.executor import derive_seed, pmap
 from repro.summary.closure import SummaryGraph, build_summary
 from repro.catapult.random_walk import generate_candidates
 
 
 class CatapultConfig:
-    """Tunables of the CATAPULT pipeline."""
+    """Tunables of the CATAPULT pipeline.
+
+    ``workers`` fans the per-cluster candidate walks and the distance
+    matrix out over :func:`repro.perf.pmap` processes (``None`` reads
+    ``REPRO_WORKERS``; 1 = serial).  Each cluster draws its walks from
+    a seed split off ``seed`` with :func:`repro.perf.derive_seed`, so
+    the selected patterns are identical at every worker count.
+    ``use_cache`` toggles the shared VF2 match cache.
+    """
 
     __slots__ = ("clusters", "min_tree_support", "max_tree_edges",
                  "walks_per_cluster", "member_samples", "seed", "weights",
                  "validate_candidates", "coverage_sample",
-                 "max_embeddings")
+                 "max_embeddings", "workers", "use_cache")
 
     def __init__(self, clusters: Optional[int] = None,
                  min_tree_support: int = 2,
@@ -53,7 +62,9 @@ class CatapultConfig:
                  weights: ScoreWeights = DEFAULT_WEIGHTS,
                  validate_candidates: bool = True,
                  coverage_sample: int = 60,
-                 max_embeddings: int = 30) -> None:
+                 max_embeddings: int = 30,
+                 workers: Optional[int] = None,
+                 use_cache: bool = True) -> None:
         self.clusters = clusters
         self.min_tree_support = min_tree_support
         self.max_tree_edges = max_tree_edges
@@ -64,6 +75,8 @@ class CatapultConfig:
         self.validate_candidates = validate_candidates
         self.coverage_sample = coverage_sample
         self.max_embeddings = max_embeddings
+        self.workers = workers
+        self.use_cache = use_cache
 
 
 class CatapultResult:
@@ -111,7 +124,8 @@ def cluster_repository(repository: Sequence[Graph],
                                 medoids=[0], cost=0.0)
     matrix = repository_feature_matrix(repository, vocabulary,
                                        config.max_tree_edges)
-    distances = distance_matrix_from_vectors(matrix, metric="euclidean")
+    distances = distance_matrix_from_vectors(matrix, metric="euclidean",
+                                             workers=config.workers)
     return kmedoids(distances, k, seed=config.seed)
 
 
@@ -136,6 +150,42 @@ def _make_validator(members: Sequence[Graph], sample: int = 8):
     return validator
 
 
+def _cluster_candidates_task(task) -> List[Pattern]:
+    """One cluster's candidates (module-level: runs in pool workers).
+
+    ``task`` is ``(cluster_index, member_graphs, summary, budget,
+    walks, member_samples, validate, seed)``; the per-cluster RNG is
+    built from the split seed, so the output depends only on the task
+    content, never on which worker ran it or in what order.
+    """
+    (cluster_index, member_graphs, summary, budget, walks,
+     member_samples, validate, seed) = task
+    rng = random.Random(seed)
+    validator = _make_validator(member_graphs) if validate else None
+    out: List[Pattern] = []
+    for pattern in generate_candidates(
+            summary, budget, walks, rng,
+            source=f"catapult:cluster{cluster_index}",
+            validator=validator):
+        pattern.code  # canonical coding happens in the worker
+        out.append(pattern)
+    for _ in range(member_samples):
+        member = rng.choice(member_graphs)
+        if member.order() < budget.min_size:
+            continue
+        size = rng.randint(budget.min_size,
+                           min(budget.max_size, member.order()))
+        node_set = sample_connected_node_set(member, size, rng,
+                                             attempts=5)
+        if node_set is None:
+            continue
+        sampled = induced_subgraph(member, node_set).normalized()
+        pattern = Pattern(sampled, source=f"catapult:member{cluster_index}")
+        pattern.code
+        out.append(pattern)
+    return out
+
+
 def generate_all_candidates(repository: Sequence[Graph],
                             clustering: ClusteringResult,
                             summaries: List[SummaryGraph],
@@ -147,41 +197,27 @@ def generate_all_candidates(repository: Sequence[Graph],
     walks over the CSG (shared substructure, mixed labels) and
     connected subgraphs sampled from cluster members directly
     (exact labels — this is how ring motifs reliably surface).
+    Clusters are independent work items; they run under
+    :func:`repro.perf.pmap` with one derived seed each and merge in
+    cluster order, so the result is worker-count invariant.
     """
-    rng = random.Random(config.seed)
     clusters = [c for c in clustering.clusters() if c]
-    candidates: List[Pattern] = []
-    seen: set[str] = set()
-
-    def admit(pattern: Pattern) -> None:
-        if pattern.code not in seen:
-            seen.add(pattern.code)
-            candidates.append(pattern)
-
+    tasks = []
     for cluster_index, (members, summary) in enumerate(
             zip(clusters, summaries)):
         member_graphs = [repository[i] for i in members]
-        validator = None
-        if config.validate_candidates:
-            validator = _make_validator(member_graphs)
-        for pattern in generate_candidates(
-                summary, budget, config.walks_per_cluster, rng,
-                source=f"catapult:cluster{cluster_index}",
-                validator=validator):
-            admit(pattern)
-        for _ in range(config.member_samples):
-            member = rng.choice(member_graphs)
-            if member.order() < budget.min_size:
-                continue
-            size = rng.randint(budget.min_size,
-                               min(budget.max_size, member.order()))
-            node_set = sample_connected_node_set(member, size, rng,
-                                                 attempts=5)
-            if node_set is None:
-                continue
-            sampled = induced_subgraph(member, node_set).normalized()
-            admit(Pattern(sampled,
-                          source=f"catapult:member{cluster_index}"))
+        tasks.append((cluster_index, member_graphs, summary, budget,
+                      config.walks_per_cluster, config.member_samples,
+                      config.validate_candidates,
+                      derive_seed(config.seed, cluster_index)))
+    candidates: List[Pattern] = []
+    seen: set[str] = set()
+    for batch in pmap(_cluster_candidates_task, tasks,
+                      workers=config.workers):
+        for pattern in batch:
+            if pattern.code not in seen:
+                seen.add(pattern.code)
+                candidates.append(pattern)
     return candidates
 
 
@@ -214,7 +250,7 @@ def select_canned_patterns(repository: Sequence[Graph],
     if len(sample) > config.coverage_sample:
         sample = rng.sample(sample, config.coverage_sample)
     index = CoverageIndex(sample, max_embeddings=config.max_embeddings,
-                          size_utility=True)
+                          size_utility=True, use_cache=config.use_cache)
     scorer = SetScorer(index, weights=config.weights)
     selection = greedy_select(candidates, budget, scorer)
     timings["select"] = time.perf_counter() - start

@@ -1,12 +1,21 @@
-"""Graph-to-graph similarity and distance matrices for clustering."""
+"""Graph-to-graph similarity and distance matrices for clustering.
+
+The pairwise matrices are the O(|D|^2) wall every clustering-based
+selector hits first (the tutorial's own argument against CATAPULT on
+large inputs), so both matrix builders precompute per-item norms once
+and split their row blocks across :func:`repro.perf.pmap` workers.
+Every pair is computed by the same pure function either way, so the
+matrix is identical at any worker count.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph
 from repro.patterns.scoring import cosine_similarity, feature_vector
+from repro.perf.executor import pmap, resolve_workers
 
 
 def structural_similarity(g1: Graph, g2: Graph) -> float:
@@ -26,51 +35,120 @@ def vector_euclidean(v1: Sequence[float], v2: Sequence[float]) -> float:
     return math.sqrt(sum((a - b) ** 2 for a, b in zip(v1, v2)))
 
 
+def _vector_norm(vector: Sequence[float]) -> float:
+    return math.sqrt(sum(a * a for a in vector))
+
+
+def _cosine_distance_with_norms(v1: Sequence[float], v2: Sequence[float],
+                                n1: float, n2: float) -> float:
+    if n1 == 0.0 or n2 == 0.0:
+        return 1.0
+    dot = sum(a * b for a, b in zip(v1, v2))
+    return 1.0 - dot / (n1 * n2)
+
+
 def vector_cosine_distance(v1: Sequence[float],
                            v2: Sequence[float]) -> float:
     """1 - cosine similarity of two dense vectors (1.0 for zero vectors)."""
     if len(v1) != len(v2):
         raise ValueError("feature vectors have different lengths")
-    dot = sum(a * b for a, b in zip(v1, v2))
-    n1 = math.sqrt(sum(a * a for a in v1))
-    n2 = math.sqrt(sum(b * b for b in v2))
-    if n1 == 0.0 or n2 == 0.0:
-        return 1.0
-    return 1.0 - dot / (n1 * n2)
+    return _cosine_distance_with_norms(v1, v2, _vector_norm(v1),
+                                       _vector_norm(v2))
 
 
-def distance_matrix_from_graphs(repository: Sequence[Graph]
-                                ) -> List[List[float]]:
-    """Pairwise structural distances (symmetric, zero diagonal)."""
-    features = [feature_vector(g) for g in repository]
-    n = len(repository)
-    matrix = [[0.0] * n for _ in range(n)]
-    for i in range(n):
+def _row_ranges(n: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous row blocks, ~4 per worker so stragglers rebalance."""
+    blocks = max(1, min(n, workers * 4))
+    size = -(-n // blocks)
+    return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+
+def _upper_rows_from_vectors(task: Tuple) -> List[List[float]]:
+    """Upper-triangle distance rows [lo, hi) for dense vectors."""
+    lo, hi, vectors, norms, metric = task
+    n = len(vectors)
+    rows: List[List[float]] = []
+    for i in range(lo, hi):
+        if metric == "euclidean":
+            row = [vector_euclidean(vectors[i], vectors[j])
+                   for j in range(i + 1, n)]
+        else:
+            row = [_cosine_distance_with_norms(vectors[i], vectors[j],
+                                               norms[i], norms[j])
+                   for j in range(i + 1, n)]
+        rows.append(row)
+    return rows
+
+
+def _sparse_cosine_rows(task: Tuple) -> List[List[float]]:
+    """Upper-triangle cosine-distance rows for sparse feature dicts."""
+    lo, hi, features, norms = task
+    n = len(features)
+    rows: List[List[float]] = []
+    for i in range(lo, hi):
+        fi = features[i]
+        row: List[float] = []
         for j in range(i + 1, n):
-            d = 1.0 - cosine_similarity(features[i], features[j])
+            if norms[i] == 0.0 or norms[j] == 0.0:
+                # matches cosine_similarity's 0-similarity convention
+                row.append(1.0)
+                continue
+            fj = features[j]
+            dot = sum(value * fj.get(key, 0.0)
+                      for key, value in fi.items())
+            row.append(1.0 - dot / (norms[i] * norms[j]))
+        rows.append(row)
+    return rows
+
+
+def _assemble(n: int, upper_rows: List[List[float]]) -> List[List[float]]:
+    """Symmetric zero-diagonal matrix from per-row upper triangles."""
+    matrix = [[0.0] * n for _ in range(n)]
+    for i, row in enumerate(upper_rows):
+        for offset, d in enumerate(row):
+            j = i + 1 + offset
             matrix[i][j] = d
             matrix[j][i] = d
     return matrix
+
+
+def distance_matrix_from_graphs(repository: Sequence[Graph],
+                                workers: Optional[int] = None
+                                ) -> List[List[float]]:
+    """Pairwise structural distances (symmetric, zero diagonal)."""
+    features: List[Dict[str, float]] = [feature_vector(g)
+                                        for g in repository]
+    norms = [math.sqrt(sum(v * v for v in f.values())) for f in features]
+    n = len(repository)
+    workers = resolve_workers(workers)
+    tasks = [(lo, hi, features, norms)
+             for lo, hi in _row_ranges(n, workers)]
+    blocks = pmap(_sparse_cosine_rows, tasks, workers=workers)
+    upper_rows = [row for block in blocks for row in block]
+    return _assemble(n, upper_rows)
 
 
 def distance_matrix_from_vectors(vectors: Sequence[Sequence[float]],
-                                 metric: str = "euclidean"
+                                 metric: str = "euclidean",
+                                 workers: Optional[int] = None
                                  ) -> List[List[float]]:
     """Pairwise distances between dense feature vectors.
 
-    ``metric`` is ``"euclidean"`` or ``"cosine"``.
+    ``metric`` is ``"euclidean"`` or ``"cosine"``.  Cosine norms are
+    computed once per vector, not per pair.
     """
-    if metric == "euclidean":
-        dist = vector_euclidean
-    elif metric == "cosine":
-        dist = vector_cosine_distance
-    else:
+    if metric not in ("euclidean", "cosine"):
         raise ValueError(f"unknown metric {metric!r}")
+    vectors = [list(v) for v in vectors]
+    lengths = {len(v) for v in vectors}
+    if len(lengths) > 1:
+        raise ValueError("feature vectors have different lengths")
+    norms = ([_vector_norm(v) for v in vectors] if metric == "cosine"
+             else [0.0] * len(vectors))
     n = len(vectors)
-    matrix = [[0.0] * n for _ in range(n)]
-    for i in range(n):
-        for j in range(i + 1, n):
-            d = dist(vectors[i], vectors[j])
-            matrix[i][j] = d
-            matrix[j][i] = d
-    return matrix
+    workers = resolve_workers(workers)
+    tasks = [(lo, hi, vectors, norms, metric)
+             for lo, hi in _row_ranges(n, workers)]
+    blocks = pmap(_upper_rows_from_vectors, tasks, workers=workers)
+    upper_rows = [row for block in blocks for row in block]
+    return _assemble(n, upper_rows)

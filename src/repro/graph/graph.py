@@ -54,8 +54,10 @@ class Graph:
     (3, 3)
     """
 
+    # __weakref__ lets repro.perf memoize per-graph fingerprints
+    # without pinning graphs in memory
     __slots__ = ("name", "_adj", "_node_labels", "_node_attrs",
-                 "_edge_labels", "_edge_attrs")
+                 "_edge_labels", "_edge_attrs", "_version", "__weakref__")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -64,6 +66,7 @@ class Graph:
         self._node_attrs: Dict[int, Dict[str, Any]] = {}
         self._edge_labels: Dict[Tuple[int, int], str] = {}
         self._edge_attrs: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -81,6 +84,7 @@ class Graph:
             raise DuplicateNodeError(node)
         self._adj[node] = {}
         self._node_labels[node] = label
+        self._version += 1
         if attrs:
             self._node_attrs[node] = dict(attrs)
         return node
@@ -104,6 +108,7 @@ class Graph:
         self._adj[u][v] = key
         self._adj[v][u] = key
         self._edge_labels[key] = label
+        self._version += 1
         if attrs:
             self._edge_attrs[key] = dict(attrs)
         return key
@@ -117,6 +122,7 @@ class Graph:
         del self._adj[node]
         del self._node_labels[node]
         self._node_attrs.pop(node, None)
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the edge between ``u`` and ``v``."""
@@ -127,6 +133,7 @@ class Graph:
         del self._adj[v][u]
         del self._edge_labels[key]
         self._edge_attrs.pop(key, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # inspection
@@ -173,6 +180,7 @@ class Graph:
         if node not in self._node_labels:
             raise NodeNotFoundError(node)
         self._node_labels[node] = label
+        self._version += 1
 
     def edge_label(self, u: int, v: int) -> str:
         key = edge_key(u, v)
@@ -185,6 +193,7 @@ class Graph:
         if key not in self._edge_labels:
             raise EdgeNotFoundError(u, v)
         self._edge_labels[key] = label
+        self._version += 1
 
     def node_attrs(self, node: int) -> Dict[str, Any]:
         """Return the (mutable) attribute dict of ``node``."""
@@ -220,6 +229,15 @@ class Graph:
         if n < 2:
             return 0.0
         return 2.0 * self.size() / (n * (n - 1))
+
+    def version(self) -> int:
+        """Monotonic mutation counter (structure or label changes).
+
+        Lets caches detect in-place modification: a memoized value
+        tagged with an older version is stale.  Attribute-dict edits
+        do not bump it — attributes take no part in matching.
+        """
+        return self._version
 
     def degree_sequence(self) -> List[int]:
         """Sorted (descending) degree sequence."""

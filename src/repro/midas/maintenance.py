@@ -39,16 +39,25 @@ from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SetScorer, greedy_select
+from repro.perf.cache import MatchCache
 from repro.summary.closure import SummaryGraph, build_summary
 from repro.catapult.pipeline import default_cluster_count
 
 
 class MidasConfig:
-    """Tunables of the MIDAS maintenance engine."""
+    """Tunables of the MIDAS maintenance engine.
+
+    ``workers`` parallelises the clustering distance matrix;
+    ``use_cache`` keeps one :class:`repro.perf.MatchCache` alive for
+    the lifetime of the engine, so coverage answers survive across
+    swap scans *and* across batches (each batch builds a fresh
+    coverage index, but most (pattern, graph) pairs repeat).
+    """
 
     __slots__ = ("drift_threshold", "min_tree_support", "max_tree_edges",
                  "walks_per_cluster", "coverage_sample", "max_embeddings",
-                 "max_scans", "prune", "seed", "weights", "clusters")
+                 "max_scans", "prune", "seed", "weights", "clusters",
+                 "workers", "use_cache")
 
     def __init__(self, drift_threshold: float = 0.015,
                  min_tree_support: int = 2, max_tree_edges: int = 3,
@@ -56,7 +65,9 @@ class MidasConfig:
                  max_embeddings: int = 30, max_scans: int = 3,
                  prune: bool = True, seed: int = 0,
                  weights: ScoreWeights = DEFAULT_WEIGHTS,
-                 clusters: Optional[int] = None) -> None:
+                 clusters: Optional[int] = None,
+                 workers: Optional[int] = None,
+                 use_cache: bool = True) -> None:
         self.drift_threshold = drift_threshold
         self.min_tree_support = min_tree_support
         self.max_tree_edges = max_tree_edges
@@ -68,6 +79,8 @@ class MidasConfig:
         self.seed = seed
         self.weights = weights
         self.clusters = clusters
+        self.workers = workers
+        self.use_cache = use_cache
 
 
 class MaintenanceReport:
@@ -117,6 +130,10 @@ class Midas:
             self._graphs[graph.name] = graph
         self._rng = random.Random(self.config.seed)
         self._batch_index = 0
+        # engine-lifetime match cache: coverage answers persist across
+        # swap scans and batches (None when caching is disabled)
+        self._match_cache: Optional[MatchCache] = \
+            MatchCache() if self.config.use_cache else None
         # incrementally maintained state
         self.fct = FCTIndex(min_support=self.config.min_tree_support,
                             max_edges=self.config.max_tree_edges)
@@ -166,7 +183,8 @@ class Midas:
         k = self.config.clusters or default_cluster_count(len(graphs))
         if self._vocabulary:
             matrix = [self._feature_of(g) for g in graphs]
-            distances = distance_matrix_from_vectors(matrix, "euclidean")
+            distances = distance_matrix_from_vectors(
+                matrix, "euclidean", workers=self.config.workers)
             clustering = kmedoids(distances, k, seed=self.config.seed)
             labels = clustering.labels
         else:
@@ -251,8 +269,16 @@ class Midas:
             sample = self._rng.sample(graphs, self.config.coverage_sample)
         index = CoverageIndex(sample,
                               max_embeddings=self.config.max_embeddings,
-                              size_utility=True)
+                              size_utility=True,
+                              cache=self._match_cache,
+                              use_cache=self.config.use_cache)
         return SetScorer(index, weights=self.config.weights)
+
+    def cache_stats(self) -> Optional[Dict[str, float]]:
+        """Hit/miss counters of the engine's match cache (None if off)."""
+        if self._match_cache is None:
+            return None
+        return self._match_cache.stats()
 
     # ------------------------------------------------------------------
     # batch application

@@ -27,10 +27,17 @@ from repro.patterns.selection import SetScorer
 
 
 class SwapStats:
-    """What a swapping run did (for E6's ablation reporting)."""
+    """What a swapping run did (for E6's ablation reporting).
+
+    ``cache_hits``/``cache_misses`` are the match-cache deltas over
+    the run when the scorer's coverage index is cache-backed: scans
+    after the first re-ask mostly-identical coverage questions, so a
+    healthy run shows hits dominating from scan 2 onward.
+    """
 
     __slots__ = ("scans", "swaps", "considered", "pruned",
-                 "score_before", "score_after")
+                 "score_before", "score_after", "cache_hits",
+                 "cache_misses")
 
     def __init__(self) -> None:
         self.scans = 0
@@ -39,6 +46,8 @@ class SwapStats:
         self.pruned = 0
         self.score_before = 0.0
         self.score_after = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def __repr__(self) -> str:
         return (f"<SwapStats scans={self.scans} swaps={self.swaps} "
@@ -85,6 +94,7 @@ def multi_scan_swap(current: Sequence[Pattern],
     stats = SwapStats()
     patterns: List[Pattern] = list(current)
     index = scorer.index
+    cache_before = index.cache_stats()
     current_score = scorer.score(patterns)
     stats.score_before = current_score
     existing_codes = {p.code for p in patterns}
@@ -121,4 +131,9 @@ def multi_scan_swap(current: Sequence[Pattern],
         if not improved:
             break
     stats.score_after = current_score
+    cache_after = index.cache_stats()
+    if cache_before is not None and cache_after is not None:
+        stats.cache_hits = int(cache_after["hits"] - cache_before["hits"])
+        stats.cache_misses = int(cache_after["misses"]
+                                 - cache_before["misses"])
     return patterns, stats

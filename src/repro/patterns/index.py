@@ -14,11 +14,13 @@ marginal gain it can contribute).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
+    Set, Tuple
 
 from repro.graph.graph import Graph
-from repro.matching.isomorphism import covered_edges
 from repro.patterns.base import Pattern
+from repro.perf.cache import MatchCache, cached_covered_edges, \
+    get_match_cache
 
 EdgeSet = FrozenSet[Tuple[int, int]]
 
@@ -33,15 +35,26 @@ class CoverageIndex:
         cluster representatives).
     max_embeddings:
         Cap on embeddings enumerated per (pattern, graph) pair.
+    cache:
+        A :class:`repro.perf.MatchCache` memoizing covered-edge sets
+        across index instances (MIDAS builds a fresh index per batch;
+        TATTOO per scan) — keyed by canonical code + graph content,
+        so the answers are identical with or without it.  Defaults to
+        the process-global cache; pass ``use_cache=False`` to opt out.
     """
 
     def __init__(self, graphs: Sequence[Graph],
                  max_embeddings: int = 50,
-                 size_utility: bool = False) -> None:
+                 size_utility: bool = False,
+                 cache: Optional[MatchCache] = None,
+                 use_cache: bool = True) -> None:
         self.graphs: List[Graph] = list(graphs)
         self.max_embeddings = max_embeddings
         self.size_utility = size_utility
         self.total_edges = sum(g.size() for g in self.graphs)
+        self._cache: Optional[MatchCache] = None
+        if use_cache:
+            self._cache = cache if cache is not None else get_match_cache()
         # pattern code -> {graph index -> covered edge set}
         self._cover: Dict[str, Dict[int, EdgeSet]] = {}
         self._utility: Dict[str, float] = {}
@@ -71,10 +84,11 @@ class CoverageIndex:
         for idx, graph in enumerate(self.graphs):
             if pattern.order() > graph.order():
                 continue
-            covered = covered_edges(pattern.graph, graph,
-                                    max_embeddings=self.max_embeddings)
+            covered = cached_covered_edges(
+                pattern.graph, graph, pattern_code=pattern.code,
+                max_embeddings=self.max_embeddings, cache=self._cache)
             if covered:
-                entry[idx] = frozenset(covered)
+                entry[idx] = covered
         self._cover[pattern.code] = entry
 
     def add_patterns(self, patterns: Iterable[Pattern]) -> None:
@@ -154,6 +168,12 @@ class CoverageIndex:
         for pattern in patterns:
             covered |= self.covered_graphs(pattern)
         return len(covered) / len(self.graphs)
+
+    def cache_stats(self) -> Optional[Dict[str, float]]:
+        """Stats of the backing match cache, or None when uncached."""
+        if self._cache is None:
+            return None
+        return self._cache.stats()
 
     def __len__(self) -> int:
         return len(self._cover)

@@ -1,0 +1,57 @@
+"""repro.perf: the shared performance layer.
+
+Every CPU-bound hot path in the library (pairwise similarity, per-
+cluster CSG candidate walks, per-topology extraction, coverage
+indexing inside greedy selection) routes its parallelism and its
+memoization through this package, so the determinism contracts stay
+auditable in one place:
+
+* :func:`pmap` — a deterministic parallel map.  Results come back in
+  input order, per-item seeds are split from a root seed with
+  :func:`derive_seed` (so ``workers=4`` is bit-for-bit identical to
+  ``workers=1``), and the process pool degrades gracefully to an
+  in-process map whenever it is unavailable.
+* :class:`MatchCache` — a bounded LRU cache for subgraph-matching
+  results, keyed by ``(pattern canonical code, graph fingerprint)``,
+  with hit/miss/eviction counters and a :func:`cache_stats`
+  observability hook.
+
+Direct ``multiprocessing``/``concurrent.futures`` imports anywhere
+else under ``src/repro`` are rejected by reprolint rule R007.
+"""
+
+from repro.perf.cache import (
+    MatchCache,
+    cache_stats,
+    cached_canonical_code,
+    cached_covered_edges,
+    cached_is_subgraph,
+    clear_match_cache,
+    get_match_cache,
+    graph_fingerprint,
+    reset_vf2_calls,
+    vf2_calls,
+)
+from repro.perf.executor import (
+    derive_seed,
+    derive_seeds,
+    pmap,
+    resolve_workers,
+)
+
+__all__ = [
+    "MatchCache",
+    "cache_stats",
+    "cached_canonical_code",
+    "cached_covered_edges",
+    "cached_is_subgraph",
+    "clear_match_cache",
+    "derive_seed",
+    "derive_seeds",
+    "get_match_cache",
+    "graph_fingerprint",
+    "pmap",
+    "reset_vf2_calls",
+    "resolve_workers",
+    "vf2_calls",
+]

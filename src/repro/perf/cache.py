@@ -1,0 +1,236 @@
+"""Canonical-code-keyed memoization of subgraph-matching results.
+
+VF2 searches dominate every selection loop: greedy selection, MIDAS
+multi-scan swapping, and candidate validation all ask "does pattern p
+embed in graph G / which edges of G does p cover" for the same
+(p, G) pairs over and over — across rounds, across scans, and across
+:class:`repro.patterns.index.CoverageIndex` instances.  The
+:class:`MatchCache` memoizes those answers with keys that survive
+object churn:
+
+* the *pattern* side of the key is its canonical code, so isomorphic
+  patterns (regardless of node numbering or object identity) share
+  one entry;
+* the *graph* side is a content fingerprint (SHA-256 over the sorted
+  node/edge label lists), memoized per object via weak references, so
+  re-sampled or copied graphs with identical content also share.
+
+Entries are bounded (LRU eviction) and instrumented: hits, misses,
+evictions, and the number of underlying VF2 invocations are all
+observable through :func:`cache_stats` / :func:`vf2_calls`.  Cached
+and uncached execution are interchangeable by construction — every
+cached value is exactly what the wrapped matcher would recompute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Optional, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.graph.graph import Graph
+from repro.matching.canonical import canonical_code
+from repro.matching.isomorphism import covered_edges, find_embedding
+
+EdgeSet = FrozenSet[Tuple[int, int]]
+
+#: Default entry bound for the process-global cache.
+DEFAULT_MAX_ENTRIES = 50_000
+
+_fingerprints: "WeakKeyDictionary[Graph, Tuple[int, str]]" = \
+    WeakKeyDictionary()
+
+#: Count of actual (non-memoized) VF2 matcher invocations made
+#: through this module, cached or not — the instrumentation the
+#: fewer-calls-with-cache tests assert against.
+_vf2_counter = {"calls": 0}
+
+
+def vf2_calls() -> int:
+    """Number of real VF2 searches performed via this module."""
+    return _vf2_counter["calls"]
+
+
+def reset_vf2_calls() -> None:
+    _vf2_counter["calls"] = 0
+
+
+def _compute_fingerprint(graph: Graph) -> str:
+    digest = hashlib.sha256()
+    for node in sorted(graph.nodes()):
+        digest.update(f"n{node}:{graph.node_label(node)};".encode())
+    for u, v in sorted(graph.edges()):
+        digest.update(f"e{u},{v}:{graph.edge_label(u, v)};".encode())
+    return digest.hexdigest()
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content fingerprint of a graph (equal iff same labeled content).
+
+    Memoized per graph object through a weak reference and the graph's
+    mutation :meth:`~repro.graph.graph.Graph.version`, so repeated
+    lookups against large networks cost O(1) until the graph is
+    modified in place (at which point the memo self-invalidates).
+    Note this is *not* isomorphism-invariant (node ids participate) —
+    the isomorphism-invariant key is the pattern-side canonical code.
+    """
+    version = graph.version()
+    cached = _fingerprints.get(graph)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    fingerprint = _compute_fingerprint(graph)
+    _fingerprints[graph] = (version, fingerprint)
+    return fingerprint
+
+
+class MatchCache:
+    """Bounded LRU cache for match results with hit/miss counters."""
+
+    __slots__ = ("max_entries", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, key: Tuple) -> Tuple[bool, object]:
+        """(found, value); found misses are counted."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def store(self, key: Tuple, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters plus occupancy; ``hit_rate`` in [0, 1]."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<MatchCache entries={len(self._entries)} "
+                f"hits={self.hits} misses={self.misses}>")
+
+
+_global_cache = MatchCache()
+
+
+def get_match_cache() -> MatchCache:
+    """The process-global cache most call sites share."""
+    return _global_cache
+
+
+def cache_stats() -> Dict[str, float]:
+    """Stats of the process-global cache plus the VF2 call counter."""
+    stats = _global_cache.stats()
+    stats["vf2_calls"] = vf2_calls()
+    return stats
+
+
+def clear_match_cache() -> None:
+    """Drop all global entries and zero every counter."""
+    _global_cache.clear()
+    _global_cache.reset_stats()
+    reset_vf2_calls()
+
+
+def cached_covered_edges(pattern: Graph, target: Graph,
+                         pattern_code: Optional[str] = None,
+                         max_embeddings: Optional[int] = 200,
+                         cache: Optional[MatchCache] = None) -> EdgeSet:
+    """Memoized :func:`repro.matching.isomorphism.covered_edges`.
+
+    ``pattern_code`` (the pattern's canonical code) is computed when
+    not supplied; callers holding a :class:`repro.patterns.base.
+    Pattern` should pass ``pattern.code`` to avoid recomputing it.
+    ``cache=None`` disables memoization but still counts the VF2 call.
+    """
+    if cache is None:
+        _vf2_counter["calls"] += 1
+        return frozenset(covered_edges(pattern, target,
+                                       max_embeddings=max_embeddings))
+    if pattern_code is None:
+        pattern_code = cached_canonical_code(pattern, cache=cache)
+    key = ("cov", pattern_code, graph_fingerprint(target), max_embeddings)
+    found, value = cache.lookup(key)
+    if found:
+        return value  # type: ignore[return-value]
+    _vf2_counter["calls"] += 1
+    result = frozenset(covered_edges(pattern, target,
+                                     max_embeddings=max_embeddings))
+    cache.store(key, result)
+    return result
+
+
+def cached_is_subgraph(pattern: Graph, target: Graph,
+                       pattern_code: Optional[str] = None,
+                       induced: bool = False,
+                       cache: Optional[MatchCache] = None) -> bool:
+    """Memoized :func:`repro.matching.isomorphism.is_subgraph`."""
+    if cache is None:
+        _vf2_counter["calls"] += 1
+        return find_embedding(pattern, target, induced=induced) is not None
+    if pattern_code is None:
+        pattern_code = cached_canonical_code(pattern, cache=cache)
+    key = ("sub", pattern_code, graph_fingerprint(target), induced)
+    found, value = cache.lookup(key)
+    if found:
+        return bool(value)
+    _vf2_counter["calls"] += 1
+    result = find_embedding(pattern, target, induced=induced) is not None
+    cache.store(key, result)
+    return result
+
+
+def cached_canonical_code(graph: Graph,
+                          cache: Optional[MatchCache] = None) -> str:
+    """Memoized :func:`repro.matching.canonical.canonical_code`.
+
+    Keyed by the content fingerprint: identical re-sampled subgraphs
+    (common in walk/extraction dedup loops) skip the backtracking
+    search entirely; isomorphic-but-renumbered graphs still go through
+    it once each, after which their shared code unifies the rest of
+    the cache.
+    """
+    if cache is None:
+        cache = _global_cache
+    key = ("canon", graph_fingerprint(graph))
+    found, value = cache.lookup(key)
+    if found:
+        return str(value)
+    code = canonical_code(graph)
+    cache.store(key, code)
+    return code

@@ -1,0 +1,120 @@
+"""Deterministic parallel execution.
+
+:func:`pmap` is the only place in the library where worker processes
+are created.  Its contract is that parallel execution is
+*observationally identical* to serial execution:
+
+* results are returned in input order regardless of completion order
+  (``ProcessPoolExecutor.map`` already guarantees this);
+* randomized work items must not share an RNG — callers split one
+  seed per item from a root seed with :func:`derive_seed`, which is a
+  pure SHA-256 derivation and therefore identical in every process,
+  on every platform, at every worker count;
+* when the pool cannot be used (``workers <= 1``, a sandboxed
+  environment without process support, an unpicklable task) the exact
+  same function is applied in-process instead.
+
+Worker functions must be module-level (picklable) and pure: they
+receive one picklable item and return one picklable result.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import os
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when ``workers`` is not given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set in pool workers so nested ``pmap`` calls stay in-process
+#: (a worker forking its own pool would oversubscribe and deadlock
+#: risk on constrained machines).
+_IN_WORKER_ENV = "_REPRO_PMAP_WORKER"
+
+#: Pool-infrastructure failures that trigger the serial fallback.
+#: AttributeError is how CPython's multiprocessing reducer reports an
+#: unpicklable closure/lambda.  Exceptions raised *by the mapped
+#: function* are not in this set conceptually, but re-running serially
+#: re-raises them unchanged, so the fallback is still faithful.
+_POOL_ERRORS = (OSError, ImportError, AttributeError, BrokenProcessPool,
+                pickle.PicklingError, TypeError)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit value, else ``REPRO_WORKERS``.
+
+    Unset, empty, or malformed environment values resolve to 1
+    (serial).  The result is always >= 1.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        try:
+            workers = int(raw)
+        except ValueError:
+            workers = 1
+    return max(1, workers)
+
+
+def derive_seed(root_seed: int, index: int) -> int:
+    """Split an independent per-item seed from a root seed.
+
+    SHA-256 of ``"root:index"`` truncated to 63 bits — deterministic
+    across processes and platforms (unlike ``hash``), and statistically
+    independent across indices (unlike ``root + index``, whose streams
+    a ``random.Random`` can correlate).
+    """
+    payload = f"{root_seed}:{index}".encode("ascii")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def derive_seeds(root_seed: int, count: int) -> List[int]:
+    """``count`` independent seeds split from ``root_seed``."""
+    return [derive_seed(root_seed, index) for index in range(count)]
+
+
+def _mark_worker() -> None:
+    os.environ[_IN_WORKER_ENV] = "1"
+
+
+def pmap(fn: Callable[[T], R], items: Sequence[T],
+         workers: Optional[int] = None,
+         chunksize: Optional[int] = None) -> List[R]:
+    """Map ``fn`` over ``items``, in parallel, preserving input order.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (picklable) pure function of one item.
+    items:
+        The work items; consumed eagerly.
+    workers:
+        Process count; ``None`` reads ``REPRO_WORKERS`` (default 1).
+        ``workers <= 1`` runs in-process with no pool at all.
+    chunksize:
+        Items handed to a worker per dispatch; defaults to
+        ``ceil(len(items) / (workers * 4))`` so stragglers rebalance.
+
+    The return value is exactly ``[fn(item) for item in items]``; the
+    pool is an implementation detail that can never change the result.
+    """
+    work = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(work) <= 1 or os.environ.get(_IN_WORKER_ENV):
+        return [fn(item) for item in work]
+    if chunksize is None:
+        chunksize = max(1, -(-len(work) // (workers * 4)))
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(work)),
+                initializer=_mark_worker) as pool:
+            return list(pool.map(fn, work, chunksize=chunksize))
+    except _POOL_ERRORS:
+        return [fn(item) for item in work]

@@ -69,15 +69,28 @@ class QueryEngine:
                 self._label_index.setdefault(label, set()).add(idx)
 
     def candidate_graphs(self, query: Graph) -> List[int]:
-        """Indices of graphs containing every non-wildcard query label."""
+        """Indices of graphs containing every non-wildcard query label.
+
+        Labels intersect rarest-first: starting from the smallest
+        posting set keeps every intermediate intersection no larger
+        than the rarest label's, and a selective query short-circuits
+        to [] the moment the running intersection empties instead of
+        scanning its remaining (possibly huge) posting sets.
+        """
         labels = {query.node_label(u) for u in query.nodes()}
         labels.discard(WILDCARD)
-        candidates: Optional[Set[int]] = None
-        for label in labels:
-            hits = self._label_index.get(label, set())
-            candidates = hits if candidates is None else candidates & hits
-        if candidates is None:  # all-wildcard query
-            candidates = set(range(len(self.repository)))
+        if not labels:  # all-wildcard query
+            return sorted(range(len(self.repository)))
+        # sort by posting-set size, label as tie-break for determinism
+        ordered = sorted(labels,
+                         key=lambda lab: (len(self._label_index.get(lab,
+                                                                    ())),
+                                          lab))
+        candidates: Set[int] = set(self._label_index.get(ordered[0], ()))
+        for label in ordered[1:]:
+            if not candidates:
+                return []
+            candidates &= self._label_index.get(label, set())
         return sorted(candidates)
 
     def run(self, query: Graph, max_embeddings_per_graph: int = 10,

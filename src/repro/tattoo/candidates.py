@@ -20,20 +20,25 @@ from repro.graph.operations import (
     edge_subgraph,
     induced_subgraph,
 )
-from repro.matching.canonical import canonical_code
 from repro.patterns.base import Pattern, PatternBudget
 from repro.patterns.topologies import TopologyClass
+from repro.perf.cache import cached_canonical_code
 
 
 def _dedup(candidates: Iterable[Tuple[Graph, str]],
            budget: PatternBudget) -> List[Pattern]:
-    """Normalise, budget-filter, and canonically deduplicate."""
+    """Normalise, budget-filter, and canonically deduplicate.
+
+    Identically re-sampled subgraphs (frequent for hubs and dense
+    cliques) hit the fingerprint-keyed canonical-code cache instead
+    of re-running the backtracking search.
+    """
     seen: Set[str] = set()
     out: List[Pattern] = []
     for graph, source in candidates:
         if not budget.admits(graph):
             continue
-        code = canonical_code(graph)
+        code = cached_canonical_code(graph)
         if code in seen:
             continue
         seen.add(code)

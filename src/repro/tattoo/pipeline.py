@@ -26,28 +26,40 @@ from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
 from repro.patterns.topologies import TopologyClass
+from repro.perf.executor import derive_seed, pmap
 from repro.tattoo.candidates import EXTRACTORS
 from repro.truss.decomposition import DEFAULT_TRUSS_THRESHOLD, split_by_truss
 
 
 class TattooConfig:
-    """Tunables of the TATTOO pipeline."""
+    """Tunables of the TATTOO pipeline.
+
+    ``workers`` fans the per-topology-class extraction out over
+    :func:`repro.perf.pmap` processes; each class extracts with a seed
+    split off ``seed``, so results are identical at every worker
+    count.  ``use_cache`` toggles the shared VF2 match cache used by
+    the greedy selection's coverage index.
+    """
 
     __slots__ = ("truss_threshold", "seed", "weights", "samples_scale",
-                 "max_embeddings", "classes")
+                 "max_embeddings", "classes", "workers", "use_cache")
 
     def __init__(self, truss_threshold: int = DEFAULT_TRUSS_THRESHOLD,
                  seed: int = 0,
                  weights: ScoreWeights = DEFAULT_WEIGHTS,
                  samples_scale: float = 1.0,
                  max_embeddings: int = 30,
-                 classes: Optional[Sequence[TopologyClass]] = None) -> None:
+                 classes: Optional[Sequence[TopologyClass]] = None,
+                 workers: Optional[int] = None,
+                 use_cache: bool = True) -> None:
         self.truss_threshold = truss_threshold
         self.seed = seed
         self.weights = weights
         self.samples_scale = samples_scale
         self.max_embeddings = max_embeddings
         self.classes = tuple(classes) if classes else tuple(EXTRACTORS)
+        self.workers = workers
+        self.use_cache = use_cache
 
 
 class TattooResult:
@@ -84,29 +96,55 @@ class TattooResult:
                 f"candidates={total}>")
 
 
+def _sample_kwargs(extractor, scale: float) -> Dict[str, int]:
+    """Scaled sample-count kwarg for one extractor (empty at 1.0)."""
+    if scale == 1.0:
+        return {}
+    # every extractor's last kwarg is its sample count
+    import inspect
+    sig = inspect.signature(extractor)
+    last = list(sig.parameters)[-1]
+    default = sig.parameters[last].default
+    return {last: max(1, int(default * scale))}
+
+
+def _extract_task(task) -> List[Pattern]:
+    """One topology class's extraction (module-level: pool-runnable)."""
+    cls, region, budget, kwargs, seed = task
+    extractor, _ = EXTRACTORS[cls]
+    patterns = extractor(region, budget, random.Random(seed), **kwargs)
+    for pattern in patterns:
+        pattern.code  # canonical coding happens in the worker
+    return patterns
+
+
 def extract_candidates(network: Graph, budget: PatternBudget,
                        config: TattooConfig
                        ) -> Dict[TopologyClass, List[Pattern]]:
-    """Steps 1+2: truss split and per-class candidate extraction."""
+    """Steps 1+2: truss split and per-class candidate extraction.
+
+    Classes are independent work items: each extracts from its region
+    with its own split seed under :func:`repro.perf.pmap`, and the
+    per-class result map is assembled in ``config.classes`` order —
+    identical output at every worker count.
+    """
     g_t, g_o = split_by_truss(network, threshold=config.truss_threshold)
-    rng = random.Random(config.seed)
     by_class: Dict[TopologyClass, List[Pattern]] = {}
-    for cls in config.classes:
+    tasks = []
+    task_classes: List[TopologyClass] = []
+    for position, cls in enumerate(config.classes):
         extractor, region_kind = EXTRACTORS[cls]
         region = g_t if region_kind == "infested" else g_o
         if region.size() == 0:
             by_class[cls] = []
             continue
-        scale = config.samples_scale
-        kwargs = {}
-        if scale != 1.0:
-            # every extractor's last kwarg is its sample count
-            import inspect
-            sig = inspect.signature(extractor)
-            last = list(sig.parameters)[-1]
-            default = sig.parameters[last].default
-            kwargs[last] = max(1, int(default * scale))
-        by_class[cls] = extractor(region, budget, rng, **kwargs)
+        tasks.append((cls, region, budget,
+                      _sample_kwargs(extractor, config.samples_scale),
+                      derive_seed(config.seed, position)))
+        task_classes.append(cls)
+    results = pmap(_extract_task, tasks, workers=config.workers)
+    for cls, patterns in zip(task_classes, results):
+        by_class[cls] = patterns
     return by_class
 
 
@@ -136,7 +174,7 @@ def select_network_patterns(network: Graph, budget: PatternBudget,
                 seen.add(pattern.code)
                 candidates.append(pattern)
     index = CoverageIndex([network], max_embeddings=config.max_embeddings,
-                          size_utility=True)
+                          size_utility=True, use_cache=config.use_cache)
     scorer = SetScorer(index, weights=config.weights)
     selection = greedy_select(candidates, budget, scorer)
     timings["select"] = time.perf_counter() - start

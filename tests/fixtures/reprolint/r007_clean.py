@@ -1,0 +1,9 @@
+"""Fixture: parallelism routed through the sanctioned facade (R007)."""
+
+from repro.perf import derive_seeds, pmap, resolve_workers
+
+
+def fan_out(fn, items, workers=None):
+    seeds = derive_seeds(17, len(items))
+    tasks = list(zip(items, seeds))
+    return pmap(fn, tasks, workers=resolve_workers(workers))

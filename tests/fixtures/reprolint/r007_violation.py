@@ -1,0 +1,15 @@
+"""Fixture: ad-hoc worker pools outside repro/perf (R007)."""
+
+import importlib
+
+import multiprocessing  # expect: R007
+import multiprocessing.pool  # expect: R007
+from concurrent.futures import ProcessPoolExecutor  # expect: R007
+from concurrent import futures  # expect: R007
+
+
+def rogue_pool(items):
+    mp = importlib.import_module("multiprocessing")  # expect: R007
+    dynamic = __import__("concurrent.futures")  # expect: R007
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(str, items)), multiprocessing, futures, mp, dynamic

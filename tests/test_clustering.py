@@ -162,6 +162,35 @@ class TestSimilarity:
         with pytest.raises(ValueError):
             distance_matrix_from_vectors([[1.0]], metric="manhattan")
 
+    def test_cosine_matrix_matches_pairwise_calls(self):
+        # the matrix builder precomputes each vector's norm once;
+        # entries must still equal the per-pair public function
+        rng = random.Random(3)
+        vectors = [[rng.uniform(-1, 1) for _ in range(5)]
+                   for _ in range(6)]
+        vectors.append([0.0] * 5)  # zero vector hits the norm guard
+        matrix = distance_matrix_from_vectors(vectors, metric="cosine")
+        for i, vi in enumerate(vectors):
+            for j, vj in enumerate(vectors):
+                if i == j:
+                    assert matrix[i][j] == 0.0
+                else:
+                    assert matrix[i][j] == vector_cosine_distance(vi, vj)
+
+    def test_matrix_workers_transparent(self):
+        rng = random.Random(7)
+        repo = [gnm_random_graph(6, 7, rng, labels=["A", "B"])
+                for _ in range(5)]
+        assert distance_matrix_from_graphs(repo, workers=1) == \
+            distance_matrix_from_graphs(repo, workers=2)
+        vectors = [[rng.uniform(0, 1) for _ in range(4)]
+                   for _ in range(6)]
+        for metric in ("euclidean", "cosine"):
+            assert distance_matrix_from_vectors(vectors, metric=metric,
+                                                workers=1) == \
+                distance_matrix_from_vectors(vectors, metric=metric,
+                                             workers=2)
+
 
 class TestKMedoids:
     def block_distances(self):

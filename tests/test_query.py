@@ -154,6 +154,23 @@ class TestQueryEngine:
                             edges=[(0, 1)])
         assert len(engine.candidate_graphs(query)) == len(repo)
 
+    def test_rarest_first_matches_brute_force(self, engine, repo):
+        # the rarest-label-first intersection order is an optimization
+        # only: candidates must equal the naive all-labels intersection
+        query = build_graph([(0, "C"), (1, "O"), (2, "N"), (3, "S")],
+                            edges=[(0, 1), (1, 2), (2, 3)])
+        labels = {query.node_label(u) for u in query.nodes()}
+        brute = [idx for idx in range(len(repo))
+                 if labels <= set(repo[idx].label_multiset())]
+        assert engine.candidate_graphs(query) == brute
+
+    def test_absent_label_short_circuits(self, engine):
+        # a label no graph carries empties the intersection regardless
+        # of how common the other labels are
+        query = build_graph([(0, "ZZZ"), (1, "C"), (2, "C")],
+                            edges=[(0, 1), (1, 2)])
+        assert engine.candidate_graphs(query) == []
+
 
 class TestNetworkQueryEngine:
     def test_network_embeddings(self):

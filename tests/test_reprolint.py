@@ -29,7 +29,7 @@ from reprolint.runner import lint_source  # noqa: E402
 from reprolint.violations import PARSE_ERROR  # noqa: E402
 
 EXPECT_MARKER = re.compile(r"#\s*expect:\s*(R\d{3}(?:\s*,\s*R\d{3})*)")
-ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006")
+ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007")
 
 
 def expected_findings(path: Path):

@@ -7,4 +7,5 @@ from reprolint.rules import (  # noqa: F401
     r004_mutable_defaults,
     r005_public_rng,
     r006_except_hygiene,
+    r007_centralized_parallelism,
 )

@@ -1,0 +1,91 @@
+"""R007 centralized-parallelism.
+
+All process-level parallelism lives behind ``repro.perf.pmap``, whose
+contract (input-order results, per-item split seeds, serial fallback)
+is what keeps parallel runs bit-for-bit identical to serial ones.  A
+``multiprocessing`` or ``concurrent.futures`` import anywhere else
+under ``src/repro`` would open a second, unaudited door to worker
+pools — exactly how ordering- and seed-dependence bugs sneak in.
+Files inside a ``perf`` package directory are exempt; everything else
+must call :func:`repro.perf.pmap` instead.
+
+Detected spellings mirror R002: ``import multiprocessing``, ``from
+concurrent.futures import ProcessPoolExecutor``,
+``importlib.import_module("multiprocessing")`` and
+``__import__("concurrent.futures")`` with a literal module string.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, Optional
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+#: Top-level modules that create or manage worker processes/pools.
+PARALLELISM_MODULES = frozenset({"multiprocessing", "concurrent"})
+
+
+def _top_module(dotted: str) -> str:
+    return dotted.lstrip(".").split(".")[0]
+
+
+def _in_perf_package(path: str) -> bool:
+    """True when the file lives in a ``perf`` package directory."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    return "perf" in normalized.split("/")[:-1]
+
+
+def _literal_import_target(node: ast.Call,
+                           ctx: FileContext) -> Optional[str]:
+    """Module name for import_module/__import__ calls, if literal."""
+    is_dunder = (isinstance(node.func, ast.Name)
+                 and node.func.id == "__import__")
+    origin = ctx.resolve(node.func)
+    if not is_dunder and origin != "importlib.import_module":
+        return None
+    if node.args and isinstance(node.args[0], ast.Constant) \
+            and isinstance(node.args[0].value, str):
+        return node.args[0].value
+    return None
+
+
+@register
+class CentralizedParallelismRule(Rule):
+    id = "R007"
+    name = "centralized-parallelism"
+    description = ("multiprocessing/concurrent.futures imports are "
+                   "allowed only inside repro/perf (use repro.perf.pmap)")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        if _in_perf_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = _top_module(alias.name)
+                    if top in PARALLELISM_MODULES:
+                        yield self._violation(ctx, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import — always in-package
+                    continue
+                module = node.module or ""
+                if _top_module(module) in PARALLELISM_MODULES:
+                    yield self._violation(ctx, node, module)
+            elif isinstance(node, ast.Call):
+                target = _literal_import_target(node, ctx)
+                if target and _top_module(target) in PARALLELISM_MODULES:
+                    yield self._violation(ctx, node, target)
+
+    def _violation(self, ctx: FileContext, node: ast.AST,
+                   module: str) -> Violation:
+        return Violation(
+            path=ctx.path, line=node.lineno, col=node.col_offset,
+            rule=self.id,
+            message=(f"'{module}' import outside repro/perf; "
+                     "parallelism must go through repro.perf.pmap so "
+                     "the determinism contract stays auditable"))

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: lint lint-json test compile check bench-smoke
+.PHONY: lint lint-json test compile check bench-smoke bench-kernel
 
 lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
@@ -17,5 +17,10 @@ compile:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner.py --smoke \
 		--out BENCH_perf.json
+
+# gates against the committed baseline, then refreshes it in place
+bench-kernel:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernel.py --smoke \
+		--baseline BENCH_kernel.json --out BENCH_kernel.json
 
 check: compile lint test

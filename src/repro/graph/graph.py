@@ -18,7 +18,17 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import (
     DuplicateEdgeError,
@@ -57,7 +67,8 @@ class Graph:
     # __weakref__ lets repro.perf memoize per-graph fingerprints
     # without pinning graphs in memory
     __slots__ = ("name", "_adj", "_node_labels", "_node_attrs",
-                 "_edge_labels", "_edge_attrs", "_version", "__weakref__")
+                 "_edge_labels", "_edge_attrs", "_version", "_views",
+                 "__weakref__")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -67,6 +78,9 @@ class Graph:
         self._edge_labels: Dict[Tuple[int, int], str] = {}
         self._edge_attrs: Dict[Tuple[int, int], Dict[str, Any]] = {}
         self._version = 0
+        # lazily built derived views, tagged with the version they
+        # were computed at: (version, {view_name: view})
+        self._views: Optional[Tuple[int, Dict[str, Any]]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -243,6 +257,74 @@ class Graph:
         """Sorted (descending) degree sequence."""
         return sorted((len(nbrs) for nbrs in self._adj.values()),
                       reverse=True)
+
+    # ------------------------------------------------------------------
+    # cached derived views (invalidated through the version counter)
+    # ------------------------------------------------------------------
+    def _view_cache(self) -> Dict[str, Any]:
+        """The per-version view store; stale stores are discarded.
+
+        Views are derived read-only structures the matching and truss
+        kernels iterate millions of times; rebuilding them per call
+        would dominate the kernels they exist to speed up.
+        """
+        if self._views is None or self._views[0] != self._version:
+            self._views = (self._version, {})
+        return self._views[1]
+
+    def adjacency_sets(self) -> Dict[int, FrozenSet[int]]:
+        """``{node: frozenset(neighbors)}``, cached per version.
+
+        The frozensets make O(1) membership tests and fast set
+        intersection available without re-materialising neighbor
+        iterators in hot loops.  Treat the returned mapping as
+        read-only; it is shared between callers until the graph's
+        next mutation.
+        """
+        views = self._view_cache()
+        cached = views.get("adjacency_sets")
+        if cached is None:
+            cached = {u: frozenset(nbrs) for u, nbrs in self._adj.items()}
+            views["adjacency_sets"] = cached
+        return cached
+
+    def label_index(self) -> Dict[str, Tuple[int, ...]]:
+        """``{label: (nodes with that label, ...)}``, cached per version.
+
+        Node order within each tuple follows node-insertion order, so
+        iteration over a label class is deterministic.
+        """
+        views = self._view_cache()
+        cached = views.get("label_index")
+        if cached is None:
+            grouped: Dict[str, List[int]] = {}
+            for node in self._adj:
+                grouped.setdefault(self._node_labels[node], []).append(node)
+            cached = {label: tuple(nodes)
+                      for label, nodes in grouped.items()}
+            views["label_index"] = cached
+        return cached
+
+    def neighbor_label_counts(self) -> Dict[int, Dict[str, int]]:
+        """``{node: {label: count of neighbors with label}}``, cached.
+
+        This is the neighborhood signature the matching kernel prunes
+        candidate pools with: a target node whose neighborhood lacks a
+        label the pattern node's neighborhood requires can never be an
+        image of that pattern node.
+        """
+        views = self._view_cache()
+        cached = views.get("neighbor_label_counts")
+        if cached is None:
+            cached = {}
+            for u, nbrs in self._adj.items():
+                counts: Dict[str, int] = {}
+                for v in nbrs:
+                    label = self._node_labels[v]
+                    counts[label] = counts.get(label, 0) + 1
+                cached[u] = counts
+            views["neighbor_label_counts"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # copies and equality helpers

@@ -1,6 +1,11 @@
 """Subgraph matching: VF2-style embedding search and canonical codes."""
 
-from repro.matching.canonical import canonical_code, canonical_form
+from repro.matching.canonical import (
+    canonical_code,
+    canonical_form,
+    canonical_memo_stats,
+    reset_canonical_memo_stats,
+)
 from repro.matching.edit_distance import (
     MAX_EXACT_NODES,
     ged_similarity,
@@ -14,7 +19,9 @@ from repro.matching.isomorphism import (
     covered_edges,
     find_embedding,
     is_subgraph,
+    kernel_stats,
     labels_compatible,
+    reset_kernel_stats,
     subgraph_embeddings,
 )
 
@@ -24,6 +31,8 @@ __all__ = [
     "are_isomorphic",
     "canonical_code",
     "canonical_form",
+    "canonical_memo_stats",
+    "reset_canonical_memo_stats",
     "MAX_EXACT_NODES",
     "ged_similarity",
     "graph_edit_distance",
@@ -31,6 +40,8 @@ __all__ = [
     "covered_edges",
     "find_embedding",
     "is_subgraph",
+    "kernel_stats",
     "labels_compatible",
+    "reset_kernel_stats",
     "subgraph_embeddings",
 ]

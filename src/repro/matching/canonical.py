@@ -16,8 +16,29 @@ here (<= ~15 nodes).
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.graph.graph import Graph
+
+#: Per-object memo for :func:`canonical_code`, invalidated through the
+#: graph's mutation counter.  Clustering and dedup loops recompute the
+#: code of the *same object* many times; this memo removes those
+#: repeats without the content hashing `repro.perf.cached_canonical_code`
+#: pays to unify distinct-but-equal objects.
+_code_memo: "WeakKeyDictionary[Graph, Tuple[int, str]]" = \
+    WeakKeyDictionary()
+
+_memo_counters = {"hits": 0, "misses": 0}
+
+
+def canonical_memo_stats() -> Dict[str, int]:
+    """Hit/miss counters of the per-object canonical-code memo."""
+    return dict(_memo_counters)
+
+
+def reset_canonical_memo_stats() -> None:
+    _memo_counters["hits"] = 0
+    _memo_counters["misses"] = 0
 
 
 def _refine(graph: Graph, colors: Dict[int, int]) -> Dict[int, int]:
@@ -116,11 +137,23 @@ class _CanonicalSearch:
 
 
 def canonical_code(graph: Graph) -> str:
-    """Canonical string code; equal iff graphs are isomorphic."""
+    """Canonical string code; equal iff graphs are isomorphic.
+
+    Memoized per graph object, keyed by
+    :meth:`repro.graph.graph.Graph.version`, so repeated calls on an
+    unmodified graph skip the backtracking search.
+    """
     if graph.order() == 0:
         return "#"
+    version = graph.version()
+    cached = _code_memo.get(graph)
+    if cached is not None and cached[0] == version:
+        _memo_counters["hits"] += 1
+        return cached[1]
+    _memo_counters["misses"] += 1
     search = _CanonicalSearch(graph)
     search.run()
+    _code_memo[graph] = (version, search.best_code)
     return search.best_code
 
 

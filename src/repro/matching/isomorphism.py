@@ -13,15 +13,59 @@ Two matching semantics are provided:
   literature (p appears as a — not necessarily induced — subgraph).
 * **induced**: additionally, non-adjacent pattern nodes must map to
   non-adjacent target nodes.
+
+Two kernels implement that contract:
+
+* ``kernel="indexed"`` (default) precomputes one candidate pool per
+  pattern node at construction — filtered by label, degree, and a
+  neighbor-label-multiset signature — and extends partial mappings by
+  intersecting the pool with the *smallest* already-matched neighbor
+  image's adjacency set (cached on the target via
+  :meth:`repro.graph.graph.Graph.adjacency_sets`).
+* ``kernel="legacy"`` is the pre-optimization kernel (label-only
+  pools, first-matched-neighbor anchoring).  It is retained as the
+  equivalence oracle for ``tests/test_matching_kernel.py`` and the
+  baseline ``benchmarks/bench_kernel.py`` measures pruning against.
+
+Both kernels enumerate the same embedding *set*; the enumeration
+*order* differs (the indexed kernel visits candidates in sorted node
+order), so capped enumerations are only guaranteed identical across
+kernels when the cap does not bind.  Kernel work is instrumented:
+:func:`kernel_stats` exposes ``feasibility_checks``,
+``recursive_calls``, and ``candidates_pruned`` counters (also merged
+into :func:`repro.perf.cache_stats`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.graph import Graph
 
 WILDCARD = "*"
+
+#: Process-global kernel instrumentation.  ``feasibility_checks``
+#: counts per-candidate feasibility evaluations (the unit the
+#: bench-kernel gate tracks), ``recursive_calls`` counts backtracking
+#: extensions, and ``candidates_pruned`` counts target nodes excluded
+#: before feasibility was ever evaluated (pool construction plus
+#: anchor-intersection filtering).
+_kernel_counters = {
+    "feasibility_checks": 0,
+    "recursive_calls": 0,
+    "candidates_pruned": 0,
+}
+
+
+def kernel_stats() -> Dict[str, int]:
+    """Snapshot of the matching-kernel counters."""
+    return dict(_kernel_counters)
+
+
+def reset_kernel_stats() -> None:
+    """Zero the matching-kernel counters."""
+    for key in _kernel_counters:
+        _kernel_counters[key] = 0
 
 
 def labels_compatible(pattern_label: str, target_label: str) -> bool:
@@ -67,13 +111,18 @@ class SubgraphMatcher:
         Graphs to match; the pattern is the smaller query structure.
     induced:
         Use induced-subgraph semantics (see module docstring).
+    kernel:
+        ``"indexed"`` (default) or ``"legacy"`` (see module docstring).
     """
 
     def __init__(self, pattern: Graph, target: Graph,
-                 induced: bool = False) -> None:
+                 induced: bool = False, kernel: str = "indexed") -> None:
+        if kernel not in ("indexed", "legacy"):
+            raise ValueError(f"unknown matching kernel {kernel!r}")
         self.pattern = pattern
         self.target = target
         self.induced = induced
+        self.kernel = kernel
         self._order = _matching_order(pattern)
         # pattern neighbors already matched when a node is placed
         self._placed_before: List[List[int]] = []
@@ -82,11 +131,62 @@ class SubgraphMatcher:
             self._placed_before.append(
                 [w for w in self.pattern.neighbors(u) if w in placed])
             placed.add(u)
-        # candidate pools by label (wildcard -> all target nodes)
-        self._by_label: Dict[str, List[int]] = {}
-        for node in target.nodes():
-            self._by_label.setdefault(target.node_label(node), []).append(node)
+        if kernel == "indexed":
+            self._adj: Dict[int, FrozenSet[int]] = target.adjacency_sets()
+            self._pools: Dict[int, Tuple[int, ...]] = {}
+            self._pool_sets: Dict[int, FrozenSet[int]] = {}
+            self._build_pools()
+        else:
+            # candidate pools by label (wildcard -> all target nodes)
+            self._by_label: Dict[str, List[int]] = {}
+            for node in target.nodes():
+                self._by_label.setdefault(
+                    target.node_label(node), []).append(node)
 
+    # ------------------------------------------------------------------
+    # indexed kernel: per-pattern-node candidate pools
+    # ------------------------------------------------------------------
+    def _build_pools(self) -> None:
+        """Candidate pool per pattern node: label + degree + signature.
+
+        The signature filter requires, for every non-wildcard label
+        that appears ``c`` times in the pattern node's neighborhood,
+        at least ``c`` neighbors with that label around the target
+        node.  This is a necessary condition under both monomorphism
+        and induced semantics (pattern neighbors always map to target
+        neighbors), so filtering by it never loses embeddings.
+        """
+        pattern, target = self.pattern, self.target
+        n_target = target.order()
+        label_index = target.label_index()
+        target_nlc = target.neighbor_label_counts()
+        pattern_nlc = pattern.neighbor_label_counts()
+        for u in pattern.nodes():
+            label = pattern.node_label(u)
+            if label == WILDCARD:
+                base: Tuple[int, ...] = tuple(target.nodes())
+            else:
+                base = label_index.get(label, ())
+            degree_u = pattern.degree(u)
+            required = {lbl: count
+                        for lbl, count in pattern_nlc[u].items()
+                        if lbl != WILDCARD}
+            pool = []
+            for t in base:
+                if len(self._adj[t]) < degree_u:
+                    continue
+                counts = target_nlc[t]
+                if any(counts.get(lbl, 0) < need
+                       for lbl, need in required.items()):
+                    continue
+                pool.append(t)
+            self._pools[u] = tuple(pool)
+            self._pool_sets[u] = frozenset(pool)
+            _kernel_counters["candidates_pruned"] += n_target - len(pool)
+
+    # ------------------------------------------------------------------
+    # legacy kernel helpers
+    # ------------------------------------------------------------------
     def _candidates(self, u: int) -> List[int]:
         label = self.pattern.node_label(u)
         if label == WILDCARD:
@@ -95,6 +195,7 @@ class SubgraphMatcher:
 
     def _feasible(self, u: int, t: int, mapping: Dict[int, int],
                   used: Set[int], matched_nbrs: List[int]) -> bool:
+        _kernel_counters["feasibility_checks"] += 1
         if t in used:
             return False
         if not labels_compatible(self.pattern.node_label(u),
@@ -117,6 +218,28 @@ class SubgraphMatcher:
                         return False
         return True
 
+    def _feasible_indexed(self, u: int, t: int, mapping: Dict[int, int],
+                          used: Set[int], matched_nbrs: List[int]) -> bool:
+        """Feasibility for pool members: labels/degree already hold."""
+        _kernel_counters["feasibility_checks"] += 1
+        if t in used:
+            return False
+        adj_t = self._adj[t]
+        for w in matched_nbrs:
+            image = mapping[w]
+            if image not in adj_t:
+                return False
+            if not labels_compatible(self.pattern.edge_label(u, w),
+                                     self.target.edge_label(t, image)):
+                return False
+        if self.induced:
+            # matched non-neighbors of u must not be adjacent to t
+            for w, image in mapping.items():
+                if w not in matched_nbrs and not self.pattern.has_edge(u, w):
+                    if image in adj_t:
+                        return False
+        return True
+
     def iter_embeddings(self,
                         max_results: Optional[int] = None
                         ) -> Iterator[Dict[int, int]]:
@@ -134,18 +257,23 @@ class SubgraphMatcher:
 
     def _extend(self, mapping: Dict[int, int], used: Set[int], depth: int,
                 remaining: List[Optional[int]]) -> Iterator[Dict[int, int]]:
+        _kernel_counters["recursive_calls"] += 1
         if remaining[0] is not None and remaining[0] <= 0:
             return
         u = self._order[depth]
         matched_nbrs = self._placed_before[depth]
-        if matched_nbrs:
+        if self.kernel == "indexed":
+            pool, feasible = self._indexed_pool(u, mapping, matched_nbrs), \
+                self._feasible_indexed
+        elif matched_nbrs:
             # intersect neighborhoods of already-placed images
             anchor = mapping[matched_nbrs[0]]
-            pool: List[int] = [t for t in self.target.neighbors(anchor)]
+            pool, feasible = [t for t in self.target.neighbors(anchor)], \
+                self._feasible
         else:
-            pool = self._candidates(u)
+            pool, feasible = self._candidates(u), self._feasible
         for t in pool:
-            if not self._feasible(u, t, mapping, used, matched_nbrs):
+            if not feasible(u, t, mapping, used, matched_nbrs):
                 continue
             mapping[u] = t
             used.add(t)
@@ -161,6 +289,24 @@ class SubgraphMatcher:
                 yield from self._extend(mapping, used, depth + 1, remaining)
             del mapping[u]
             used.discard(t)
+
+    def _indexed_pool(self, u: int, mapping: Dict[int, int],
+                      matched_nbrs: List[int]) -> List[int]:
+        """Candidates for ``u``: pool ∩ smallest matched-image adjacency.
+
+        Anchoring on the matched neighbor whose image has the fewest
+        target neighbors minimises the intersection work; sorting
+        keeps enumeration order deterministic regardless of set hash
+        order.
+        """
+        if not matched_nbrs:
+            return list(self._pools[u])
+        adj = self._adj
+        anchor_adj = min((adj[mapping[w]] for w in matched_nbrs), key=len)
+        pool_set = self._pool_sets[u]
+        pool = sorted(t for t in anchor_adj if t in pool_set)
+        _kernel_counters["candidates_pruned"] += len(anchor_adj) - len(pool)
+        return pool
 
 
 def subgraph_embeddings(pattern: Graph, target: Graph,
@@ -204,16 +350,22 @@ def covered_edges(pattern: Graph, target: Graph,
     """Union of target edges covered by embeddings of the pattern.
 
     This is the quantity the coverage measures need; it converges
-    quickly, so enumeration is capped by default.
+    quickly, so enumeration is capped by default.  Enumeration also
+    stops the moment every target edge is covered — checked per edge
+    added, not per embedding, so saturation on the last embedding's
+    first edge skips the rest of the search.
     """
-    matcher = SubgraphMatcher(pattern, target, induced=False)
     covered: Set[Tuple[int, int]] = set()
+    total = target.size()
+    if total == 0 or pattern.size() == 0:
+        return covered
+    matcher = SubgraphMatcher(pattern, target, induced=False)
     for mapping in matcher.iter_embeddings(max_results=max_embeddings):
         for u, v in pattern.edges():
             a, b = mapping[u], mapping[v]
             covered.add((a, b) if a <= b else (b, a))
-        if len(covered) == target.size():
-            break
+            if len(covered) == total:
+                return covered
     return covered
 
 

@@ -32,6 +32,7 @@ from repro.perf.cache import (
     reset_vf2_calls,
     vf2_calls,
 )
+from repro.matching.isomorphism import kernel_stats, reset_kernel_stats
 from repro.perf.executor import (
     derive_seed,
     derive_seeds,
@@ -50,7 +51,9 @@ __all__ = [
     "derive_seeds",
     "get_match_cache",
     "graph_fingerprint",
+    "kernel_stats",
     "pmap",
+    "reset_kernel_stats",
     "reset_vf2_calls",
     "resolve_workers",
     "vf2_calls",

@@ -30,8 +30,13 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.graph.graph import Graph
-from repro.matching.canonical import canonical_code
-from repro.matching.isomorphism import covered_edges, find_embedding
+from repro.matching.canonical import canonical_code, canonical_memo_stats
+from repro.matching.isomorphism import (
+    covered_edges,
+    find_embedding,
+    kernel_stats,
+    reset_kernel_stats,
+)
 
 EdgeSet = FrozenSet[Tuple[int, int]]
 
@@ -154,9 +159,19 @@ def get_match_cache() -> MatchCache:
 
 
 def cache_stats() -> Dict[str, float]:
-    """Stats of the process-global cache plus the VF2 call counter."""
+    """Stats of the process-global cache plus the VF2 call counter.
+
+    Also merges the matching-kernel counters (``feasibility_checks``,
+    ``recursive_calls``, ``candidates_pruned``) and the per-object
+    canonical-code memo's hit/miss counters, so one call observes the
+    whole matching stack.
+    """
     stats = _global_cache.stats()
     stats["vf2_calls"] = vf2_calls()
+    stats.update(kernel_stats())
+    memo = canonical_memo_stats()
+    stats["canonical_memo_hits"] = memo["hits"]
+    stats["canonical_memo_misses"] = memo["misses"]
     return stats
 
 
@@ -165,6 +180,7 @@ def clear_match_cache() -> None:
     _global_cache.clear()
     _global_cache.reset_stats()
     reset_vf2_calls()
+    reset_kernel_stats()
 
 
 def cached_covered_edges(pattern: Graph, target: Graph,

@@ -6,6 +6,7 @@ from repro.truss.decomposition import (
     max_trussness,
     split_by_truss,
     truss_decomposition,
+    truss_decomposition_rescan,
     truss_statistics,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "max_trussness",
     "split_by_truss",
     "truss_decomposition",
+    "truss_decomposition_rescan",
     "truss_statistics",
 ]

@@ -1,0 +1,23 @@
+"""Clean kernel-style adjacency access: R008 has nothing to flag.
+
+Set operations go through the cached ``adjacency_sets()`` view;
+single-pass iteration over ``neighbors()`` (plain loop or
+comprehension) allocates nothing and stays allowed.
+"""
+
+
+def triangle_count(graph, u, v):
+    adj = graph.adjacency_sets()
+    return len(adj[u] & adj[v])
+
+
+def frontier(graph, node):
+    return graph.adjacency_sets()[node]
+
+
+def degree_sum(graph, node):
+    return sum(1 for _ in graph.neighbors(node))
+
+
+def sorted_neighbors(graph, node):
+    return sorted(graph.neighbors(node))

@@ -1,0 +1,18 @@
+"""Deliberate R008 violations: this file sits under a matching/ dir."""
+
+
+def triangle_count(graph, u, v):
+    common = 0
+    for w in list(graph.neighbors(u)):  # expect: R008
+        if w in graph.neighbors(v):  # expect: R008
+            common += 1
+    return common
+
+
+def frontier(graph, node):
+    return set(graph.neighbors(node))  # expect: R008
+
+
+def non_neighbors(graph, u, candidates):
+    return [t for t in candidates
+            if t not in graph.neighbors(u)]  # expect: R008

@@ -1,0 +1,14 @@
+"""Clean for R008: the rule is scoped to matching/truss packages.
+
+This file is *outside* any matching/ or truss/ directory, so even the
+exact spellings R008 flags in kernel code are allowed here — cold
+paths may trade the allocation for readability.
+"""
+
+
+def neighbor_list(graph, node):
+    return list(graph.neighbors(node))
+
+
+def is_adjacent(graph, u, v):
+    return v in graph.neighbors(u)

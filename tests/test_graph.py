@@ -240,3 +240,62 @@ class TestBuildGraph:
 
     def test_repr(self):
         assert "n=3" in repr(triangle())
+
+
+class TestCachedViews:
+    """adjacency_sets / label_index / neighbor_label_counts: content,
+    caching, and invalidation through the version counter."""
+
+    def test_adjacency_sets_content(self):
+        g = triangle()
+        adj = g.adjacency_sets()
+        assert adj == {0: frozenset({1, 2}), 1: frozenset({0, 2}),
+                       2: frozenset({0, 1})}
+
+    def test_label_index_content_and_order(self):
+        g = build_graph([(0, "A"), (1, "B"), (2, "A")])
+        assert g.label_index() == {"A": (0, 2), "B": (1,)}
+
+    def test_neighbor_label_counts_content(self):
+        g = build_graph([(0, "A"), (1, "B"), (2, "B")],
+                        edges=[(0, 1), (0, 2)])
+        counts = g.neighbor_label_counts()
+        assert counts[0] == {"B": 2}
+        assert counts[1] == {"A": 1}
+
+    def test_views_are_cached_until_mutation(self):
+        g = triangle()
+        assert g.adjacency_sets() is g.adjacency_sets()
+        assert g.label_index() is g.label_index()
+        assert g.neighbor_label_counts() is g.neighbor_label_counts()
+
+    def test_structural_mutation_invalidates(self):
+        g = triangle()
+        before = g.adjacency_sets()
+        g.add_node(3, label="C")
+        g.add_edge(2, 3)
+        after = g.adjacency_sets()
+        assert after is not before
+        assert after[3] == frozenset({2})
+        assert 3 in after[2]
+
+    def test_label_mutation_invalidates(self):
+        g = triangle()
+        assert g.label_index() == {"C": (0, 1, 2)}
+        g.set_node_label(1, "N")
+        assert g.label_index() == {"C": (0, 2), "N": (1,)}
+        assert g.neighbor_label_counts()[0] == {"C": 1, "N": 1}
+
+    def test_edge_removal_invalidates(self):
+        g = triangle()
+        g.adjacency_sets()
+        g.remove_edge(0, 1)
+        assert g.adjacency_sets()[0] == frozenset({2})
+
+    def test_copies_do_not_share_views(self):
+        g = triangle()
+        view = g.adjacency_sets()
+        h = g.copy()
+        h.add_node(9, label="X")
+        assert 9 not in view
+        assert 9 in h.adjacency_sets()

@@ -1,0 +1,242 @@
+"""Equivalence and instrumentation tests for the v2 matching kernel.
+
+The indexed kernel (signature-filtered candidate pools, smallest-
+anchor intersection) must enumerate exactly the embedding set of the
+legacy kernel and of a brute-force permutation oracle, across
+monomorphism/induced semantics and wildcard node/edge labels — while
+doing measurably less feasibility work.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.graph import Graph, build_graph, complete_graph, gnm_random_graph
+from repro.matching import (
+    WILDCARD,
+    SubgraphMatcher,
+    covered_edges,
+    kernel_stats,
+    labels_compatible,
+    reset_kernel_stats,
+)
+
+
+def embeddings_as_keys(matcher, max_results=None):
+    return {tuple(sorted(m.items()))
+            for m in matcher.iter_embeddings(max_results=max_results)}
+
+
+def kernel_embeddings(pattern, target, induced, kernel):
+    return embeddings_as_keys(
+        SubgraphMatcher(pattern, target, induced=induced, kernel=kernel))
+
+
+def brute_force_embeddings(pattern, target, induced=False):
+    """Oracle: enumerate all injective mappings and filter."""
+    p_nodes = sorted(pattern.nodes())
+    results = set()
+    for image in itertools.permutations(sorted(target.nodes()),
+                                        len(p_nodes)):
+        mapping = dict(zip(p_nodes, image))
+        ok = all(labels_compatible(pattern.node_label(u),
+                                   target.node_label(mapping[u]))
+                 for u in p_nodes)
+        for u, v in pattern.edges():
+            if not ok:
+                break
+            ok = (target.has_edge(mapping[u], mapping[v])
+                  and labels_compatible(
+                      pattern.edge_label(u, v),
+                      target.edge_label(mapping[u], mapping[v])))
+        if ok and induced:
+            for u, v in itertools.combinations(p_nodes, 2):
+                if (not pattern.has_edge(u, v)
+                        and target.has_edge(mapping[u], mapping[v])):
+                    ok = False
+                    break
+        if ok:
+            results.add(tuple(sorted(mapping.items())))
+    return results
+
+
+def random_case(seed, wildcards=False):
+    rng = random.Random(seed)
+    target = gnm_random_graph(6, rng.randint(5, 9), rng,
+                              labels=["A", "B"])
+    pattern = gnm_random_graph(3, rng.randint(2, 3), rng,
+                               labels=["A", "B"])
+    if wildcards:
+        pattern.set_node_label(rng.choice(sorted(pattern.nodes())),
+                               WILDCARD)
+        u, v = rng.choice(sorted(pattern.edges()))
+        pattern.set_edge_label(u, v, WILDCARD)
+    return pattern, target
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("induced", [False, True])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_indexed_equals_legacy_and_oracle(self, seed, induced):
+        """Both kernels == permutation oracle on graphs <= 6 nodes."""
+        pattern, target = random_case(seed)
+        oracle = brute_force_embeddings(pattern, target, induced=induced)
+        for kernel in ("legacy", "indexed"):
+            assert kernel_embeddings(pattern, target, induced,
+                                     kernel) == oracle
+
+    @pytest.mark.parametrize("induced", [False, True])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_wildcard_labels_equivalent(self, seed, induced):
+        """Wildcard node and edge labels: kernels == oracle."""
+        pattern, target = random_case(seed, wildcards=True)
+        oracle = brute_force_embeddings(pattern, target, induced=induced)
+        for kernel in ("legacy", "indexed"):
+            assert kernel_embeddings(pattern, target, induced,
+                                     kernel) == oracle
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_larger_random_graphs_agree_across_kernels(self, seed):
+        rng = random.Random(500 + seed)
+        target = gnm_random_graph(20, 50, rng, labels=["A", "B", "C"])
+        pattern = gnm_random_graph(4, 4, rng, labels=["A", "B", "C"])
+        for induced in (False, True):
+            assert (kernel_embeddings(pattern, target, induced, "legacy")
+                    == kernel_embeddings(pattern, target, induced,
+                                         "indexed"))
+
+    def test_disconnected_pattern(self):
+        pattern = build_graph([(0, "A"), (1, "A"), (2, "B")],
+                              edges=[(0, 1)])
+        target = gnm_random_graph(7, 9, random.Random(5),
+                                  labels=["A", "B"])
+        oracle = brute_force_embeddings(pattern, target)
+        for kernel in ("legacy", "indexed"):
+            assert kernel_embeddings(pattern, target, False,
+                                     kernel) == oracle
+
+    def test_empty_pattern_and_oversized_pattern(self):
+        target = complete_graph(3, label="A")
+        for kernel in ("legacy", "indexed"):
+            assert kernel_embeddings(Graph(), target, False,
+                                     kernel) == {()}
+            assert kernel_embeddings(complete_graph(5, label="A"),
+                                     target, False, kernel) == set()
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            SubgraphMatcher(Graph(), Graph(), kernel="quantum")
+
+
+class TestCandidatePools:
+    def test_signature_filter_excludes_impossible_candidates(self):
+        """A target node lacking a required neighbor label is pooled out."""
+        # pattern: B adjacent to two As
+        pattern = build_graph([(0, "B"), (1, "A"), (2, "A")],
+                              edges=[(0, 1), (0, 2)])
+        # target: b0 has two A neighbors (viable), b1 has A+C (not)
+        target = build_graph(
+            [(0, "B"), (1, "A"), (2, "A"), (3, "B"), (4, "A"), (5, "C")],
+            edges=[(0, 1), (0, 2), (3, 4), (3, 5)])
+        matcher = SubgraphMatcher(pattern, target)
+        assert matcher._pools[0] == (0,)  # b1 (node 3) signature-pruned
+
+    def test_degree_filter(self):
+        pattern = build_graph([(0, "A"), (1, "A"), (2, "A")],
+                              edges=[(0, 1), (0, 2)])
+        target = build_graph([(0, "A"), (1, "A"), (2, "A")],
+                             edges=[(0, 1), (1, 2)])
+        matcher = SubgraphMatcher(pattern, target)
+        # only target node 1 has degree >= 2
+        assert matcher._pools[0] == (1,)
+
+    def test_wildcard_pattern_node_pools_all_labels(self):
+        pattern = build_graph([(0, WILDCARD)])
+        target = build_graph([(0, "A"), (1, "B")])
+        matcher = SubgraphMatcher(pattern, target)
+        assert set(matcher._pools[0]) == {0, 1}
+
+
+class TestKernelCounters:
+    def test_indexed_kernel_does_fewer_feasibility_checks(self):
+        rng = random.Random(2)
+        target = gnm_random_graph(40, 120, rng, labels=["A", "B", "C"])
+        pattern = gnm_random_graph(5, 6, rng, labels=["A", "B", "C"])
+        checks = {}
+        for kernel in ("legacy", "indexed"):
+            reset_kernel_stats()
+            matcher = SubgraphMatcher(pattern, target, kernel=kernel)
+            list(matcher.iter_embeddings(max_results=None))
+            checks[kernel] = kernel_stats()["feasibility_checks"]
+        assert checks["indexed"] < checks["legacy"]
+
+    def test_counters_reset_and_accumulate(self):
+        reset_kernel_stats()
+        assert kernel_stats() == {"feasibility_checks": 0,
+                                  "recursive_calls": 0,
+                                  "candidates_pruned": 0}
+        target = complete_graph(4, label="A")
+        list(SubgraphMatcher(complete_graph(3, label="A"),
+                             target).iter_embeddings(max_results=None))
+        stats = kernel_stats()
+        assert stats["recursive_calls"] > 0
+        assert stats["feasibility_checks"] > 0
+
+    def test_counters_surface_through_perf_cache_stats(self):
+        from repro.perf import cache_stats, clear_match_cache
+        clear_match_cache()
+        stats = cache_stats()
+        for key in ("feasibility_checks", "recursive_calls",
+                    "candidates_pruned", "canonical_memo_hits",
+                    "canonical_memo_misses"):
+            assert key in stats
+        assert stats["feasibility_checks"] == 0
+        list(SubgraphMatcher(complete_graph(3, label="A"),
+                             complete_graph(4, label="A"))
+             .iter_embeddings(max_results=None))
+        assert cache_stats()["feasibility_checks"] > 0
+
+
+class TestCoveredEdgesEarlyExit:
+    """The hoisted saturation check must not change any result."""
+
+    def brute_force_covered(self, pattern, target):
+        covered = set()
+        for key in brute_force_embeddings(pattern, target):
+            mapping = dict(key)
+            for u, v in pattern.edges():
+                a, b = mapping[u], mapping[v]
+                covered.add((a, b) if a <= b else (b, a))
+        return covered
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_capped_equals_uncapped_brute_force(self, seed):
+        rng = random.Random(seed)
+        target = gnm_random_graph(6, rng.randint(4, 9), rng,
+                                  labels=["A", "B"])
+        pattern = gnm_random_graph(3, rng.randint(2, 3), rng,
+                                   labels=["A", "B"])
+        want = self.brute_force_covered(pattern, target)
+        assert covered_edges(pattern, target) == want
+        assert covered_edges(pattern, target, max_embeddings=None) == want
+
+    def test_saturation_stops_enumeration_early(self):
+        # P2 in K5 saturates coverage long before the embedding cap
+        target = complete_graph(5, label="A")
+        pattern = build_graph([(0, "A"), (1, "A")], edges=[(0, 1)])
+        reset_kernel_stats()
+        covered = covered_edges(pattern, target, max_embeddings=None)
+        saturated_calls = kernel_stats()["recursive_calls"]
+        assert covered == set(target.edges())
+        reset_kernel_stats()
+        list(SubgraphMatcher(pattern, target)
+             .iter_embeddings(max_results=None))
+        full_calls = kernel_stats()["recursive_calls"]
+        assert saturated_calls < full_calls
+
+    def test_edgeless_inputs(self):
+        assert covered_edges(build_graph([(0, "A")]),
+                             complete_graph(3, label="A")) == set()
+        assert covered_edges(complete_graph(2, label="A"),
+                             build_graph([(0, "A")])) == set()

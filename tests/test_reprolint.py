@@ -29,7 +29,13 @@ from reprolint.runner import lint_source  # noqa: E402
 from reprolint.violations import PARSE_ERROR  # noqa: E402
 
 EXPECT_MARKER = re.compile(r"#\s*expect:\s*(R\d{3}(?:\s*,\s*R\d{3})*)")
-ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007")
+ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
+                "R008")
+
+# R008 only fires inside matching/truss package directories, so its
+# in-scope fixtures live under a matching/ subdirectory; the top-level
+# r008_clean.py doubles as the out-of-scope test.
+FIXTURE_VIOLATION_PATHS = {"R008": "matching/r008_violation.py"}
 
 
 def expected_findings(path: Path):
@@ -89,17 +95,22 @@ class TestFixtures(unittest.TestCase):
     def test_violation_fixtures(self):
         for rule_id in ALL_RULE_IDS:
             with self.subTest(rule=rule_id):
-                self.assert_matches_markers(
-                    f"{rule_id.lower()}_violation.py")
+                self.assert_matches_markers(FIXTURE_VIOLATION_PATHS.get(
+                    rule_id, f"{rule_id.lower()}_violation.py"))
 
     def test_clean_fixtures(self):
         for rule_id in ALL_RULE_IDS:
             with self.subTest(rule=rule_id):
                 self.assert_clean(f"{rule_id.lower()}_clean.py")
 
+    def test_r008_in_scope_clean_fixture(self):
+        # adjacency-set-view code inside a matching/ dir lints clean
+        self.assert_clean("matching/r008_clean.py")
+
     def test_each_violation_fixture_exercises_only_its_rule(self):
         for rule_id in ALL_RULE_IDS:
-            path = FIXTURE_DIR / f"{rule_id.lower()}_violation.py"
+            path = FIXTURE_DIR / FIXTURE_VIOLATION_PATHS.get(
+                rule_id, f"{rule_id.lower()}_violation.py")
             rules = {rule for _, rule in expected_findings(path)}
             self.assertEqual({rule_id}, rules)
 

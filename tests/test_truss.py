@@ -17,6 +17,7 @@ from repro.truss import (
     max_trussness,
     split_by_truss,
     truss_decomposition,
+    truss_decomposition_rescan,
     truss_statistics,
 )
 
@@ -100,6 +101,44 @@ class TestDecomposition:
     def test_max_trussness(self):
         assert max_trussness(complete_graph(5)) == 5
         assert max_trussness(path_graph(4)) == 2
+
+
+class TestBucketQueueAgainstRescan:
+    """The bucket-queue peeler must agree with the legacy rescan
+    peeler — the oracle it replaced — on every graph shape."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        g = gnm_random_graph(16, 40, random.Random(seed))
+        assert truss_decomposition(g) == truss_decomposition_rescan(g)
+
+    def test_planted_partitions(self):
+        g = planted_partition_graph(3, 12, 0.7, 0.05, random.Random(4))
+        assert truss_decomposition(g) == truss_decomposition_rescan(g)
+
+    def test_structured_graphs(self):
+        for g in (complete_graph(6), path_graph(7), cycle_graph(8),
+                  disjoint_union([complete_graph(4), complete_graph(5),
+                                  path_graph(4)])):
+            assert truss_decomposition(g) == truss_decomposition_rescan(g)
+
+    def test_overlapping_cliques(self):
+        # two K4s sharing an edge: shared edge support is highest
+        g = complete_graph(4)
+        g.add_node(4)
+        g.add_node(5)
+        for u in (0, 1):
+            g.add_edge(u, 4)
+            g.add_edge(u, 5)
+        g.add_edge(4, 5)
+        assert truss_decomposition(g) == truss_decomposition_rescan(g)
+
+    def test_empty_and_edgeless(self):
+        from repro.graph import Graph
+        assert truss_decomposition_rescan(Graph()) == {}
+        g = Graph()
+        g.add_node(0)
+        assert truss_decomposition(g) == truss_decomposition_rescan(g)
 
 
 class TestSplit:

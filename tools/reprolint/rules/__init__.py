@@ -8,4 +8,5 @@ from reprolint.rules import (  # noqa: F401
     r005_public_rng,
     r006_except_hygiene,
     r007_centralized_parallelism,
+    r008_hot_loop_adjacency,
 )

@@ -1,0 +1,86 @@
+"""R008 hot-loop-adjacency.
+
+The matching and truss kernels are the innermost loops of every
+pipeline in the library; PR "matching kernel v2" made them fast by
+routing adjacency access through the version-cached set views on
+:class:`repro.graph.graph.Graph` (``adjacency_sets()``,
+``label_index()``, ``neighbor_label_counts()``).  Materialising the
+``neighbors()`` iterator with ``list(...)``/``set(...)`` or running a
+membership test against it (``x in g.neighbors(u)`` is a linear scan
+that rebuilds the iterator every probe) silently reintroduces the
+allocation churn those views removed — but only in kernel code does
+that matter, so the rule is scoped to files under a ``matching`` or
+``truss`` package directory.  Plain ``for w in g.neighbors(u)``
+iteration and comprehensions stay allowed everywhere: a single pass
+over the iterator allocates nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+#: Package directories whose files are considered kernel hot loops.
+HOT_PACKAGES = frozenset({"matching", "truss"})
+
+#: Builtins that materialise an iterator into a container.
+MATERIALIZERS = frozenset({"list", "set"})
+
+
+def _in_hot_package(path: str) -> bool:
+    """True when the file lives in a matching/truss package directory."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    return bool(HOT_PACKAGES & set(normalized.split("/")[:-1]))
+
+
+def _is_neighbors_call(node: ast.AST) -> bool:
+    """True for any ``<expr>.neighbors(...)`` call expression."""
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "neighbors")
+
+
+@register
+class HotLoopAdjacencyRule(Rule):
+    id = "R008"
+    name = "hot-loop-adjacency"
+    description = ("list()/set() materialisation of, or membership "
+                   "tests against, neighbors() iterators inside "
+                   "matching/truss kernels (use the cached "
+                   "adjacency-set views)")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        if not _in_hot_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in MATERIALIZERS
+                    and len(node.args) == 1
+                    and _is_neighbors_call(node.args[0])):
+                yield self._violation(
+                    ctx, node,
+                    f"{node.func.id}(...neighbors(...)) materialises "
+                    "the neighbor iterator in kernel code; use "
+                    "Graph.adjacency_sets()")
+            elif isinstance(node, ast.Compare):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if (isinstance(op, (ast.In, ast.NotIn))
+                            and _is_neighbors_call(comparator)):
+                        yield self._violation(
+                            ctx, node,
+                            "membership test against a neighbors() "
+                            "iterator is a linear scan per probe; use "
+                            "Graph.adjacency_sets() for O(1) lookups")
+
+    def _violation(self, ctx: FileContext, node: ast.AST,
+                   message: str) -> Violation:
+        return Violation(path=ctx.path, line=node.lineno,
+                         col=node.col_offset, rule=self.id,
+                         message=message)

@@ -1,6 +1,7 @@
 PYTHON ?= python
 
-.PHONY: lint lint-json test compile check bench-smoke bench-kernel
+.PHONY: lint lint-json test compile check bench-smoke bench-kernel \
+	trace-smoke
 
 lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
@@ -17,6 +18,12 @@ compile:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner.py --smoke \
 		--out BENCH_perf.json
+
+# traced smoke run + structural validation of the trace envelope
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner.py --smoke \
+		--out BENCH_perf.json --trace TRACE_smoke.json
+	$(PYTHON) tests/trace_schema.py TRACE_smoke.json
 
 # gates against the committed baseline, then refreshes it in place
 bench-kernel:

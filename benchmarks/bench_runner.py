@@ -7,10 +7,15 @@ CI actually gates on — a determinism check that every worker count
 produced the identical pattern set.  Speedups are hardware-dependent
 (a single-core runner shows none); the determinism booleans are not.
 
+With ``--trace out.json`` each experiment adds one traced run (via
+``PipelineConfig(trace=True)``), writes every span record into one
+:mod:`repro.obs` trace envelope, and reports the per-stage wall-time
+breakdown plus the fraction of the root span its stages account for.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_runner.py --smoke \
-        --out BENCH_perf.json
+        --out BENCH_perf.json --trace TRACE_perf.json
 """
 
 from __future__ import annotations
@@ -20,11 +25,12 @@ import json
 import os
 import sys
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.catapult import CatapultConfig, select_canned_patterns
+from repro.core import pipeline
+from repro.core.pipeline import PipelineConfig
 from repro.datasets import (
     EvolvingRepository,
     NetworkConfig,
@@ -32,10 +38,9 @@ from repro.datasets import (
     generate_network,
     generate_update_stream,
 )
-from repro.midas import Midas, MidasConfig
+from repro.obs import matching_snapshot, stage_breakdown, write_trace
 from repro.patterns import PatternBudget
-from repro.perf import cache_stats, clear_match_cache
-from repro.tattoo import TattooConfig, select_network_patterns
+from repro.perf import clear_match_cache
 
 WORKER_COUNTS = (1, 4)
 
@@ -59,28 +64,54 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
-def run_catapult(smoke: bool) -> Dict[str, object]:
+def _stage_profile(record: Dict[str, object]) -> Dict[str, object]:
+    """Per-stage seconds plus the fraction of the root they cover."""
+    stages = stage_breakdown(record)
+    total = float(record["duration"]) or 0.0
+    covered = sum(stages.values())
+    return {
+        "root": record["name"],
+        "total_seconds": total,
+        "stage_seconds": stages,
+        "stage_coverage": covered / total if total else 0.0,
+    }
+
+
+def run_catapult(smoke: bool,
+                 traces: Optional[List[Dict[str, object]]]
+                 ) -> Dict[str, object]:
     """E2-shaped: CATAPULT selection over a chemical repository."""
     size = 30 if smoke else 150
     repo = generate_chemical_repository(size, seed=7)
     budget = PatternBudget(5, min_size=4, max_size=8)
+    walks = 10 if smoke else 30
     runs = {}
     for workers in WORKER_COUNTS:
         clear_match_cache()
-        before = cache_stats()
-        config = CatapultConfig(seed=1, workers=workers,
-                                walks_per_cluster=10 if smoke else 30)
+        before = matching_snapshot()
+        config = PipelineConfig(budget=budget, seed=1, workers=workers,
+                                options={"walks_per_cluster": walks})
         result, wall = _timed(
-            lambda: select_canned_patterns(repo, budget, config))
+            lambda: pipeline.run_catapult(repo, config))
         runs[str(workers)] = {
             "wall_seconds": wall,
             "pattern_codes": sorted(result.patterns.codes()),
-            "cache": _cache_delta(before, cache_stats()),
+            "cache": _cache_delta(before, matching_snapshot()),
         }
-    return _finish("catapult_e2", {"repository_size": size}, runs)
+    experiment = _finish("catapult_e2", {"repository_size": size}, runs)
+    if traces is not None:
+        clear_match_cache()
+        config = PipelineConfig(budget=budget, seed=1, trace=True,
+                                options={"walks_per_cluster": walks})
+        result = pipeline.run_catapult(repo, config)
+        traces.append(result.trace)
+        experiment["trace"] = _stage_profile(result.trace)
+    return experiment
 
 
-def run_tattoo(smoke: bool) -> Dict[str, object]:
+def run_tattoo(smoke: bool,
+               traces: Optional[List[Dict[str, object]]]
+               ) -> Dict[str, object]:
     """E4-shaped: TATTOO extraction + selection on one network."""
     nodes = 150 if smoke else 600
     network = generate_network(NetworkConfig(nodes=nodes, cliques=4,
@@ -89,19 +120,28 @@ def run_tattoo(smoke: bool) -> Dict[str, object]:
     runs = {}
     for workers in WORKER_COUNTS:
         clear_match_cache()
-        before = cache_stats()
-        config = TattooConfig(seed=1, workers=workers)
+        before = matching_snapshot()
+        config = PipelineConfig(budget=budget, seed=1, workers=workers)
         result, wall = _timed(
-            lambda: select_network_patterns(network, budget, config))
+            lambda: pipeline.run_tattoo(network, config))
         runs[str(workers)] = {
             "wall_seconds": wall,
             "pattern_codes": sorted(result.patterns.codes()),
-            "cache": _cache_delta(before, cache_stats()),
+            "cache": _cache_delta(before, matching_snapshot()),
         }
-    return _finish("tattoo_e4", {"network_nodes": nodes}, runs)
+    experiment = _finish("tattoo_e4", {"network_nodes": nodes}, runs)
+    if traces is not None:
+        clear_match_cache()
+        config = PipelineConfig(budget=budget, seed=1, trace=True)
+        result = pipeline.run_tattoo(network, config)
+        traces.append(result.trace)
+        experiment["trace"] = _stage_profile(result.trace)
+    return experiment
 
 
-def run_midas(smoke: bool) -> Dict[str, object]:
+def run_midas(smoke: bool,
+              traces: Optional[List[Dict[str, object]]]
+              ) -> Dict[str, object]:
     """E6-shaped: MIDAS maintenance over an update stream.
 
     The engine-lifetime cache is the point here: every batch rebuilds
@@ -109,24 +149,26 @@ def run_midas(smoke: bool) -> Dict[str, object]:
     """
     initial = 30 if smoke else 100
     batches = 2 if smoke else 5
-    runs = {}
-    for workers in WORKER_COUNTS:
+    budget = PatternBudget(5, min_size=4, max_size=8)
+
+    def drive(workers: int, trace: bool):
         clear_match_cache()
         repo = generate_chemical_repository(initial, seed=31)
-        budget = PatternBudget(5, min_size=4, max_size=8)
-        midas = Midas(repo, budget,
-                      MidasConfig(seed=2, workers=workers))
+        config = PipelineConfig(budget=budget, seed=2, workers=workers,
+                                trace=trace)
+        midas = pipeline.run_midas(repo, config)
         evolving = EvolvingRepository([g.copy() for g in repo])
         stream = generate_update_stream(evolving, batches=batches,
                                         batch_size=8, seed=32)
+        reports = []
+        for batch in stream:
+            evolving.apply(batch)
+            reports.append(midas.apply_batch(batch))
+        return midas, reports
 
-        def drive():
-            for batch in stream:
-                evolving.apply(batch)
-                midas.apply_batch(batch)
-            return midas
-
-        _, wall = _timed(drive)
+    runs = {}
+    for workers in WORKER_COUNTS:
+        (midas, _), wall = _timed(lambda: drive(workers, False))
         stats = midas.cache_stats() or {}
         runs[str(workers)] = {
             "wall_seconds": wall,
@@ -137,8 +179,15 @@ def run_midas(smoke: bool) -> Dict[str, object]:
                 "hit_rate": stats.get("hit_rate", 0.0),
             },
         }
-    return _finish("midas_e6",
-                   {"initial_size": initial, "batches": batches}, runs)
+    experiment = _finish("midas_e6",
+                         {"initial_size": initial, "batches": batches},
+                         runs)
+    if traces is not None:
+        midas, reports = drive(WORKER_COUNTS[0], True)
+        records = [midas.trace] + [r.trace for r in reports]
+        traces.extend(records)
+        experiment["trace"] = [_stage_profile(r) for r in records]
+    return experiment
 
 
 def _finish(name: str, params: Dict[str, object],
@@ -162,6 +211,10 @@ def main(argv: List[str] = None) -> int:
                         help="output JSON path")
     parser.add_argument("--smoke", action="store_true",
                         help="small inputs for CI (seconds, not minutes)")
+    parser.add_argument("--trace", default=None,
+                        help="also run each experiment once with "
+                             "tracing on and write the span records "
+                             "here as one trace envelope")
     args = parser.parse_args(argv)
 
     report = {
@@ -170,9 +223,11 @@ def main(argv: List[str] = None) -> int:
         "worker_counts": list(WORKER_COUNTS),
         "experiments": [],
     }
+    traces: Optional[List[Dict[str, object]]] = \
+        [] if args.trace else None
     failures = []
     for runner in (run_catapult, run_tattoo, run_midas):
-        experiment = runner(args.smoke)
+        experiment = runner(args.smoke, traces)
         report["experiments"].append(experiment)
         flag = "ok" if experiment["deterministic_across_workers"] \
             else "NOT DETERMINISTIC"
@@ -186,6 +241,9 @@ def main(argv: List[str] = None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.out}")
+    if args.trace:
+        write_trace(traces, args.trace)
+        print(f"wrote {args.trace} ({len(traces)} trace(s))")
     if failures:
         print(f"determinism check FAILED for: {', '.join(failures)}",
               file=sys.stderr)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 import random
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.clustering.features import (
@@ -29,6 +30,7 @@ from repro.errors import PipelineError
 from repro.graph.graph import Graph
 from repro.graph.operations import induced_subgraph, sample_connected_node_set
 from repro.matching.isomorphism import is_subgraph
+from repro.obs import capture, span
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
@@ -46,13 +48,15 @@ class CatapultConfig:
     ``REPRO_WORKERS``; 1 = serial).  Each cluster draws its walks from
     a seed split off ``seed`` with :func:`repro.perf.derive_seed`, so
     the selected patterns are identical at every worker count.
-    ``use_cache`` toggles the shared VF2 match cache.
+    ``use_cache`` toggles the shared VF2 match cache; ``trace``
+    captures a :mod:`repro.obs` trace for this run even when the
+    ``REPRO_TRACE`` environment switch is unset.
     """
 
     __slots__ = ("clusters", "min_tree_support", "max_tree_edges",
                  "walks_per_cluster", "member_samples", "seed", "weights",
                  "validate_candidates", "coverage_sample",
-                 "max_embeddings", "workers", "use_cache")
+                 "max_embeddings", "workers", "use_cache", "trace")
 
     def __init__(self, clusters: Optional[int] = None,
                  min_tree_support: int = 2,
@@ -64,7 +68,8 @@ class CatapultConfig:
                  coverage_sample: int = 60,
                  max_embeddings: int = 30,
                  workers: Optional[int] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 trace: bool = False) -> None:
         self.clusters = clusters
         self.min_tree_support = min_tree_support
         self.max_tree_edges = max_tree_edges
@@ -77,25 +82,61 @@ class CatapultConfig:
         self.max_embeddings = max_embeddings
         self.workers = workers
         self.use_cache = use_cache
+        self.trace = trace
+
+    @classmethod
+    def from_pipeline(cls, pipeline) -> "CatapultConfig":
+        """Translate a :class:`repro.core.pipeline.PipelineConfig`:
+        shared fields map 1:1 and CATAPULT-specific knobs come from
+        ``pipeline.options`` (unknown option names raise)."""
+        kwargs = dict(pipeline.options)
+        unknown = sorted(set(kwargs) - set(cls.__slots__))
+        if unknown:
+            raise PipelineError(
+                "unknown CATAPULT option(s): " + ", ".join(unknown))
+        for name in ("seed", "workers", "use_cache", "weights",
+                     "max_embeddings", "trace"):
+            kwargs.setdefault(name, getattr(pipeline, name))
+        return cls(**kwargs)
 
 
 class CatapultResult:
-    """Everything the pipeline produced, including stage timings."""
+    """Everything the pipeline produced, including stage timings.
+
+    Satisfies :class:`repro.core.pipeline.PipelineResult`:
+    ``.patterns``, ``.stats``, and ``.trace`` (the run's span record,
+    ``None`` unless tracing was on).
+    """
 
     __slots__ = ("patterns", "clustering", "summaries", "candidates",
-                 "selection", "timings")
+                 "selection", "timings", "trace")
 
     def __init__(self, patterns: PatternSet, clustering: ClusteringResult,
                  summaries: List[SummaryGraph],
                  candidates: List[Pattern],
                  selection: SelectionResult,
-                 timings: Dict[str, float]) -> None:
+                 timings: Dict[str, float],
+                 trace: Optional[Dict[str, object]] = None) -> None:
         self.patterns = patterns
         self.clustering = clustering
         self.summaries = summaries
         self.candidates = candidates
         self.selection = selection
         self.timings = timings
+        self.trace = trace
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Flat run statistics in the shared PipelineResult shape."""
+        return {
+            "pipeline": "catapult",
+            "patterns": len(self.patterns),
+            "clusters": len(self.summaries),
+            "candidates": len(self.candidates),
+            "considered": self.selection.considered,
+            "score": self.selection.score,
+            "timings": dict(self.timings),
+        }
 
     def __repr__(self) -> str:
         return (f"<CatapultResult k={len(self.patterns)} "
@@ -114,30 +155,37 @@ def default_cluster_count(repository_size: int) -> int:
 def cluster_repository(repository: Sequence[Graph],
                        config: CatapultConfig) -> ClusteringResult:
     """Step 1: frequent-subtree features + k-medoids."""
-    vocabulary = mine_frequent_trees(
-        repository, min_support=config.min_tree_support,
-        max_edges=config.max_tree_edges)
-    k = config.clusters or default_cluster_count(len(repository))
-    if not vocabulary:
-        # degenerate repositories (no shared subtree): one cluster
-        return ClusteringResult(labels=[0] * len(repository),
-                                medoids=[0], cost=0.0)
-    matrix = repository_feature_matrix(repository, vocabulary,
-                                       config.max_tree_edges)
-    distances = distance_matrix_from_vectors(matrix, metric="euclidean",
-                                             workers=config.workers)
-    return kmedoids(distances, k, seed=config.seed)
+    with span("catapult.cluster", graphs=len(repository)) as stage:
+        vocabulary = mine_frequent_trees(
+            repository, min_support=config.min_tree_support,
+            max_edges=config.max_tree_edges)
+        k = config.clusters or default_cluster_count(len(repository))
+        stage.add("vocabulary", len(vocabulary))
+        if not vocabulary:
+            # degenerate repositories (no shared subtree): one cluster
+            stage.add("clusters", 1)
+            return ClusteringResult(labels=[0] * len(repository),
+                                    medoids=[0], cost=0.0)
+        matrix = repository_feature_matrix(repository, vocabulary,
+                                           config.max_tree_edges)
+        distances = distance_matrix_from_vectors(
+            matrix, metric="euclidean", workers=config.workers)
+        stage.add("clusters", k)
+        return kmedoids(distances, k, seed=config.seed)
 
 
 def summarize_clusters(repository: Sequence[Graph],
                        clustering: ClusteringResult) -> List[SummaryGraph]:
     """Step 2: one CSG per non-empty cluster."""
-    summaries: List[SummaryGraph] = []
-    for members in clustering.clusters():
-        if not members:
-            continue
-        summaries.append(build_summary([repository[i] for i in members]))
-    return summaries
+    with span("catapult.summarize") as stage:
+        summaries: List[SummaryGraph] = []
+        for members in clustering.clusters():
+            if not members:
+                continue
+            summaries.append(
+                build_summary([repository[i] for i in members]))
+        stage.add("summaries", len(summaries))
+        return summaries
 
 
 def _make_validator(members: Sequence[Graph], sample: int = 8):
@@ -160,30 +208,33 @@ def _cluster_candidates_task(task) -> List[Pattern]:
     """
     (cluster_index, member_graphs, summary, budget, walks,
      member_samples, validate, seed) = task
-    rng = random.Random(seed)
-    validator = _make_validator(member_graphs) if validate else None
-    out: List[Pattern] = []
-    for pattern in generate_candidates(
-            summary, budget, walks, rng,
-            source=f"catapult:cluster{cluster_index}",
-            validator=validator):
-        pattern.code  # canonical coding happens in the worker
-        out.append(pattern)
-    for _ in range(member_samples):
-        member = rng.choice(member_graphs)
-        if member.order() < budget.min_size:
-            continue
-        size = rng.randint(budget.min_size,
-                           min(budget.max_size, member.order()))
-        node_set = sample_connected_node_set(member, size, rng,
-                                             attempts=5)
-        if node_set is None:
-            continue
-        sampled = induced_subgraph(member, node_set).normalized()
-        pattern = Pattern(sampled, source=f"catapult:member{cluster_index}")
-        pattern.code
-        out.append(pattern)
-    return out
+    with span("catapult.cluster_walks", cluster=cluster_index) as walk:
+        rng = random.Random(seed)
+        validator = _make_validator(member_graphs) if validate else None
+        out: List[Pattern] = []
+        for pattern in generate_candidates(
+                summary, budget, walks, rng,
+                source=f"catapult:cluster{cluster_index}",
+                validator=validator):
+            pattern.code  # canonical coding happens in the worker
+            out.append(pattern)
+        for _ in range(member_samples):
+            member = rng.choice(member_graphs)
+            if member.order() < budget.min_size:
+                continue
+            size = rng.randint(budget.min_size,
+                               min(budget.max_size, member.order()))
+            node_set = sample_connected_node_set(member, size, rng,
+                                                 attempts=5)
+            if node_set is None:
+                continue
+            sampled = induced_subgraph(member, node_set).normalized()
+            pattern = Pattern(sampled,
+                              source=f"catapult:member{cluster_index}")
+            pattern.code
+            out.append(pattern)
+        walk.add("patterns", len(out))
+        return out
 
 
 def generate_all_candidates(repository: Sequence[Graph],
@@ -201,59 +252,98 @@ def generate_all_candidates(repository: Sequence[Graph],
     :func:`repro.perf.pmap` with one derived seed each and merge in
     cluster order, so the result is worker-count invariant.
     """
-    clusters = [c for c in clustering.clusters() if c]
-    tasks = []
-    for cluster_index, (members, summary) in enumerate(
-            zip(clusters, summaries)):
-        member_graphs = [repository[i] for i in members]
-        tasks.append((cluster_index, member_graphs, summary, budget,
-                      config.walks_per_cluster, config.member_samples,
-                      config.validate_candidates,
-                      derive_seed(config.seed, cluster_index)))
-    candidates: List[Pattern] = []
-    seen: set[str] = set()
-    for batch in pmap(_cluster_candidates_task, tasks,
-                      workers=config.workers):
-        for pattern in batch:
-            if pattern.code not in seen:
-                seen.add(pattern.code)
-                candidates.append(pattern)
-    return candidates
+    with span("catapult.candidates") as stage:
+        clusters = [c for c in clustering.clusters() if c]
+        stage.add("clusters", len(clusters))
+        tasks = []
+        for cluster_index, (members, summary) in enumerate(
+                zip(clusters, summaries)):
+            member_graphs = [repository[i] for i in members]
+            tasks.append((cluster_index, member_graphs, summary, budget,
+                          config.walks_per_cluster, config.member_samples,
+                          config.validate_candidates,
+                          derive_seed(config.seed, cluster_index)))
+        candidates: List[Pattern] = []
+        seen: set[str] = set()
+        for batch in pmap(_cluster_candidates_task, tasks,
+                          workers=config.workers):
+            for pattern in batch:
+                if pattern.code not in seen:
+                    seen.add(pattern.code)
+                    candidates.append(pattern)
+        stage.add("candidates", len(candidates))
+        return candidates
+
+
+def _run_catapult(repository: Sequence[Graph],
+                  budget: PatternBudget,
+                  config: CatapultConfig) -> CatapultResult:
+    """The actual pipeline, shared by the new-style entry points and
+    the deprecated keyword signature."""
+    if not repository:
+        raise PipelineError("CATAPULT needs a non-empty repository")
+    timings: Dict[str, float] = {}
+
+    with capture("catapult.pipeline", force=config.trace,
+                 graphs=len(repository)) as run:
+        start = time.perf_counter()
+        clustering = cluster_repository(repository, config)
+        timings["cluster"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        summaries = summarize_clusters(repository, clustering)
+        timings["summarize"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        candidates = generate_all_candidates(repository, clustering,
+                                             summaries, budget, config)
+        timings["candidates"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with span("catapult.select", candidates=len(candidates)):
+            rng = random.Random(config.seed)
+            sample = list(repository)
+            if len(sample) > config.coverage_sample:
+                sample = rng.sample(sample, config.coverage_sample)
+            index = CoverageIndex(sample,
+                                  max_embeddings=config.max_embeddings,
+                                  size_utility=True,
+                                  use_cache=config.use_cache)
+            scorer = SetScorer(index, weights=config.weights)
+            selection = greedy_select(candidates, budget, scorer)
+        timings["select"] = time.perf_counter() - start
+
+    return CatapultResult(selection.patterns, clustering, summaries,
+                          candidates, selection, timings,
+                          trace=run.record)
 
 
 def select_canned_patterns(repository: Sequence[Graph],
-                           budget: PatternBudget,
+                           budget=None,
                            config: Optional[CatapultConfig] = None
                            ) -> CatapultResult:
-    """Run the full CATAPULT pipeline on a repository."""
-    if not repository:
-        raise PipelineError("CATAPULT needs a non-empty repository")
-    config = config or CatapultConfig()
-    timings: Dict[str, float] = {}
+    """Run the full CATAPULT pipeline on a repository.
 
-    start = time.perf_counter()
-    clustering = cluster_repository(repository, config)
-    timings["cluster"] = time.perf_counter() - start
+    New-style calls pass a single :class:`repro.core.pipeline.
+    PipelineConfig` in place of ``budget`` (or use :func:`repro.core.
+    pipeline.run_catapult`).  The legacy ``(repository, budget,
+    CatapultConfig)`` signature still works but emits a
+    ``DeprecationWarning``.
+    """
+    from repro.core.pipeline import PipelineConfig
 
-    start = time.perf_counter()
-    summaries = summarize_clusters(repository, clustering)
-    timings["summarize"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    candidates = generate_all_candidates(repository, clustering,
-                                         summaries, budget, config)
-    timings["candidates"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    rng = random.Random(config.seed)
-    sample = list(repository)
-    if len(sample) > config.coverage_sample:
-        sample = rng.sample(sample, config.coverage_sample)
-    index = CoverageIndex(sample, max_embeddings=config.max_embeddings,
-                          size_utility=True, use_cache=config.use_cache)
-    scorer = SetScorer(index, weights=config.weights)
-    selection = greedy_select(candidates, budget, scorer)
-    timings["select"] = time.perf_counter() - start
-
-    return CatapultResult(selection.patterns, clustering, summaries,
-                          candidates, selection, timings)
+    if isinstance(budget, PipelineConfig):
+        if config is not None:
+            raise PipelineError(
+                "pass CATAPULT options inside PipelineConfig.options, "
+                "not as a separate CatapultConfig")
+        return _run_catapult(repository, budget.require_budget(),
+                             CatapultConfig.from_pipeline(budget))
+    warnings.warn(
+        "select_canned_patterns(repository, budget, CatapultConfig) is "
+        "deprecated; pass a repro.core.pipeline.PipelineConfig instead "
+        "(or call repro.core.pipeline.run_catapult)",
+        DeprecationWarning, stacklevel=2)
+    if budget is None:
+        raise PipelineError("CATAPULT needs a PatternBudget")
+    return _run_catapult(repository, budget, config or CatapultConfig())

@@ -48,7 +48,15 @@ def _budget_from_args(args: argparse.Namespace):
 def _cmd_build(args: argparse.Namespace) -> int:
     from repro.vqi.builder import build_vqi_with_report
     data = _load_data(args.data)
-    vqi, report = build_vqi_with_report(data, _budget_from_args(args))
+    catapult_config = tattoo_config = None
+    if args.trace:
+        from repro.catapult.pipeline import CatapultConfig
+        from repro.tattoo.pipeline import TattooConfig
+        catapult_config = CatapultConfig(trace=True)
+        tattoo_config = TattooConfig(trace=True)
+    vqi, report = build_vqi_with_report(data, _budget_from_args(args),
+                                        catapult_config=catapult_config,
+                                        tattoo_config=tattoo_config)
     print(f"generator: {report.generator} "
           f"({report.duration:.2f}s)")
     print(f"attribute panel: "
@@ -65,6 +73,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
         Path(args.svg).write_text(vqi.render_pattern_panel(),
                                   encoding="utf-8")
         print(f"pattern panel rendered to {args.svg}")
+    if args.trace:
+        from repro.obs import format_trace, write_trace
+        if report.trace is None:
+            raise ReproError("the selection pipeline produced no trace")
+        write_trace([report.trace], args.trace)
+        print(f"trace written to {args.trace}")
+        print(format_trace(report.trace))
     return 0
 
 
@@ -190,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--spec", help="write the VQI spec JSON here")
     p_build.add_argument("--svg",
                          help="render the pattern panel SVG here")
+    p_build.add_argument("--trace",
+                         help="record a per-stage trace of the "
+                              "selection pipeline and write it here "
+                              "as JSON")
     add_budget_args(p_build)
     p_build.set_defaults(func=_cmd_build)
 

@@ -14,6 +14,7 @@ import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import Graph
+from repro.obs import span
 from repro.patterns.scoring import cosine_similarity, feature_vector
 from repro.perf.executor import pmap, resolve_workers
 
@@ -56,9 +57,19 @@ def vector_cosine_distance(v1: Sequence[float],
                                        _vector_norm(v2))
 
 
+#: Fixed block count for the row decomposition.  Deliberately *not*
+#: derived from the worker count: the task list (and therefore the
+#: merged trace tree and any per-task derived seed) must be identical
+#: at every worker count.  16 blocks leave ~4 per worker on typical
+#: 2-4 worker runs, enough for stragglers to rebalance.
+_ROW_BLOCKS = 16
+
+
 def _row_ranges(n: int, workers: int) -> List[Tuple[int, int]]:
-    """Contiguous row blocks, ~4 per worker so stragglers rebalance."""
-    blocks = max(1, min(n, workers * 4))
+    """Contiguous row blocks; ``workers`` kept for signature
+    compatibility but no longer affects the decomposition."""
+    del workers
+    blocks = max(1, min(n, _ROW_BLOCKS))
     size = -(-n // blocks)
     return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
 
@@ -116,16 +127,20 @@ def distance_matrix_from_graphs(repository: Sequence[Graph],
                                 workers: Optional[int] = None
                                 ) -> List[List[float]]:
     """Pairwise structural distances (symmetric, zero diagonal)."""
-    features: List[Dict[str, float]] = [feature_vector(g)
-                                        for g in repository]
-    norms = [math.sqrt(sum(v * v for v in f.values())) for f in features]
-    n = len(repository)
-    workers = resolve_workers(workers)
-    tasks = [(lo, hi, features, norms)
-             for lo, hi in _row_ranges(n, workers)]
-    blocks = pmap(_sparse_cosine_rows, tasks, workers=workers)
-    upper_rows = [row for block in blocks for row in block]
-    return _assemble(n, upper_rows)
+    with span("clustering.distance_matrix",
+              items=len(repository)) as work:
+        features: List[Dict[str, float]] = [feature_vector(g)
+                                            for g in repository]
+        norms = [math.sqrt(sum(v * v for v in f.values()))
+                 for f in features]
+        n = len(repository)
+        workers = resolve_workers(workers)
+        tasks = [(lo, hi, features, norms)
+                 for lo, hi in _row_ranges(n, workers)]
+        work.add("tasks", len(tasks))
+        blocks = pmap(_sparse_cosine_rows, tasks, workers=workers)
+        upper_rows = [row for block in blocks for row in block]
+        return _assemble(n, upper_rows)
 
 
 def distance_matrix_from_vectors(vectors: Sequence[Sequence[float]],
@@ -139,16 +154,19 @@ def distance_matrix_from_vectors(vectors: Sequence[Sequence[float]],
     """
     if metric not in ("euclidean", "cosine"):
         raise ValueError(f"unknown metric {metric!r}")
-    vectors = [list(v) for v in vectors]
-    lengths = {len(v) for v in vectors}
-    if len(lengths) > 1:
-        raise ValueError("feature vectors have different lengths")
-    norms = ([_vector_norm(v) for v in vectors] if metric == "cosine"
-             else [0.0] * len(vectors))
-    n = len(vectors)
-    workers = resolve_workers(workers)
-    tasks = [(lo, hi, vectors, norms, metric)
-             for lo, hi in _row_ranges(n, workers)]
-    blocks = pmap(_upper_rows_from_vectors, tasks, workers=workers)
-    upper_rows = [row for block in blocks for row in block]
-    return _assemble(n, upper_rows)
+    with span("clustering.distance_matrix", items=len(vectors),
+              metric=metric) as work:
+        vectors = [list(v) for v in vectors]
+        lengths = {len(v) for v in vectors}
+        if len(lengths) > 1:
+            raise ValueError("feature vectors have different lengths")
+        norms = ([_vector_norm(v) for v in vectors]
+                 if metric == "cosine" else [0.0] * len(vectors))
+        n = len(vectors)
+        workers = resolve_workers(workers)
+        tasks = [(lo, hi, vectors, norms, metric)
+                 for lo, hi in _row_ranges(n, workers)]
+        work.add("tasks", len(tasks))
+        blocks = pmap(_upper_rows_from_vectors, tasks, workers=workers)
+        upper_rows = [row for block in blocks for row in block]
+        return _assemble(n, upper_rows)

@@ -8,12 +8,25 @@ the full data-driven workflow::
     vqi = build_vqi(my_graphs, PatternBudget(10, min_size=4, max_size=8))
     vqi.query_panel.builder.add_pattern(vqi.pattern_panel.canned[0])
     results = vqi.execute()
+
+Selection pipelines share one configuration surface —
+:class:`repro.core.pipeline.PipelineConfig` — and one result protocol
+(:class:`repro.core.pipeline.PipelineResult`); see
+:mod:`repro.core.pipeline` for the unified runners.
 """
 
 from repro.catapult.pipeline import (
     CatapultConfig,
     CatapultResult,
     select_canned_patterns,
+)
+from repro.core.pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    run_catapult,
+    run_midas,
+    run_selection,
+    run_tattoo,
 )
 from repro.midas.maintenance import MaintenanceReport, Midas, MidasConfig
 from repro.modular.architecture import ModularPipeline, ModularResult
@@ -36,6 +49,12 @@ __all__ = [
     "CatapultConfig",
     "CatapultResult",
     "select_canned_patterns",
+    "PipelineConfig",
+    "PipelineResult",
+    "run_catapult",
+    "run_midas",
+    "run_selection",
+    "run_tattoo",
     "MaintenanceReport",
     "Midas",
     "MidasConfig",

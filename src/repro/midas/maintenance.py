@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.catapult.random_walk import generate_candidates
@@ -35,6 +36,7 @@ from repro.graphlets.counting import GRAPHLET_KEYS, count_graphlets, gfd_distanc
 from repro.matching.isomorphism import is_subgraph
 from repro.midas.fct import FCTIndex
 from repro.midas.swapping import SwapStats, multi_scan_swap
+from repro.obs import capture, metrics, span
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
@@ -52,12 +54,14 @@ class MidasConfig:
     the lifetime of the engine, so coverage answers survive across
     swap scans *and* across batches (each batch builds a fresh
     coverage index, but most (pattern, graph) pairs repeat).
+    ``trace`` captures a :mod:`repro.obs` trace of initialisation and
+    every batch even when ``REPRO_TRACE`` is unset.
     """
 
     __slots__ = ("drift_threshold", "min_tree_support", "max_tree_edges",
                  "walks_per_cluster", "coverage_sample", "max_embeddings",
                  "max_scans", "prune", "seed", "weights", "clusters",
-                 "workers", "use_cache")
+                 "workers", "use_cache", "trace")
 
     def __init__(self, drift_threshold: float = 0.015,
                  min_tree_support: int = 2, max_tree_edges: int = 3,
@@ -67,7 +71,8 @@ class MidasConfig:
                  weights: ScoreWeights = DEFAULT_WEIGHTS,
                  clusters: Optional[int] = None,
                  workers: Optional[int] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 trace: bool = False) -> None:
         self.drift_threshold = drift_threshold
         self.min_tree_support = min_tree_support
         self.max_tree_edges = max_tree_edges
@@ -81,19 +86,41 @@ class MidasConfig:
         self.clusters = clusters
         self.workers = workers
         self.use_cache = use_cache
+        self.trace = trace
+
+    @classmethod
+    def from_pipeline(cls, pipeline) -> "MidasConfig":
+        """Translate a :class:`repro.core.pipeline.PipelineConfig`:
+        shared fields map 1:1 and MIDAS-specific knobs come from
+        ``pipeline.options`` (unknown option names raise)."""
+        kwargs = dict(pipeline.options)
+        unknown = sorted(set(kwargs) - set(cls.__slots__))
+        if unknown:
+            raise PipelineError(
+                "unknown MIDAS option(s): " + ", ".join(unknown))
+        for name in ("seed", "workers", "use_cache", "weights",
+                     "max_embeddings", "trace"):
+            kwargs.setdefault(name, getattr(pipeline, name))
+        return cls(**kwargs)
 
 
 class MaintenanceReport:
-    """Outcome of applying one batch."""
+    """Outcome of applying one batch.
+
+    ``trace`` is the batch's :mod:`repro.obs` span record (``None``
+    unless tracing was on); ``stats`` flattens the report for the
+    shared result shape.
+    """
 
     __slots__ = ("batch_index", "kind", "drift", "added", "removed",
                  "modified_clusters", "swap_stats", "duration",
-                 "score_before", "score_after")
+                 "score_before", "score_after", "trace")
 
     def __init__(self, batch_index: int, kind: str, drift: float,
                  added: int, removed: int, modified_clusters: int,
                  swap_stats: Optional[SwapStats], duration: float,
-                 score_before: float, score_after: float) -> None:
+                 score_before: float, score_after: float,
+                 trace: Optional[Dict[str, object]] = None) -> None:
         self.batch_index = batch_index
         self.kind = kind
         self.drift = drift
@@ -104,6 +131,30 @@ class MaintenanceReport:
         self.duration = duration
         self.score_before = score_before
         self.score_after = score_after
+        self.trace = trace
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "pipeline": "midas",
+            "batch": self.batch_index,
+            "kind": self.kind,
+            "drift": self.drift,
+            "added": self.added,
+            "removed": self.removed,
+            "modified_clusters": self.modified_clusters,
+            "duration": self.duration,
+            "score_before": self.score_before,
+            "score_after": self.score_after,
+        }
+        if self.swap_stats is not None:
+            data["swap"] = {
+                "scans": self.swap_stats.scans,
+                "swaps": self.swap_stats.swaps,
+                "considered": self.swap_stats.considered,
+                "pruned": self.swap_stats.pruned,
+            }
+        return data
 
     def __repr__(self) -> str:
         return (f"<MaintenanceReport #{self.batch_index} {self.kind} "
@@ -112,13 +163,52 @@ class MaintenanceReport:
 
 
 class Midas:
-    """Stateful pattern-set maintainer for an evolving repository."""
+    """Stateful pattern-set maintainer for an evolving repository.
 
-    def __init__(self, repository: Sequence[Graph], budget: PatternBudget,
+    New-style construction passes a single :class:`repro.core.
+    pipeline.PipelineConfig` as the second argument (or uses
+    :func:`repro.core.pipeline.run_midas`); the legacy
+    ``Midas(repository, budget, MidasConfig)`` signature still works
+    but emits a ``DeprecationWarning``.  Satisfies the
+    :class:`repro.core.pipeline.PipelineResult` protocol
+    (``.patterns`` / ``.stats`` / ``.trace``).
+    """
+
+    def __init__(self, repository: Sequence[Graph], budget=None,
                  config: Optional[MidasConfig] = None) -> None:
+        from repro.core.pipeline import PipelineConfig
+
+        if isinstance(budget, PipelineConfig):
+            if config is not None:
+                raise PipelineError(
+                    "pass MIDAS options inside PipelineConfig.options, "
+                    "not as a separate MidasConfig")
+            self._setup(repository, budget.require_budget(),
+                        MidasConfig.from_pipeline(budget))
+            return
+        warnings.warn(
+            "Midas(repository, budget, MidasConfig) is deprecated; "
+            "pass a repro.core.pipeline.PipelineConfig instead (or "
+            "call repro.core.pipeline.run_midas)",
+            DeprecationWarning, stacklevel=2)
+        if budget is None:
+            raise PipelineError("MIDAS needs a PatternBudget")
+        self._setup(repository, budget, config or MidasConfig())
+
+    @classmethod
+    def _from_parts(cls, repository: Sequence[Graph],
+                    budget: PatternBudget,
+                    config: Optional[MidasConfig] = None) -> "Midas":
+        """Internal non-warning constructor for in-library callers."""
+        self = cls.__new__(cls)
+        self._setup(repository, budget, config or MidasConfig())
+        return self
+
+    def _setup(self, repository: Sequence[Graph], budget: PatternBudget,
+               config: MidasConfig) -> None:
         if not repository:
             raise PipelineError("MIDAS needs a non-empty repository")
-        self.config = config or MidasConfig()
+        self.config = config
         self.budget = budget
         self._graphs: Dict[str, Graph] = {}
         for graph in repository:
@@ -174,30 +264,48 @@ class Midas:
             graph, self._vocabulary, self.config.max_tree_edges)
 
     def _initialize(self) -> None:
-        graphs = self.graphs()
-        self.fct.build(graphs)
-        for graph in graphs:
-            self._account_graphlets(graph, +1)
-        self._gfd = self.gfd()
-        self._vocabulary = self.fct.frequent_closed()
-        k = self.config.clusters or default_cluster_count(len(graphs))
-        if self._vocabulary:
-            matrix = [self._feature_of(g) for g in graphs]
-            distances = distance_matrix_from_vectors(
-                matrix, "euclidean", workers=self.config.workers)
-            clustering = kmedoids(distances, k, seed=self.config.seed)
-            labels = clustering.labels
-        else:
-            labels = [0] * len(graphs)
-        for graph, label in zip(graphs, labels):
-            self.membership[graph.name] = label
-        self._rebuild_summaries(set(self.membership.values()))
-        self._centroids = self._compute_centroids()
-        candidates = self._walk_candidates(set(self.summaries))
-        scorer = self._make_scorer()
-        selection = greedy_select(candidates, self.budget, scorer)
-        self.patterns = selection.patterns
-        self.last_score = selection.score
+        with capture("midas.initialize", force=self.config.trace,
+                     graphs=len(self._graphs)) as run:
+            graphs = self.graphs()
+            with span("midas.fct") as stage:
+                self.fct.build(graphs)
+                for graph in graphs:
+                    self._account_graphlets(graph, +1)
+                self._gfd = self.gfd()
+                self._vocabulary = self.fct.frequent_closed()
+                stage.add("vocabulary", len(self._vocabulary))
+            with span("midas.cluster") as stage:
+                k = self.config.clusters \
+                    or default_cluster_count(len(graphs))
+                if self._vocabulary:
+                    matrix = [self._feature_of(g) for g in graphs]
+                    distances = distance_matrix_from_vectors(
+                        matrix, "euclidean",
+                        workers=self.config.workers)
+                    clustering = kmedoids(distances, k,
+                                          seed=self.config.seed)
+                    labels = clustering.labels
+                else:
+                    labels = [0] * len(graphs)
+                for graph, label in zip(graphs, labels):
+                    self.membership[graph.name] = label
+                self._centroids = self._compute_centroids()
+                stage.add("clusters",
+                          len(set(self.membership.values())))
+            with span("midas.summaries") as stage:
+                self._rebuild_summaries(set(self.membership.values()))
+                stage.add("summaries", len(self.summaries))
+            with span("midas.candidates") as stage:
+                candidates = self._walk_candidates(set(self.summaries))
+                stage.add("candidates", len(candidates))
+            with span("midas.select"):
+                scorer = self._make_scorer()
+                selection = greedy_select(candidates, self.budget,
+                                          scorer)
+            self.patterns = selection.patterns
+            self.last_score = selection.score
+        self.trace = run.record
+        self._publish_cache_gauges()
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -275,10 +383,37 @@ class Midas:
         return SetScorer(index, weights=self.config.weights)
 
     def cache_stats(self) -> Optional[Dict[str, float]]:
-        """Hit/miss counters of the engine's match cache (None if off)."""
+        """Hit/miss counters of the engine's match cache (None if off).
+
+        Deprecated entry point: the same counters are published as
+        ``midas.cache.*`` gauges in :func:`repro.obs.snapshot` after
+        initialisation and after every batch.
+        """
         if self._match_cache is None:
             return None
         return self._match_cache.stats()
+
+    def _publish_cache_gauges(self) -> None:
+        stats = self.cache_stats()
+        if stats is None:
+            return
+        for key, value in stats.items():
+            metrics.set_gauge(f"midas.cache.{key}", value)
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Flat engine statistics in the shared PipelineResult shape."""
+        data: Dict[str, object] = {
+            "pipeline": "midas",
+            "patterns": len(self.patterns),
+            "graphs": len(self._graphs),
+            "batches": self._batch_index,
+            "score": self.last_score,
+        }
+        cache = self.cache_stats()
+        if cache is not None:
+            data["cache"] = cache
+        return data
 
     # ------------------------------------------------------------------
     # batch application
@@ -288,64 +423,83 @@ class Midas:
         start = time.perf_counter()
         self._batch_index += 1
         modified: Set[int] = set()
+        stats: Optional[SwapStats] = None
 
-        for name in batch.removed:
-            graph = self._graphs.pop(name, None)
-            if graph is None:
-                raise MaintenanceError(
-                    f"cannot remove unknown graph {name!r}")
-            self.fct.remove_graph(graph)
-            self._account_graphlets(graph, -1)
-            modified.add(self.membership.pop(name))
-        for graph in batch.added:
-            if not graph.name or graph.name in self._graphs:
-                raise MaintenanceError(
-                    f"added graph needs a fresh name ({graph.name!r})")
-            self._graphs[graph.name] = graph
-            self.fct.add_graph(graph)
-            self._account_graphlets(graph, +1)
-            cluster = self._nearest_cluster(graph)
-            self.membership[graph.name] = cluster
-            modified.add(cluster)
+        with capture("midas.apply_batch", force=self.config.trace,
+                     batch=self._batch_index) as run:
+            with span("midas.update") as stage:
+                for name in batch.removed:
+                    graph = self._graphs.pop(name, None)
+                    if graph is None:
+                        raise MaintenanceError(
+                            f"cannot remove unknown graph {name!r}")
+                    self.fct.remove_graph(graph)
+                    self._account_graphlets(graph, -1)
+                    modified.add(self.membership.pop(name))
+                for graph in batch.added:
+                    if not graph.name or graph.name in self._graphs:
+                        raise MaintenanceError(
+                            "added graph needs a fresh name "
+                            f"({graph.name!r})")
+                    self._graphs[graph.name] = graph
+                    self.fct.add_graph(graph)
+                    self._account_graphlets(graph, +1)
+                    cluster = self._nearest_cluster(graph)
+                    self.membership[graph.name] = cluster
+                    modified.add(cluster)
+                stage.add("added", len(batch.added))
+                stage.add("removed", len(batch.removed))
 
-        # drift accumulates since the last time patterns were
-        # (re)selected; minor batches do not reset the baseline
-        drift = gfd_distance(self._gfd, self.gfd())
-        self._rebuild_summaries(modified)
+            # drift accumulates since the last time patterns were
+            # (re)selected; minor batches do not reset the baseline
+            drift = gfd_distance(self._gfd, self.gfd())
+            with span("midas.summaries") as stage:
+                self._rebuild_summaries(modified)
+                stage.add("modified", len(modified))
 
-        scorer = self._make_scorer()
-        score_before = scorer.score(list(self.patterns))
+            with span("midas.score"):
+                scorer = self._make_scorer()
+                score_before = scorer.score(list(self.patterns))
 
-        if drift < self.config.drift_threshold:
-            duration = time.perf_counter() - start
-            return MaintenanceReport(
-                self._batch_index, "minor", drift,
-                added=len(batch.added), removed=len(batch.removed),
-                modified_clusters=len(modified), swap_stats=None,
-                duration=duration, score_before=score_before,
-                score_after=score_before)
+            if drift < self.config.drift_threshold:
+                kind = "minor"
+                score_after = score_before
+                run.add("kind", kind)
+            else:
+                # major modification: refresh vocabulary + centroids,
+                # then swap
+                kind = "major"
+                run.add("kind", kind)
+                with span("midas.refresh"):
+                    self._gfd = self.gfd()
+                    self._vocabulary = self.fct.frequent_closed()
+                    self._centroids = self._compute_centroids()
+                with span("midas.candidates") as stage:
+                    candidates = self._walk_candidates(modified)
+                    stage.add("candidates", len(candidates))
+                with span("midas.swap"):
+                    swapped, stats = multi_scan_swap(
+                        list(self.patterns), candidates, scorer,
+                        max_scans=self.config.max_scans,
+                        prune=self.config.prune)
+                    patterns = PatternSet(swapped)
+                    # fill the budget if the set is short of it
+                    if len(patterns) < self.budget.max_patterns:
+                        selection = greedy_select(
+                            candidates, self.budget, scorer,
+                            seed_patterns=list(patterns))
+                        patterns = selection.patterns
+                self.patterns = patterns
+                score_after = scorer.score(list(patterns))
+                self.last_score = score_after
 
-        # major modification: refresh vocabulary + centroids, then swap
-        self._gfd = self.gfd()
-        self._vocabulary = self.fct.frequent_closed()
-        self._centroids = self._compute_centroids()
-        candidates = self._walk_candidates(modified)
-        swapped, stats = multi_scan_swap(
-            list(self.patterns), candidates, scorer,
-            max_scans=self.config.max_scans, prune=self.config.prune)
-        patterns = PatternSet(swapped)
-        # fill the budget if the set is short of it
-        if len(patterns) < self.budget.max_patterns:
-            selection = greedy_select(candidates, self.budget, scorer,
-                                      seed_patterns=list(patterns))
-            patterns = selection.patterns
-        self.patterns = patterns
-        score_after = scorer.score(list(patterns))
-        self.last_score = score_after
+        metrics.inc("midas.batches")
+        metrics.inc(f"midas.batches.{kind}")
+        self._publish_cache_gauges()
         duration = time.perf_counter() - start
         return MaintenanceReport(
-            self._batch_index, "major", drift,
+            self._batch_index, kind, drift,
             added=len(batch.added), removed=len(batch.removed),
             modified_clusters=len(modified), swap_stats=stats,
             duration=duration, score_before=score_before,
-            score_after=score_after)
+            score_after=score_after, trace=run.record)

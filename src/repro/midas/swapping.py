@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs import metrics, span
 from repro.patterns.base import Pattern
 from repro.patterns.index import CoverageIndex
 from repro.patterns.selection import SetScorer
@@ -103,31 +104,36 @@ def multi_scan_swap(current: Sequence[Pattern],
     for _ in range(max_scans):
         stats.scans += 1
         improved = False
-        min_marginal = _min_marginal_coverage(patterns, index)
-        for candidate in pool:
-            if candidate.code in existing_codes:
-                continue
-            stats.considered += 1
-            if prune and _prunable(candidate, patterns, index, scorer,
-                                   min_marginal):
-                stats.pruned += 1
-                continue
-            best_swap: Optional[int] = None
-            best_score = current_score
-            for i in range(len(patterns)):
-                trial = patterns[:i] + [candidate] + patterns[i + 1:]
-                score = scorer.score(trial)
-                if score > best_score + 1e-12:
-                    best_score = score
-                    best_swap = i
-            if best_swap is not None:
-                existing_codes.discard(patterns[best_swap].code)
-                patterns[best_swap] = candidate
-                existing_codes.add(candidate.code)
-                current_score = best_score
-                stats.swaps += 1
-                improved = True
-                min_marginal = _min_marginal_coverage(patterns, index)
+        with span("midas.swap_scan", scan=stats.scans) as scan:
+            considered_before = stats.considered
+            swaps_before = stats.swaps
+            min_marginal = _min_marginal_coverage(patterns, index)
+            for candidate in pool:
+                if candidate.code in existing_codes:
+                    continue
+                stats.considered += 1
+                if prune and _prunable(candidate, patterns, index,
+                                       scorer, min_marginal):
+                    stats.pruned += 1
+                    continue
+                best_swap: Optional[int] = None
+                best_score = current_score
+                for i in range(len(patterns)):
+                    trial = patterns[:i] + [candidate] + patterns[i + 1:]
+                    score = scorer.score(trial)
+                    if score > best_score + 1e-12:
+                        best_score = score
+                        best_swap = i
+                if best_swap is not None:
+                    existing_codes.discard(patterns[best_swap].code)
+                    patterns[best_swap] = candidate
+                    existing_codes.add(candidate.code)
+                    current_score = best_score
+                    stats.swaps += 1
+                    improved = True
+                    min_marginal = _min_marginal_coverage(patterns, index)
+            scan.add("considered", stats.considered - considered_before)
+            scan.add("swaps", stats.swaps - swaps_before)
         if not improved:
             break
     stats.score_after = current_score
@@ -136,4 +142,9 @@ def multi_scan_swap(current: Sequence[Pattern],
         stats.cache_hits = int(cache_after["hits"] - cache_before["hits"])
         stats.cache_misses = int(cache_after["misses"]
                                  - cache_before["misses"])
+    metrics.inc("midas.swap.runs")
+    metrics.inc("midas.swap.scans", stats.scans)
+    metrics.inc("midas.swap.swaps", stats.swaps)
+    metrics.inc("midas.swap.considered", stats.considered)
+    metrics.inc("midas.swap.pruned", stats.pruned)
     return patterns, stats

@@ -1,0 +1,99 @@
+"""repro.obs: structured tracing and metrics for every pipeline.
+
+The observability layer the selection systems report through — the
+one place to ask *where time and work go* inside a run:
+
+* :func:`span` — hierarchical trace spans (``span("catapult.
+  cluster")``) recording wall time, parent/child structure, and
+  arbitrary counters; zero overhead while tracing is disabled
+  (``REPRO_TRACE`` env or :func:`enable`).
+* :func:`capture` — bound one run and collect its finished trace
+  tree; ``force=True`` implements the per-run ``config.trace``
+  switch.
+* :func:`attach_record` — merge serializable span records shipped
+  back from :func:`repro.perf.pmap` workers, so a parallel run's
+  trace is identical to the serial one up to wall-clock fields.
+* :func:`snapshot` / :func:`reset` — the process-local metrics
+  registry plus the live matching-stack counters, superseding the
+  scattered ``cache_stats``/``kernel_stats`` endpoints.
+* :func:`format_trace` / :func:`write_trace` — human-readable and
+  JSON export (``repro-vqi build --trace out.json``).
+
+Stdlib-only; heavier repro modules are imported lazily inside
+:func:`snapshot`/:func:`reset` so this package sits below everything
+else in the import graph.
+"""
+
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    format_trace,
+    read_trace,
+    stage_breakdown,
+    trace_envelope,
+    trace_to_json,
+    write_trace,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    inc,
+    matching_snapshot,
+    observe,
+    registry,
+    reset,
+    set_gauge,
+    snapshot,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    SpanRecord,
+    TRACE_ENV,
+    WALL_CLOCK_FIELDS,
+    add,
+    attach_record,
+    capture,
+    current_span_name,
+    disable,
+    enable,
+    new_record,
+    reset_tracing,
+    span,
+    strip_wall_clock,
+    take_roots,
+    tracing_enabled,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "TRACE_ENV",
+    "TRACE_FORMAT_VERSION",
+    "WALL_CLOCK_FIELDS",
+    "add",
+    "attach_record",
+    "capture",
+    "current_span_name",
+    "disable",
+    "enable",
+    "format_trace",
+    "inc",
+    "matching_snapshot",
+    "new_record",
+    "observe",
+    "read_trace",
+    "registry",
+    "reset",
+    "reset_tracing",
+    "set_gauge",
+    "snapshot",
+    "span",
+    "stage_breakdown",
+    "strip_wall_clock",
+    "take_roots",
+    "trace_envelope",
+    "trace_to_json",
+    "tracing_enabled",
+    "write_trace",
+]

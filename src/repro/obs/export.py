@@ -1,0 +1,81 @@
+"""Trace export: JSON for tooling, an indented tree for humans.
+
+The JSON shape is the span record itself (``name`` / ``duration`` /
+``counters`` / ``children``), wrapped in a small envelope when several
+runs are written together — ``{"traces": [...]}`` — which is what
+``benchmarks/bench_runner.py --trace`` and ``repro-vqi build --trace``
+emit and what ``tests/trace_schema.py`` validates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracing import SpanRecord
+
+#: Envelope version for exported trace files.
+TRACE_FORMAT_VERSION = 1
+
+
+def trace_envelope(records: Sequence[SpanRecord]) -> Dict[str, object]:
+    """Wrap finished span records for file export."""
+    return {"version": TRACE_FORMAT_VERSION, "traces": list(records)}
+
+
+def trace_to_json(record: SpanRecord, indent: Optional[int] = 2) -> str:
+    """One span record as a JSON document."""
+    return json.dumps(record, indent=indent, sort_keys=True)
+
+
+def write_trace(records: Sequence[SpanRecord], path: str) -> None:
+    """Write records to ``path`` in the envelope format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace_envelope(records), handle, indent=2,
+                  sort_keys=True)
+        handle.write("\n")
+
+
+def read_trace(path: str) -> List[SpanRecord]:
+    """Read records back from an envelope (or bare-record) file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "traces" in payload:
+        return list(payload["traces"])
+    return [payload]
+
+
+def _format_counters(counters: Dict[str, object]) -> str:
+    if not counters:
+        return ""
+    parts = [f"{key}={counters[key]}" for key in sorted(counters)]
+    return "  [" + " ".join(parts) + "]"
+
+
+def _format_node(record: SpanRecord, depth: int,
+                 total: float, lines: List[str]) -> None:
+    duration = float(record["duration"])
+    share = f" {duration / total:5.1%}" if total > 0 else ""
+    lines.append(f"{'  ' * depth}{record['name']}: "
+                 f"{duration * 1000:.1f}ms{share}"
+                 f"{_format_counters(record['counters'])}")
+    for child in record["children"]:
+        _format_node(child, depth + 1, total, lines)
+
+
+def format_trace(record: SpanRecord) -> str:
+    """Human-readable indented tree with ms and %-of-root times."""
+    lines: List[str] = []
+    _format_node(record, 0, float(record["duration"]), lines)
+    return "\n".join(lines)
+
+
+def stage_breakdown(record: SpanRecord) -> Dict[str, float]:
+    """Direct children's wall seconds keyed by span name — the
+    per-stage breakdown E2/E4/E6 report from a traced run."""
+    breakdown: Dict[str, float] = {}
+    for child in record["children"]:
+        name = str(child["name"])
+        breakdown[name] = breakdown.get(name, 0.0) \
+            + float(child["duration"])
+    return breakdown

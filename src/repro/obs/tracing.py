@@ -1,0 +1,280 @@
+"""Hierarchical trace spans with zero overhead when disabled.
+
+A *span* is one timed region of a pipeline run — ``span("catapult.
+cluster")`` — recording wall time, parent/child structure, and
+arbitrary counters.  Spans nest through a process-local stack, so the
+call tree of an instrumented run falls out of ordinary ``with``
+nesting; :func:`capture` bounds one run and hands back the finished
+root record.
+
+The whole module is stdlib-only and costs nothing when tracing is off:
+``span()`` then returns one shared no-op context manager, and every
+other entry point bails on a single flag test.  Tracing is switched on
+by the ``REPRO_TRACE`` environment variable (read once at import), by
+:func:`enable`, or per-run by ``capture(..., force=True)`` (which is
+how ``config.trace=True`` works without touching global state).
+
+Span records are plain dicts — ``{"name", "duration", "counters",
+"children"}`` — deliberately, so they pickle across
+:func:`repro.perf.pmap` worker boundaries: a worker captures its
+item's subtree, ships the record back with the result, and the parent
+re-attaches it with :func:`attach_record` in input order.  A merged
+trace is therefore identical at every worker count up to the
+wall-clock fields.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Union
+
+#: Environment variable that switches tracing on at import time.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Counter values are numbers (tallies) or strings (annotations).
+CounterValue = Union[int, float, str]
+
+#: A finished span: name, duration (seconds), counters, children.
+SpanRecord = Dict[str, object]
+
+#: Record keys that depend on the clock; structural comparisons (for
+#: example workers=1 vs workers=4 merged traces) strip these.
+WALL_CLOCK_FIELDS = ("duration",)
+
+
+def _env_truthy(raw: Optional[str]) -> bool:
+    return (raw or "").strip().lower() in ("1", "true", "yes", "on")
+
+
+_state = {"enabled": _env_truthy(os.environ.get(TRACE_ENV))}
+
+#: Open spans, innermost last.  Process-local by design: worker
+#: processes trace their own stacks and ship records back by value.
+_stack: List[SpanRecord] = []
+
+#: Finished root spans not owned by a :func:`capture` (drained with
+#: :func:`take_roots`).
+_roots: List[SpanRecord] = []
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    return _state["enabled"]
+
+
+def enable(on: bool = True) -> None:
+    """Turn tracing on (or off) for this process."""
+    _state["enabled"] = bool(on)
+
+
+def disable() -> None:
+    """Turn tracing off for this process."""
+    _state["enabled"] = False
+
+
+def reset_tracing() -> None:
+    """Drop all open and finished spans (test isolation)."""
+    _stack.clear()
+    _roots.clear()
+
+
+def new_record(name: str,
+               counters: Optional[Dict[str, CounterValue]] = None
+               ) -> SpanRecord:
+    """A fresh, unfinished span record."""
+    return {"name": name, "duration": 0.0,
+            "counters": dict(counters or {}), "children": []}
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, key: str, value: CounterValue = 1) -> None:
+        """No-op counter update."""
+
+    def annotate(self, **counters: CounterValue) -> None:
+        """No-op annotation."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; use via :func:`span`, not directly."""
+
+    __slots__ = ("node", "_start")
+
+    def __init__(self, name: str,
+                 counters: Optional[Dict[str, CounterValue]] = None
+                 ) -> None:
+        self.node = new_record(name, counters)
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        _stack.append(self.node)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.node["duration"] = time.perf_counter() - self._start
+        popped = _stack.pop()
+        # stack discipline: a span must close in the frame it opened
+        while popped is not self.node and _stack:
+            popped = _stack.pop()
+        if _stack:
+            _stack[-1]["children"].append(self.node)
+        else:
+            _roots.append(self.node)
+        return False
+
+    def add(self, key: str, value: CounterValue = 1) -> None:
+        """Accumulate a numeric counter (or set a string annotation)."""
+        counters = self.node["counters"]
+        if isinstance(value, str):
+            counters[key] = value
+        else:
+            counters[key] = counters.get(key, 0) + value
+
+    def annotate(self, **counters: CounterValue) -> None:
+        for key, value in counters.items():
+            self.add(key, value)
+
+
+def span(name: str, **counters: CounterValue):
+    """Context manager recording one timed region of a pipeline.
+
+    With tracing disabled this returns a shared no-op object — the
+    instrumentation's only cost is this flag test.
+    """
+    if not _state["enabled"]:
+        return NULL_SPAN
+    return Span(name, counters)
+
+
+def add(key: str, value: CounterValue = 1) -> None:
+    """Bump a counter on the innermost open span, if any."""
+    if _state["enabled"] and _stack:
+        counters = _stack[-1]["counters"]
+        if isinstance(value, str):
+            counters[key] = value
+        else:
+            counters[key] = counters.get(key, 0) + value
+
+
+def current_span_name() -> Optional[str]:
+    """Name of the innermost open span (None outside any span)."""
+    if not _stack:
+        return None
+    return str(_stack[-1]["name"])
+
+
+def attach_record(record: SpanRecord) -> None:
+    """Merge a serialized span record (for example one shipped back
+    from a :func:`repro.perf.pmap` worker) into the current trace.
+
+    The record becomes a child of the innermost open span, preserving
+    call order; with no span open it is kept as a finished root.
+    No-op while tracing is disabled.
+    """
+    if not _state["enabled"]:
+        return
+    if _stack:
+        _stack[-1]["children"].append(record)
+    else:
+        _roots.append(record)
+
+
+def take_roots() -> List[SpanRecord]:
+    """Drain and return finished root spans not owned by a capture."""
+    roots = list(_roots)
+    _roots.clear()
+    return roots
+
+
+class Capture:
+    """Bounds one traced run; ``.record`` holds the finished tree.
+
+    Inside an already-open span this degrades to a plain child span
+    (the outer capture still owns the full tree) while ``.record``
+    still points at this run's subtree — so nested pipelines compose.
+    """
+
+    __slots__ = ("record", "_name", "_counters", "_force", "_span",
+                 "_prev_enabled", "_active")
+
+    def __init__(self, name: str, force: bool = False,
+                 counters: Optional[Dict[str, CounterValue]] = None
+                 ) -> None:
+        self.record: Optional[SpanRecord] = None
+        self._name = name
+        self._counters = counters
+        self._force = force
+        self._span: Optional[Span] = None
+        self._prev_enabled = False
+        self._active = False
+
+    def __enter__(self) -> "Capture":
+        self._active = self._force or _state["enabled"]
+        if not self._active:
+            return self
+        self._prev_enabled = _state["enabled"]
+        _state["enabled"] = True
+        self._span = Span(self._name, self._counters)
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._active:
+            return False
+        assert self._span is not None
+        self._span.__exit__(exc_type, exc, tb)
+        self.record = self._span.node
+        # a root-level capture owns its record; do not double-report
+        # it through take_roots()
+        if not _stack and _roots and _roots[-1] is self.record:
+            _roots.pop()
+        _state["enabled"] = self._prev_enabled
+        return False
+
+    def add(self, key: str, value: CounterValue = 1) -> None:
+        """Counter update on the run's root span (no-op when idle)."""
+        if self._span is not None:
+            self._span.add(key, value)
+
+    def annotate(self, **counters: CounterValue) -> None:
+        for key, value in counters.items():
+            self.add(key, value)
+
+
+def capture(name: str, force: bool = False,
+            **counters: CounterValue) -> Capture:
+    """Record one run as a trace tree rooted at ``name``.
+
+    ``force=True`` traces this run even when tracing is globally off
+    (the per-run ``config.trace`` switch); otherwise the capture is a
+    no-op with ``record=None`` unless tracing is enabled.
+    """
+    return Capture(name, force=force, counters=counters)
+
+
+def strip_wall_clock(record: SpanRecord) -> SpanRecord:
+    """Copy of a record with wall-clock fields removed, recursively.
+
+    Two traces of the same deterministic run — for example at
+    different ``workers`` counts — compare equal after stripping.
+    """
+    return {
+        "name": record["name"],
+        "counters": dict(record["counters"]),
+        "children": [strip_wall_clock(child)
+                     for child in record["children"]],
+    }

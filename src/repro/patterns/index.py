@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
     Set, Tuple
 
 from repro.graph.graph import Graph
+from repro.obs import metrics
 from repro.patterns.base import Pattern
 from repro.perf.cache import MatchCache, cached_covered_edges, \
     get_match_cache
@@ -81,15 +82,19 @@ class CoverageIndex:
         if pattern.code in self._cover:
             return
         entry: Dict[int, EdgeSet] = {}
+        pairs = 0
         for idx, graph in enumerate(self.graphs):
             if pattern.order() > graph.order():
                 continue
             covered = cached_covered_edges(
                 pattern.graph, graph, pattern_code=pattern.code,
                 max_embeddings=self.max_embeddings, cache=self._cache)
+            pairs += 1
             if covered:
                 entry[idx] = covered
         self._cover[pattern.code] = entry
+        metrics.inc("patterns.coverage.patterns_indexed")
+        metrics.inc("patterns.coverage.pairs", pairs)
 
     def add_patterns(self, patterns: Iterable[Pattern]) -> None:
         for pattern in patterns:
@@ -170,7 +175,13 @@ class CoverageIndex:
         return len(covered) / len(self.graphs)
 
     def cache_stats(self) -> Optional[Dict[str, float]]:
-        """Stats of the backing match cache, or None when uncached."""
+        """Stats of the backing match cache, or None when uncached.
+
+        Deprecated entry point: when the index is backed by the
+        process-global cache these counters also appear under
+        ``"matching"`` in :func:`repro.obs.snapshot`, which is the
+        one-stop view new code should prefer.
+        """
         if self._cache is None:
             return None
         return self._cache.stats()

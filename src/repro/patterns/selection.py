@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BudgetError
+from repro.obs import metrics, span
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import (
@@ -116,30 +117,39 @@ def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
     against the budget) — MIDAS uses this to extend a maintained set.
     """
     admissible = [c for c in candidates if budget.admits(c.graph)]
-    selected: List[Pattern] = list(seed_patterns)
-    if len(selected) > budget.max_patterns:
-        raise BudgetError("seed patterns already exceed the budget")
-    chosen_codes = {p.code for p in selected}
-    trajectory: List[float] = []
-    current = scorer.score(selected) if selected else 0.0
-    while len(selected) < budget.max_patterns:
-        best: Optional[Pattern] = None
-        best_score = float("-inf")
-        for candidate in admissible:
-            if candidate.code in chosen_codes:
-                continue
-            score = scorer.score(selected + [candidate])
-            if score > best_score:
-                best_score = score
-                best = candidate
-        if best is None:
-            break
-        if improve_only and best_score <= current + 1e-12:
-            break
-        selected.append(best)
-        chosen_codes.add(best.code)
-        current = best_score
-        trajectory.append(current)
+    with span("patterns.greedy_select",
+              candidates=len(admissible)) as sweep:
+        selected: List[Pattern] = list(seed_patterns)
+        if len(selected) > budget.max_patterns:
+            raise BudgetError("seed patterns already exceed the budget")
+        chosen_codes = {p.code for p in selected}
+        trajectory: List[float] = []
+        evaluations = 0
+        current = scorer.score(selected) if selected else 0.0
+        while len(selected) < budget.max_patterns:
+            best: Optional[Pattern] = None
+            best_score = float("-inf")
+            for candidate in admissible:
+                if candidate.code in chosen_codes:
+                    continue
+                score = scorer.score(selected + [candidate])
+                evaluations += 1
+                if score > best_score:
+                    best_score = score
+                    best = candidate
+            if best is None:
+                break
+            if improve_only and best_score <= current + 1e-12:
+                break
+            selected.append(best)
+            chosen_codes.add(best.code)
+            current = best_score
+            trajectory.append(current)
+        sweep.add("rounds", len(trajectory))
+        sweep.add("evaluations", evaluations)
+        sweep.add("selected", len(selected))
+    metrics.inc("patterns.greedy.calls")
+    metrics.inc("patterns.greedy.evaluations", evaluations)
     return SelectionResult(PatternSet(selected), current, trajectory,
                            considered=len(admissible))
 

@@ -13,8 +13,13 @@ auditable in one place:
   in-process map whenever it is unavailable.
 * :class:`MatchCache` — a bounded LRU cache for subgraph-matching
   results, keyed by ``(pattern canonical code, graph fingerprint)``,
-  with hit/miss/eviction counters and a :func:`cache_stats`
-  observability hook.
+  with hit/miss/eviction counters.
+
+Observability moved to :mod:`repro.obs`: ``pmap`` reports dispatch
+counters to its metrics registry and ships per-item trace subtrees
+back from workers (see :func:`repro.obs.attach_record`), and
+:func:`cache_stats` survives only as a deprecated alias of
+:func:`repro.obs.matching_snapshot`.
 
 Direct ``multiprocessing``/``concurrent.futures`` imports anywhere
 else under ``src/repro`` are rejected by reprolint rule R007.

@@ -30,11 +30,10 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.graph.graph import Graph
-from repro.matching.canonical import canonical_code, canonical_memo_stats
+from repro.matching.canonical import canonical_code
 from repro.matching.isomorphism import (
     covered_edges,
     find_embedding,
-    kernel_stats,
     reset_kernel_stats,
 )
 
@@ -161,18 +160,17 @@ def get_match_cache() -> MatchCache:
 def cache_stats() -> Dict[str, float]:
     """Stats of the process-global cache plus the VF2 call counter.
 
-    Also merges the matching-kernel counters (``feasibility_checks``,
-    ``recursive_calls``, ``candidates_pruned``) and the per-object
-    canonical-code memo's hit/miss counters, so one call observes the
-    whole matching stack.
+    Deprecated alias: the canonical endpoint is now
+    :func:`repro.obs.matching_snapshot` (and the wider
+    :func:`repro.obs.snapshot`); this function delegates to it and
+    keeps its historical flat dict shape — match-cache counters merged
+    with the kernel counters (``feasibility_checks``,
+    ``recursive_calls``, ``candidates_pruned``), ``vf2_calls``, and
+    the canonical-code memo's hit/miss counters.
     """
-    stats = _global_cache.stats()
-    stats["vf2_calls"] = vf2_calls()
-    stats.update(kernel_stats())
-    memo = canonical_memo_stats()
-    stats["canonical_memo_hits"] = memo["hits"]
-    stats["canonical_memo_misses"] = memo["misses"]
-    return stats
+    from repro.obs.metrics import matching_snapshot
+
+    return matching_snapshot()
 
 
 def clear_match_cache() -> None:

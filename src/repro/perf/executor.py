@@ -16,6 +16,12 @@ are created.  Its contract is that parallel execution is
 
 Worker functions must be module-level (picklable) and pure: they
 receive one picklable item and return one picklable result.
+
+When :mod:`repro.obs` tracing is enabled, every item runs under a
+``pmap.item`` span.  In parallel runs the span tree a worker records
+for its item is shipped back with the result (span records are plain
+picklable dicts) and re-attached in input order, so the merged trace
+is identical to the serial one up to wall-clock fields.
 """
 
 from __future__ import annotations
@@ -25,7 +31,11 @@ import hashlib
 import os
 import pickle
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.obs.metrics import inc as _metric_inc
+from repro.obs.tracing import SpanRecord, attach_record, capture, span, \
+    tracing_enabled
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -84,6 +94,30 @@ def _mark_worker() -> None:
     os.environ[_IN_WORKER_ENV] = "1"
 
 
+def _traced_item(payload: Tuple[Callable, int, object]
+                 ) -> Tuple[object, SpanRecord]:
+    """Run one item in a pool worker under a ``pmap.item`` capture and
+    ship the span subtree back with the result (records are plain
+    dicts, so the pair pickles)."""
+    fn, index, item = payload
+    with capture("pmap.item", force=True, index=index) as cap:
+        result = fn(item)
+    return result, cap.record
+
+
+def _serial_map(fn: Callable[[T], R], work: List[T],
+                traced: bool) -> List[R]:
+    """In-process mapping; mirrors the per-item spans of the parallel
+    path so the trace tree is worker-count invariant."""
+    if not traced:
+        return [fn(item) for item in work]
+    results: List[R] = []
+    for index, item in enumerate(work):
+        with span("pmap.item", index=index):
+            results.append(fn(item))
+    return results
+
+
 def pmap(fn: Callable[[T], R], items: Sequence[T],
          workers: Optional[int] = None,
          chunksize: Optional[int] = None) -> List[R]:
@@ -107,14 +141,33 @@ def pmap(fn: Callable[[T], R], items: Sequence[T],
     """
     work = list(items)
     workers = resolve_workers(workers)
+    traced = tracing_enabled()
+    _metric_inc("perf.pmap.calls")
+    _metric_inc("perf.pmap.items", len(work))
     if workers <= 1 or len(work) <= 1 or os.environ.get(_IN_WORKER_ENV):
-        return [fn(item) for item in work]
+        _metric_inc("perf.pmap.serial_calls")
+        return _serial_map(fn, work, traced)
     if chunksize is None:
         chunksize = max(1, -(-len(work) // (workers * 4)))
     try:
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(workers, len(work)),
                 initializer=_mark_worker) as pool:
-            return list(pool.map(fn, work, chunksize=chunksize))
+            if traced:
+                pairs = list(pool.map(
+                    _traced_item,
+                    [(fn, index, item)
+                     for index, item in enumerate(work)],
+                    chunksize=chunksize))
+            else:
+                _metric_inc("perf.pmap.parallel_calls")
+                return list(pool.map(fn, work, chunksize=chunksize))
     except _POOL_ERRORS:
-        return [fn(item) for item in work]
+        _metric_inc("perf.pmap.fallback_calls")
+        return _serial_map(fn, work, traced)
+    _metric_inc("perf.pmap.parallel_calls")
+    results: List[R] = []
+    for result, record in pairs:
+        attach_record(record)
+        results.append(result)
+    return results

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Set
 from repro.errors import PipelineError
 from repro.graph.graph import Graph
 from repro.graph.operations import induced_subgraph
+from repro.obs import capture, span
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
@@ -108,16 +109,23 @@ class WorkerReport:
 
 
 class DistributedResult:
-    """Merged selection plus the simulated distribution profile."""
+    """Merged selection plus the simulated distribution profile.
+
+    Satisfies :class:`repro.core.pipeline.PipelineResult`:
+    ``.patterns``, ``.stats``, and ``.trace`` (the run's span record
+    with one ``distributed.worker`` child per worker; ``None`` unless
+    tracing was on).
+    """
 
     __slots__ = ("patterns", "selection", "workers", "merge_duration",
                  "select_duration", "candidate_total",
-                 "candidate_unique")
+                 "candidate_unique", "trace")
 
     def __init__(self, patterns: PatternSet, selection: SelectionResult,
                  workers: List[WorkerReport], merge_duration: float,
                  select_duration: float, candidate_total: int,
-                 candidate_unique: int) -> None:
+                 candidate_unique: int,
+                 trace: Optional[Dict[str, object]] = None) -> None:
         self.patterns = patterns
         self.selection = selection
         self.workers = workers
@@ -125,6 +133,26 @@ class DistributedResult:
         self.select_duration = select_duration
         self.candidate_total = candidate_total
         self.candidate_unique = candidate_unique
+        self.trace = trace
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Flat run statistics in the shared PipelineResult shape."""
+        return {
+            "pipeline": "tattoo-distributed",
+            "patterns": len(self.patterns),
+            "workers": len(self.workers),
+            "candidates": self.candidate_total,
+            "unique_candidates": self.candidate_unique,
+            "considered": self.selection.considered,
+            "score": self.selection.score,
+            "timings": {
+                "makespan": self.makespan(),
+                "sequential_work": self.sequential_work(),
+                "merge": self.merge_duration,
+                "select": self.select_duration,
+            },
+        }
 
     def makespan(self) -> float:
         """Simulated parallel wall time: slowest worker + coordinator."""
@@ -165,75 +193,90 @@ def select_patterns_distributed(network: Graph, budget: PatternBudget,
     if shortlist_factor < 1:
         raise PipelineError("shortlist_factor must be >= 1")
     config = config or TattooConfig()
-    partitions = partition_network(network, parts, seed=config.seed)
-    shortlist_budget = PatternBudget(
-        shortlist_factor * budget.max_patterns,
-        min_size=budget.min_size, max_size=budget.max_size)
 
-    workers: List[WorkerReport] = []
-    pools: List[List[Pattern]] = []
-    for worker_id, partition in enumerate(partitions):
+    with capture("tattoo.distributed", force=config.trace,
+                 parts=parts, nodes=network.order()) as run:
+        partitions = partition_network(network, parts,
+                                       seed=config.seed)
+        shortlist_budget = PatternBudget(
+            shortlist_factor * budget.max_patterns,
+            min_size=budget.min_size, max_size=budget.max_size)
+
+        workers: List[WorkerReport] = []
+        pools: List[List[Pattern]] = []
+        for worker_id, partition in enumerate(partitions):
+            start = time.perf_counter()
+            with span("distributed.worker", worker=worker_id) as unit:
+                view = partition_with_halo(network, partition,
+                                           hops=halo_hops)
+                shortlist: List[Pattern] = []
+                if view.size() > 0:
+                    worker_config = TattooConfig(
+                        truss_threshold=config.truss_threshold,
+                        seed=config.seed + worker_id,
+                        weights=config.weights,
+                        samples_scale=config.samples_scale,
+                        max_embeddings=config.max_embeddings,
+                        classes=config.classes)
+                    by_class = extract_candidates(view, budget,
+                                                  worker_config)
+                    candidates: List[Pattern] = []
+                    local_seen: Set[str] = set()
+                    for patterns in by_class.values():
+                        for pattern in patterns:
+                            if pattern.code not in local_seen:
+                                local_seen.add(pattern.code)
+                                candidates.append(pattern)
+                    local_index = CoverageIndex(
+                        [view], max_embeddings=config.max_embeddings,
+                        size_utility=True)
+                    local_scorer = SetScorer(local_index,
+                                             weights=config.weights)
+                    shortlist = list(greedy_select(
+                        candidates, shortlist_budget,
+                        local_scorer).patterns)
+                unit.add("nodes", len(partition))
+                unit.add("candidates", len(shortlist))
+            duration = time.perf_counter() - start
+            pools.append(shortlist)
+            workers.append(WorkerReport(worker_id, len(partition),
+                                        view.order() - len(partition),
+                                        len(shortlist), duration))
+
         start = time.perf_counter()
-        view = partition_with_halo(network, partition, hops=halo_hops)
-        shortlist: List[Pattern] = []
-        if view.size() > 0:
-            worker_config = TattooConfig(
-                truss_threshold=config.truss_threshold,
-                seed=config.seed + worker_id,
-                weights=config.weights,
-                samples_scale=config.samples_scale,
-                max_embeddings=config.max_embeddings,
-                classes=config.classes)
-            by_class = extract_candidates(view, budget, worker_config)
-            candidates: List[Pattern] = []
-            local_seen: Set[str] = set()
-            for patterns in by_class.values():
-                for pattern in patterns:
-                    if pattern.code not in local_seen:
-                        local_seen.add(pattern.code)
-                        candidates.append(pattern)
-            local_index = CoverageIndex(
-                [view], max_embeddings=config.max_embeddings,
-                size_utility=True)
-            local_scorer = SetScorer(local_index,
-                                     weights=config.weights)
-            shortlist = list(greedy_select(candidates, shortlist_budget,
-                                           local_scorer).patterns)
-        duration = time.perf_counter() - start
-        pools.append(shortlist)
-        workers.append(WorkerReport(worker_id, len(partition),
-                                    view.order() - len(partition),
-                                    len(shortlist), duration))
+        with span("distributed.merge") as stage:
+            merged: List[Pattern] = []
+            seen: Set[str] = set()
+            total = 0
+            for pool in pools:
+                for pattern in pool:
+                    total += 1
+                    if pattern.code not in seen:
+                        seen.add(pattern.code)
+                        merged.append(pattern)
+            stage.add("merged", len(merged))
+        merge_duration = time.perf_counter() - start
 
-    start = time.perf_counter()
-    merged: List[Pattern] = []
-    seen: Set[str] = set()
-    total = 0
-    for pool in pools:
-        for pattern in pool:
-            total += 1
-            if pattern.code not in seen:
-                seen.add(pattern.code)
-                merged.append(pattern)
-    merge_duration = time.perf_counter() - start
-
-    start = time.perf_counter()
-    evaluation = network
-    if network.order() > coverage_sample_nodes:
-        from repro.graph.operations import bfs_order
-        rng = random.Random(config.seed)
-        root = rng.choice(sorted(network.nodes()))
-        sample_nodes = bfs_order(network, root)[:coverage_sample_nodes]
-        evaluation = induced_subgraph(network, sample_nodes,
-                                      name="coordinator-sample")
-    index = CoverageIndex([evaluation],
-                          max_embeddings=config.max_embeddings,
-                          size_utility=True)
-    scorer = SetScorer(index, weights=config.weights)
-    selection = greedy_select(merged, budget, scorer)
-    select_duration = time.perf_counter() - start
+        start = time.perf_counter()
+        with span("distributed.select", candidates=len(merged)):
+            evaluation = network
+            if network.order() > coverage_sample_nodes:
+                from repro.graph.operations import bfs_order
+                rng = random.Random(config.seed)
+                root = rng.choice(sorted(network.nodes()))
+                sample_nodes = bfs_order(network,
+                                         root)[:coverage_sample_nodes]
+                evaluation = induced_subgraph(
+                    network, sample_nodes, name="coordinator-sample")
+            index = CoverageIndex([evaluation],
+                                  max_embeddings=config.max_embeddings,
+                                  size_utility=True)
+            scorer = SetScorer(index, weights=config.weights)
+            selection = greedy_select(merged, budget, scorer)
+        select_duration = time.perf_counter() - start
 
     return DistributedResult(selection.patterns, selection, workers,
                              merge_duration, select_duration,
                              candidate_total=total,
-                             candidate_unique=len(merged))
+                             candidate_unique=len(merged),
+                             trace=run.record)

@@ -31,8 +31,8 @@ from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SetScorer, greedy_select
-from repro.tattoo.pipeline import TattooConfig, extract_candidates, \
-    select_network_patterns
+from repro.tattoo.pipeline import TattooConfig, _run_tattoo, \
+    extract_candidates
 from repro.truss.decomposition import edge_support
 
 
@@ -130,8 +130,7 @@ class NetworkMaintainer:
         self.network = network.copy()
         self.budget = budget
         self.config = config or NetworkMaintenanceConfig()
-        result = select_network_patterns(self.network, budget,
-                                         self.config.tattoo)
+        result = _run_tattoo(self.network, budget, self.config.tattoo)
         self.patterns: PatternSet = result.patterns
         self.last_score = result.selection.score
         self._support: Dict[Tuple[int, int], int] = edge_support(

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import PipelineError
 from repro.graph.graph import Graph
+from repro.obs import capture, span
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
@@ -38,11 +40,14 @@ class TattooConfig:
     :func:`repro.perf.pmap` processes; each class extracts with a seed
     split off ``seed``, so results are identical at every worker
     count.  ``use_cache`` toggles the shared VF2 match cache used by
-    the greedy selection's coverage index.
+    the greedy selection's coverage index; ``trace`` captures a
+    :mod:`repro.obs` trace for this run even when ``REPRO_TRACE`` is
+    unset.
     """
 
     __slots__ = ("truss_threshold", "seed", "weights", "samples_scale",
-                 "max_embeddings", "classes", "workers", "use_cache")
+                 "max_embeddings", "classes", "workers", "use_cache",
+                 "trace")
 
     def __init__(self, truss_threshold: int = DEFAULT_TRUSS_THRESHOLD,
                  seed: int = 0,
@@ -51,7 +56,8 @@ class TattooConfig:
                  max_embeddings: int = 30,
                  classes: Optional[Sequence[TopologyClass]] = None,
                  workers: Optional[int] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 trace: bool = False) -> None:
         self.truss_threshold = truss_threshold
         self.seed = seed
         self.weights = weights
@@ -60,25 +66,62 @@ class TattooConfig:
         self.classes = tuple(classes) if classes else tuple(EXTRACTORS)
         self.workers = workers
         self.use_cache = use_cache
+        self.trace = trace
+
+    @classmethod
+    def from_pipeline(cls, pipeline) -> "TattooConfig":
+        """Translate a :class:`repro.core.pipeline.PipelineConfig`:
+        shared fields map 1:1 and TATTOO-specific knobs come from
+        ``pipeline.options`` (unknown option names raise)."""
+        kwargs = dict(pipeline.options)
+        unknown = sorted(set(kwargs) - set(cls.__slots__))
+        if unknown:
+            raise PipelineError(
+                "unknown TATTOO option(s): " + ", ".join(unknown))
+        for name in ("seed", "workers", "use_cache", "weights",
+                     "max_embeddings", "trace"):
+            kwargs.setdefault(name, getattr(pipeline, name))
+        return cls(**kwargs)
 
 
 class TattooResult:
-    """Pipeline outputs: regions, per-class candidates, selection."""
+    """Pipeline outputs: regions, per-class candidates, selection.
+
+    Satisfies :class:`repro.core.pipeline.PipelineResult`:
+    ``.patterns``, ``.stats``, and ``.trace`` (the run's span record,
+    ``None`` unless tracing was on).
+    """
 
     __slots__ = ("patterns", "truss_region", "oblivious_region",
-                 "candidates_by_class", "selection", "timings")
+                 "candidates_by_class", "selection", "timings", "trace")
 
     def __init__(self, patterns: PatternSet, truss_region: Graph,
                  oblivious_region: Graph,
                  candidates_by_class: Dict[TopologyClass, List[Pattern]],
                  selection: SelectionResult,
-                 timings: Dict[str, float]) -> None:
+                 timings: Dict[str, float],
+                 trace: Optional[Dict[str, object]] = None) -> None:
         self.patterns = patterns
         self.truss_region = truss_region
         self.oblivious_region = oblivious_region
         self.candidates_by_class = candidates_by_class
         self.selection = selection
         self.timings = timings
+        self.trace = trace
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Flat run statistics in the shared PipelineResult shape."""
+        return {
+            "pipeline": "tattoo",
+            "patterns": len(self.patterns),
+            "classes": len(self.candidates_by_class),
+            "candidates": sum(len(v) for v
+                              in self.candidates_by_class.values()),
+            "considered": self.selection.considered,
+            "score": self.selection.score,
+            "timings": dict(self.timings),
+        }
 
     def all_candidates(self) -> List[Pattern]:
         out: List[Pattern] = []
@@ -111,11 +154,14 @@ def _sample_kwargs(extractor, scale: float) -> Dict[str, int]:
 def _extract_task(task) -> List[Pattern]:
     """One topology class's extraction (module-level: pool-runnable)."""
     cls, region, budget, kwargs, seed = task
-    extractor, _ = EXTRACTORS[cls]
-    patterns = extractor(region, budget, random.Random(seed), **kwargs)
-    for pattern in patterns:
-        pattern.code  # canonical coding happens in the worker
-    return patterns
+    with span("tattoo.extract_class", topology=str(cls.value)) as work:
+        extractor, _ = EXTRACTORS[cls]
+        patterns = extractor(region, budget, random.Random(seed),
+                             **kwargs)
+        for pattern in patterns:
+            pattern.code  # canonical coding happens in the worker
+        work.add("patterns", len(patterns))
+        return patterns
 
 
 def extract_candidates(network: Graph, budget: PatternBudget,
@@ -128,56 +174,100 @@ def extract_candidates(network: Graph, budget: PatternBudget,
     per-class result map is assembled in ``config.classes`` order —
     identical output at every worker count.
     """
-    g_t, g_o = split_by_truss(network, threshold=config.truss_threshold)
-    by_class: Dict[TopologyClass, List[Pattern]] = {}
-    tasks = []
-    task_classes: List[TopologyClass] = []
-    for position, cls in enumerate(config.classes):
-        extractor, region_kind = EXTRACTORS[cls]
-        region = g_t if region_kind == "infested" else g_o
-        if region.size() == 0:
-            by_class[cls] = []
-            continue
-        tasks.append((cls, region, budget,
-                      _sample_kwargs(extractor, config.samples_scale),
-                      derive_seed(config.seed, position)))
-        task_classes.append(cls)
-    results = pmap(_extract_task, tasks, workers=config.workers)
-    for cls, patterns in zip(task_classes, results):
-        by_class[cls] = patterns
-    return by_class
+    with span("tattoo.extract", classes=len(config.classes)) as stage:
+        g_t, g_o = split_by_truss(network,
+                                  threshold=config.truss_threshold)
+        by_class: Dict[TopologyClass, List[Pattern]] = {}
+        tasks = []
+        task_classes: List[TopologyClass] = []
+        for position, cls in enumerate(config.classes):
+            extractor, region_kind = EXTRACTORS[cls]
+            region = g_t if region_kind == "infested" else g_o
+            if region.size() == 0:
+                by_class[cls] = []
+                continue
+            tasks.append((cls, region, budget,
+                          _sample_kwargs(extractor,
+                                         config.samples_scale),
+                          derive_seed(config.seed, position)))
+            task_classes.append(cls)
+        results = pmap(_extract_task, tasks, workers=config.workers)
+        for cls, patterns in zip(task_classes, results):
+            by_class[cls] = patterns
+        stage.add("candidates",
+                  sum(len(v) for v in by_class.values()))
+        return by_class
 
 
-def select_network_patterns(network: Graph, budget: PatternBudget,
-                            config: Optional[TattooConfig] = None
-                            ) -> TattooResult:
-    """Run the full TATTOO pipeline on one network."""
+def _run_tattoo(network: Graph, budget: PatternBudget,
+                config: TattooConfig) -> TattooResult:
+    """The actual pipeline, shared by the new-style entry points and
+    the deprecated keyword signature."""
     if network.size() == 0:
         raise PipelineError("TATTOO needs a network with edges")
-    config = config or TattooConfig()
     timings: Dict[str, float] = {}
 
-    start = time.perf_counter()
-    g_t, g_o = split_by_truss(network, threshold=config.truss_threshold)
-    timings["decompose"] = time.perf_counter() - start
+    with capture("tattoo.pipeline", force=config.trace,
+                 nodes=network.order(), edges=network.size()) as run:
+        start = time.perf_counter()
+        with span("tattoo.decompose",
+                  threshold=config.truss_threshold) as stage:
+            g_t, g_o = split_by_truss(
+                network, threshold=config.truss_threshold)
+            stage.add("truss_edges", g_t.size())
+            stage.add("oblivious_edges", g_o.size())
+        timings["decompose"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    by_class = extract_candidates(network, budget, config)
-    timings["extract"] = time.perf_counter() - start
+        start = time.perf_counter()
+        by_class = extract_candidates(network, budget, config)
+        timings["extract"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    candidates: List[Pattern] = []
-    seen: set[str] = set()
-    for cls in config.classes:
-        for pattern in by_class.get(cls, []):
-            if pattern.code not in seen:
-                seen.add(pattern.code)
-                candidates.append(pattern)
-    index = CoverageIndex([network], max_embeddings=config.max_embeddings,
-                          size_utility=True, use_cache=config.use_cache)
-    scorer = SetScorer(index, weights=config.weights)
-    selection = greedy_select(candidates, budget, scorer)
-    timings["select"] = time.perf_counter() - start
+        start = time.perf_counter()
+        with span("tattoo.select") as stage:
+            candidates: List[Pattern] = []
+            seen: set[str] = set()
+            for cls in config.classes:
+                for pattern in by_class.get(cls, []):
+                    if pattern.code not in seen:
+                        seen.add(pattern.code)
+                        candidates.append(pattern)
+            stage.add("candidates", len(candidates))
+            index = CoverageIndex(
+                [network], max_embeddings=config.max_embeddings,
+                size_utility=True, use_cache=config.use_cache)
+            scorer = SetScorer(index, weights=config.weights)
+            selection = greedy_select(candidates, budget, scorer)
+        timings["select"] = time.perf_counter() - start
 
     return TattooResult(selection.patterns, g_t, g_o, by_class,
-                        selection, timings)
+                        selection, timings, trace=run.record)
+
+
+def select_network_patterns(network: Graph, budget=None,
+                            config: Optional[TattooConfig] = None
+                            ) -> TattooResult:
+    """Run the full TATTOO pipeline on one network.
+
+    New-style calls pass a single :class:`repro.core.pipeline.
+    PipelineConfig` in place of ``budget`` (or use :func:`repro.core.
+    pipeline.run_tattoo`).  The legacy ``(network, budget,
+    TattooConfig)`` signature still works but emits a
+    ``DeprecationWarning``.
+    """
+    from repro.core.pipeline import PipelineConfig
+
+    if isinstance(budget, PipelineConfig):
+        if config is not None:
+            raise PipelineError(
+                "pass TATTOO options inside PipelineConfig.options, "
+                "not as a separate TattooConfig")
+        return _run_tattoo(network, budget.require_budget(),
+                           TattooConfig.from_pipeline(budget))
+    warnings.warn(
+        "select_network_patterns(network, budget, TattooConfig) is "
+        "deprecated; pass a repro.core.pipeline.PipelineConfig instead "
+        "(or call repro.core.pipeline.run_tattoo)",
+        DeprecationWarning, stacklevel=2)
+    if budget is None:
+        raise PipelineError("TATTOO needs a PatternBudget")
+    return _run_tattoo(network, budget, config or TattooConfig())

@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.catapult.pipeline import CatapultConfig, select_canned_patterns
+from repro.catapult.pipeline import CatapultConfig, _run_catapult
 from repro.errors import PipelineError
 from repro.graph.graph import Graph
 from repro.graph.operations import edge_subgraph
@@ -27,7 +27,7 @@ from repro.query.engine import (
     QueryEngine,
     QueryResultSet,
 )
-from repro.tattoo.pipeline import TattooConfig, select_network_patterns
+from repro.tattoo.pipeline import TattooConfig, _run_tattoo
 from repro.vqi.panels import (
     AttributePanel,
     PatternPanel,
@@ -99,15 +99,21 @@ class VisualQueryInterface:
 
 
 class BuildReport:
-    """Provenance of one build (per-stage timings, generator used)."""
+    """Provenance of one build (per-stage timings, generator used).
 
-    __slots__ = ("generator", "duration", "details")
+    ``trace`` carries the selection pipeline's :mod:`repro.obs` span
+    record when the pipeline config asked for one (``None`` otherwise).
+    """
+
+    __slots__ = ("generator", "duration", "details", "trace")
 
     def __init__(self, generator: str, duration: float,
-                 details: Dict[str, float]) -> None:
+                 details: Dict[str, float],
+                 trace: Optional[Dict[str, object]] = None) -> None:
         self.generator = generator
         self.duration = duration
         self.details = details
+        self.trace = trace
 
     def __repr__(self) -> str:
         return (f"<BuildReport {self.generator} "
@@ -139,8 +145,8 @@ def build_vqi_with_report(data: DataSource, budget: PatternBudget,
     start = time.perf_counter()
     if isinstance(data, Graph):
         attribute_panel = AttributePanel.from_network(data)
-        result = select_network_patterns(data, budget,
-                                         tattoo_config or TattooConfig())
+        result = _run_tattoo(data, budget,
+                             tattoo_config or TattooConfig())
         canned = result.patterns
         generator = "tattoo"
         timings = dict(result.timings)
@@ -152,7 +158,7 @@ def build_vqi_with_report(data: DataSource, budget: PatternBudget,
         if not repository:
             raise PipelineError("cannot build a VQI from no data")
         attribute_panel = AttributePanel.from_repository(repository)
-        result = select_canned_patterns(
+        result = _run_catapult(
             repository, budget, catapult_config or CatapultConfig())
         canned = result.patterns
         generator = "catapult"
@@ -164,5 +170,6 @@ def build_vqi_with_report(data: DataSource, budget: PatternBudget,
     spec = VQISpec(source, generator, attribute_panel, pattern_panel)
     vqi = VisualQueryInterface(spec, repository=repository,
                                network=network)
-    report = BuildReport(generator, time.perf_counter() - start, timings)
+    report = BuildReport(generator, time.perf_counter() - start, timings,
+                         trace=result.trace)
     return vqi, report

@@ -30,8 +30,8 @@ class MaintainedVQI:
             raise PipelineError(
                 "MIDAS maintenance applies to repository VQIs only")
         self.vqi = vqi
-        self.midas = Midas(vqi.repository, vqi.pattern_panel.budget,
-                           config)
+        self.midas = Midas._from_parts(vqi.repository,
+                                       vqi.pattern_panel.budget, config)
         # adopt the maintainer's (FCT-vocabulary) initial selection so
         # panel and maintainer state agree from the start
         self._sync()

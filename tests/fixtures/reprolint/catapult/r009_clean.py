@@ -1,0 +1,26 @@
+"""R009 fixtures: properly instrumented stages (in scope)."""
+
+from repro.obs import capture, span
+from repro.perf import pmap
+
+
+def cluster_repository(repository, config):
+    with span("catapult.cluster", graphs=len(repository)):
+        return [g for g in repository if g]
+
+
+def apply_batch(self, batch):
+    with capture("midas.apply_batch", force=True) as run:
+        added = len(batch.added)
+        run.add("added", added)
+    return added
+
+
+def _fan_out(items):
+    with span("fixture.fan_out"):
+        return pmap(lambda item: item + 1, items)
+
+
+def _not_a_stage(items):
+    # neither a known stage name nor a pmap caller: needs no span
+    return [item for item in items]

@@ -1,0 +1,29 @@
+"""R009 fixtures: pipeline stages without spans (in scope)."""
+
+from repro.perf import pmap
+
+
+def cluster_repository(repository, config):  # expect: R009
+    return [g for g in repository if g]
+
+
+def apply_batch(self, batch):  # expect: R009
+    added = len(batch.added)
+    return added
+
+
+def _fan_out(items):  # expect: R009
+    return pmap(lambda item: item + 1, items)
+
+
+def _nested_span_does_not_count(items):  # expect: R009
+    def helper(item):
+        from repro.obs import span
+        with span("helper"):
+            return item
+    return pmap(helper, items)
+
+
+def _not_a_stage(items):
+    # neither a known stage name nor a pmap caller: out of scope
+    return [item for item in items]

@@ -1,0 +1,16 @@
+"""R009 out-of-scope fixture: stage-shaped code outside the pipeline
+packages (catapult/tattoo/midas) needs no spans."""
+
+from repro.perf import pmap
+
+
+def cluster_repository(repository, config):
+    return [g for g in repository if g]
+
+
+def apply_batch(self, batch):
+    return len(batch.added)
+
+
+def _fan_out(items):
+    return pmap(lambda item: item + 1, items)

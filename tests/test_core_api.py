@@ -24,7 +24,8 @@ class TestPublicSurface:
             "repro.graphlets", "repro.catapult", "repro.tattoo",
             "repro.midas", "repro.modular", "repro.vqi",
             "repro.query", "repro.usability", "repro.datasets",
-            "repro.timeseries", "repro.mining",
+            "repro.timeseries", "repro.mining", "repro.obs",
+            "repro.perf",
         ]
         for package_name in packages:
             module = importlib.import_module(package_name)

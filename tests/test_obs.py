@@ -1,0 +1,238 @@
+"""Tests for repro.obs: spans, capture, metrics, export.
+
+The contracts under test are the observability layer's reasons to
+exist (ISSUE 4): spans nest through ordinary ``with`` nesting and
+cost one flag test when tracing is off; traces are identical at every
+``pmap`` worker count once wall-clock fields are stripped; the
+metrics registry resets without touching cached match entries; and
+``repro.obs.snapshot()`` subsumes the legacy stats endpoints.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_SPAN,
+    attach_record,
+    capture,
+    disable,
+    enable,
+    metrics,
+    read_trace,
+    reset_tracing,
+    span,
+    strip_wall_clock,
+    take_roots,
+    tracing_enabled,
+    write_trace,
+)
+from repro.obs.export import format_trace, stage_breakdown, trace_envelope
+from repro.perf import pmap
+from tests.trace_schema import validate_envelope, validate_record
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing():
+    """Every test starts and ends with tracing off and no spans."""
+    reset_tracing()
+    disable()
+    yield
+    reset_tracing()
+    disable()
+
+
+def _square(x):
+    return x * x
+
+
+class TestSpans:
+    def test_disabled_span_is_the_shared_null_object(self):
+        assert not tracing_enabled()
+        assert span("anything") is NULL_SPAN
+        assert span("other", items=3) is NULL_SPAN
+        with span("noop") as s:
+            s.add("ignored")
+            s.annotate(also="ignored")
+        assert take_roots() == []
+
+    def test_nesting_and_counters(self):
+        enable()
+        with span("outer", items=2) as outer:
+            with span("inner") as inner:
+                inner.add("steps")
+                inner.add("steps")
+            outer.add("done", 1)
+        (root,) = take_roots()
+        assert root["name"] == "outer"
+        assert root["counters"] == {"items": 2, "done": 1}
+        assert root["duration"] >= 0.0
+        (child,) = root["children"]
+        assert child["name"] == "inner"
+        assert child["counters"] == {"steps": 2}
+
+    def test_string_counters_are_annotations_not_tallies(self):
+        enable()
+        with span("stage") as s:
+            s.add("kind", "minor")
+            s.add("kind", "major")  # last write wins
+        (root,) = take_roots()
+        assert root["counters"]["kind"] == "major"
+
+    def test_module_level_add_targets_innermost_span(self):
+        enable()
+        with span("outer"):
+            with span("inner"):
+                obs.add("hits", 3)
+        (root,) = take_roots()
+        assert root["children"][0]["counters"] == {"hits": 3}
+
+    def test_attach_record_preserves_call_order(self):
+        enable()
+        with span("parent"):
+            attach_record({"name": "w0", "duration": 0.0,
+                           "counters": {}, "children": []})
+            attach_record({"name": "w1", "duration": 0.0,
+                           "counters": {}, "children": []})
+        (root,) = take_roots()
+        assert [c["name"] for c in root["children"]] == ["w0", "w1"]
+
+
+class TestCapture:
+    def test_idle_capture_records_nothing(self):
+        with capture("run") as run:
+            run.add("ignored")
+        assert run.record is None
+        assert not tracing_enabled()
+
+    def test_force_traces_one_run_without_global_state(self):
+        with capture("run", force=True, size=5) as run:
+            assert tracing_enabled()
+            with span("stage") as s:
+                s.add("work")
+        assert not tracing_enabled()
+        assert run.record["name"] == "run"
+        assert run.record["counters"] == {"size": 5}
+        assert [c["name"] for c in run.record["children"]] == ["stage"]
+        # the capture owns its record: not also reported as a root
+        assert take_roots() == []
+
+    def test_nested_capture_degrades_to_child_span(self):
+        with capture("outer", force=True) as outer:
+            with capture("inner", force=True) as inner:
+                with span("stage"):
+                    pass
+        assert [c["name"] for c in outer.record["children"]] == ["inner"]
+        assert inner.record["name"] == "inner"
+        assert [c["name"] for c in inner.record["children"]] == ["stage"]
+
+
+class TestPmapTraces:
+    def test_trace_tree_is_worker_count_invariant(self):
+        trees = {}
+        for workers in (1, 4):
+            reset_tracing()
+            with capture("run", force=True) as run:
+                with span("fanout"):
+                    results = pmap(_square, list(range(6)),
+                                   workers=workers)
+            assert results == [x * x for x in range(6)]
+            trees[workers] = strip_wall_clock(run.record)
+        assert trees[1] == trees[4]
+        fanout = trees[1]["children"][0]
+        assert [c["name"] for c in fanout["children"]] \
+            == ["pmap.item"] * 6
+        assert [c["counters"]["index"] for c in fanout["children"]] \
+            == list(range(6))
+
+    def test_untraced_pmap_attaches_nothing(self):
+        assert pmap(_square, list(range(4)), workers=4) \
+            == [0, 1, 4, 9]
+        assert take_roots() == []
+
+
+class TestMetrics:
+    def test_registry_reset_isolation(self):
+        metrics.inc("test.metric", 2)
+        metrics.set_gauge("test.gauge", 7)
+        metrics.observe("test.timer", 0.5)
+        snap = obs.snapshot()
+        assert snap["counters"]["test.metric"] == 2
+        assert snap["gauges"]["test.gauge"] == 7
+        assert snap["timers"]["test.timer"]["count"] == 1
+        obs.reset()
+        snap = obs.snapshot()
+        assert "test.metric" not in snap["counters"]
+        assert "test.gauge" not in snap["gauges"]
+        assert snap["matching"]["hits"] == 0
+        assert snap["matching"]["vf2_calls"] == 0
+
+    def test_snapshot_subsumes_the_legacy_cache_stats(self):
+        from repro.perf import cache_stats
+        legacy = cache_stats()
+        assert legacy == obs.matching_snapshot()
+        for key in ("hits", "misses", "vf2_calls",
+                    "canonical_memo_hits"):
+            assert key in legacy
+
+    def test_pipeline_metrics_flow_into_the_registry(self):
+        from repro.core import PipelineConfig, run_catapult
+        from repro.datasets import generate_chemical_repository
+        from repro.patterns import PatternBudget
+        obs.reset()
+        repo = generate_chemical_repository(8, seed=11)
+        budget = PatternBudget(3, min_size=3, max_size=6)
+        run_catapult(repo, PipelineConfig(budget=budget, seed=1))
+        counters = obs.snapshot()["counters"]
+        assert counters["perf.pmap.calls"] > 0
+        assert counters["patterns.greedy.calls"] >= 1
+        assert counters["patterns.coverage.patterns_indexed"] > 0
+
+
+class TestExport:
+    def _sample_record(self):
+        with capture("run", force=True, size=2) as run:
+            with span("stage.a") as s:
+                s.add("items", 4)
+            with span("stage.b"):
+                pass
+            with span("stage.b"):
+                pass
+        return run.record
+
+    def test_round_trip_through_the_envelope(self, tmp_path):
+        record = self._sample_record()
+        path = str(tmp_path / "trace.json")
+        write_trace([record], path)
+        assert read_trace(path) == [record]
+
+    def test_written_file_passes_the_schema_validator(self, tmp_path):
+        record = self._sample_record()
+        path = str(tmp_path / "trace.json")
+        write_trace([record], path)
+        import json
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert validate_envelope(payload) == []
+        assert validate_record(record) == []
+        assert validate_envelope(trace_envelope([])) \
+            == ["envelope holds no traces"]
+
+    def test_format_trace_is_an_indented_tree(self):
+        text = format_trace(self._sample_record())
+        lines = text.splitlines()
+        assert lines[0].startswith("run:")
+        assert "[size=2]" in lines[0]
+        assert lines[1].startswith("  stage.a:")
+        assert "items=4" in lines[1]
+
+    def test_stage_breakdown_merges_same_named_stages(self):
+        record = self._sample_record()
+        breakdown = stage_breakdown(record)
+        assert set(breakdown) == {"stage.a", "stage.b"}
+        total = sum(breakdown.values())
+        assert total <= record["duration"]
+
+    def test_trace_env_variable_spellings(self):
+        from repro.obs.tracing import _env_truthy
+        assert all(_env_truthy(v) for v in ("1", "true", "YES", " on "))
+        assert not any(_env_truthy(v) for v in (None, "", "0", "no"))

@@ -30,12 +30,14 @@ from reprolint.violations import PARSE_ERROR  # noqa: E402
 
 EXPECT_MARKER = re.compile(r"#\s*expect:\s*(R\d{3}(?:\s*,\s*R\d{3})*)")
 ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                "R008")
+                "R008", "R009")
 
-# R008 only fires inside matching/truss package directories, so its
-# in-scope fixtures live under a matching/ subdirectory; the top-level
-# r008_clean.py doubles as the out-of-scope test.
-FIXTURE_VIOLATION_PATHS = {"R008": "matching/r008_violation.py"}
+# R008 only fires inside matching/truss package directories and R009
+# inside catapult/tattoo/midas ones, so their in-scope fixtures live
+# under matching/ and catapult/ subdirectories; the top-level
+# rXXX_clean.py files double as the out-of-scope tests.
+FIXTURE_VIOLATION_PATHS = {"R008": "matching/r008_violation.py",
+                           "R009": "catapult/r009_violation.py"}
 
 
 def expected_findings(path: Path):
@@ -106,6 +108,10 @@ class TestFixtures(unittest.TestCase):
     def test_r008_in_scope_clean_fixture(self):
         # adjacency-set-view code inside a matching/ dir lints clean
         self.assert_clean("matching/r008_clean.py")
+
+    def test_r009_in_scope_clean_fixture(self):
+        # span-wrapped stages inside a catapult/ dir lint clean
+        self.assert_clean("catapult/r009_clean.py")
 
     def test_each_violation_fixture_exercises_only_its_rule(self):
         for rule_id in ALL_RULE_IDS:

@@ -9,4 +9,5 @@ from reprolint.rules import (  # noqa: F401
     r006_except_hygiene,
     r007_centralized_parallelism,
     r008_hot_loop_adjacency,
+    r009_stage_span,
 )

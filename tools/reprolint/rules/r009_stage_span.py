@@ -1,0 +1,133 @@
+"""R009 stage-span.
+
+The observability layer (:mod:`repro.obs`) only tells the truth if
+every pipeline stage actually runs under a span: a stage that skips
+instrumentation silently disappears from trace breakdowns, and the
+"per-stage wall times sum to ~total" invariant the benchmarks check
+quietly erodes.  This rule pins the contract in the selection
+pipelines themselves — files under a ``catapult``, ``tattoo``, or
+``midas`` package directory.
+
+A function in scope counts as a *pipeline stage* when either
+
+* its name is one of the known stage entry points
+  (:data:`STAGE_FUNCTIONS`), or
+* its body (shallow — nested ``def``/``lambda`` excluded) calls
+  ``repro.perf.pmap``, i.e. it fans work out to workers.
+
+Every stage must contain, at any shallow depth of its body, a
+``with`` statement whose context expression resolves to
+``repro.obs.span`` or ``repro.obs.capture`` (directly or via the
+``repro.obs.tracing`` module).  The check is intentionally shallow on
+both sides: a span opened inside a nested function does not cover the
+stage that defines it, and a stage that delegates to a nested helper
+still needs its own span.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, Union
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+#: Package directories whose files host pipeline stages.
+PIPELINE_PACKAGES = frozenset({"catapult", "tattoo", "midas"})
+
+#: Known stage entry points (by function name).
+STAGE_FUNCTIONS = frozenset({
+    "cluster_repository",
+    "summarize_clusters",
+    "generate_all_candidates",
+    "extract_candidates",
+    "select_patterns_distributed",
+    "apply_batch",
+    "multi_scan_swap",
+})
+
+#: Dotted origins that fan work out to worker processes.
+PMAP_ORIGINS = frozenset({
+    "repro.perf.pmap",
+    "repro.perf.executor.pmap",
+})
+
+#: Dotted origins that open a trace span over a stage.
+SPAN_ORIGINS = frozenset({
+    "repro.obs.span",
+    "repro.obs.capture",
+    "repro.obs.tracing.span",
+    "repro.obs.tracing.capture",
+})
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_NESTED_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _in_pipeline_package(path: str) -> bool:
+    """True when the file lives in a pipeline package directory."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    return bool(PIPELINE_PACKAGES & set(normalized.split("/")[:-1]))
+
+
+def _shallow_walk(func: _FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    pending = list(func.body)
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(node, _NESTED_SCOPES):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+def _calls_pmap(func: _FunctionDef, ctx: FileContext) -> bool:
+    """True when the shallow body calls repro.perf.pmap."""
+    for node in _shallow_walk(func):
+        if isinstance(node, ast.Call) \
+                and ctx.resolve(node.func) in PMAP_ORIGINS:
+            return True
+    return False
+
+
+def _has_stage_span(func: _FunctionDef, ctx: FileContext) -> bool:
+    """True when the shallow body opens a repro.obs span/capture."""
+    for node in _shallow_walk(func):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call) \
+                    and ctx.resolve(expr.func) in SPAN_ORIGINS:
+                return True
+    return False
+
+
+@register
+class StageSpanRule(Rule):
+    id = "R009"
+    name = "stage-span"
+    description = ("pipeline-stage functions in catapult/tattoo/midas "
+                   "must run under a repro.obs span or capture")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        if not _in_pipeline_package(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            is_stage = (node.name in STAGE_FUNCTIONS
+                        or _calls_pmap(node, ctx))
+            if is_stage and not _has_stage_span(node, ctx):
+                yield Violation(
+                    path=ctx.path, line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message=(f"pipeline stage '{node.name}' runs "
+                             "without a repro.obs span; wrap its body "
+                             "in `with span(...)` or `with "
+                             "capture(...)` so traces stay complete"))

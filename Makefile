@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: lint lint-json test compile check bench-smoke bench-kernel \
-	trace-smoke
+	trace-smoke chaos-smoke
 
 lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
@@ -24,6 +24,15 @@ trace-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_runner.py --smoke \
 		--out BENCH_perf.json --trace TRACE_smoke.json
 	$(PYTHON) tests/trace_schema.py TRACE_smoke.json
+
+# deterministic fault-injection suite at two worker counts: the same
+# seeded fault plan must produce the same recovery serially and in a
+# process pool (DESIGN.md, "Resilience")
+chaos-smoke:
+	REPRO_WORKERS=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		tests/test_resilience.py
+	REPRO_WORKERS=4 PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		tests/test_resilience.py
 
 # gates against the committed baseline, then refreshes it in place
 bench-kernel:

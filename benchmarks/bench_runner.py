@@ -190,6 +190,55 @@ def run_midas(smoke: bool,
     return experiment
 
 
+def run_deadline(smoke: bool) -> Dict[str, object]:
+    """Anytime-pipeline smoke: CATAPULT under shrinking deadlines.
+
+    Measures a fault-free run, then re-runs with ``deadline_s`` at 50%
+    and 25% of that wall time.  The contract under test: a deadline
+    never crashes the pipeline and never yields an empty panel — worst
+    case is a smaller, ``degraded``-flagged pattern set with a
+    per-stage completion report.
+    """
+    size = 30 if smoke else 150
+    repo = generate_chemical_repository(size, seed=7)
+    budget = PatternBudget(5, min_size=4, max_size=8)
+    walks = 10 if smoke else 30
+
+    clear_match_cache()
+    config = PipelineConfig(budget=budget, seed=1,
+                            options={"walks_per_cluster": walks})
+    full, wall = _timed(lambda: pipeline.run_catapult(repo, config))
+    runs: Dict[str, Dict[str, object]] = {
+        "full": {
+            "wall_seconds": wall,
+            "patterns": len(full.patterns),
+            "degraded": full.degraded,
+        },
+    }
+    nonempty = len(full.patterns) > 0
+    for fraction in (0.5, 0.25):
+        clear_match_cache()
+        bounded = PipelineConfig(budget=budget, seed=1,
+                                 deadline_s=max(wall * fraction, 1e-4),
+                                 options={"walks_per_cluster": walks})
+        result, bounded_wall = _timed(
+            lambda: pipeline.run_catapult(repo, bounded))
+        nonempty = nonempty and len(result.patterns) > 0
+        runs[f"{int(fraction * 100)}pct"] = {
+            "wall_seconds": bounded_wall,
+            "deadline_seconds": bounded.deadline_s,
+            "patterns": len(result.patterns),
+            "degraded": result.degraded,
+            "completion": result.stats["completion"],
+        }
+    return {
+        "name": "deadline_anytime",
+        "params": {"repository_size": size},
+        "runs": runs,
+        "nonempty_under_deadline": nonempty,
+    }
+
+
 def _finish(name: str, params: Dict[str, object],
             runs: Dict[str, Dict[str, object]]) -> Dict[str, object]:
     codes = [run["pattern_codes"] for run in runs.values()]
@@ -237,6 +286,13 @@ def main(argv: List[str] = None) -> int:
               f"speedup x{experiment['speedup']:.2f} "
               f"[{flag}]")
 
+    deadline_exp = run_deadline(args.smoke)
+    report["experiments"].append(deadline_exp)
+    if not deadline_exp["nonempty_under_deadline"]:
+        failures.append(deadline_exp["name"])
+    print(f"{deadline_exp['name']}: "
+          f"{'ok' if deadline_exp['nonempty_under_deadline'] else 'EMPTY RESULT UNDER DEADLINE'}")
+
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -245,7 +301,7 @@ def main(argv: List[str] = None) -> int:
         write_trace(traces, args.trace)
         print(f"wrote {args.trace} ({len(traces)} trace(s))")
     if failures:
-        print(f"determinism check FAILED for: {', '.join(failures)}",
+        print(f"smoke gates FAILED for: {', '.join(failures)}",
               file=sys.stderr)
         return 1
     return 0

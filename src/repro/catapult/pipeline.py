@@ -35,7 +35,9 @@ from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
-from repro.perf.executor import derive_seed, pmap
+from repro.perf.executor import ItemFailure, derive_seed, \
+    failure_policy, pmap, resolve_workers
+from repro.resilience.deadline import CompletionReport, Deadline
 from repro.summary.closure import SummaryGraph, build_summary
 from repro.catapult.random_walk import generate_candidates
 
@@ -50,13 +52,17 @@ class CatapultConfig:
     the selected patterns are identical at every worker count.
     ``use_cache`` toggles the shared VF2 match cache; ``trace``
     captures a :mod:`repro.obs` trace for this run even when the
-    ``REPRO_TRACE`` environment switch is unset.
+    ``REPRO_TRACE`` environment switch is unset.  ``deadline_s``
+    bounds the run's wall clock (stages stop early and the result
+    degrades instead of raising); ``max_retries`` is the per-item
+    retry budget failing pmap work items get before being skipped.
     """
 
     __slots__ = ("clusters", "min_tree_support", "max_tree_edges",
                  "walks_per_cluster", "member_samples", "seed", "weights",
                  "validate_candidates", "coverage_sample",
-                 "max_embeddings", "workers", "use_cache", "trace")
+                 "max_embeddings", "workers", "use_cache", "trace",
+                 "deadline_s", "max_retries")
 
     def __init__(self, clusters: Optional[int] = None,
                  min_tree_support: int = 2,
@@ -69,7 +75,9 @@ class CatapultConfig:
                  max_embeddings: int = 30,
                  workers: Optional[int] = None,
                  use_cache: bool = True,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 deadline_s: Optional[float] = None,
+                 max_retries: int = 0) -> None:
         self.clusters = clusters
         self.min_tree_support = min_tree_support
         self.max_tree_edges = max_tree_edges
@@ -83,6 +91,8 @@ class CatapultConfig:
         self.workers = workers
         self.use_cache = use_cache
         self.trace = trace
+        self.deadline_s = deadline_s
+        self.max_retries = max_retries
 
     @classmethod
     def from_pipeline(cls, pipeline) -> "CatapultConfig":
@@ -95,7 +105,8 @@ class CatapultConfig:
             raise PipelineError(
                 "unknown CATAPULT option(s): " + ", ".join(unknown))
         for name in ("seed", "workers", "use_cache", "weights",
-                     "max_embeddings", "trace"):
+                     "max_embeddings", "trace", "deadline_s",
+                     "max_retries"):
             kwargs.setdefault(name, getattr(pipeline, name))
         return cls(**kwargs)
 
@@ -109,14 +120,15 @@ class CatapultResult:
     """
 
     __slots__ = ("patterns", "clustering", "summaries", "candidates",
-                 "selection", "timings", "trace")
+                 "selection", "timings", "trace", "completion")
 
     def __init__(self, patterns: PatternSet, clustering: ClusteringResult,
                  summaries: List[SummaryGraph],
                  candidates: List[Pattern],
                  selection: SelectionResult,
                  timings: Dict[str, float],
-                 trace: Optional[Dict[str, object]] = None) -> None:
+                 trace: Optional[Dict[str, object]] = None,
+                 completion: Optional[CompletionReport] = None) -> None:
         self.patterns = patterns
         self.clustering = clustering
         self.summaries = summaries
@@ -124,6 +136,12 @@ class CatapultResult:
         self.selection = selection
         self.timings = timings
         self.trace = trace
+        self.completion = completion or CompletionReport()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage stopped short of its full work."""
+        return self.completion.degraded
 
     @property
     def stats(self) -> Dict[str, object]:
@@ -136,12 +154,15 @@ class CatapultResult:
             "considered": self.selection.considered,
             "score": self.selection.score,
             "timings": dict(self.timings),
+            "degraded": self.degraded,
+            "completion": self.completion.as_dict(),
         }
 
     def __repr__(self) -> str:
+        state = " degraded" if self.degraded else ""
         return (f"<CatapultResult k={len(self.patterns)} "
                 f"clusters={len(self.summaries)} "
-                f"candidates={len(self.candidates)}>")
+                f"candidates={len(self.candidates)}{state}>")
 
 
 def default_cluster_count(repository_size: int) -> int:
@@ -153,9 +174,27 @@ def default_cluster_count(repository_size: int) -> int:
 
 
 def cluster_repository(repository: Sequence[Graph],
-                       config: CatapultConfig) -> ClusteringResult:
-    """Step 1: frequent-subtree features + k-medoids."""
+                       config: CatapultConfig,
+                       deadline: Optional[Deadline] = None,
+                       report: Optional[CompletionReport] = None
+                       ) -> ClusteringResult:
+    """Step 1: frequent-subtree features + k-medoids.
+
+    Under an already-expired deadline the stage degrades to the same
+    trivial single-cluster result a featureless repository gets —
+    the cheapest clustering that still lets the later stages produce
+    patterns — and records itself incomplete.
+    """
+    deadline = deadline or Deadline(None)
+    report = report if report is not None else CompletionReport()
     with span("catapult.cluster", graphs=len(repository)) as stage:
+        if deadline.check("catapult.cluster"):
+            stage.add("clusters", 1)
+            report.record("cluster", 0, 1,
+                          note="deadline expired; single-cluster "
+                               "fallback")
+            return ClusteringResult(labels=[0] * len(repository),
+                                    medoids=[0], cost=0.0)
         vocabulary = mine_frequent_trees(
             repository, min_support=config.min_tree_support,
             max_edges=config.max_tree_edges)
@@ -164,6 +203,7 @@ def cluster_repository(repository: Sequence[Graph],
         if not vocabulary:
             # degenerate repositories (no shared subtree): one cluster
             stage.add("clusters", 1)
+            report.record("cluster", 1, 1)
             return ClusteringResult(labels=[0] * len(repository),
                                     medoids=[0], cost=0.0)
         matrix = repository_feature_matrix(repository, vocabulary,
@@ -171,20 +211,33 @@ def cluster_repository(repository: Sequence[Graph],
         distances = distance_matrix_from_vectors(
             matrix, metric="euclidean", workers=config.workers)
         stage.add("clusters", k)
+        report.record("cluster", 1, 1)
         return kmedoids(distances, k, seed=config.seed)
 
 
 def summarize_clusters(repository: Sequence[Graph],
-                       clustering: ClusteringResult) -> List[SummaryGraph]:
-    """Step 2: one CSG per non-empty cluster."""
+                       clustering: ClusteringResult,
+                       deadline: Optional[Deadline] = None,
+                       report: Optional[CompletionReport] = None
+                       ) -> List[SummaryGraph]:
+    """Step 2: one CSG per non-empty cluster.
+
+    Anytime: always summarises at least one cluster, then polls the
+    deadline between clusters; clusters cut off here simply produce
+    no candidates later.
+    """
+    deadline = deadline or Deadline(None)
+    report = report if report is not None else CompletionReport()
     with span("catapult.summarize") as stage:
+        populated = [m for m in clustering.clusters() if m]
         summaries: List[SummaryGraph] = []
-        for members in clustering.clusters():
-            if not members:
-                continue
+        for members in populated:
+            if summaries and deadline.check("catapult.summarize"):
+                break
             summaries.append(
                 build_summary([repository[i] for i in members]))
         stage.add("summaries", len(summaries))
+        report.record("summarize", len(summaries), len(populated))
         return summaries
 
 
@@ -241,7 +294,10 @@ def generate_all_candidates(repository: Sequence[Graph],
                             clustering: ClusteringResult,
                             summaries: List[SummaryGraph],
                             budget: PatternBudget,
-                            config: CatapultConfig) -> List[Pattern]:
+                            config: CatapultConfig,
+                            deadline: Optional[Deadline] = None,
+                            report: Optional[CompletionReport] = None
+                            ) -> List[Pattern]:
     """Step 3a: candidate patterns from every cluster, deduplicated.
 
     Two complementary sources per cluster: support-weighted random
@@ -251,7 +307,15 @@ def generate_all_candidates(repository: Sequence[Graph],
     Clusters are independent work items; they run under
     :func:`repro.perf.pmap` with one derived seed each and merge in
     cluster order, so the result is worker-count invariant.
+
+    Resilience: a failing cluster task climbs pmap's retry ladder and
+    is then skipped (recorded here, never raised).  Under a deadline
+    clusters are dispatched in worker-sized waves — the first wave
+    always runs, later waves only while budget remains — so the stage
+    degrades to fewer clusters' candidates rather than none.
     """
+    deadline = deadline or Deadline(None)
+    report = report if report is not None else CompletionReport()
     with span("catapult.candidates") as stage:
         clusters = [c for c in clustering.clusters() if c]
         stage.add("clusters", len(clusters))
@@ -263,15 +327,36 @@ def generate_all_candidates(repository: Sequence[Graph],
                           config.walks_per_cluster, config.member_samples,
                           config.validate_candidates,
                           derive_seed(config.seed, cluster_index)))
+        policy = failure_policy(config.max_retries, config.deadline_s)
+        wave = (len(tasks) if deadline.seconds is None
+                else max(1, resolve_workers(config.workers)))
         candidates: List[Pattern] = []
         seen: set[str] = set()
-        for batch in pmap(_cluster_candidates_task, tasks,
-                          workers=config.workers):
-            for pattern in batch:
-                if pattern.code not in seen:
-                    seen.add(pattern.code)
-                    candidates.append(pattern)
+        done = failed = 0
+        for start in range(0, len(tasks), wave):
+            if start and deadline.check("catapult.candidates"):
+                break
+            for batch in pmap(_cluster_candidates_task,
+                              tasks[start:start + wave],
+                              workers=config.workers,
+                              max_retries=config.max_retries,
+                              on_item_failure=policy,
+                              retry_seed=config.seed,
+                              site="catapult.candidates"):
+                if isinstance(batch, ItemFailure):
+                    failed += 1
+                    continue
+                done += 1
+                for pattern in batch:
+                    if pattern.code not in seen:
+                        seen.add(pattern.code)
+                        candidates.append(pattern)
         stage.add("candidates", len(candidates))
+        if failed:
+            stage.add("failed_clusters", failed)
+        report.record("candidates", done, len(tasks),
+                      note=f"{failed} cluster task(s) skipped"
+                      if failed else "")
         return candidates
 
 
@@ -283,20 +368,25 @@ def _run_catapult(repository: Sequence[Graph],
     if not repository:
         raise PipelineError("CATAPULT needs a non-empty repository")
     timings: Dict[str, float] = {}
+    deadline = Deadline.start(config.deadline_s)
+    report = CompletionReport()
 
     with capture("catapult.pipeline", force=config.trace,
                  graphs=len(repository)) as run:
         start = time.perf_counter()
-        clustering = cluster_repository(repository, config)
+        clustering = cluster_repository(repository, config,
+                                        deadline, report)
         timings["cluster"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        summaries = summarize_clusters(repository, clustering)
+        summaries = summarize_clusters(repository, clustering,
+                                       deadline, report)
         timings["summarize"] = time.perf_counter() - start
 
         start = time.perf_counter()
         candidates = generate_all_candidates(repository, clustering,
-                                             summaries, budget, config)
+                                             summaries, budget, config,
+                                             deadline, report)
         timings["candidates"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -310,12 +400,21 @@ def _run_catapult(repository: Sequence[Graph],
                                   size_utility=True,
                                   use_cache=config.use_cache)
             scorer = SetScorer(index, weights=config.weights)
-            selection = greedy_select(candidates, budget, scorer)
+            selection = greedy_select(candidates, budget, scorer,
+                                      deadline=deadline)
+            report.record("select", len(selection.patterns),
+                          budget.max_patterns,
+                          complete=selection.complete
+                          and not selection.faults,
+                          note=f"{selection.faults} evaluation "
+                          "fault(s)" if selection.faults else "")
         timings["select"] = time.perf_counter() - start
+        if report.degraded:
+            run.add("degraded", "true")
 
     return CatapultResult(selection.patterns, clustering, summaries,
                           candidates, selection, timings,
-                          trace=run.record)
+                          trace=run.record, completion=report)
 
 
 def select_canned_patterns(repository: Sequence[Graph],

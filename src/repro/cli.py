@@ -45,20 +45,45 @@ def _budget_from_args(args: argparse.Namespace):
                          max_size=args.max_size)
 
 
+def _pipeline_configs(args: argparse.Namespace, trace: bool = False):
+    """CATAPULT/TATTOO configs for the resilience flags, or ``None``s.
+
+    ``--deadline`` turns the selection pipelines into anytime runs
+    (best-so-far patterns at expiry); ``--max-retries`` enables
+    fault-tolerant parallel execution.  With neither flag (and no
+    trace) the defaults apply and ``(None, None)`` is returned.
+    """
+    deadline = getattr(args, "deadline", None)
+    retries = getattr(args, "max_retries", 0)
+    if deadline is None and not retries and not trace:
+        return None, None
+    from repro.catapult.pipeline import CatapultConfig
+    from repro.tattoo.pipeline import TattooConfig
+    catapult_config = CatapultConfig(trace=trace, deadline_s=deadline,
+                                     max_retries=retries)
+    tattoo_config = TattooConfig(trace=trace, deadline_s=deadline,
+                                 max_retries=retries)
+    return catapult_config, tattoo_config
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     from repro.vqi.builder import build_vqi_with_report
     data = _load_data(args.data)
-    catapult_config = tattoo_config = None
-    if args.trace:
-        from repro.catapult.pipeline import CatapultConfig
-        from repro.tattoo.pipeline import TattooConfig
-        catapult_config = CatapultConfig(trace=True)
-        tattoo_config = TattooConfig(trace=True)
+    catapult_config, tattoo_config = _pipeline_configs(
+        args, trace=bool(args.trace))
     vqi, report = build_vqi_with_report(data, _budget_from_args(args),
                                         catapult_config=catapult_config,
                                         tattoo_config=tattoo_config)
     print(f"generator: {report.generator} "
           f"({report.duration:.2f}s)")
+    if report.degraded:
+        incomplete = sorted(
+            stage for stage, entry in report.completion.items()
+            if not entry.get("complete", True))
+        detail = f" (incomplete: {', '.join(incomplete)})" \
+            if incomplete else ""
+        print(f"warning: degraded result — the pipeline hit its "
+              f"deadline or skipped faulty work{detail}")
     print(f"attribute panel: "
           f"{', '.join(vqi.attribute_panel.node_alphabet())}")
     for pattern in vqi.pattern_panel.canned:
@@ -117,7 +142,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             vqi = VisualQueryInterface(spec, repository=data)
     else:
-        vqi = build_vqi(data, _budget_from_args(args))
+        catapult_config, tattoo_config = _pipeline_configs(args)
+        vqi = build_vqi(data, _budget_from_args(args),
+                        catapult_config=catapult_config,
+                        tattoo_config=tattoo_config)
     panel = vqi.pattern_panel.canned
     if not 0 <= args.pattern < len(panel):
         raise ReproError(
@@ -144,7 +172,10 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     data = _load_data(args.data)
     if not isinstance(data, Graph):
         raise ReproError("summarize expects a single-network input")
-    vqi = build_vqi(data, _budget_from_args(args))
+    catapult_config, tattoo_config = _pipeline_configs(args)
+    vqi = build_vqi(data, _budget_from_args(args),
+                    catapult_config=catapult_config,
+                    tattoo_config=tattoo_config)
     result = summarize_with_patterns(data,
                                      list(vqi.pattern_panel.canned),
                                      max_instances=args.instances)
@@ -169,7 +200,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.vqi.builder import build_vqi
     data = _load_data(args.data)
     repository = [data] if isinstance(data, Graph) else data
-    vqi = build_vqi(data, _budget_from_args(args))
+    catapult_config, tattoo_config = _pipeline_configs(args)
+    vqi = build_vqi(data, _budget_from_args(args),
+                    catapult_config=catapult_config,
+                    tattoo_config=tattoo_config)
     workload = list(generate_workload(repository, args.queries,
                                       seed=args.seed))
     report = usability_report(workload,
@@ -198,6 +232,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="minimum pattern size in nodes (default 4)")
         p.add_argument("--max-size", type=int, default=8,
                        help="maximum pattern size in nodes (default 8)")
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget for pattern selection; "
+                            "on expiry the pipeline returns its "
+                            "best-so-far patterns flagged as degraded "
+                            "instead of failing")
+        p.add_argument("--max-retries", type=int, default=0,
+                       help="per-item retries for parallel stages "
+                            "before a faulty item is skipped "
+                            "(default 0: any fault is fatal)")
 
     p_build = sub.add_parser("build",
                              help="build a VQI spec from graph data")

@@ -17,6 +17,7 @@ from repro.graph.graph import Graph
 from repro.obs import span
 from repro.patterns.scoring import cosine_similarity, feature_vector
 from repro.perf.executor import pmap, resolve_workers
+from repro.errors import OptionError
 
 
 def structural_similarity(g1: Graph, g2: Graph) -> float:
@@ -32,7 +33,7 @@ def structural_distance(g1: Graph, g2: Graph) -> float:
 def vector_euclidean(v1: Sequence[float], v2: Sequence[float]) -> float:
     """Euclidean distance between two dense feature vectors."""
     if len(v1) != len(v2):
-        raise ValueError("feature vectors have different lengths")
+        raise OptionError("feature vectors have different lengths")
     return math.sqrt(sum((a - b) ** 2 for a, b in zip(v1, v2)))
 
 
@@ -52,7 +53,7 @@ def vector_cosine_distance(v1: Sequence[float],
                            v2: Sequence[float]) -> float:
     """1 - cosine similarity of two dense vectors (1.0 for zero vectors)."""
     if len(v1) != len(v2):
-        raise ValueError("feature vectors have different lengths")
+        raise OptionError("feature vectors have different lengths")
     return _cosine_distance_with_norms(v1, v2, _vector_norm(v1),
                                        _vector_norm(v2))
 
@@ -153,13 +154,13 @@ def distance_matrix_from_vectors(vectors: Sequence[Sequence[float]],
     computed once per vector, not per pair.
     """
     if metric not in ("euclidean", "cosine"):
-        raise ValueError(f"unknown metric {metric!r}")
+        raise OptionError(f"unknown metric {metric!r}")
     with span("clustering.distance_matrix", items=len(vectors),
               metric=metric) as work:
         vectors = [list(v) for v in vectors]
         lengths = {len(v) for v in vectors}
         if len(lengths) > 1:
-            raise ValueError("feature vectors have different lengths")
+            raise OptionError("feature vectors have different lengths")
         norms = ([_vector_norm(v) for v in vectors]
                  if metric == "cosine" else [0.0] * len(vectors))
         n = len(vectors)

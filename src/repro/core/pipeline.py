@@ -40,7 +40,8 @@ from repro.tattoo.pipeline import TattooConfig, TattooResult, _run_tattoo
 #: The config fields every selection pipeline shares; per-pipeline
 #: config classes map these 1:1 in ``from_pipeline``.
 SHARED_PIPELINE_FIELDS = ("seed", "workers", "use_cache", "weights",
-                          "max_embeddings", "trace")
+                          "max_embeddings", "trace", "deadline_s",
+                          "max_retries")
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,14 @@ class PipelineConfig:
     example CATAPULT's ``walks_per_cluster`` or TATTOO's
     ``truss_threshold``) ride in ``options`` and are validated
     against the chosen pipeline's config class.
+
+    ``deadline_s`` puts the whole run under a wall-clock budget
+    (:class:`repro.resilience.Deadline`): stages stop at loop
+    boundaries once it expires and the pipeline returns its
+    best-so-far pattern set with ``result.degraded = True`` and a
+    per-stage completion report — it never raises.  ``max_retries``
+    is the per-item retry count failing :func:`repro.perf.pmap` work
+    items get before being skipped and recorded.
     """
 
     budget: Optional[PatternBudget] = None
@@ -65,6 +74,8 @@ class PipelineConfig:
     trace: bool = False
     weights: ScoreWeights = DEFAULT_WEIGHTS
     max_embeddings: int = 30
+    deadline_s: Optional[float] = None
+    max_retries: int = 0
     options: Mapping[str, object] = field(default_factory=dict)
 
     def with_options(self, **options: object) -> "PipelineConfig":
@@ -88,7 +99,9 @@ class PipelineResult(Protocol):
     ``patterns`` is the selected canned-pattern set; ``stats`` a flat
     dict of run statistics (stage timings, candidate counts, score);
     ``trace`` the hierarchical span record of the run, or ``None``
-    when tracing was off.
+    when tracing was off; ``degraded`` is True when any stage stopped
+    short (deadline expiry, skipped work items) — the per-stage
+    detail lives in ``stats["completion"]``.
     """
 
     patterns: PatternSet
@@ -99,6 +112,10 @@ class PipelineResult(Protocol):
 
     @property
     def trace(self) -> Optional[Dict[str, object]]:
+        ...
+
+    @property
+    def degraded(self) -> bool:
         ...
 
 

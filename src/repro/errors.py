@@ -51,8 +51,67 @@ class FormatError(ReproError):
     """A serialized graph or VQI spec could not be parsed."""
 
 
+class GraphInputError(FormatError):
+    """User-supplied graph data (edge lists, label maps) is malformed.
+
+    Carries file/line context so a bad record in a million-line
+    repository dump is findable; subclasses :class:`FormatError` so
+    existing ``except FormatError`` call sites keep working.
+    """
+
+    def __init__(self, message: str, path: object = None,
+                 line: int = 0) -> None:
+        location = ""
+        if path is not None:
+            location = f"{path}:{line}: " if line else f"{path}: "
+        super().__init__(f"{location}{message}")
+        self.path = str(path) if path is not None else None
+        self.line = line
+
+
 class BudgetError(ReproError):
     """A pattern-selection budget is malformed or unsatisfiable."""
+
+
+class BudgetExceeded(ReproError):
+    """A wall-clock deadline or work budget ran out.
+
+    Raised only by *strict* consumers (:meth:`repro.resilience.
+    Deadline.require`); the anytime pipelines never let it escape —
+    they degrade and report instead.
+    """
+
+    def __init__(self, site: str, elapsed_s: float,
+                 budget_s: float) -> None:
+        super().__init__(
+            f"{site}: budget of {budget_s:.3f}s exceeded "
+            f"({elapsed_s:.3f}s elapsed)")
+        self.site = site
+        self.elapsed_s = elapsed_s
+        self.budget_s = budget_s
+
+
+class WorkerFailure(ReproError):
+    """A unit of pipeline work failed (crash, hang timeout, or a
+    corrupted result detected in transit).
+
+    ``site`` names the failure point (``"catapult.candidates"``,
+    ``"matching.is_subgraph"``), ``key`` the work item (for example a
+    pmap item index), ``attempt`` the 0-based attempt that failed, and
+    ``kind`` one of ``"raise"``/``"hang"``/``"corrupt"``.
+    """
+
+    def __init__(self, site: str, key: object = None, attempt: int = 0,
+                 kind: str = "raise", cause: object = None) -> None:
+        detail = f" item {key!r}" if key is not None else ""
+        origin = f": {cause}" if cause else ""
+        super().__init__(
+            f"{site}:{detail} attempt {attempt} failed ({kind}){origin}")
+        self.site = site
+        self.key = key
+        self.attempt = attempt
+        self.kind = kind
+        self.cause = str(cause) if cause is not None else None
 
 
 class PipelineError(ReproError):
@@ -61,3 +120,21 @@ class PipelineError(ReproError):
 
 class MaintenanceError(ReproError):
     """A MIDAS maintenance operation was applied to inconsistent state."""
+
+
+class OptionError(ReproError, ValueError):
+    """An argument or configuration value is invalid.
+
+    Doubly inherits :class:`ValueError` so callers validating with
+    ``except ValueError`` keep working, while ``except ReproError``
+    catches the whole library taxonomy (the contract reprolint R010
+    enforces at raise sites).
+    """
+
+
+class UnknownNameError(ReproError, KeyError):
+    """A lookup by name or key referenced something that is not there.
+
+    Doubly inherits :class:`KeyError` for the same compatibility
+    reason as :class:`OptionError`.
+    """

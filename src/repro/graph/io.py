@@ -14,7 +14,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Union
 
-from repro.errors import FormatError
+from repro.errors import GraphInputError
 from repro.graph.graph import Graph
 
 PathLike = Union[str, Path]
@@ -38,8 +38,13 @@ def graph_to_dict(graph: Graph) -> Dict[str, Any]:
     }
 
 
-def graph_from_dict(data: Dict[str, Any]) -> Graph:
-    """Inverse of :func:`graph_to_dict`."""
+def graph_from_dict(data: Dict[str, Any],
+                    path: PathLike | None = None) -> Graph:
+    """Inverse of :func:`graph_to_dict`.
+
+    Raises :class:`~repro.errors.GraphInputError` on malformed input;
+    ``path`` (when given) is carried on the error for context.
+    """
     try:
         g = Graph(name=data.get("name", ""))
         for node in data["nodes"]:
@@ -50,7 +55,8 @@ def graph_from_dict(data: Dict[str, Any]) -> Graph:
                        label=edge.get("label", ""),
                        **edge.get("attrs", {}))
     except (KeyError, TypeError, ValueError) as exc:
-        raise FormatError(f"malformed graph dict: {exc}") from exc
+        raise GraphInputError(f"malformed graph dict: {exc}",
+                              path=path) from exc
     return g
 
 
@@ -64,7 +70,8 @@ def graph_from_json(text: str) -> Graph:
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise FormatError(f"invalid JSON: {exc}") from exc
+        raise GraphInputError(f"invalid JSON: {exc}",
+                              line=exc.lineno) from exc
     return graph_from_dict(data)
 
 
@@ -88,7 +95,12 @@ def write_lg(graphs: Iterable[Graph], path: PathLike) -> int:
 
 
 def read_lg(path: PathLike) -> List[Graph]:
-    """Read a repository from ``.lg`` format."""
+    """Read a repository from ``.lg`` format.
+
+    Malformed lines raise :class:`~repro.errors.GraphInputError`
+    carrying the offending file and 1-based line number, so callers
+    (and their users) see *where* the input went wrong.
+    """
     graphs: List[Graph] = []
     current: Graph | None = None
     with open(path, "r", encoding="utf-8") as handle:
@@ -105,20 +117,27 @@ def read_lg(path: PathLike) -> List[Graph]:
                     graphs.append(current)
                 elif kind == "v":
                     if current is None:
-                        raise FormatError("vertex before first 't' line")
+                        raise GraphInputError(
+                            "vertex before first 't' line",
+                            path=path, line=lineno)
                     label = parts[2] if len(parts) > 2 else ""
                     current.add_node(int(parts[1]), label=label)
                 elif kind == "e":
                     if current is None:
-                        raise FormatError("edge before first 't' line")
+                        raise GraphInputError(
+                            "edge before first 't' line",
+                            path=path, line=lineno)
                     label = parts[3] if len(parts) > 3 else ""
                     current.add_edge(int(parts[1]), int(parts[2]),
                                      label=label)
                 else:
-                    raise FormatError(f"unknown record type {kind!r}")
+                    raise GraphInputError(
+                        f"unknown record type {kind!r}",
+                        path=path, line=lineno)
             except (IndexError, ValueError) as exc:
-                raise FormatError(
-                    f"{path}:{lineno}: malformed line {line!r}") from exc
+                raise GraphInputError(
+                    f"malformed line {line!r}",
+                    path=path, line=lineno) from exc
     return graphs
 
 
@@ -136,7 +155,9 @@ def read_repository_json(path: PathLike) -> List[Graph]:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
-            raise FormatError(f"invalid JSON in {path}: {exc}") from exc
+            raise GraphInputError(f"invalid JSON: {exc}", path=path,
+                                  line=exc.lineno) from exc
     if not isinstance(payload, list):
-        raise FormatError(f"{path}: expected a JSON array of graphs")
-    return [graph_from_dict(item) for item in payload]
+        raise GraphInputError("expected a JSON array of graphs",
+                              path=path)
+    return [graph_from_dict(item, path=path) for item in payload]

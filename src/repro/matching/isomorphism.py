@@ -41,6 +41,8 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.graph import Graph
+from repro.resilience.chaos import site as chaos_site
+from repro.errors import OptionError
 
 WILDCARD = "*"
 
@@ -118,7 +120,7 @@ class SubgraphMatcher:
     def __init__(self, pattern: Graph, target: Graph,
                  induced: bool = False, kernel: str = "indexed") -> None:
         if kernel not in ("indexed", "legacy"):
-            raise ValueError(f"unknown matching kernel {kernel!r}")
+            raise OptionError(f"unknown matching kernel {kernel!r}")
         self.pattern = pattern
         self.target = target
         self.induced = induced
@@ -329,7 +331,15 @@ def find_embedding(pattern: Graph, target: Graph,
 
 def is_subgraph(pattern: Graph, target: Graph,
                 induced: bool = False) -> bool:
-    """True iff the pattern embeds in the target."""
+    """True iff the pattern embeds in the target.
+
+    This is the matcher entry every selection loop drives, so it is a
+    named :mod:`repro.resilience.chaos` injection site
+    (``"matching.is_subgraph"``) — a scripted fault here surfaces as
+    a :class:`repro.errors.WorkerFailure` the calling stage must
+    absorb.
+    """
+    chaos_site("matching.is_subgraph")
     return find_embedding(pattern, target, induced=induced) is not None
 
 

@@ -30,7 +30,7 @@ from repro.clustering.similarity import (
     vector_euclidean,
 )
 from repro.datasets.evolving import UpdateBatch
-from repro.errors import MaintenanceError, PipelineError
+from repro.errors import MaintenanceError, PipelineError, WorkerFailure
 from repro.graph.graph import Graph
 from repro.graphlets.counting import GRAPHLET_KEYS, count_graphlets, gfd_distance
 from repro.matching.isomorphism import is_subgraph
@@ -42,6 +42,7 @@ from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SetScorer, greedy_select
 from repro.perf.cache import MatchCache
+from repro.resilience.deadline import CompletionReport, Deadline
 from repro.summary.closure import SummaryGraph, build_summary
 from repro.catapult.pipeline import default_cluster_count
 
@@ -61,7 +62,8 @@ class MidasConfig:
     __slots__ = ("drift_threshold", "min_tree_support", "max_tree_edges",
                  "walks_per_cluster", "coverage_sample", "max_embeddings",
                  "max_scans", "prune", "seed", "weights", "clusters",
-                 "workers", "use_cache", "trace")
+                 "workers", "use_cache", "trace", "deadline_s",
+                 "max_retries")
 
     def __init__(self, drift_threshold: float = 0.015,
                  min_tree_support: int = 2, max_tree_edges: int = 3,
@@ -72,7 +74,9 @@ class MidasConfig:
                  clusters: Optional[int] = None,
                  workers: Optional[int] = None,
                  use_cache: bool = True,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 deadline_s: Optional[float] = None,
+                 max_retries: int = 0) -> None:
         self.drift_threshold = drift_threshold
         self.min_tree_support = min_tree_support
         self.max_tree_edges = max_tree_edges
@@ -87,6 +91,8 @@ class MidasConfig:
         self.workers = workers
         self.use_cache = use_cache
         self.trace = trace
+        self.deadline_s = deadline_s
+        self.max_retries = max_retries
 
     @classmethod
     def from_pipeline(cls, pipeline) -> "MidasConfig":
@@ -99,9 +105,27 @@ class MidasConfig:
             raise PipelineError(
                 "unknown MIDAS option(s): " + ", ".join(unknown))
         for name in ("seed", "workers", "use_cache", "weights",
-                     "max_embeddings", "trace"):
+                     "max_embeddings", "trace", "deadline_s",
+                     "max_retries"):
             kwargs.setdefault(name, getattr(pipeline, name))
         return cls(**kwargs)
+
+
+class QuarantinedOp:
+    """One batch operation refused by validation (never applied)."""
+
+    __slots__ = ("op", "name", "reason")
+
+    def __init__(self, op: str, name: str, reason: str) -> None:
+        self.op = op
+        self.name = name
+        self.reason = reason
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"op": self.op, "name": self.name, "reason": self.reason}
+
+    def __repr__(self) -> str:
+        return f"<QuarantinedOp {self.op} {self.name!r}: {self.reason}>"
 
 
 class MaintenanceReport:
@@ -109,18 +133,25 @@ class MaintenanceReport:
 
     ``trace`` is the batch's :mod:`repro.obs` span record (``None``
     unless tracing was on); ``stats`` flattens the report for the
-    shared result shape.
+    shared result shape.  ``quarantine`` lists batch operations that
+    failed validation and were skipped — the valid remainder of the
+    batch is still applied, so one malformed op can no longer corrupt
+    (or abort) engine state.  ``degraded`` is True when anything was
+    quarantined or a maintenance stage stopped short.
     """
 
     __slots__ = ("batch_index", "kind", "drift", "added", "removed",
                  "modified_clusters", "swap_stats", "duration",
-                 "score_before", "score_after", "trace")
+                 "score_before", "score_after", "trace", "quarantine",
+                 "completion")
 
     def __init__(self, batch_index: int, kind: str, drift: float,
                  added: int, removed: int, modified_clusters: int,
                  swap_stats: Optional[SwapStats], duration: float,
                  score_before: float, score_after: float,
-                 trace: Optional[Dict[str, object]] = None) -> None:
+                 trace: Optional[Dict[str, object]] = None,
+                 quarantine: Optional[List[QuarantinedOp]] = None,
+                 completion: Optional[CompletionReport] = None) -> None:
         self.batch_index = batch_index
         self.kind = kind
         self.drift = drift
@@ -132,6 +163,12 @@ class MaintenanceReport:
         self.score_before = score_before
         self.score_after = score_after
         self.trace = trace
+        self.quarantine = list(quarantine or [])
+        self.completion = completion or CompletionReport()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantine) or self.completion.degraded
 
     @property
     def stats(self) -> Dict[str, object]:
@@ -146,7 +183,12 @@ class MaintenanceReport:
             "duration": self.duration,
             "score_before": self.score_before,
             "score_after": self.score_after,
+            "degraded": self.degraded,
+            "completion": self.completion.as_dict(),
         }
+        if self.quarantine:
+            data["quarantined"] = [op.as_dict()
+                                   for op in self.quarantine]
         if self.swap_stats is not None:
             data["swap"] = {
                 "scans": self.swap_stats.scans,
@@ -157,9 +199,13 @@ class MaintenanceReport:
         return data
 
     def __repr__(self) -> str:
+        flags = ""
+        if self.quarantine:
+            flags = f" quarantined={len(self.quarantine)}"
         return (f"<MaintenanceReport #{self.batch_index} {self.kind} "
                 f"drift={self.drift:.4f} "
-                f"score {self.score_before:.3f}->{self.score_after:.3f}>")
+                f"score {self.score_before:.3f}->{self.score_after:.3f}"
+                f"{flags}>")
 
 
 class Midas:
@@ -264,6 +310,8 @@ class Midas:
             graph, self._vocabulary, self.config.max_tree_edges)
 
     def _initialize(self) -> None:
+        deadline = Deadline.start(self.config.deadline_s)
+        report = CompletionReport()
         with capture("midas.initialize", force=self.config.trace,
                      graphs=len(self._graphs)) as run:
             graphs = self.graphs()
@@ -274,10 +322,18 @@ class Midas:
                 self._gfd = self.gfd()
                 self._vocabulary = self.fct.frequent_closed()
                 stage.add("vocabulary", len(self._vocabulary))
+                report.record("fct", 1, 1)
             with span("midas.cluster") as stage:
                 k = self.config.clusters \
                     or default_cluster_count(len(graphs))
-                if self._vocabulary:
+                if deadline.check("midas.cluster"):
+                    # degrade to a single cluster rather than spend
+                    # an exhausted budget on the distance matrix
+                    labels = [0] * len(graphs)
+                    report.record("cluster", 0, 1,
+                                  note="deadline expired; "
+                                       "single-cluster fallback")
+                elif self._vocabulary:
                     matrix = [self._feature_of(g) for g in graphs]
                     distances = distance_matrix_from_vectors(
                         matrix, "euclidean",
@@ -285,27 +341,43 @@ class Midas:
                     clustering = kmedoids(distances, k,
                                           seed=self.config.seed)
                     labels = clustering.labels
+                    report.record("cluster", 1, 1)
                 else:
                     labels = [0] * len(graphs)
+                    report.record("cluster", 1, 1)
                 for graph, label in zip(graphs, labels):
                     self.membership[graph.name] = label
                 self._centroids = self._compute_centroids()
                 stage.add("clusters",
                           len(set(self.membership.values())))
             with span("midas.summaries") as stage:
-                self._rebuild_summaries(set(self.membership.values()))
+                self._rebuild_summaries(set(self.membership.values()),
+                                        deadline, report)
                 stage.add("summaries", len(self.summaries))
             with span("midas.candidates") as stage:
-                candidates = self._walk_candidates(set(self.summaries))
+                candidates = self._walk_candidates(
+                    set(self.summaries), deadline, report)
                 stage.add("candidates", len(candidates))
             with span("midas.select"):
                 scorer = self._make_scorer()
                 selection = greedy_select(candidates, self.budget,
-                                          scorer)
+                                          scorer, deadline=deadline)
+                report.record("select", len(selection.patterns),
+                              self.budget.max_patterns,
+                              complete=selection.complete
+                              and not selection.faults)
             self.patterns = selection.patterns
             self.last_score = selection.score
+            if report.degraded:
+                run.add("degraded", "true")
         self.trace = run.record
+        self.completion = report
         self._publish_cache_gauges()
+
+    @property
+    def degraded(self) -> bool:
+        """True when initialisation stopped short of its full work."""
+        return self.completion.degraded
 
     # ------------------------------------------------------------------
     # shared helpers
@@ -315,13 +387,27 @@ class Midas:
                 for name, label in self.membership.items()
                 if label == cluster]
 
-    def _rebuild_summaries(self, clusters: Set[int]) -> None:
-        for cluster in clusters:
+    def _rebuild_summaries(self, clusters: Set[int],
+                           deadline: Optional[Deadline] = None,
+                           report: Optional[CompletionReport] = None
+                           ) -> None:
+        """Rebuild the CSGs of ``clusters`` (anytime: at least one,
+        then poll the deadline; clusters cut off keep their stale
+        summary, which is still a valid candidate source)."""
+        deadline = deadline or Deadline(None)
+        done = 0
+        ordered = sorted(clusters)
+        for cluster in ordered:
+            if done and deadline.check("midas.summaries"):
+                break
             members = self._cluster_members(cluster)
             if members:
                 self.summaries[cluster] = build_summary(members)
             else:
                 self.summaries.pop(cluster, None)
+            done += 1
+        if report is not None:
+            report.record("summaries", done, len(ordered))
 
     def _compute_centroids(self) -> Dict[int, List[float]]:
         centroids: Dict[int, List[float]] = {}
@@ -348,18 +434,39 @@ class Midas:
                    key=lambda c: vector_euclidean(vector,
                                                   self._centroids[c]))
 
-    def _walk_candidates(self, clusters: Set[int]) -> List[Pattern]:
+    def _walk_candidates(self, clusters: Set[int],
+                         deadline: Optional[Deadline] = None,
+                         report: Optional[CompletionReport] = None
+                         ) -> List[Pattern]:
+        """Candidate patterns walked out of the given clusters' CSGs.
+
+        Anytime and fault-tolerant: clusters are processed in order
+        with a deadline poll after each (the first always runs), and
+        a matcher call that raises :class:`repro.errors.WorkerFailure`
+        inside a validator merely rejects that candidate — counted,
+        never propagated.
+        """
+        deadline = deadline or Deadline(None)
         candidates: List[Pattern] = []
         seen: Set[str] = set()
-        for cluster in sorted(clusters):
-            summary = self.summaries.get(cluster)
-            if summary is None:
-                continue
+        targets = [c for c in sorted(clusters) if c in self.summaries]
+        done = 0
+        faults = 0
+        for cluster in targets:
+            if done and deadline.check("midas.candidates"):
+                break
+            summary = self.summaries[cluster]
             members = self._cluster_members(cluster)[:8]
 
             def validator(candidate: Graph,
                           probe: List[Graph] = members) -> bool:
-                return any(is_subgraph(candidate, m) for m in probe)
+                nonlocal faults
+                try:
+                    return any(is_subgraph(candidate, m)
+                               for m in probe)
+                except WorkerFailure:
+                    faults += 1
+                    return False
 
             for pattern in generate_candidates(
                     summary, self.budget, self.config.walks_per_cluster,
@@ -368,6 +475,15 @@ class Midas:
                 if pattern.code not in seen:
                     seen.add(pattern.code)
                     candidates.append(pattern)
+            done += 1
+        if faults:
+            metrics.inc("midas.validator.faults", faults)
+        if report is not None:
+            report.record("candidates", done, len(targets),
+                          complete=done >= len(targets)
+                          and not faults,
+                          note=f"{faults} validator fault(s)"
+                          if faults else "")
         return candidates
 
     def _make_scorer(self) -> SetScorer:
@@ -409,6 +525,8 @@ class Midas:
             "graphs": len(self._graphs),
             "batches": self._batch_index,
             "score": self.last_score,
+            "degraded": self.degraded,
+            "completion": self.completion.as_dict(),
         }
         cache = self.cache_stats()
         if cache is not None:
@@ -418,43 +536,89 @@ class Midas:
     # ------------------------------------------------------------------
     # batch application
     # ------------------------------------------------------------------
+    def _validate_batch(self, batch: UpdateBatch
+                        ) -> "tuple[List[str], List[Graph], List[QuarantinedOp]]":
+        """Split a batch into applicable ops and a quarantine list.
+
+        Validation happens *before* any mutation, so a malformed op
+        can neither corrupt engine state mid-batch nor abort the
+        valid remainder: unknown removals and duplicate/unnamed
+        additions are skipped and reported, everything else applies.
+        """
+        quarantine: List[QuarantinedOp] = []
+        removals: List[str] = []
+        seen_removed: Set[str] = set()
+        for name in batch.removed:
+            if name not in self._graphs or name in seen_removed:
+                quarantine.append(QuarantinedOp(
+                    "remove", str(name), "unknown graph"))
+                continue
+            seen_removed.add(name)
+            removals.append(name)
+        additions: List[Graph] = []
+        seen_added: Set[str] = set()
+        for graph in batch.added:
+            if not graph.name:
+                quarantine.append(QuarantinedOp(
+                    "add", "", "graph needs a name"))
+                continue
+            occupied = (graph.name in self._graphs
+                        and graph.name not in seen_removed)
+            if occupied or graph.name in seen_added:
+                quarantine.append(QuarantinedOp(
+                    "add", graph.name, "duplicate graph name"))
+                continue
+            seen_added.add(graph.name)
+            additions.append(graph)
+        return removals, additions, quarantine
+
     def apply_batch(self, batch: UpdateBatch) -> MaintenanceReport:
-        """Apply one update batch and maintain the pattern set."""
+        """Apply one update batch and maintain the pattern set.
+
+        Invalid operations are quarantined (skipped, counted, and
+        listed on the report) while the valid remainder of the batch
+        is applied — the engine never raises on malformed batch
+        content and never mutates state for an op that will fail.
+        """
         start = time.perf_counter()
         self._batch_index += 1
         modified: Set[int] = set()
         stats: Optional[SwapStats] = None
+        deadline = Deadline.start(self.config.deadline_s)
+        report = CompletionReport()
 
         with capture("midas.apply_batch", force=self.config.trace,
                      batch=self._batch_index) as run:
             with span("midas.update") as stage:
-                for name in batch.removed:
-                    graph = self._graphs.pop(name, None)
-                    if graph is None:
-                        raise MaintenanceError(
-                            f"cannot remove unknown graph {name!r}")
+                removals, additions, quarantine = \
+                    self._validate_batch(batch)
+                for name in removals:
+                    graph = self._graphs.pop(name)
                     self.fct.remove_graph(graph)
                     self._account_graphlets(graph, -1)
                     modified.add(self.membership.pop(name))
-                for graph in batch.added:
-                    if not graph.name or graph.name in self._graphs:
-                        raise MaintenanceError(
-                            "added graph needs a fresh name "
-                            f"({graph.name!r})")
+                for graph in additions:
                     self._graphs[graph.name] = graph
                     self.fct.add_graph(graph)
                     self._account_graphlets(graph, +1)
                     cluster = self._nearest_cluster(graph)
                     self.membership[graph.name] = cluster
                     modified.add(cluster)
-                stage.add("added", len(batch.added))
-                stage.add("removed", len(batch.removed))
+                stage.add("added", len(additions))
+                stage.add("removed", len(removals))
+                if quarantine:
+                    stage.add("quarantined", len(quarantine))
+                    metrics.inc("midas.quarantined", len(quarantine))
+                ops = len(batch.added) + len(batch.removed)
+                report.record("update", ops - len(quarantine), ops,
+                              note=f"{len(quarantine)} op(s) "
+                              "quarantined" if quarantine else "")
 
             # drift accumulates since the last time patterns were
             # (re)selected; minor batches do not reset the baseline
             drift = gfd_distance(self._gfd, self.gfd())
             with span("midas.summaries") as stage:
-                self._rebuild_summaries(modified)
+                self._rebuild_summaries(modified, deadline, report)
                 stage.add("modified", len(modified))
 
             with span("midas.score"):
@@ -475,7 +639,8 @@ class Midas:
                     self._vocabulary = self.fct.frequent_closed()
                     self._centroids = self._compute_centroids()
                 with span("midas.candidates") as stage:
-                    candidates = self._walk_candidates(modified)
+                    candidates = self._walk_candidates(
+                        modified, deadline, report)
                     stage.add("candidates", len(candidates))
                 with span("midas.swap"):
                     swapped, stats = multi_scan_swap(
@@ -487,11 +652,19 @@ class Midas:
                     if len(patterns) < self.budget.max_patterns:
                         selection = greedy_select(
                             candidates, self.budget, scorer,
-                            seed_patterns=list(patterns))
+                            seed_patterns=list(patterns),
+                            deadline=deadline)
                         patterns = selection.patterns
+                        report.record(
+                            "select", len(patterns),
+                            self.budget.max_patterns,
+                            complete=selection.complete
+                            and not selection.faults)
                 self.patterns = patterns
                 score_after = scorer.score(list(patterns))
                 self.last_score = score_after
+            if quarantine or report.degraded:
+                run.add("degraded", "true")
 
         metrics.inc("midas.batches")
         metrics.inc(f"midas.batches.{kind}")
@@ -499,7 +672,8 @@ class Midas:
         duration = time.perf_counter() - start
         return MaintenanceReport(
             self._batch_index, kind, drift,
-            added=len(batch.added), removed=len(batch.removed),
+            added=len(additions), removed=len(removals),
             modified_clusters=len(modified), swap_stats=stats,
             duration=duration, score_before=score_before,
-            score_after=score_after, trace=run.record)
+            score_after=score_after, trace=run.record,
+            quarantine=quarantine, completion=report)

@@ -27,6 +27,7 @@ from repro.graph.operations import triangles
 from repro.matching.canonical import canonical_code
 from repro.matching.isomorphism import covered_edges, is_subgraph
 from repro.patterns.base import Pattern
+from repro.errors import OptionError
 
 # ----------------------------------------------------------------------
 # cognitive load
@@ -282,7 +283,7 @@ def pattern_similarity(p1: Pattern, p2: Pattern,
     if method == "ged":
         from repro.matching.edit_distance import ged_similarity
         return ged_similarity(p1.graph, p2.graph)
-    raise ValueError(f"unknown similarity method {method!r}")
+    raise OptionError(f"unknown similarity method {method!r}")
 
 
 def set_diversity(patterns: Sequence[Pattern],
@@ -315,7 +316,7 @@ class ScoreWeights:
     def __init__(self, coverage: float = 1.0, diversity: float = 1.0,
                  cognitive_load: float = 0.5) -> None:
         if min(coverage, diversity, cognitive_load) < 0:
-            raise ValueError("score weights must be non-negative")
+            raise OptionError("score weights must be non-negative")
         self.coverage = coverage
         self.diversity = diversity
         self.cognitive_load = cognitive_load

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import BudgetError
+from repro.errors import BudgetError, WorkerFailure
 from repro.obs import metrics, span
+from repro.resilience.deadline import UNBOUNDED, Deadline
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import (
@@ -85,26 +86,39 @@ class SetScorer:
 
 
 class SelectionResult:
-    """Selected patterns plus the per-round score trajectory."""
+    """Selected patterns plus the per-round score trajectory.
 
-    __slots__ = ("patterns", "score", "trajectory", "considered")
+    ``complete`` is False when the sweep stopped early on an expired
+    :class:`repro.resilience.Deadline`; ``faults`` counts candidate
+    evaluations dropped because scoring raised a
+    :class:`repro.errors.WorkerFailure` (a crashed matcher call, or
+    an injected one) — both feed the pipeline completion report.
+    """
+
+    __slots__ = ("patterns", "score", "trajectory", "considered",
+                 "complete", "faults")
 
     def __init__(self, patterns: PatternSet, score: float,
-                 trajectory: List[float], considered: int) -> None:
+                 trajectory: List[float], considered: int,
+                 complete: bool = True, faults: int = 0) -> None:
         self.patterns = patterns
         self.score = score
         self.trajectory = trajectory
         self.considered = considered
+        self.complete = complete
+        self.faults = faults
 
     def __repr__(self) -> str:
+        state = "" if self.complete else " partial"
         return (f"<SelectionResult k={len(self.patterns)} "
-                f"score={self.score:.3f}>")
+                f"score={self.score:.3f}{state}>")
 
 
 def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
                   scorer: SetScorer,
                   seed_patterns: Sequence[Pattern] = (),
-                  improve_only: bool = False) -> SelectionResult:
+                  improve_only: bool = False,
+                  deadline: Deadline = UNBOUNDED) -> SelectionResult:
     """Greedily pick up to ``budget.max_patterns`` candidates.
 
     Each round adds the candidate whose inclusion maximises the set
@@ -115,6 +129,13 @@ def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
 
     ``seed_patterns`` are treated as already selected (they count
     against the budget) — MIDAS uses this to extend a maintained set.
+
+    The sweep is an anytime algorithm: it always completes at least
+    one round, then polls ``deadline`` between rounds and returns its
+    best-so-far set (``complete=False``) once the budget is gone.  A
+    candidate whose evaluation raises :class:`repro.errors.
+    WorkerFailure` is dropped from that round and counted in
+    ``faults`` instead of aborting the sweep.
     """
     admissible = [c for c in candidates if budget.admits(c.graph)]
     with span("patterns.greedy_select",
@@ -125,14 +146,24 @@ def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
         chosen_codes = {p.code for p in selected}
         trajectory: List[float] = []
         evaluations = 0
+        faults = 0
+        complete = True
         current = scorer.score(selected) if selected else 0.0
         while len(selected) < budget.max_patterns:
+            if trajectory and deadline.check("patterns.greedy_select"):
+                complete = False
+                break
             best: Optional[Pattern] = None
             best_score = float("-inf")
             for candidate in admissible:
                 if candidate.code in chosen_codes:
                     continue
-                score = scorer.score(selected + [candidate])
+                try:
+                    score = scorer.score(selected + [candidate])
+                except WorkerFailure:
+                    faults += 1
+                    metrics.inc("patterns.greedy.faults")
+                    continue
                 evaluations += 1
                 if score > best_score:
                     best_score = score
@@ -148,10 +179,15 @@ def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
         sweep.add("rounds", len(trajectory))
         sweep.add("evaluations", evaluations)
         sweep.add("selected", len(selected))
+        if faults:
+            sweep.add("faults", faults)
+        if not complete:
+            sweep.add("partial", "true")
     metrics.inc("patterns.greedy.calls")
     metrics.inc("patterns.greedy.evaluations", evaluations)
     return SelectionResult(PatternSet(selected), current, trajectory,
-                           considered=len(admissible))
+                           considered=len(admissible),
+                           complete=complete, faults=faults)
 
 
 def exhaustive_select(candidates: Sequence[Pattern],

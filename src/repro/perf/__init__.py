@@ -15,6 +15,13 @@ auditable in one place:
   results, keyed by ``(pattern canonical code, graph fingerprint)``,
   with hit/miss/eviction counters.
 
+Fault tolerance (``max_retries``/``on_item_failure``/
+``item_timeout_s`` on :func:`pmap`) keeps those contracts under
+partial failure: a failing item retries with deterministic backoff
+(:func:`backoff_s`), escalates to one in-process re-run, and — policy
+permitting — is skipped with an :class:`ItemFailure` record occupying
+its result slot, so input order survives even when items do not.
+
 Observability moved to :mod:`repro.obs`: ``pmap`` reports dispatch
 counters to its metrics registry and ships per-item trace subtrees
 back from workers (see :func:`repro.obs.attach_record`), and
@@ -39,6 +46,9 @@ from repro.perf.cache import (
 )
 from repro.matching.isomorphism import kernel_stats, reset_kernel_stats
 from repro.perf.executor import (
+    FAILURE_POLICIES,
+    ItemFailure,
+    backoff_s,
     derive_seed,
     derive_seeds,
     pmap,
@@ -46,7 +56,10 @@ from repro.perf.executor import (
 )
 
 __all__ = [
+    "FAILURE_POLICIES",
+    "ItemFailure",
     "MatchCache",
+    "backoff_s",
     "cache_stats",
     "cached_canonical_code",
     "cached_covered_edges",

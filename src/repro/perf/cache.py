@@ -29,6 +29,7 @@ from collections import OrderedDict
 from typing import Dict, FrozenSet, Optional, Tuple
 from weakref import WeakKeyDictionary
 
+from repro.errors import OptionError
 from repro.graph.graph import Graph
 from repro.matching.canonical import canonical_code
 from repro.matching.isomorphism import (
@@ -95,7 +96,7 @@ class MatchCache:
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries < 1:
-            raise ValueError("cache needs room for at least one entry")
+            raise OptionError("cache needs room for at least one entry")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         self.hits = 0

@@ -22,6 +22,18 @@ When :mod:`repro.obs` tracing is enabled, every item runs under a
 for its item is shipped back with the result (span records are plain
 picklable dicts) and re-attached in input order, so the merged trace
 is identical to the serial one up to wall-clock fields.
+
+Fault tolerance is opt-in per call (``max_retries`` /
+``on_item_failure`` / ``item_timeout_s``).  A failing item climbs a
+deterministic ladder — in-place retries with seeded exponential
+backoff, one serial re-run in the coordinator, then (policy
+permitting) skip-with-record: the item's slot in the result list
+holds an :class:`ItemFailure` so input-order determinism survives
+partial failure, and per-item trace records are still shipped back
+and re-attached.  Attempt numbering is global across the ladder
+(worker attempts ``0..max_retries``, serial re-run
+``max_retries+1``), so an item's fate under a :mod:`repro.
+resilience.chaos` fault plan is identical at every worker count.
 """
 
 from __future__ import annotations
@@ -30,15 +42,31 @@ import concurrent.futures
 import hashlib
 import os
 import pickle
+import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.errors import OptionError, WorkerFailure
 from repro.obs.metrics import inc as _metric_inc
 from repro.obs.tracing import SpanRecord, attach_record, capture, span, \
     tracing_enabled
+from repro.resilience.chaos import (
+    CORRUPTED as _CORRUPTED,
+    FaultPlan as _FaultPlan,
+    active_plan as _active_plan,
+    install as _install_plan,
+    is_corrupt as _is_corrupt,
+    site as _chaos_site,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Failure policies, in escalation order: ``raise`` propagates after
+#: the ladder is exhausted, ``serial`` expects the in-process re-run
+#: to succeed (and raises if it does not), ``skip`` records the item
+#: as an :class:`ItemFailure` in its result slot and moves on.
+FAILURE_POLICIES = ("raise", "serial", "skip")
 
 #: Environment variable consulted when ``workers`` is not given.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -94,6 +122,133 @@ def _mark_worker() -> None:
     os.environ[_IN_WORKER_ENV] = "1"
 
 
+class ItemFailure:
+    """The result-slot record of an item skipped after the failure
+    ladder was exhausted (``on_item_failure="skip"``).
+
+    Occupying the failed item's slot keeps ``pmap``'s input-order
+    contract intact under partial failure; callers filter with
+    ``isinstance`` and report the skip in their completion report.
+    """
+
+    __slots__ = ("index", "site", "attempts", "error")
+
+    def __init__(self, index: int, site: str, attempts: int,
+                 error: str) -> None:
+        self.index = index
+        self.site = site
+        self.attempts = attempts
+        self.error = error
+
+    def __repr__(self) -> str:
+        return (f"<ItemFailure #{self.index} site={self.site} "
+                f"attempts={self.attempts} {self.error!r}>")
+
+
+def backoff_s(base_s: float, attempt: int, seed: int,
+              index: int) -> float:
+    """Deterministic exponential backoff with seeded jitter.
+
+    ``base_s * 2**attempt`` scaled by a jitter factor in [1, 2) split
+    from ``(seed, index, attempt)`` via :func:`derive_seed` — the
+    same wait on every run, every platform, every worker count.
+    """
+    jitter = derive_seed(seed, (index << 8) | (attempt & 0xFF))
+    return base_s * (2 ** attempt) * (1.0 + jitter / float(2 ** 63))
+
+
+def _failure_text(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def failure_policy(max_retries: int = 0,
+                   deadline_s: Optional[float] = None) -> str:
+    """The ``on_item_failure`` policy a pipeline stage should use.
+
+    ``"skip"`` (degrade and record) whenever the run opted into
+    resilience — retries, a wall-clock budget, or an installed chaos
+    plan — and ``"raise"`` otherwise, which keeps fault-free runs on
+    :func:`pmap`'s chunked fast path.
+    """
+    if (max_retries > 0 or deadline_s is not None
+            or _active_plan() is not None):
+        return "skip"
+    return "raise"
+
+
+def _run_attempts(fn: Callable, index: int, item: object,
+                  first_attempt: int, attempts: int, base_s: float,
+                  seed: int, site_name: str,
+                  plan: Optional[_FaultPlan], traced: bool,
+                  ship_record: bool) -> Tuple[str, int, object,
+                                              Optional[SpanRecord]]:
+    """Run one item for up to ``attempts`` attempts, numbered from
+    ``first_attempt``.  Returns ``(status, attempts_used, value,
+    record)`` where status is ``"ok"`` or ``"fail"`` and value is the
+    result or the failure text.
+
+    Each call installs a fresh zero-counter copy of the fault plan,
+    so chaos decisions depend only on (key, attempt, within-item call
+    count) — never on which process ran the item.  With
+    ``ship_record`` the item's trace subtree is captured and returned
+    for the coordinator to re-attach (pool workers); otherwise a
+    plain span attaches into the open trace in place (serial runs).
+    """
+    previous = _install_plan(plan.fresh()) if plan is not None else None
+    scope = None
+    if traced:
+        scope = (capture("pmap.item", force=True, index=index)
+                 if ship_record else span("pmap.item", index=index))
+        scope.__enter__()
+    status, used, value = "fail", 0, "no attempts made"
+    try:
+        for offset in range(attempts):
+            attempt = first_attempt + offset
+            used = offset + 1
+            try:
+                corrupt = _chaos_site(site_name, key=index,
+                                      attempt=attempt)
+                result = fn(item)
+                if corrupt:
+                    result = _CORRUPTED
+                if _is_corrupt(result):
+                    raise WorkerFailure(
+                        site_name, key=index, attempt=attempt,
+                        kind="corrupt",
+                        cause="corrupted result detected in transit")
+                status, value = "ok", result
+                break
+            except Exception as exc:  # noqa: BLE001 - ladder boundary
+                value = _failure_text(exc)
+                _metric_inc("perf.pmap.item_errors")
+                if scope is not None:
+                    scope.add("errors", 1)
+                if offset + 1 < attempts:
+                    _metric_inc("perf.pmap.retries")
+                    time.sleep(backoff_s(base_s, attempt, seed, index))
+        if scope is not None and status != "ok":
+            scope.add("failed", "true")
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
+        if plan is not None:
+            _install_plan(previous)
+    record = scope.record if (scope is not None and ship_record) else None
+    return status, used, value, record
+
+
+def _resilient_entry(payload) -> Tuple[str, int, object,
+                                       Optional[SpanRecord]]:
+    """Pool-worker entry for the fault-tolerant path: run the in-item
+    attempt loop and ship the (status, attempts, value, trace record)
+    tuple back — every component picklable by construction."""
+    (fn, index, item, max_retries, base_s, seed, site_name, plan,
+     traced) = payload
+    return _run_attempts(
+        fn, index, item, 0, max_retries + 1, base_s, seed, site_name,
+        plan, traced, ship_record=True)
+
+
 def _traced_item(payload: Tuple[Callable, int, object]
                  ) -> Tuple[object, SpanRecord]:
     """Run one item in a pool worker under a ``pmap.item`` capture and
@@ -118,9 +273,118 @@ def _serial_map(fn: Callable[[T], R], work: List[T],
     return results
 
 
+def _resilient_map(fn: Callable, work: List, workers: int,
+                   max_retries: int, on_item_failure: str,
+                   base_s: float, seed: int, site_name: str,
+                   item_timeout_s: Optional[float],
+                   traced: bool) -> List:
+    """The fault-tolerant coordinator behind :func:`pmap`.
+
+    Items are submitted one future each (so a single stuck item can
+    time out without blocking the batch); a timeout abandons the pool
+    outright — ``shutdown(wait=False, cancel_futures=True)``, never a
+    blocking ``with`` exit — salvages siblings that already finished,
+    and resolves everything unresolved in-process.  Failed primaries
+    then climb the escalation ladder per item, in input order.
+    """
+    plan = _active_plan()
+    outcomes: List[Optional[Tuple[str, int, object,
+                                  Optional[SpanRecord]]]] = \
+        [None] * len(work)
+    parallel = (workers > 1 and len(work) > 1
+                and not os.environ.get(_IN_WORKER_ENV))
+    if parallel:
+        _metric_inc("perf.pmap.parallel_calls")
+        pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(work)),
+                initializer=_mark_worker)
+            futures = [
+                pool.submit(_resilient_entry,
+                            (fn, index, item, max_retries, base_s,
+                             seed, site_name, plan, traced))
+                for index, item in enumerate(work)]
+            for index, future in enumerate(futures):
+                try:
+                    outcomes[index] = future.result(
+                        timeout=item_timeout_s)
+                except concurrent.futures.TimeoutError:
+                    _metric_inc("perf.pmap.timeouts")
+                    outcomes[index] = (
+                        "timeout", max_retries + 1,
+                        f"WorkerFailure: item {index} exceeded "
+                        f"{item_timeout_s}s timeout", None)
+                    # A stuck worker means a stuck pool: abandon it
+                    # without waiting, keep siblings that finished,
+                    # resolve the rest in-process below.
+                    for later in range(index + 1, len(futures)):
+                        other = futures[later]
+                        if other.done() and not other.cancelled():
+                            try:
+                                outcomes[later] = other.result(
+                                    timeout=0)
+                            except Exception as exc:  # noqa: BLE001
+                                outcomes[later] = (
+                                    "fail", max_retries + 1,
+                                    _failure_text(exc), None)
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    break
+        except _POOL_ERRORS:
+            _metric_inc("perf.pmap.fallback_calls")
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+    else:
+        _metric_inc("perf.pmap.serial_calls")
+    for index, item in enumerate(work):
+        if outcomes[index] is None:
+            outcomes[index] = _run_attempts(
+                fn, index, item, 0, max_retries + 1, base_s, seed,
+                site_name, plan, traced, ship_record=False)
+    results: List = []
+    for index, outcome in enumerate(outcomes):
+        status, used, value, record = outcome
+        if record is not None:
+            attach_record(record)
+        if status == "ok":
+            results.append(value)
+            continue
+        if status != "timeout" and on_item_failure in ("serial", "skip"):
+            # one in-process re-run, continuing the global attempt
+            # numbering (a timed-out fn is assumed genuinely stuck and
+            # is never re-run in the coordinator)
+            _metric_inc("perf.pmap.serial_reruns")
+            rerun_status, rerun_used, rerun_value, _ = _run_attempts(
+                fn, index, work[index], max_retries + 1, 1, base_s,
+                seed, site_name, plan, traced, ship_record=False)
+            used += rerun_used
+            if rerun_status == "ok":
+                results.append(rerun_value)
+                continue
+            value = rerun_value
+        if on_item_failure == "skip":
+            _metric_inc("perf.pmap.items_skipped")
+            results.append(ItemFailure(index, site_name, used,
+                                       str(value)))
+            continue
+        raise WorkerFailure(
+            site_name, key=index, attempt=max(0, used - 1),
+            kind="hang" if status == "timeout" else "raise",
+            cause=value)
+    return results
+
+
 def pmap(fn: Callable[[T], R], items: Sequence[T],
          workers: Optional[int] = None,
-         chunksize: Optional[int] = None) -> List[R]:
+         chunksize: Optional[int] = None, *,
+         max_retries: int = 0,
+         on_item_failure: str = "raise",
+         retry_base_s: float = 0.001,
+         retry_seed: int = 0,
+         item_timeout_s: Optional[float] = None,
+         site: str = "pmap.item") -> List[R]:
     """Map ``fn`` over ``items``, in parallel, preserving input order.
 
     Parameters
@@ -135,15 +399,50 @@ def pmap(fn: Callable[[T], R], items: Sequence[T],
     chunksize:
         Items handed to a worker per dispatch; defaults to
         ``ceil(len(items) / (workers * 4))`` so stragglers rebalance.
+        (Fault-tolerant runs submit one future per item instead, so a
+        single stuck item can time out without stalling a chunk.)
+    max_retries:
+        In-place retries per failing item before escalation, with
+        deterministic seeded backoff (:func:`backoff_s`).
+    on_item_failure:
+        ``"raise"`` (default) propagates a :class:`repro.errors.
+        WorkerFailure` once an item's ladder is exhausted; ``"serial"``
+        adds one in-process re-run first; ``"skip"`` additionally
+        replaces an unrecoverable item's result slot with an
+        :class:`ItemFailure` record and keeps going.
+    retry_base_s / retry_seed:
+        Backoff scale and jitter seed — the same waits on every run.
+    item_timeout_s:
+        Per-item wall-clock limit for pool workers.  On expiry the
+        pool is abandoned (never joined) and unfinished items are
+        resolved in-process; the stuck item itself fails with kind
+        ``"hang"`` and is not re-run.
+    site:
+        Failure-site name for error records and for
+        :mod:`repro.resilience.chaos` fault plans targeting this call.
 
     The return value is exactly ``[fn(item) for item in items]``; the
     pool is an implementation detail that can never change the result.
+    With ``on_item_failure="skip"`` the contract weakens per failed
+    item only: that item's slot holds an :class:`ItemFailure`.
     """
+    if on_item_failure not in FAILURE_POLICIES:
+        raise OptionError(
+            f"unknown on_item_failure {on_item_failure!r}; expected "
+            f"one of {FAILURE_POLICIES}")
+    if max_retries < 0:
+        raise OptionError("max_retries must be >= 0")
     work = list(items)
     workers = resolve_workers(workers)
     traced = tracing_enabled()
     _metric_inc("perf.pmap.calls")
     _metric_inc("perf.pmap.items", len(work))
+    if (max_retries > 0 or on_item_failure != "raise"
+            or item_timeout_s is not None
+            or _active_plan() is not None):
+        return _resilient_map(fn, work, workers, max_retries,
+                              on_item_failure, retry_base_s,
+                              retry_seed, site, item_timeout_s, traced)
     if workers <= 1 or len(work) <= 1 or os.environ.get(_IN_WORKER_ENV):
         _metric_inc("perf.pmap.serial_calls")
         return _serial_map(fn, work, traced)

@@ -1,0 +1,246 @@
+"""Deterministic fault injection for resilience testing.
+
+A :class:`FaultPlan` is a seeded, picklable script of failures —
+*raise*, *hang*, or *corrupt* — fired at named **sites** threaded
+through the library (``"catapult.candidates"`` items inside pmap
+workers, ``"matching.is_subgraph"`` calls, ``"distributed.worker"``
+and ``"distributed.merge"`` in the simulated cluster).  Installed
+with the :func:`chaos` context manager, it lets the test suite assert
+the library's resilience contract: every injected failure mode either
+*recovers* (retry/serial re-run produce a result byte-identical to
+the fault-free run) or *degrades* (a well-formed result with
+``degraded=True`` and a completion report) — never a crash, never a
+hang.
+
+Two addressing modes keep injection deterministic at every worker
+count:
+
+* **keyed** — fire for specific work-item keys while ``attempt <
+  fail_attempts``.  Worker-side sites use this: an item's fate
+  depends only on its key and attempt number, never on which process
+  ran it or in what order.
+* **call-counted** — fire at the Nth call of the site (``at_calls``,
+  1-based).  Coordinator-side serial sites use this; inside a pmap
+  worker each item runs against a fresh zero-counter copy of the
+  plan, so "Nth call" means *within that item*.
+
+When no plan is installed every site check is one global-is-None
+test, so shipping the hooks in production code paths costs nothing.
+
+A *hang* is simulated as a bounded stall (``hang_s``) followed by a
+:class:`repro.errors.WorkerFailure` of kind ``"hang"`` — the same
+observable a real watchdog timeout would produce — so the recovery
+machinery is exercised without the suite ever actually deadlocking.
+A *corrupt* fault replaces the site's result with the
+:data:`CORRUPTED` sentinel, modelling a checksum-failed payload that
+transport validation (:func:`repro.perf.pmap`, the distributed merge)
+detects and converts into an item failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, \
+    Tuple
+
+from repro.errors import OptionError, WorkerFailure
+from repro.obs import metrics
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("raise", "hang", "corrupt")
+
+
+class _Corrupted:
+    """Sentinel standing in for a corrupted-in-transit result."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<CORRUPTED>"
+
+    def __reduce__(self):
+        return (_corrupted_instance, ())
+
+
+def _corrupted_instance() -> "_Corrupted":
+    return CORRUPTED
+
+
+CORRUPTED = _Corrupted()
+
+
+def is_corrupt(value: object) -> bool:
+    """True when ``value`` is the corruption sentinel."""
+    return value is CORRUPTED
+
+
+class FaultSpec:
+    """One scripted failure at a named site.
+
+    Parameters
+    ----------
+    site:
+        The injection point name this spec arms.
+    kind:
+        ``"raise"`` | ``"hang"`` | ``"corrupt"``.
+    keys:
+        Work-item keys to hit (keyed mode); ``None`` hits every key.
+    fail_attempts:
+        Fire while ``attempt < fail_attempts`` — ``1`` means the
+        first attempt fails and the retry succeeds (recovery path),
+        a large value means every attempt fails (degradation path).
+    at_calls:
+        1-based call numbers of the site to hit instead of keyed
+        matching (call-counted mode).
+    one_in:
+        Probabilistic mode: fire on calls whose seeded hash lands in
+        ``1/one_in`` of the space — deterministic for a given plan
+        seed, site, and call number.
+    hang_s:
+        Stall length for ``kind="hang"``.
+    """
+
+    __slots__ = ("site", "kind", "keys", "fail_attempts", "at_calls",
+                 "one_in", "hang_s", "message")
+
+    def __init__(self, site: str, kind: str = "raise",
+                 keys: Optional[Iterable[object]] = None,
+                 fail_attempts: int = 1,
+                 at_calls: Optional[Iterable[int]] = None,
+                 one_in: Optional[int] = None,
+                 hang_s: float = 0.05,
+                 message: str = "injected fault") -> None:
+        if kind not in FAULT_KINDS:
+            raise OptionError(f"unknown fault kind {kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        self.site = site
+        self.kind = kind
+        self.keys: Optional[FrozenSet[object]] = \
+            frozenset(keys) if keys is not None else None
+        self.fail_attempts = fail_attempts
+        self.at_calls: Optional[FrozenSet[int]] = \
+            frozenset(at_calls) if at_calls is not None else None
+        self.one_in = one_in
+        self.hang_s = hang_s
+        self.message = message
+
+    def matches(self, call: int, key: object, attempt: int,
+                seed: int) -> bool:
+        """Does this spec fire for the given site event?"""
+        if self.at_calls is not None:
+            return call in self.at_calls
+        if self.one_in is not None:
+            payload = f"{seed}:{self.site}:{call}".encode("ascii")
+            digest = hashlib.sha256(payload).digest()
+            return int.from_bytes(digest[:8], "big") % self.one_in == 0
+        if self.keys is not None and key not in self.keys:
+            return False
+        return attempt < self.fail_attempts
+
+    def __repr__(self) -> str:
+        mode = (f"at_calls={sorted(self.at_calls)}"
+                if self.at_calls is not None
+                else f"one_in={self.one_in}" if self.one_in is not None
+                else f"keys={self.keys and sorted(self.keys)} "
+                     f"fail_attempts={self.fail_attempts}")
+        return f"<FaultSpec {self.site} {self.kind} {mode}>"
+
+
+class FaultPlan:
+    """A seeded script of :class:`FaultSpec` entries plus per-site
+    call counters.  Plans are plain picklable state: :func:`repro.
+    perf.pmap` ships a :meth:`fresh` zero-counter copy to each work
+    item, so injection decisions depend only on (seed, site, key,
+    attempt, within-item call number)."""
+
+    __slots__ = ("specs", "seed", "calls", "fired")
+
+    def __init__(self, specs: Iterable[FaultSpec] = (),
+                 seed: int = 0) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+        self.calls: Dict[str, int] = {}
+        self.fired: List[Tuple[str, object, int, str]] = []
+
+    def fresh(self) -> "FaultPlan":
+        """A copy with zeroed call counters (per-work-item scope)."""
+        return FaultPlan(self.specs, seed=self.seed)
+
+    def sites(self) -> FrozenSet[str]:
+        return frozenset(spec.site for spec in self.specs)
+
+    def fire(self, site: str, key: object = None,
+             attempt: int = 0) -> bool:
+        """Consult the plan at a site; returns True to corrupt the
+        site's result, raises :class:`WorkerFailure` for raise/hang
+        faults, and is False when nothing is scripted here."""
+        call = self.calls.get(site, 0) + 1
+        self.calls[site] = call
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if not spec.matches(call, key, attempt, self.seed):
+                continue
+            self.fired.append((site, key, attempt, spec.kind))
+            metrics.inc("resilience.chaos.injected")
+            metrics.inc(f"resilience.chaos.injected.{spec.kind}")
+            if spec.kind == "corrupt":
+                return True
+            if spec.kind == "hang":
+                time.sleep(spec.hang_s)
+                raise WorkerFailure(
+                    site, key=key, attempt=attempt, kind="hang",
+                    cause=f"{spec.message} (stalled {spec.hang_s}s, "
+                          "watchdog timeout)")
+            raise WorkerFailure(site, key=key, attempt=attempt,
+                                kind="raise", cause=spec.message)
+        return False
+
+    def __repr__(self) -> str:
+        return (f"<FaultPlan seed={self.seed} specs={len(self.specs)} "
+                f"fired={len(self.fired)}>")
+
+
+#: The process-installed plan; ``None`` means chaos is off and every
+#: site check is a single comparison.
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, if any."""
+    return _ACTIVE
+
+
+def install(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` (or clear with ``None``); returns the
+    previous plan so callers can restore it.  :func:`repro.perf.pmap`
+    workers use this directly; tests should prefer :func:`chaos`."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    return previous
+
+
+@contextmanager
+def chaos(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install a fault plan for the duration of the block."""
+    previous = install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def site(name: str, key: object = None, attempt: int = 0) -> bool:
+    """Production-code injection hook.
+
+    Returns True when the caller's result must be replaced with
+    :data:`CORRUPTED`; raises :class:`WorkerFailure` for scripted
+    raise/hang faults; False (after one global comparison) when chaos
+    is off.
+    """
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.fire(name, key=key, attempt=attempt)

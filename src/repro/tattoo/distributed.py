@@ -27,13 +27,16 @@ import random
 import time
 from typing import Dict, List, Optional, Set
 
-from repro.errors import PipelineError
+from repro.errors import PipelineError, WorkerFailure
 from repro.graph.graph import Graph
 from repro.graph.operations import induced_subgraph
-from repro.obs import capture, span
+from repro.obs import capture, metrics, span
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
+from repro.resilience.chaos import CORRUPTED, is_corrupt
+from repro.resilience.chaos import site as chaos_site
+from repro.resilience.deadline import CompletionReport, Deadline
 from repro.tattoo.pipeline import TattooConfig, extract_candidates
 
 
@@ -92,20 +95,23 @@ class WorkerReport:
     """What one (simulated) worker did."""
 
     __slots__ = ("worker", "nodes", "halo_nodes", "candidates",
-                 "duration")
+                 "duration", "failed")
 
     def __init__(self, worker: int, nodes: int, halo_nodes: int,
-                 candidates: int, duration: float) -> None:
+                 candidates: int, duration: float,
+                 failed: bool = False) -> None:
         self.worker = worker
         self.nodes = nodes
         self.halo_nodes = halo_nodes
         self.candidates = candidates
         self.duration = duration
+        self.failed = failed
 
     def __repr__(self) -> str:
+        flag = " FAILED" if self.failed else ""
         return (f"<WorkerReport #{self.worker} nodes={self.nodes} "
                 f"candidates={self.candidates} "
-                f"{self.duration:.2f}s>")
+                f"{self.duration:.2f}s{flag}>")
 
 
 class DistributedResult:
@@ -119,12 +125,13 @@ class DistributedResult:
 
     __slots__ = ("patterns", "selection", "workers", "merge_duration",
                  "select_duration", "candidate_total",
-                 "candidate_unique", "trace")
+                 "candidate_unique", "completion", "trace")
 
     def __init__(self, patterns: PatternSet, selection: SelectionResult,
                  workers: List[WorkerReport], merge_duration: float,
                  select_duration: float, candidate_total: int,
                  candidate_unique: int,
+                 completion: Optional[CompletionReport] = None,
                  trace: Optional[Dict[str, object]] = None) -> None:
         self.patterns = patterns
         self.selection = selection
@@ -133,7 +140,15 @@ class DistributedResult:
         self.select_duration = select_duration
         self.candidate_total = candidate_total
         self.candidate_unique = candidate_unique
+        self.completion = completion or CompletionReport()
         self.trace = trace
+
+    @property
+    def degraded(self) -> bool:
+        """True when any worker failed, merge dropped a pool, or a
+        deadline/fault cut a stage short."""
+        return (any(w.failed for w in self.workers)
+                or self.completion.degraded)
 
     @property
     def stats(self) -> Dict[str, object]:
@@ -142,10 +157,13 @@ class DistributedResult:
             "pipeline": "tattoo-distributed",
             "patterns": len(self.patterns),
             "workers": len(self.workers),
+            "failed_workers": sum(1 for w in self.workers if w.failed),
             "candidates": self.candidate_total,
             "unique_candidates": self.candidate_unique,
             "considered": self.selection.considered,
             "score": self.selection.score,
+            "degraded": self.degraded,
+            "completion": self.completion.as_dict(),
             "timings": {
                 "makespan": self.makespan(),
                 "sequential_work": self.sequential_work(),
@@ -193,6 +211,8 @@ def select_patterns_distributed(network: Graph, budget: PatternBudget,
     if shortlist_factor < 1:
         raise PipelineError("shortlist_factor must be >= 1")
     config = config or TattooConfig()
+    deadline = Deadline.start(config.deadline_s)
+    report = CompletionReport()
 
     with capture("tattoo.distributed", force=config.trace,
                  parts=parts, nodes=network.order()) as run:
@@ -203,59 +223,103 @@ def select_patterns_distributed(network: Graph, budget: PatternBudget,
             min_size=budget.min_size, max_size=budget.max_size)
 
         workers: List[WorkerReport] = []
-        pools: List[List[Pattern]] = []
+        pools: List[object] = []
+        failed_workers = 0
         for worker_id, partition in enumerate(partitions):
+            if pools and deadline.check("distributed.worker"):
+                break
             start = time.perf_counter()
             with span("distributed.worker", worker=worker_id) as unit:
-                view = partition_with_halo(network, partition,
-                                           hops=halo_hops)
+                payload: object = []
                 shortlist: List[Pattern] = []
-                if view.size() > 0:
-                    worker_config = TattooConfig(
-                        truss_threshold=config.truss_threshold,
-                        seed=config.seed + worker_id,
-                        weights=config.weights,
-                        samples_scale=config.samples_scale,
-                        max_embeddings=config.max_embeddings,
-                        classes=config.classes)
-                    by_class = extract_candidates(view, budget,
-                                                  worker_config)
-                    candidates: List[Pattern] = []
-                    local_seen: Set[str] = set()
-                    for patterns in by_class.values():
-                        for pattern in patterns:
-                            if pattern.code not in local_seen:
-                                local_seen.add(pattern.code)
-                                candidates.append(pattern)
-                    local_index = CoverageIndex(
-                        [view], max_embeddings=config.max_embeddings,
-                        size_utility=True)
-                    local_scorer = SetScorer(local_index,
-                                             weights=config.weights)
-                    shortlist = list(greedy_select(
-                        candidates, shortlist_budget,
-                        local_scorer).patterns)
+                halo = 0
+                worker_ok = True
+                try:
+                    corrupt = chaos_site("distributed.worker",
+                                         key=worker_id)
+                    view = partition_with_halo(network, partition,
+                                               hops=halo_hops)
+                    halo = view.order() - len(partition)
+                    if view.size() > 0:
+                        worker_config = TattooConfig(
+                            truss_threshold=config.truss_threshold,
+                            seed=config.seed + worker_id,
+                            weights=config.weights,
+                            samples_scale=config.samples_scale,
+                            max_embeddings=config.max_embeddings,
+                            classes=config.classes,
+                            max_retries=config.max_retries)
+                        by_class = extract_candidates(view, budget,
+                                                      worker_config)
+                        candidates: List[Pattern] = []
+                        local_seen: Set[str] = set()
+                        for patterns in by_class.values():
+                            for pattern in patterns:
+                                if pattern.code not in local_seen:
+                                    local_seen.add(pattern.code)
+                                    candidates.append(pattern)
+                        local_index = CoverageIndex(
+                            [view],
+                            max_embeddings=config.max_embeddings,
+                            size_utility=True)
+                        local_scorer = SetScorer(
+                            local_index, weights=config.weights)
+                        shortlist = list(greedy_select(
+                            candidates, shortlist_budget,
+                            local_scorer).patterns)
+                    payload = CORRUPTED if corrupt else shortlist
+                except WorkerFailure:
+                    shortlist = []
+                    payload = []
+                    worker_ok = False
+                    failed_workers += 1
+                    unit.add("failed", "true")
+                    metrics.inc("distributed.worker.failures")
                 unit.add("nodes", len(partition))
                 unit.add("candidates", len(shortlist))
             duration = time.perf_counter() - start
-            pools.append(shortlist)
-            workers.append(WorkerReport(worker_id, len(partition),
-                                        view.order() - len(partition),
-                                        len(shortlist), duration))
+            pools.append(payload)
+            workers.append(WorkerReport(
+                worker_id, len(partition), halo, len(shortlist),
+                duration, failed=not worker_ok))
+        report.record("workers", len(pools) - failed_workers,
+                      len(partitions),
+                      complete=(len(pools) == len(partitions)
+                                and not failed_workers),
+                      note=(f"{failed_workers} worker(s) failed"
+                            if failed_workers else None))
 
         start = time.perf_counter()
         with span("distributed.merge") as stage:
             merged: List[Pattern] = []
             seen: Set[str] = set()
             total = 0
-            for pool in pools:
-                for pattern in pool:
-                    total += 1
-                    if pattern.code not in seen:
-                        seen.add(pattern.code)
-                        merged.append(pattern)
+            dropped_pools = 0
+            for pool_id, pool in enumerate(pools):
+                try:
+                    corrupt = chaos_site("distributed.merge",
+                                         key=pool_id)
+                    if corrupt or is_corrupt(pool):
+                        raise WorkerFailure(
+                            "distributed.merge", key=pool_id,
+                            kind="corrupt",
+                            cause="corrupted shortlist payload")
+                    for pattern in pool:
+                        total += 1
+                        if pattern.code not in seen:
+                            seen.add(pattern.code)
+                            merged.append(pattern)
+                except WorkerFailure:
+                    dropped_pools += 1
+                    workers[pool_id].failed = True
+                    metrics.inc("distributed.merge.failures")
             stage.add("merged", len(merged))
+            if dropped_pools:
+                stage.add("dropped_pools", dropped_pools)
         merge_duration = time.perf_counter() - start
+        report.record("merge", len(pools) - dropped_pools, len(pools),
+                      note=(f"{dropped_pools} pool(s) dropped"
+                            if dropped_pools else None))
 
         start = time.perf_counter()
         with span("distributed.select", candidates=len(merged)):
@@ -272,11 +336,21 @@ def select_patterns_distributed(network: Graph, budget: PatternBudget,
                                   max_embeddings=config.max_embeddings,
                                   size_utility=True)
             scorer = SetScorer(index, weights=config.weights)
-            selection = greedy_select(merged, budget, scorer)
+            selection = greedy_select(merged, budget, scorer,
+                                      deadline=deadline)
         select_duration = time.perf_counter() - start
+        report.record("select", len(selection.patterns),
+                      budget.max_patterns,
+                      complete=selection.complete
+                      and not selection.faults,
+                      note=(f"{selection.faults} scorer fault(s)"
+                            if selection.faults else None))
+        if any(w.failed for w in workers) or report.degraded:
+            run.add("degraded", "true")
 
     return DistributedResult(selection.patterns, selection, workers,
                              merge_duration, select_duration,
                              candidate_total=total,
                              candidate_unique=len(merged),
+                             completion=report,
                              trace=run.record)

@@ -28,7 +28,9 @@ from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
 from repro.patterns.topologies import TopologyClass
-from repro.perf.executor import derive_seed, pmap
+from repro.perf.executor import ItemFailure, derive_seed, \
+    failure_policy, pmap, resolve_workers
+from repro.resilience.deadline import CompletionReport, Deadline
 from repro.tattoo.candidates import EXTRACTORS
 from repro.truss.decomposition import DEFAULT_TRUSS_THRESHOLD, split_by_truss
 
@@ -42,12 +44,15 @@ class TattooConfig:
     count.  ``use_cache`` toggles the shared VF2 match cache used by
     the greedy selection's coverage index; ``trace`` captures a
     :mod:`repro.obs` trace for this run even when ``REPRO_TRACE`` is
-    unset.
+    unset.  ``deadline_s`` bounds the run's wall clock (stages stop
+    early and the result degrades instead of raising);
+    ``max_retries`` is the per-item retry budget failing pmap work
+    items get before being skipped.
     """
 
     __slots__ = ("truss_threshold", "seed", "weights", "samples_scale",
                  "max_embeddings", "classes", "workers", "use_cache",
-                 "trace")
+                 "trace", "deadline_s", "max_retries")
 
     def __init__(self, truss_threshold: int = DEFAULT_TRUSS_THRESHOLD,
                  seed: int = 0,
@@ -57,7 +62,9 @@ class TattooConfig:
                  classes: Optional[Sequence[TopologyClass]] = None,
                  workers: Optional[int] = None,
                  use_cache: bool = True,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 deadline_s: Optional[float] = None,
+                 max_retries: int = 0) -> None:
         self.truss_threshold = truss_threshold
         self.seed = seed
         self.weights = weights
@@ -67,6 +74,8 @@ class TattooConfig:
         self.workers = workers
         self.use_cache = use_cache
         self.trace = trace
+        self.deadline_s = deadline_s
+        self.max_retries = max_retries
 
     @classmethod
     def from_pipeline(cls, pipeline) -> "TattooConfig":
@@ -79,7 +88,8 @@ class TattooConfig:
             raise PipelineError(
                 "unknown TATTOO option(s): " + ", ".join(unknown))
         for name in ("seed", "workers", "use_cache", "weights",
-                     "max_embeddings", "trace"):
+                     "max_embeddings", "trace", "deadline_s",
+                     "max_retries"):
             kwargs.setdefault(name, getattr(pipeline, name))
         return cls(**kwargs)
 
@@ -93,14 +103,16 @@ class TattooResult:
     """
 
     __slots__ = ("patterns", "truss_region", "oblivious_region",
-                 "candidates_by_class", "selection", "timings", "trace")
+                 "candidates_by_class", "selection", "timings", "trace",
+                 "completion")
 
     def __init__(self, patterns: PatternSet, truss_region: Graph,
                  oblivious_region: Graph,
                  candidates_by_class: Dict[TopologyClass, List[Pattern]],
                  selection: SelectionResult,
                  timings: Dict[str, float],
-                 trace: Optional[Dict[str, object]] = None) -> None:
+                 trace: Optional[Dict[str, object]] = None,
+                 completion: Optional[CompletionReport] = None) -> None:
         self.patterns = patterns
         self.truss_region = truss_region
         self.oblivious_region = oblivious_region
@@ -108,6 +120,12 @@ class TattooResult:
         self.selection = selection
         self.timings = timings
         self.trace = trace
+        self.completion = completion or CompletionReport()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage stopped short of its full work."""
+        return self.completion.degraded
 
     @property
     def stats(self) -> Dict[str, object]:
@@ -121,6 +139,8 @@ class TattooResult:
             "considered": self.selection.considered,
             "score": self.selection.score,
             "timings": dict(self.timings),
+            "degraded": self.degraded,
+            "completion": self.completion.as_dict(),
         }
 
     def all_candidates(self) -> List[Pattern]:
@@ -165,7 +185,9 @@ def _extract_task(task) -> List[Pattern]:
 
 
 def extract_candidates(network: Graph, budget: PatternBudget,
-                       config: TattooConfig
+                       config: TattooConfig,
+                       deadline: Optional[Deadline] = None,
+                       report: Optional[CompletionReport] = None
                        ) -> Dict[TopologyClass, List[Pattern]]:
     """Steps 1+2: truss split and per-class candidate extraction.
 
@@ -173,7 +195,15 @@ def extract_candidates(network: Graph, budget: PatternBudget,
     with its own split seed under :func:`repro.perf.pmap`, and the
     per-class result map is assembled in ``config.classes`` order —
     identical output at every worker count.
+
+    Resilience: a failing class task climbs pmap's retry ladder and
+    is then skipped — its class simply contributes no candidates,
+    which the completion report records.  Under a deadline classes
+    are dispatched in worker-sized waves (first wave always runs), so
+    a tight budget degrades to fewer topology classes, never zero.
     """
+    deadline = deadline or Deadline(None)
+    report = report if report is not None else CompletionReport()
     with span("tattoo.extract", classes=len(config.classes)) as stage:
         g_t, g_o = split_by_truss(network,
                                   threshold=config.truss_threshold)
@@ -191,11 +221,36 @@ def extract_candidates(network: Graph, budget: PatternBudget,
                                          config.samples_scale),
                           derive_seed(config.seed, position)))
             task_classes.append(cls)
-        results = pmap(_extract_task, tasks, workers=config.workers)
-        for cls, patterns in zip(task_classes, results):
-            by_class[cls] = patterns
+        policy = failure_policy(config.max_retries, config.deadline_s)
+        wave = (len(tasks) if deadline.seconds is None
+                else max(1, resolve_workers(config.workers)))
+        done = failed = 0
+        for start in range(0, len(tasks), wave):
+            if start and deadline.check("tattoo.extract"):
+                break
+            results = pmap(_extract_task, tasks[start:start + wave],
+                           workers=config.workers,
+                           max_retries=config.max_retries,
+                           on_item_failure=policy,
+                           retry_seed=config.seed,
+                           site="tattoo.extract")
+            for cls, patterns in zip(task_classes[start:start + wave],
+                                     results):
+                if isinstance(patterns, ItemFailure):
+                    by_class[cls] = []
+                    failed += 1
+                    continue
+                by_class[cls] = patterns
+                done += 1
+        for cls in config.classes:
+            by_class.setdefault(cls, [])
         stage.add("candidates",
                   sum(len(v) for v in by_class.values()))
+        if failed:
+            stage.add("failed_classes", failed)
+        report.record("extract", done, len(tasks),
+                      note=f"{failed} class task(s) skipped"
+                      if failed else "")
         return by_class
 
 
@@ -206,6 +261,8 @@ def _run_tattoo(network: Graph, budget: PatternBudget,
     if network.size() == 0:
         raise PipelineError("TATTOO needs a network with edges")
     timings: Dict[str, float] = {}
+    deadline = Deadline.start(config.deadline_s)
+    report = CompletionReport()
 
     with capture("tattoo.pipeline", force=config.trace,
                  nodes=network.order(), edges=network.size()) as run:
@@ -216,10 +273,12 @@ def _run_tattoo(network: Graph, budget: PatternBudget,
                 network, threshold=config.truss_threshold)
             stage.add("truss_edges", g_t.size())
             stage.add("oblivious_edges", g_o.size())
+            report.record("decompose", 1, 1)
         timings["decompose"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        by_class = extract_candidates(network, budget, config)
+        by_class = extract_candidates(network, budget, config,
+                                      deadline, report)
         timings["extract"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -236,11 +295,21 @@ def _run_tattoo(network: Graph, budget: PatternBudget,
                 [network], max_embeddings=config.max_embeddings,
                 size_utility=True, use_cache=config.use_cache)
             scorer = SetScorer(index, weights=config.weights)
-            selection = greedy_select(candidates, budget, scorer)
+            selection = greedy_select(candidates, budget, scorer,
+                                      deadline=deadline)
+            report.record("select", len(selection.patterns),
+                          budget.max_patterns,
+                          complete=selection.complete
+                          and not selection.faults,
+                          note=f"{selection.faults} evaluation "
+                          "fault(s)" if selection.faults else "")
         timings["select"] = time.perf_counter() - start
+        if report.degraded:
+            run.add("degraded", "true")
 
     return TattooResult(selection.patterns, g_t, g_o, by_class,
-                        selection, timings, trace=run.record)
+                        selection, timings, trace=run.record,
+                        completion=report)
 
 
 def select_network_patterns(network: Graph, budget=None,

@@ -25,6 +25,7 @@ from typing import Dict, List, Set, Tuple
 
 from repro.graph.graph import Graph, edge_key
 from repro.graph.operations import edge_subgraph
+from repro.errors import OptionError
 
 #: edges with trussness >= this belong to the truss-infested region
 DEFAULT_TRUSS_THRESHOLD = 3
@@ -148,7 +149,7 @@ def split_by_truss(graph: Graph,
     rest.  Node sets may overlap, mirroring TATTOO's decomposition.
     """
     if threshold < 3:
-        raise ValueError("truss threshold must be >= 3")
+        raise OptionError("truss threshold must be >= 3")
     trussness = truss_decomposition(graph)
     dense = [e for e, k in trussness.items() if k >= threshold]
     sparse = [e for e, k in trussness.items() if k < threshold]

@@ -20,6 +20,7 @@ from repro.graph.graph import Graph
 from repro.patterns.base import Pattern
 from repro.usability.metrics import ActionTimeModel
 from repro.usability.simulator import SimulatedUser
+from repro.errors import OptionError
 
 #: power-law-of-practice exponent (literature-typical 0.2-0.4)
 DEFAULT_PRACTICE_ALPHA = 0.3
@@ -31,7 +32,7 @@ def practice_factor(session: int,
                     alpha: float = DEFAULT_PRACTICE_ALPHA) -> float:
     """Cost multiplier after ``session`` sessions (1-based)."""
     if session < 1:
-        raise ValueError("sessions are 1-based")
+        raise OptionError("sessions are 1-based")
     return session ** (-alpha)
 
 
@@ -101,9 +102,9 @@ def simulate_learning(workload: Sequence[Graph],
     """Replay one workload over ``sessions`` sessions plus a
     post-break probe session."""
     if sessions < 2:
-        raise ValueError("need at least two sessions for a curve")
+        raise OptionError("need at least two sessions for a curve")
     if not 0.0 <= retention <= 1.0:
-        raise ValueError("retention must be in [0, 1]")
+        raise OptionError("retention must be in [0, 1]")
     session_seconds: List[float] = []
     for session in range(1, sessions + 1):
         model = practiced_time_model(None, session, alpha)

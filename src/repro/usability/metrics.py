@@ -14,6 +14,7 @@ from typing import Dict, Iterable, Sequence
 
 from repro.patterns.base import Pattern
 from repro.patterns.scoring import cognitive_load
+from repro.errors import UnknownNameError
 
 #: seconds per atomic gesture (mental prep + point + click/drag)
 DEFAULT_ACTION_SECONDS: Dict[str, float] = {
@@ -52,7 +53,7 @@ class ActionTimeModel:
 
     def action_time(self, kind: str) -> float:
         if kind not in self.action_seconds:
-            raise KeyError(f"no time constant for action kind {kind!r}")
+            raise UnknownNameError(f"no time constant for action kind {kind!r}")
         return self.action_seconds[kind]
 
     def browse_time(self, panel_patterns: Sequence[Pattern]) -> float:

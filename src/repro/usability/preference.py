@@ -32,6 +32,7 @@ from repro.patterns.base import Pattern
 from repro.patterns.scoring import set_cognitive_load
 from repro.usability.metrics import FormulationOutcome
 from repro.vqi.aesthetics import berlyne_satisfaction, panel_aesthetics
+from repro.errors import OptionError
 
 #: the usability criteria of Dix et al. the paper lists (§2.1)
 CRITERIA = ("learnability", "flexibility", "robustness", "efficiency",
@@ -46,7 +47,7 @@ class PreferenceProfile:
     def __init__(self, scores: Dict[str, float]) -> None:
         missing = set(CRITERIA) - set(scores)
         if missing:
-            raise ValueError(f"missing criteria: {sorted(missing)}")
+            raise OptionError(f"missing criteria: {sorted(missing)}")
         self.scores = {key: min(max(value, 0.0), 1.0)
                        for key, value in scores.items()}
 

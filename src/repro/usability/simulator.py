@@ -26,6 +26,7 @@ from repro.graph.graph import Graph, edge_key
 from repro.matching.isomorphism import WILDCARD, subgraph_embeddings
 from repro.patterns.base import Pattern
 from repro.usability.metrics import ActionTimeModel, FormulationOutcome
+from repro.errors import OptionError
 
 
 class SimulatedUser:
@@ -34,7 +35,7 @@ class SimulatedUser:
     def __init__(self, time_model: Optional[ActionTimeModel] = None,
                  error_probability: float = 0.0, seed: int = 0) -> None:
         if not 0.0 <= error_probability < 1.0:
-            raise ValueError("error probability must be in [0, 1)")
+            raise OptionError("error probability must be in [0, 1)")
         self.time_model = time_model or ActionTimeModel()
         self.error_probability = error_probability
         self._rng = random.Random(seed)

@@ -17,6 +17,7 @@ from repro.usability.metrics import (
     summarize_outcomes,
 )
 from repro.usability.simulator import SimulatedUser
+from repro.errors import UnknownNameError
 
 
 class StudyCondition:
@@ -64,7 +65,7 @@ class StudyResult:
         for result in self.results:
             if result.condition.name == name:
                 return result
-        raise KeyError(f"no condition named {name!r}")
+        raise UnknownNameError(f"no condition named {name!r}")
 
     def speedup(self, baseline: str, treatment: str) -> float:
         """Formulation-time ratio baseline/treatment (>1 = faster)."""

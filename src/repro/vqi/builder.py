@@ -103,21 +103,31 @@ class BuildReport:
 
     ``trace`` carries the selection pipeline's :mod:`repro.obs` span
     record when the pipeline config asked for one (``None`` otherwise).
+    ``degraded``/``completion`` surface the pipeline's anytime status:
+    a build that ran out of deadline or skipped faulty work still
+    returns a usable VQI, flagged here (see DESIGN.md, "Resilience").
     """
 
-    __slots__ = ("generator", "duration", "details", "trace")
+    __slots__ = ("generator", "duration", "details", "trace",
+                 "degraded", "completion")
 
     def __init__(self, generator: str, duration: float,
                  details: Dict[str, float],
-                 trace: Optional[Dict[str, object]] = None) -> None:
+                 trace: Optional[Dict[str, object]] = None,
+                 degraded: bool = False,
+                 completion: Optional[Dict[str, Dict[str, object]]]
+                 = None) -> None:
         self.generator = generator
         self.duration = duration
         self.details = details
         self.trace = trace
+        self.degraded = degraded
+        self.completion = completion or {}
 
     def __repr__(self) -> str:
+        flag = " degraded" if self.degraded else ""
         return (f"<BuildReport {self.generator} "
-                f"{self.duration:.2f}s>")
+                f"{self.duration:.2f}s{flag}>")
 
 
 def build_vqi(data: DataSource, budget: PatternBudget,
@@ -171,5 +181,7 @@ def build_vqi_with_report(data: DataSource, budget: PatternBudget,
     vqi = VisualQueryInterface(spec, repository=repository,
                                network=network)
     report = BuildReport(generator, time.perf_counter() - start, timings,
-                         trace=result.trace)
+                         trace=result.trace,
+                         degraded=result.degraded,
+                         completion=result.completion.as_dict())
     return vqi, report

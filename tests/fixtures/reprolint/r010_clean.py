@@ -1,0 +1,34 @@
+"""Fixture: raise sites that stay inside the taxonomy (R010)."""
+from repro.errors import OptionError, PipelineError, UnknownNameError
+
+
+def pick_metric(metric):
+    if metric not in ("cosine", "jaccard"):
+        raise OptionError(f"unknown metric {metric!r}")
+    return metric
+
+
+def lookup_stage(stages, name):
+    if name not in stages:
+        raise UnknownNameError(name)
+    return stages[name]
+
+
+def merge_shards(shards, log):
+    try:
+        return shards[0] + shards[1]
+    except IndexError as exc:
+        log.append(f"merge failed: {exc}")
+        raise  # bare re-raise is fine
+
+
+def run_stage(stage):
+    try:
+        return stage.run()
+    except OptionError as exc:
+        raise PipelineError(f"stage misconfigured: {exc}") from exc
+
+
+class Template:
+    def render(self):
+        raise NotImplementedError  # abstract-method marker is exempt

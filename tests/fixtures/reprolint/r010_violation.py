@@ -1,0 +1,27 @@
+"""Fixture: raise sites that leak builtin exceptions (R010)."""
+import builtins
+
+
+def pick_metric(metric):
+    if metric not in ("cosine", "jaccard"):
+        raise ValueError(f"unknown metric {metric!r}")  # expect: R010
+    return metric
+
+
+def lookup_stage(stages, name):
+    if name not in stages:
+        raise KeyError(name)  # expect: R010
+    return stages[name]
+
+
+def merge_shards(shards):
+    if not shards:
+        raise RuntimeError("no shards to merge")  # expect: R010
+    if len(shards) == 1:
+        raise builtins.IndexError("need two shards")  # expect: R010
+    return shards[0] + shards[1]
+
+
+def check_budget(budget):
+    if budget.max_patterns < 1:
+        raise Exception("bad budget")  # expect: R010

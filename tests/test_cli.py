@@ -63,6 +63,23 @@ class TestBuild:
         assert main(["build", "/nonexistent.lg"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_build_with_deadline_warns_but_succeeds(self, repo_lg,
+                                                    capsys):
+        code = main(["build", repo_lg, "-k", "4",
+                     "--deadline", "0.000001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generator: catapult" in out
+        assert "warning: degraded result" in out
+        assert "canned:" in out  # anytime: panel is never empty
+
+    def test_build_with_max_retries_is_clean(self, repo_lg, capsys):
+        code = main(["build", repo_lg, "-k", "4", "--max-retries", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "generator: catapult" in out
+        assert "warning" not in out
+
 
 class TestInspect:
     def test_inspect(self, repo_lg, tmp_path, capsys):

@@ -131,3 +131,55 @@ class TestDistributedSelection:
         q_distributed = pattern_set_score(list(distributed.patterns),
                                           [network])
         assert q_distributed >= q_single - 0.08
+
+
+class TestDistributedResilience:
+    """Worker-failure and partial-merge paths (see also the chaos
+    matrix in tests/test_resilience.py)."""
+
+    def test_stats_expose_resilience_fields(self, network, budget):
+        result = select_patterns_distributed(network, budget, parts=3,
+                                             config=TattooConfig(seed=1))
+        assert result.degraded is False
+        assert result.stats["failed_workers"] == 0
+        completion = result.stats["completion"]
+        for stage in ("workers", "merge", "select"):
+            assert completion[stage]["complete"]
+
+    def test_worker_failure_yields_partial_merge(self, network, budget):
+        from repro.resilience import FaultPlan, FaultSpec, chaos
+        plan = FaultPlan([FaultSpec("distributed.worker", keys=(0,),
+                                    fail_attempts=99)])
+        with chaos(plan):
+            result = select_patterns_distributed(
+                network, budget, parts=3, config=TattooConfig(seed=1))
+        assert result.degraded
+        assert result.stats["failed_workers"] == 1
+        assert result.workers[0].failed
+        assert result.workers[0].candidates == 0
+        # the surviving workers' shortlists still produce a panel
+        assert len(result.patterns) > 0
+        for pattern in result.patterns:
+            assert is_subgraph(pattern.graph, network)
+
+    def test_merge_fault_drops_only_that_pool(self, network, budget):
+        from repro.resilience import FaultPlan, FaultSpec, chaos
+        plan = FaultPlan([FaultSpec("distributed.merge", keys=(2,),
+                                    fail_attempts=99)])
+        with chaos(plan):
+            result = select_patterns_distributed(
+                network, budget, parts=3, config=TattooConfig(seed=1))
+        assert result.degraded
+        merge = result.stats["completion"]["merge"]
+        assert merge["done"] == merge["total"] - 1
+        assert len(result.patterns) > 0
+
+    def test_deadline_stops_after_first_worker(self, network, budget):
+        config = TattooConfig(seed=1, deadline_s=1e-6)
+        result = select_patterns_distributed(network, budget, parts=3,
+                                             config=config)
+        assert result.degraded
+        workers = result.stats["completion"]["workers"]
+        assert workers["done"] >= 1
+        assert workers["done"] < workers["total"]
+        assert len(result.patterns) > 0

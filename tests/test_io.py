@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import FormatError
+from repro.errors import FormatError, GraphInputError
 from repro.graph import (
     Graph,
     build_graph,
@@ -130,3 +130,43 @@ class TestRepositoryJson:
         path.write_text("nope")
         with pytest.raises(FormatError):
             read_repository_json(path)
+
+
+class TestGraphInputError:
+    """Malformed input surfaces as GraphInputError with file/line
+    context (and still matches ``except FormatError``)."""
+
+    def test_lg_error_carries_path_and_line(self, tmp_path):
+        path = tmp_path / "bad.lg"
+        path.write_text("t # g\nv 0 A\ne 0\n")
+        with pytest.raises(GraphInputError) as caught:
+            read_lg(path)
+        assert caught.value.path == str(path)
+        assert caught.value.line == 3
+        assert f"{path}:3" in str(caught.value)
+
+    def test_lg_header_errors_are_located(self, tmp_path):
+        path = tmp_path / "bad.lg"
+        path.write_text("v 0 A\n")
+        with pytest.raises(GraphInputError) as caught:
+            read_lg(path)
+        assert caught.value.line == 1
+
+    def test_repository_json_error_carries_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"nodes": [{"id": "x"}], "edges": []}]')
+        with pytest.raises(GraphInputError) as caught:
+            read_repository_json(path)
+        assert caught.value.path == str(path)
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[\nnope\n]")
+        with pytest.raises(GraphInputError) as caught:
+            read_repository_json(path)
+        assert caught.value.line == 2
+
+    def test_subclasses_format_error(self):
+        assert issubclass(GraphInputError, FormatError)
+        with pytest.raises(FormatError):
+            graph_from_json("not json")

@@ -175,17 +175,42 @@ class TestMidas:
         assert report.removed == 1
         assert name not in {g.name for g in midas.graphs()}
 
-    def test_unknown_removal_rejected(self, repo, budget):
+    def test_unknown_removal_quarantined(self, repo, budget):
         midas = Midas(repo, budget, MidasConfig(seed=1))
-        with pytest.raises(MaintenanceError):
-            midas.apply_batch(UpdateBatch(removed=["nope"]))
+        before = {g.name for g in midas.graphs()}
+        report = midas.apply_batch(UpdateBatch(removed=["nope"]))
+        assert report.removed == 0
+        assert {g.name for g in midas.graphs()} == before
+        assert len(report.quarantine) == 1
+        assert report.quarantine[0].op == "remove"
+        assert report.quarantine[0].name == "nope"
+        assert report.degraded
 
-    def test_duplicate_addition_rejected(self, repo, budget):
+    def test_duplicate_addition_quarantined(self, repo, budget):
         midas = Midas(repo, budget, MidasConfig(seed=1))
         rng = random.Random(7)
         duplicate = generate_molecule(rng, name=repo[0].name)
-        with pytest.raises(MaintenanceError):
-            midas.apply_batch(UpdateBatch(added=[duplicate]))
+        count = len(list(midas.graphs()))
+        report = midas.apply_batch(UpdateBatch(added=[duplicate]))
+        assert report.added == 0
+        assert len(list(midas.graphs())) == count
+        assert len(report.quarantine) == 1
+        assert report.quarantine[0].op == "add"
+        assert report.degraded
+
+    def test_mixed_batch_applies_valid_ops(self, repo, budget):
+        midas = Midas(repo, budget, MidasConfig(seed=1))
+        rng = random.Random(8)
+        fresh = generate_molecule(rng, name="fresh0")
+        batch = UpdateBatch(added=[fresh],
+                            removed=[repo[0].name, "missing"])
+        report = midas.apply_batch(batch)
+        assert report.added == 1
+        assert report.removed == 1
+        assert len(report.quarantine) == 1
+        names = {g.name for g in midas.graphs()}
+        assert "fresh0" in names
+        assert repo[0].name not in names
 
     def test_drift_accumulates_until_major(self, repo, budget):
         midas = Midas(repo, budget, MidasConfig(seed=1,

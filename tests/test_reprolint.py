@@ -30,7 +30,7 @@ from reprolint.violations import PARSE_ERROR  # noqa: E402
 
 EXPECT_MARKER = re.compile(r"#\s*expect:\s*(R\d{3}(?:\s*,\s*R\d{3})*)")
 ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                "R008", "R009")
+                "R008", "R009", "R010")
 
 # R008 only fires inside matching/truss package directories and R009
 # inside catapult/tattoo/midas ones, so their in-scope fixtures live

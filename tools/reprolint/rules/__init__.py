@@ -10,4 +10,5 @@ from reprolint.rules import (  # noqa: F401
     r007_centralized_parallelism,
     r008_hot_loop_adjacency,
     r009_stage_span,
+    r010_typed_errors,
 )

@@ -1,0 +1,81 @@
+"""R010 typed-errors.
+
+The resilience layer routes failures by type: the fault-tolerant
+executor retries :class:`repro.errors.WorkerFailure`, the anytime
+pipelines convert :class:`~repro.errors.BudgetExceeded` into degraded
+results, and callers are promised that ``except ReproError`` catches
+everything the library raises on purpose.  A raise site that throws a
+bare builtin (``ValueError``, ``KeyError``, ``RuntimeError``, ...)
+leaks out of that taxonomy: it bypasses the retry/skip policies and
+surfaces to users as an anonymous crash instead of a classified,
+recoverable failure.
+
+This rule flags ``raise`` statements whose exception is a builtin
+exception type (by terminal name, so ``builtins.ValueError`` is caught
+too).  Re-raises (bare ``raise``), raising a caught exception object,
+and raising project-defined types — including the dual-inheritance
+shims :class:`repro.errors.OptionError` (a ``ReproError`` *and* a
+``ValueError``) and :class:`repro.errors.UnknownNameError` — are all
+fine.  ``NotImplementedError`` is exempt: it is the standard marker
+for abstract methods, not an error-path escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+#: Builtin exception types that must not be raised directly; the
+#: library's taxonomy (repro.errors) has a typed equivalent for each.
+BUILTIN_EXCEPTIONS = frozenset({
+    "BaseException", "Exception",
+    "ArithmeticError", "AssertionError", "AttributeError",
+    "BufferError", "EOFError", "FloatingPointError", "IndexError",
+    "KeyError", "LookupError", "MemoryError", "NameError",
+    "OverflowError", "RecursionError", "ReferenceError",
+    "RuntimeError", "StopAsyncIteration", "StopIteration",
+    "SystemError", "TypeError", "UnboundLocalError", "ValueError",
+    "ZeroDivisionError",
+})
+
+
+def _raised_name(node: ast.Raise) -> Optional[str]:
+    """Terminal name of the raised exception type, if resolvable."""
+    exc = node.exc
+    if exc is None:  # bare ``raise`` re-raise
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+@register
+class TypedErrorsRule(Rule):
+    id = "R010"
+    name = "typed-errors"
+    description = ("raise sites must use the repro.errors taxonomy, "
+                   "not bare builtin exceptions")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name is None or name not in BUILTIN_EXCEPTIONS:
+                continue
+            yield Violation(
+                path=ctx.path, line=node.lineno, col=node.col_offset,
+                rule=self.id,
+                message=(f"raises builtin {name}; use a typed error "
+                         "from repro.errors (OptionError, "
+                         "UnknownNameError, ...) so retry/degrade "
+                         "policies can classify the failure"))

@@ -1,13 +1,18 @@
 PYTHON ?= python
 
-.PHONY: lint lint-json test compile check bench-smoke bench-kernel \
-	trace-smoke chaos-smoke
+.PHONY: lint lint-json lint-project test compile check bench-smoke \
+	bench-kernel trace-smoke chaos-smoke
 
 lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
 
 lint-json:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro --format json
+
+# whole-program rules + AST cache + lint-baseline.json, SARIF output
+lint-project:
+	PYTHONPATH=tools $(PYTHON) -m reprolint --project --format sarif \
+		src/repro
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -39,4 +44,4 @@ bench-kernel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernel.py --smoke \
 		--baseline BENCH_kernel.json --out BENCH_kernel.json
 
-check: compile lint test
+check: compile lint lint-project test

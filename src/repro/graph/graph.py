@@ -98,9 +98,9 @@ class Graph:
             raise DuplicateNodeError(node)
         self._adj[node] = {}
         self._node_labels[node] = label
-        self._version += 1
         if attrs:
             self._node_attrs[node] = dict(attrs)
+        self._version += 1
         return node
 
     def add_edge(self, u: int, v: int, label: str = DEFAULT_LABEL,
@@ -122,9 +122,9 @@ class Graph:
         self._adj[u][v] = key
         self._adj[v][u] = key
         self._edge_labels[key] = label
-        self._version += 1
         if attrs:
             self._edge_attrs[key] = dict(attrs)
+        self._version += 1
         return key
 
     def remove_node(self, node: int) -> None:

@@ -16,9 +16,13 @@ def apply_batch(self, batch):
     return added
 
 
+def _bump(item):
+    return item + 1
+
+
 def _fan_out(items):
     with span("fixture.fan_out"):
-        return pmap(lambda item: item + 1, items)
+        return pmap(_bump, items)
 
 
 def _not_a_stage(items):

@@ -12,16 +12,22 @@ def apply_batch(self, batch):  # expect: R009
     return added
 
 
+def _bump(item):
+    return item + 1
+
+
 def _fan_out(items):  # expect: R009
-    return pmap(lambda item: item + 1, items)
+    return pmap(_bump, items)
 
 
-def _nested_span_does_not_count(items):  # expect: R009
-    def helper(item):
-        from repro.obs import span
-        with span("helper"):
-            return item
-    return pmap(helper, items)
+def _helper_with_span(item):
+    from repro.obs import span
+    with span("helper"):
+        return item
+
+
+def _callee_span_does_not_count(items):  # expect: R009
+    return pmap(_helper_with_span, items)
 
 
 def _not_a_stage(items):

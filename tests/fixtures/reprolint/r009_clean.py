@@ -12,5 +12,9 @@ def apply_batch(self, batch):
     return len(batch.added)
 
 
+def _bump(item):
+    return item + 1
+
+
 def _fan_out(items):
-    return pmap(lambda item: item + 1, items)
+    return pmap(_bump, items)

@@ -1,0 +1,51 @@
+"""R011 clean fixture: every guarded mutation bumps on every path,
+the version-tagged cache write is exempt, raise paths are exempt, and
+callers copy views before mutating."""
+
+
+class DuplicateNodeError(Exception):
+    pass
+
+
+class Graph:
+    def __init__(self):
+        self._adj = {}
+        self._edge_labels = {}
+        self._version = 0
+        self._views = (0, {})
+
+    def add_node(self, node):
+        if node in self._adj:
+            raise DuplicateNodeError(node)
+        self._adj[node] = set()
+        self._version += 1
+
+    def prune(self, node):
+        # both branches restore the invariant before exiting
+        if node in self._adj:
+            self._adj.pop(node)
+            self._version += 1
+            return True
+        return False
+
+    def clear(self):
+        # delegation: _reset bumps for us
+        self._adj.update({})
+        self._reset()
+
+    def _reset(self):
+        self._adj.clear()
+        self._version += 1
+
+    def _view_cache(self):
+        # the version-tagged cache write IS the invalidation scheme
+        if self._views[0] != self._version:
+            self._views = (self._version, {})
+        return self._views[1]
+
+
+def merge_neighbors(graph, u, v):
+    # copying the view de-classifies the local: mutation is fine
+    adj = dict(graph.adjacency_sets())
+    adj[u] = set(adj.get(u, ())) | {v}
+    return adj

@@ -1,0 +1,26 @@
+"""R012 clean fixture: module-level payloads and picklable bound
+state pass the pmap contract."""
+
+import functools
+
+from repro.perf import pmap
+
+
+def double(x):
+    return x * 2
+
+
+def scale(factor, x):
+    return x * factor
+
+
+def run(items):
+    doubled = pmap(double, items)
+    # partial over a module-level function with plain-data state
+    tripled = pmap(functools.partial(scale, 3), items)
+    return doubled + tripled
+
+
+def run_named(items, factor):
+    worker = functools.partial(scale, factor)
+    return pmap(worker, items, workers=2)

@@ -1,0 +1,42 @@
+"""R012 fixture: unpicklable pmap payloads — lambda, closure, bound
+method, and process-local state riding a functools.partial."""
+
+import functools
+import threading
+
+from repro.perf import pmap
+
+
+def scale_all(items, factor):
+    doubled = pmap(lambda x: x * factor, items)  # expect: R012
+
+    def scale(x):
+        return x * factor
+
+    scaled = pmap(scale, items)  # expect: R012
+    return doubled + scaled
+
+
+class Runner:
+    def work(self, item):
+        return item
+
+    def run(self, items):
+        return pmap(self.work, items)  # expect: R012
+
+
+def locked_run(items):
+    lock = threading.Lock()
+    worker = functools.partial(guarded, lock)  # expect: R012
+    return pmap(worker, items)
+
+
+def guarded(lock, item):
+    with lock:
+        return item
+
+
+def partial_run(items):
+    return pmap(
+        functools.partial(guarded, threading.Lock()),  # expect: R012
+        items)

@@ -1,0 +1,43 @@
+"""R013 clean fixture: every expensive stage loop polls, delegates,
+or inherits coverage from an enclosing polled loop."""
+
+from repro.matching import count_embeddings
+from repro.patterns import greedy_select
+from repro.resilience import Deadline
+
+
+def extract_candidates(patterns, repos, deadline):
+    found = []
+    for repo in repos:
+        if found and deadline.check("fixture.extract"):
+            break
+        for pattern in patterns:
+            # inherits coverage from the enclosing polled loop
+            found.append(count_embeddings(pattern, repo, False, cap=9))
+    return found
+
+
+def apply_batch(candidates, budget, deadline):
+    picked = []
+    while candidates:
+        # delegation: the callee receives the deadline and polls it
+        picked.append(greedy_select(candidates, budget,
+                                    deadline=deadline))
+        candidates = candidates[1:]
+    return picked
+
+
+def summarize_clusters(clusters):
+    # no deadline in scope: the caller owns the budget, not us
+    sizes = []
+    for cluster in clusters:
+        sizes.append(count_embeddings(cluster, cluster, False, cap=5))
+    return sizes
+
+
+def cheap_stage(repos, deadline):
+    # cheap bookkeeping loops need no poll
+    names = []
+    for repo in repos:
+        names.append(str(repo))
+    return names

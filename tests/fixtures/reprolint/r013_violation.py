@@ -1,0 +1,25 @@
+"""R013 fixture: stage-reachable loops running expensive work without
+polling the in-scope deadline."""
+
+from repro.matching import count_embeddings
+from repro.resilience import Deadline
+
+
+def match_pair(pattern, repo):
+    return count_embeddings(pattern, repo, False, cap=100)
+
+
+def extract_candidates(pattern, repos, deadline):
+    found = []
+    for repo in repos:  # expect: R013
+        found.append(match_pair(pattern, repo))
+    return _score_all(found, deadline)
+
+
+def _score_all(found, deadline):
+    # reachable from the stage above; its loop must poll too
+    scores = []
+    while found:  # expect: R013
+        item = found.pop()
+        scores.append(count_embeddings(item, item, False, cap=10))
+    return scores

@@ -1,0 +1,32 @@
+"""R014 clean fixture: monotonic duration timing is allowed anywhere,
+and set iteration is fine once sorted (or when it cannot feed the
+returned ordering)."""
+
+import time
+
+
+def run_catapult(repos):
+    started = time.perf_counter()
+    names = {repo.name for repo in repos}
+    ordered = []
+    for name in sorted(names):
+        ordered.append(name)
+    elapsed = time.perf_counter() - started
+    return ordered, elapsed
+
+
+def run_selection(candidates):
+    pool = set(candidates)
+    total = 0
+    # order-independent reduction over a set: nothing ordered leaks
+    for candidate in pool:
+        total += 1
+    return [total]
+
+
+def helper_outside_result_paths(items):
+    # not reachable from a result root: set iteration is unchecked
+    out = []
+    for item in {i for i in items}:
+        out.append(item)
+    return out

@@ -1,0 +1,18 @@
+"""R014 fixture: wall-clock outside the clock-owning layers, and set
+iteration feeding the ordering of a pipeline result."""
+
+import time
+
+
+def run_catapult(repos):
+    stamp = time.time()  # expect: R014
+    names = {repo.name for repo in repos}
+    ordered = []
+    for name in names:  # expect: R014
+        ordered.append((name, stamp))
+    return ordered
+
+
+def run_selection(candidates):
+    pool = set(candidates)
+    return [c.score for c in pool]  # expect: R014

@@ -1,0 +1,37 @@
+"""R015 clean fixture: complete forwarding (literal tuple and
+constant-iteration forms) and a shim that keeps its config branch."""
+
+import warnings
+
+SHARED_PIPELINE_FIELDS = ("seed", "workers", "use_cache")
+
+
+class PipelineConfig:
+    seed: int = 0
+    workers: int = 1
+    use_cache: bool = True
+
+
+class LiteralConfig:
+    @classmethod
+    def from_pipeline(cls, pipeline, **kwargs):
+        for name in ("seed", "workers", "use_cache"):
+            kwargs.setdefault(name, getattr(pipeline, name))
+        return cls(**kwargs)
+
+
+class ConstantConfig:
+    @classmethod
+    def from_pipeline(cls, pipeline, **kwargs):
+        # iterating the shared constant can never drift
+        for name in SHARED_PIPELINE_FIELDS:
+            kwargs.setdefault(name, getattr(pipeline, name))
+        return cls(**kwargs)
+
+
+def select_canned_patterns(repos, budget):
+    warnings.warn("use run_catapult(PipelineConfig(...))",
+                  DeprecationWarning, stacklevel=2)
+    if isinstance(budget, PipelineConfig):
+        return list(repos)[: budget.workers]
+    return list(repos)[:budget]

@@ -1,0 +1,35 @@
+"""R015 fixture: from_pipeline drift (missing and phantom fields) and
+a deprecated shim that lost its PipelineConfig branch."""
+
+import warnings
+
+SHARED_PIPELINE_FIELDS = ("seed", "workers", "use_cache")
+
+
+class PipelineConfig:
+    seed: int = 0
+    workers: int = 1
+    use_cache: bool = True
+
+
+class DriftedConfig:
+    @classmethod
+    def from_pipeline(cls, pipeline, **kwargs):  # expect: R015
+        # "use_cache" is missing: configs silently drop the knob
+        for name in ("seed", "workers"):
+            kwargs.setdefault(name, getattr(pipeline, name))
+        return cls(**kwargs)
+
+
+class PhantomConfig:
+    @classmethod
+    def from_pipeline(cls, pipeline, **kwargs):  # expect: R015
+        for name in ("seed", "workers", "use_cache", "shard_count"):
+            kwargs.setdefault(name, getattr(pipeline, name))
+        return cls(**kwargs)
+
+
+def select_canned_patterns(repos, budget):  # expect: R015
+    warnings.warn("use run_catapult(PipelineConfig(...))",
+                  DeprecationWarning, stacklevel=2)
+    return list(repos)[:budget]

@@ -299,3 +299,58 @@ class TestCachedViews:
         h.add_node(9, label="X")
         assert 9 not in view
         assert 9 in h.adjacency_sets()
+
+
+class TestVersionCounter:
+    """Mutations bump the version exactly once, after every write.
+
+    The "bump last" ordering is what makes the counter safe to use as
+    a cache tag: any state observed at version ``v`` is complete for
+    ``v``.  These tests pin the increment counts; reprolint's R011
+    pins the ordering itself.
+    """
+
+    def test_add_node_with_attrs_bumps_once(self):
+        g = Graph()
+        before = g.version()
+        g.add_node(0, label="C", weight=2.5)
+        assert g.version() == before + 1
+        assert g.node_attrs(0) == {"weight": 2.5}
+
+    def test_add_edge_with_attrs_bumps_once(self):
+        g = Graph()
+        g.add_node(0)
+        g.add_node(1)
+        before = g.version()
+        g.add_edge(0, 1, label="s", weight=0.5)
+        assert g.version() == before + 1
+        assert g.edge_attrs(0, 1) == {"weight": 0.5}
+
+    def test_attr_dict_edits_do_not_bump(self):
+        g = triangle()
+        before = g.version()
+        g.node_attrs(0)["seen"] = True
+        g.edge_attrs(0, 1)["w"] = 1.0
+        assert g.version() == before
+
+    def test_view_built_after_attr_mutation_is_current(self):
+        # the view cache is tagged with the version at build time; a
+        # view requested right after an attr-carrying add must see
+        # the complete post-mutation state
+        g = triangle()
+        g.adjacency_sets()
+        g.add_node(3, label="X", weight=1)
+        g.add_edge(2, 3, label="s", weight=2)
+        assert g.adjacency_sets()[3] == frozenset({2})
+        assert g.label_index()["X"] == (3,)
+
+    def test_removals_bump_monotonically(self):
+        g = triangle()
+        before = g.version()
+        g.remove_edge(0, 1)
+        assert g.version() == before + 1
+        # remove_node cascades through remove_edge for incident
+        # edges, so it may bump several times — monotonicity is the
+        # contract, not the exact count
+        g.remove_node(2)
+        assert g.version() > before + 1

@@ -13,6 +13,7 @@ import os
 import re
 import subprocess
 import sys
+import tempfile
 import unittest
 from pathlib import Path
 
@@ -24,13 +25,19 @@ FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "reprolint"
 sys.path.insert(0, str(TOOLS_DIR))
 
 from reprolint import LintConfig, all_rules, lint_paths  # noqa: E402
-from reprolint.reporters import json_report, text_report  # noqa: E402
+from reprolint.baseline import Baseline  # noqa: E402
+from reprolint.reporters import (json_report, sarif_report,  # noqa: E402
+                                 text_report)
 from reprolint.runner import lint_source  # noqa: E402
-from reprolint.violations import PARSE_ERROR  # noqa: E402
+from reprolint.violations import PARSE_ERROR, Violation  # noqa: E402
 
 EXPECT_MARKER = re.compile(r"#\s*expect:\s*(R\d{3}(?:\s*,\s*R\d{3})*)")
 ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
-                "R008", "R009", "R010")
+                "R008", "R009", "R010", "R011", "R012", "R013", "R014",
+                "R015")
+
+#: The whole-program rules (backed by reprolint.analysis).
+PROJECT_RULE_IDS = ("R011", "R012", "R013", "R014", "R015")
 
 # R008 only fires inside matching/truss package directories and R009
 # inside catapult/tattoo/midas ones, so their in-scope fixtures live
@@ -278,6 +285,261 @@ class TestRuleMetadata(unittest.TestCase):
         for cls in rules:
             self.assertTrue(cls.name)
             self.assertTrue(cls.description)
+
+    def test_project_rules_declare_analysis_passes(self):
+        from reprolint.analysis.project import ANALYSIS_PASSES
+        for cls in all_rules():
+            if cls.id in PROJECT_RULE_IDS:
+                self.assertTrue(cls.requires,
+                                f"{cls.id} should require a pass")
+            for name in cls.requires:
+                self.assertIn(name, ANALYSIS_PASSES)
+
+
+class TestProjectRuleFixtures(unittest.TestCase):
+    """R011-R015 findings vanish when disabled or suppressed."""
+
+    def fixture(self, rule_id):
+        return FIXTURE_DIR / f"{rule_id.lower()}_violation.py"
+
+    def test_disabling_the_rule_silences_its_fixture(self):
+        for rule_id in PROJECT_RULE_IDS:
+            with self.subTest(rule=rule_id):
+                config = LintConfig(disable=frozenset({rule_id}))
+                result = lint_paths([str(self.fixture(rule_id))],
+                                    config)
+                self.assertEqual(
+                    [], [v.format() for v in result.violations],
+                    f"{rule_id} fixture should be clean when the "
+                    f"rule is disabled")
+
+    def test_pragma_suppresses_each_project_rule(self):
+        for rule_id in PROJECT_RULE_IDS:
+            with self.subTest(rule=rule_id):
+                path = self.fixture(rule_id)
+                lines = path.read_text(
+                    encoding="utf-8").splitlines()
+                for lineno, rule in expected_findings(path):
+                    lines[lineno - 1] += \
+                        f"  # reprolint: disable={rule}"
+                muted = lint_source("\n".join(lines) + "\n",
+                                    path=str(path))
+                self.assertEqual(
+                    [], [v.format() for v in muted],
+                    f"{rule_id} pragma should mute the finding")
+
+
+class TestSuppressionSpans(unittest.TestCase):
+    """Pragmas anchor to whole statements, not single lines."""
+
+    def test_pragma_on_last_line_of_multiline_statement(self):
+        source = ("import random\n"
+                  "def jitter():\n"
+                  "    return random.Random(\n"
+                  "    )  # reprolint: disable=R001\n")
+        self.assertEqual([], lint_source(source))
+
+    def test_pragma_on_intermediate_line(self):
+        source = ("import random\n"
+                  "def jitter():\n"
+                  "    return random.Random(  # reprolint: disable=R001\n"
+                  "    )\n")
+        self.assertEqual([], lint_source(source))
+
+    def test_compound_header_pragma_does_not_mute_body(self):
+        # a def-line pragma covers the signature, not the body
+        source = ("import random\n"
+                  "def jitter(  # reprolint: disable=R001\n"
+                  "        seed=None):\n"
+                  "    return random.Random()\n")
+        flagged = lint_source(source)
+        self.assertEqual(["R001"], [v.rule for v in flagged])
+
+    def test_sibling_statement_pragma_does_not_leak(self):
+        source = ("import random\n"
+                  "def jitter():\n"
+                  "    a = 1  # reprolint: disable=R001\n"
+                  "    return random.Random()\n")
+        flagged = lint_source(source)
+        self.assertEqual(["R001"], [v.rule for v in flagged])
+
+
+class TestBaseline(unittest.TestCase):
+    """lint-baseline.json: waivers expire; dead entries surface."""
+
+    def violation(self, rule="R001", path="src/x.py", line=8):
+        return Violation(path=path, line=line, col=0, rule=rule,
+                         message="planted")
+
+    def load(self, payload):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "baseline.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            return Baseline.load(path)
+
+    def entry(self, **overrides):
+        entry = {"rule": "R001", "path": "src/x.py", "line": 8,
+                 "reason": "fix in flight", "expires": "2999-01-01"}
+        entry.update(overrides)
+        return entry
+
+    def test_matching_entry_waives(self):
+        baseline = self.load({"entries": [self.entry()]})
+        report = baseline.apply([self.violation()], "2026-01-01")
+        self.assertEqual([], report.kept)
+        self.assertEqual(1, len(report.waived))
+        self.assertEqual([], report.expired)
+        self.assertEqual([], report.stale)
+
+    def test_expired_entry_stops_waiving(self):
+        baseline = self.load(
+            {"entries": [self.entry(expires="2020-01-01")]})
+        report = baseline.apply([self.violation()], "2026-01-01")
+        self.assertEqual(1, len(report.kept))
+        self.assertEqual(1, len(report.expired))
+
+    def test_unmatched_entry_is_stale(self):
+        baseline = self.load(
+            {"entries": [self.entry(path="src/other.py")]})
+        report = baseline.apply([self.violation()], "2026-01-01")
+        self.assertEqual(1, len(report.kept))
+        self.assertEqual(1, len(report.stale))
+
+    def test_omitted_line_waives_whole_file(self):
+        entry = self.entry()
+        del entry["line"]
+        baseline = self.load({"entries": [entry]})
+        report = baseline.apply(
+            [self.violation(line=8), self.violation(line=80)],
+            "2026-01-01")
+        self.assertEqual([], report.kept)
+        self.assertEqual(2, len(report.waived))
+
+    def test_load_rejects_missing_expiry(self):
+        entry = self.entry()
+        del entry["expires"]
+        with self.assertRaises(ValueError):
+            self.load({"entries": [entry]})
+
+    def test_load_rejects_malformed_date(self):
+        with self.assertRaises(ValueError):
+            self.load({"entries": [self.entry(expires="someday")]})
+
+    def test_load_rejects_non_integer_line(self):
+        with self.assertRaises(ValueError):
+            self.load({"entries": [self.entry(line="8")]})
+
+    def test_load_rejects_non_list_entries(self):
+        with self.assertRaises(ValueError):
+            self.load({"entries": {}})
+
+
+class TestSarifReporter(unittest.TestCase):
+    def test_sarif_shape(self):
+        result = lint_paths([str(FIXTURE_DIR / "r001_violation.py")])
+        payload = json.loads(sarif_report(result))
+        self.assertEqual("2.1.0", payload["version"])
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        self.assertEqual("reprolint", driver["name"])
+        self.assertEqual(list(ALL_RULE_IDS),
+                         [rule["id"] for rule in driver["rules"]])
+        self.assertEqual(len(result.violations), len(run["results"]))
+        first = run["results"][0]
+        self.assertEqual("R001", first["ruleId"])
+        region = first["locations"][0]["physicalLocation"]["region"]
+        self.assertEqual(result.violations[0].line,
+                         region["startLine"])
+        # SARIF columns are 1-based; ast columns are 0-based
+        self.assertEqual(result.violations[0].col + 1,
+                         region["startColumn"])
+        uri = first["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        self.assertNotIn("\\", uri)
+
+    def test_sarif_clean_run_has_empty_results(self):
+        result = lint_paths([str(FIXTURE_DIR / "r001_clean.py")])
+        payload = json.loads(sarif_report(result))
+        self.assertEqual([], payload["runs"][0]["results"])
+
+
+class TestProjectCli(unittest.TestCase):
+    """--project mode: cache, baseline wiring, determinism, stats."""
+
+    def run_cli(self, *args, cwd=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(TOOLS_DIR)] + env.get("PYTHONPATH", "").split(os.pathsep))
+        return subprocess.run(
+            [sys.executable, "-m", "reprolint", *args],
+            capture_output=True, text=True, env=env,
+            cwd=str(cwd or REPO_ROOT))
+
+    def test_project_sarif_runs_are_byte_identical(self):
+        with tempfile.TemporaryDirectory() as cache:
+            first = self.run_cli("--project", "--format", "sarif",
+                                 "--cache-dir", cache, "src/repro")
+            second = self.run_cli("--project", "--format", "sarif",
+                                  "--cache-dir", cache, "src/repro")
+        self.assertEqual(0, first.returncode,
+                         first.stdout + first.stderr)
+        self.assertEqual(0, second.returncode)
+        self.assertEqual(first.stdout, second.stdout)
+        payload = json.loads(first.stdout)
+        self.assertEqual([], payload["runs"][0]["results"])
+
+    def test_stats_go_to_stderr_only(self):
+        with tempfile.TemporaryDirectory() as cache:
+            proc = self.run_cli(
+                "--project", "--stats", "--format", "json",
+                "--cache-dir", cache,
+                str(FIXTURE_DIR / "r001_violation.py"))
+        json.loads(proc.stdout)  # stdout stays pure JSON
+        self.assertIn("stats", proc.stderr)
+        self.assertIn("cache", proc.stderr)
+
+    def write_baseline(self, tmp, **overrides):
+        entry = {"rule": "R001",
+                 "path": str(FIXTURE_DIR / "r001_violation.py"),
+                 "reason": "planted fixture", "expires": "2999-01-01"}
+        entry.update(overrides)
+        path = os.path.join(tmp, "baseline.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"entries": [entry]}, handle)
+        return path
+
+    def test_baseline_waives_fixture_violations(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = self.write_baseline(tmp)
+            proc = self.run_cli(
+                str(FIXTURE_DIR / "r001_violation.py"),
+                "--baseline", baseline)
+        self.assertEqual(0, proc.returncode,
+                         proc.stdout + proc.stderr)
+        self.assertIn("waived", proc.stderr)
+
+    def test_expired_baseline_entry_is_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = self.write_baseline(tmp, expires="2020-01-01")
+            proc = self.run_cli(
+                str(FIXTURE_DIR / "r001_violation.py"),
+                "--baseline", baseline)
+        self.assertEqual(1, proc.returncode)
+        self.assertIn("expired", proc.stderr)
+
+    def test_malformed_baseline_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = self.write_baseline(tmp, expires="never")
+            proc = self.run_cli(
+                str(FIXTURE_DIR / "r001_violation.py"),
+                "--baseline", baseline)
+        self.assertEqual(2, proc.returncode)
+        self.assertIn("bad baseline", proc.stderr)
+
+    def test_checked_in_baseline_is_loadable_and_empty(self):
+        baseline = Baseline.load(str(REPO_ROOT / "lint-baseline.json"))
+        self.assertEqual([], baseline.entries)
 
 
 if __name__ == "__main__":

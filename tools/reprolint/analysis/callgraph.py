@@ -1,0 +1,182 @@
+"""Call graph with interprocedural reachability.
+
+Edges are collected per function definition from three syntactic
+shapes, in decreasing confidence:
+
+* **Resolved calls** — ``f(...)`` / ``mod.f(...)`` where the callee
+  resolves through the symbol table to a project definition (or to
+  an external dotted name, kept as a leaf so rules can match
+  contract sets like ``{"time.time"}``).
+* **Method calls** — ``self.m(...)`` binds to the enclosing class's
+  (or, conservatively, any base/derived sharing the method name);
+  ``obj.m(...)`` on an unknown receiver uses class-hierarchy-style
+  name matching: an edge to *every* project method named ``m``.
+  Over-approximate by design — reachability rules must never miss a
+  real path.
+* **References** — ``functools.partial(f, ...)``, bare ``f`` passed
+  as an argument (e.g. the worker handed to ``pmap``), and
+  decorators.  A referenced function is assumed callable from the
+  referencing one.
+
+The graph is deterministic: edges are stored sorted, reachability is
+a plain BFS over sorted adjacency.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from reprolint.analysis.modules import (
+    FunctionSymbol,
+    SymbolTable,
+    dotted_expression,
+)
+
+#: Dotted origins of functools.partial under its usual spellings.
+_PARTIAL_ORIGINS = frozenset({"functools.partial", "partial"})
+
+
+class CallGraph:
+    """Directed call edges over dotted function names."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self._edges: Dict[str, List[str]] = {}
+        self._reverse: Dict[str, List[str]] = {}
+        self._reach_memo: Dict[str, FrozenSet[str]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def callees(self, dotted: str) -> List[str]:
+        """Direct callees (sorted, deduplicated)."""
+        return list(self._edges.get(dotted, ()))
+
+    def callers(self, dotted: str) -> List[str]:
+        """Direct callers (sorted, deduplicated)."""
+        return list(self._reverse.get(dotted, ()))
+
+    def reachable_from(self, roots: Iterable[str],
+                       max_depth: Optional[int] = None
+                       ) -> FrozenSet[str]:
+        """Every dotted name reachable from ``roots`` (inclusive)."""
+        seen: Set[str] = set()
+        frontier = sorted(set(roots))
+        seen.update(frontier)
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            next_frontier: List[str] = []
+            for name in frontier:
+                for callee in self._edges.get(name, ()):
+                    if callee not in seen:
+                        seen.add(callee)
+                        next_frontier.append(callee)
+            frontier = sorted(next_frontier)
+            depth += 1
+        return frozenset(seen)
+
+    def reaches(self, start: str, targets: FrozenSet[str],
+                max_depth: Optional[int] = None) -> bool:
+        """True when ``start`` can reach any of ``targets``.
+
+        Matches both exact dotted names and dotted prefixes given as
+        ``"pkg.mod."`` entries (trailing dot = subtree match).
+        Unbounded queries are memoised per start node.
+        """
+        exact = {t for t in targets if not t.endswith(".")}
+        prefixes = tuple(t for t in targets if t.endswith("."))
+
+        def hit(name: str) -> bool:
+            if name in exact:
+                return True
+            return bool(prefixes) and name.startswith(prefixes)
+
+        if hit(start):
+            return True
+        if max_depth is None:
+            closure = self._reach_memo.get(start)
+            if closure is None:
+                closure = self.reachable_from([start])
+                self._reach_memo[start] = closure
+        else:
+            closure = self.reachable_from([start], max_depth=max_depth)
+        return any(hit(name) for name in closure)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        raw: Dict[str, Set[str]] = {}
+        for dotted in sorted(self.symbols.functions):
+            symbol = self.symbols.functions[dotted]
+            raw[dotted] = self._edges_of(symbol)
+        self._edges = {name: sorted(targets)
+                       for name, targets in raw.items()}
+        reverse: Dict[str, Set[str]] = {}
+        for caller, callees in self._edges.items():
+            for callee in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        self._reverse = {name: sorted(callers)
+                         for name, callers in reverse.items()}
+
+    def _edges_of(self, symbol: FunctionSymbol) -> Set[str]:
+        edges: Set[str] = set()
+        module = symbol.module
+        owner = symbol.owner_class
+        node = symbol.node
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                self._call_edges(child, module, owner, edges)
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)) \
+                    and child is not node:
+                # a nested def is callable from its definer
+                edges.add(f"{symbol.dotted}.{child.name}")
+        for decorator in node.decorator_list:
+            target = self._resolve_expr(decorator, module)
+            if target:
+                edges.add(target)
+        return edges
+
+    def _call_edges(self, call: ast.Call, module: str,
+                    owner: Optional[str], edges: Set[str]) -> None:
+        func = call.func
+        # functools.partial(f, ...) — reference edge to f
+        origin = self.symbols.resolve_call(module, func) \
+            or dotted_expression(func)
+        if origin in _PARTIAL_ORIGINS \
+                or origin.endswith(".partial") and call.args:
+            if call.args:
+                target = self._resolve_expr(call.args[0], module)
+                if target:
+                    edges.add(target)
+        # self.m(...) — bind to the enclosing class's method first
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id in ("self", "cls") and owner:
+            cls = self.symbols.cls(owner)
+            bound = cls.methods.get(func.attr) if cls else None
+            if bound:
+                edges.add(bound)
+                return
+        resolved = self.symbols.resolve_call(module, func)
+        if resolved is not None:
+            edges.add(resolved)
+            return
+        # obj.m(...) on an unknown receiver: name-match every project
+        # method called m (class-hierarchy-analysis flavour)
+        if isinstance(func, ast.Attribute):
+            for candidate in self.symbols.functions_named(func.attr):
+                if candidate.is_method:
+                    edges.add(candidate.dotted)
+
+    def _resolve_expr(self, expr: ast.expr,
+                      module: str) -> Optional[str]:
+        dotted = dotted_expression(expr)
+        if not dotted:
+            return None
+        return self.symbols.resolve(module, dotted) or None

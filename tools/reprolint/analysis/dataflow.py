@@ -1,0 +1,340 @@
+"""Intra-procedural dataflow: def-use, mutation, escape, path cover.
+
+Four small analyses over one function body, shared by the project
+rules:
+
+* :func:`def_use` — for every local name, the statements that bind
+  it and the expressions that read it (a lightweight def-use chain;
+  flow-insensitive, which is sufficient for "was this name ever
+  bound to X" questions).
+* :func:`attribute_mutations` — every statement that mutates
+  ``<owner>.<attr>`` state: direct/augmented/subscript assignment,
+  ``del``, and calls to known in-place methods (``update``, ``pop``,
+  ``append``, ...), including one level through a subscript
+  (``self._views[1]["x"] = ...``).
+* :func:`closure_captures` — names a nested ``def``/``lambda``
+  captures from the enclosing function's scope (the "escapes to
+  closure" facts R012 needs).
+* :func:`mutations_missing_restore` — an all-paths walker: given a
+  *mutation* predicate and a *restore* predicate, report mutations
+  that can reach a normal exit (``return`` or fall-through) with no
+  restore statement in between.  Branches are walked independently;
+  loop bodies are treated as executing at least zero times; ``raise``
+  exits are exempt (an invariant-restoring counter is meaningless on
+  an aborted operation).  This is deliberately an approximation — it
+  is path-sensitive for if/elif/else and try/except, and
+  conservative for loops.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Method names that mutate their receiver in place (dict/list/set).
+INPLACE_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "sort", "reverse", "update",
+    "__setitem__", "__delitem__",
+})
+
+#: In-place methods that are *reads with a default* rather than
+#: logical state changes; rules may treat them separately.
+READLIKE_METHODS = frozenset({"setdefault"})
+
+
+# ----------------------------------------------------------------------
+# def-use chains
+# ----------------------------------------------------------------------
+@dataclass
+class NameFlow:
+    """Where one local name is bound and read inside a function."""
+
+    name: str
+    #: every expression assigned to the name (RHS of ``name = expr``,
+    #: or None for for-targets / with-targets / parameters
+    bindings: List[Optional[ast.expr]] = field(default_factory=list)
+    #: every Name node that loads the value
+    reads: List[ast.Name] = field(default_factory=list)
+
+
+class FunctionDataflow:
+    """Def-use chains for one function body (nested scopes excluded)."""
+
+    def __init__(self, func: _FunctionNode) -> None:
+        self.func = func
+        self.names: Dict[str, NameFlow] = {}
+        args = func.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            self._flow(arg.arg).bindings.append(None)
+        for node in shallow_walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._bind_target(target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._bind_target(node.target, node.value)
+            elif isinstance(node, ast.AugAssign):
+                self._bind_target(node.target, node.value)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._bind_target(node.target, None)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        self._bind_target(item.optional_vars, None)
+            elif isinstance(node, ast.Name) \
+                    and isinstance(node.ctx, ast.Load):
+                self._flow(node.id).reads.append(node)
+
+    def _flow(self, name: str) -> NameFlow:
+        if name not in self.names:
+            self.names[name] = NameFlow(name)
+        return self.names[name]
+
+    def _bind_target(self, target: ast.expr,
+                     value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            self._flow(target.id).bindings.append(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, None)
+
+    def bindings_of(self, name: str) -> List[Optional[ast.expr]]:
+        flow = self.names.get(name)
+        return list(flow.bindings) if flow else []
+
+
+def def_use(func: _FunctionNode) -> FunctionDataflow:
+    return FunctionDataflow(func)
+
+
+def shallow_walk(func: ast.AST):
+    """Walk a function body without entering nested def/lambda/class."""
+    pending = list(getattr(func, "body", []))
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# attribute mutations
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttributeMutation:
+    """One statement mutating ``<owner>.<attr>``."""
+
+    attr: str
+    node: ast.AST
+    #: "assign" | "augassign" | "delete" | "subscript" | method name
+    kind: str
+
+
+def _owner_attr(expr: ast.expr, owner: str) -> Optional[str]:
+    """``attr`` when expr is ``<owner>.attr`` (one subscript deep)."""
+    if isinstance(expr, ast.Subscript):
+        expr = expr.value
+    if isinstance(expr, ast.Attribute) \
+            and isinstance(expr.value, ast.Name) \
+            and expr.value.id == owner:
+        return expr.attr
+    return None
+
+
+def attribute_mutations(func: _FunctionNode, owner: str = "self"
+                        ) -> List[AttributeMutation]:
+    """Every shallow statement that mutates ``<owner>.<attr>``."""
+    found: List[AttributeMutation] = []
+    for node in shallow_walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _owner_attr(target, owner)
+                if attr:
+                    kind = ("subscript"
+                            if isinstance(target, ast.Subscript)
+                            else "assign")
+                    found.append(AttributeMutation(attr, node, kind))
+        elif isinstance(node, ast.AugAssign):
+            attr = _owner_attr(node.target, owner)
+            if attr:
+                found.append(AttributeMutation(attr, node, "augassign"))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _owner_attr(target, owner)
+                if attr:
+                    found.append(AttributeMutation(attr, node, "delete"))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in INPLACE_METHODS:
+            attr = _owner_attr(node.func.value, owner)
+            if attr:
+                found.append(AttributeMutation(attr, node,
+                                               node.func.attr))
+    found.sort(key=lambda m: (m.node.lineno, m.node.col_offset, m.attr))
+    return found
+
+
+# ----------------------------------------------------------------------
+# escape to closure
+# ----------------------------------------------------------------------
+def closure_captures(func: _FunctionNode
+                     ) -> List[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Nested functions/lambdas and the enclosing names they capture.
+
+    Returns ``[(nested_node, captured_names), ...]`` where
+    ``captured_names`` are names read by the nested scope that are
+    bound in the *enclosing* function (parameters or locals) — the
+    classic unpicklable-closure shape.
+    """
+    outer = FunctionDataflow(func)
+    outer_names = set(outer.names)
+    results: List[Tuple[ast.AST, Tuple[str, ...]]] = []
+    for node in shallow_walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            captured = _free_reads(node) & outer_names
+            results.append((node, tuple(sorted(captured))))
+    results.sort(key=lambda pair: (pair[0].lineno,
+                                   pair[0].col_offset))
+    return results
+
+
+def _free_reads(nested: ast.AST) -> Set[str]:
+    """Names the nested scope reads but does not bind itself."""
+    bound: Set[str] = set()
+    args = getattr(nested, "args", None)
+    if args is not None:
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            bound.add(arg.arg)
+    reads: Set[str] = set()
+    body = nested.body if isinstance(nested.body, list) \
+        else [nested.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name):
+                if isinstance(node.ctx, ast.Store):
+                    bound.add(node.id)
+                elif isinstance(node.ctx, ast.Load):
+                    reads.add(node.id)
+    return reads - bound
+
+
+# ----------------------------------------------------------------------
+# all-paths invariant restoration
+# ----------------------------------------------------------------------
+class _PathState:
+    """Pending (un-restored) mutation statements along one path."""
+
+    __slots__ = ("pending", "terminated")
+
+    def __init__(self) -> None:
+        self.pending: List[ast.AST] = []
+        self.terminated = False
+
+    def fork(self) -> "_PathState":
+        twin = _PathState()
+        twin.pending = list(self.pending)
+        return twin
+
+
+def mutations_missing_restore(
+        func: _FunctionNode,
+        mutates: Callable[[ast.stmt], List[ast.AST]],
+        restores: Callable[[ast.stmt], bool]) -> List[ast.AST]:
+    """Mutation statements that can reach exit without a restore.
+
+    ``mutates(stmt)`` returns the mutation nodes a statement
+    performs (often the statement itself); ``restores(stmt)`` is True
+    for statements that re-establish the invariant (e.g. a version
+    bump).  Both callbacks are consulted for *every* statement,
+    including compound ones whose bodies this walker explores itself —
+    they must match simple statements only, or mutations inside
+    branches would be double-counted.  A mutation is *cleared* by a
+    later restore on the same path; paths ending in ``raise`` are
+    exempt.
+    """
+    leaked: List[ast.AST] = []
+    seen_ids: Set[int] = set()
+
+    def leak(nodes: List[ast.AST]) -> None:
+        for node in nodes:
+            if id(node) not in seen_ids:
+                seen_ids.add(id(node))
+                leaked.append(node)
+
+    def walk_block(stmts: List[ast.stmt],
+                   state: _PathState) -> _PathState:
+        for stmt in stmts:
+            if state.terminated:
+                break
+            state = walk_stmt(stmt, state)
+        return state
+
+    def merge(states: List[_PathState]) -> _PathState:
+        merged = _PathState()
+        live = [s for s in states if not s.terminated]
+        if not live:
+            merged.terminated = True
+            return merged
+        seen_local: Set[int] = set()
+        for branch_state in live:
+            for node in branch_state.pending:
+                if id(node) not in seen_local:
+                    seen_local.add(id(node))
+                    merged.pending.append(node)
+        return merged
+
+    def walk_stmt(stmt: ast.stmt, state: _PathState) -> _PathState:
+        if restores(stmt):
+            state.pending = []
+            return state
+        state.pending.extend(mutates(stmt))
+        if isinstance(stmt, ast.Return):
+            leak(state.pending)
+            state.terminated = True
+            return state
+        if isinstance(stmt, ast.Raise):
+            # error-abort path: invariant restoration not required
+            state.pending = []
+            state.terminated = True
+            return state
+        if isinstance(stmt, ast.If):
+            then = walk_block(stmt.body, state.fork())
+            other = walk_block(stmt.orelse, state.fork())
+            return merge([then, other])
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            # body runs 0+ times; a restore inside the loop clears
+            # same-iteration mutations, the zero-iteration path keeps
+            # the incoming state
+            once = walk_block(stmt.body, state.fork())
+            after = merge([state.fork(), once])
+            return walk_block(stmt.orelse, after)
+        if isinstance(stmt, ast.Try):
+            tried = walk_block(stmt.body, state.fork())
+            branches = [tried]
+            for handler in stmt.handlers:
+                branches.append(walk_block(handler.body, state.fork()))
+            merged = merge(branches)
+            merged = walk_block(stmt.orelse, merged) \
+                if stmt.orelse and not merged.terminated else merged
+            if stmt.finalbody:
+                merged = walk_block(stmt.finalbody, merged)
+            return merged
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return walk_block(stmt.body, state)
+        return state
+
+    final = walk_block(list(func.body), _PathState())
+    if not final.terminated:
+        leak(final.pending)  # fall-through exit
+    leaked.sort(key=lambda n: (n.lineno, n.col_offset))
+    return leaked

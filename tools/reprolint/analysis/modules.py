@@ -1,0 +1,350 @@
+"""Module and symbol table: who defines what, under which dotted name.
+
+The table answers two questions every project rule needs:
+
+* *Given a file, what module is it?*  ``src/repro/graph/graph.py``
+  is ``repro.graph.graph`` because ``src/repro`` and ``src/repro/
+  graph`` both carry ``__init__.py`` and ``src`` does not.
+* *Given a name used in that module, what does it canonically
+  refer to?*  ``pmap`` imported via ``from repro.perf import pmap``
+  resolves through the re-export in ``repro/perf/__init__.py`` to
+  the defining symbol ``repro.perf.executor.pmap``.
+
+Resolution is purely syntactic (imports and definitions), which is
+exactly the right strength for lint rules: no execution, no
+third-party stubs, deterministic output.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file, by walking up ``__init__.py``.
+
+    Files outside any package resolve to their bare stem, which keeps
+    single-file fixtures addressable.
+    """
+    path = os.path.normpath(os.path.abspath(path))
+    directory, filename = os.path.split(path)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, package = os.path.split(directory)
+        parts.insert(0, package)
+    return ".".join(parts) if parts else stem
+
+
+def _resolve_relative(module: str, level: int, target: str) -> str:
+    """Absolute module for ``from ...target import x`` inside ``module``.
+
+    ``level`` dots climb from the *package* containing ``module``
+    (one level = the current package).
+    """
+    parts = module.split(".")
+    # drop the module's own name, then level-1 more packages
+    keep = len(parts) - level
+    if keep < 0:
+        keep = 0
+    base = parts[:keep]
+    if target:
+        base.append(target)
+    return ".".join(base)
+
+
+@dataclass
+class FunctionSymbol:
+    """One function or method definition in the project."""
+
+    #: Fully dotted: ``repro.graph.graph.Graph.add_node``.
+    dotted: str
+    module: str
+    qualname: str  # module-relative, e.g. ``Graph.add_node``
+    path: str
+    node: ast.AST
+    #: Enclosing class dotted name for methods, else None.
+    owner_class: Optional[str] = None
+    #: Depth of *function* nesting (0 = module level or plain method).
+    nesting: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_method(self) -> bool:
+        return self.owner_class is not None
+
+    @property
+    def is_nested(self) -> bool:
+        return self.nesting > 0
+
+
+@dataclass
+class ClassSymbol:
+    """One class definition plus its method and attribute surface."""
+
+    dotted: str
+    module: str
+    qualname: str
+    path: str
+    node: ast.ClassDef
+    #: method name -> dotted function symbol name
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: attributes assigned as ``self.X`` anywhere in the class body
+    attributes: Tuple[str, ...] = ()
+    #: base-class names as written (resolved lazily by callers)
+    bases: Tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the table knows about one parsed file."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: local name -> absolute dotted target (imports only)
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level binding name -> dotted symbol defined here
+    definitions: Dict[str, str] = field(default_factory=dict)
+
+
+class SymbolTable:
+    """Project-wide map from dotted names to definitions.
+
+    Build once from parsed files, then resolve names with
+    :meth:`resolve` (module-local name -> canonical dotted symbol)
+    or look up definitions with :meth:`function` / :meth:`cls`.
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionSymbol] = {}
+        self.classes: Dict[str, ClassSymbol] = {}
+        #: terminal method/function name -> dotted symbols sharing it
+        self.by_terminal_name: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_file(self, path: str, tree: ast.Module) -> ModuleInfo:
+        name = module_name_for_path(path)
+        info = ModuleInfo(name=name, path=path, tree=tree)
+        # Relative imports climb from the *package*: a plain module
+        # drops its own leaf first, but a package __init__ has no
+        # leaf, so anchor it at a synthetic one to keep
+        # _resolve_relative's arithmetic uniform.
+        anchor = f"{name}.__init__" \
+            if os.path.basename(path) == "__init__.py" else name
+        info.imports = self._collect_imports(anchor, tree)
+        self._collect_definitions(info)
+        self.modules[name] = info
+        self.modules_by_path[os.path.normpath(path)] = info
+        return info
+
+    @staticmethod
+    def _collect_imports(module: str, tree: ast.Module) -> Dict[str, str]:
+        table: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".")[0]
+                        table[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                target = (_resolve_relative(module, node.level,
+                                            node.module or "")
+                          if node.level else (node.module or ""))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table[local] = (f"{target}.{alias.name}"
+                                    if target else alias.name)
+        return table
+
+    def _collect_definitions(self, info: ModuleInfo) -> None:
+        table = self
+
+        class Collector(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.stack: List[str] = []
+                self.class_stack: List[ClassSymbol] = []
+                self.func_depth = 0
+
+            def _register_function(self, node) -> None:
+                qualname = ".".join(self.stack + [node.name])
+                dotted = f"{info.name}.{qualname}"
+                owner = (self.class_stack[-1].dotted
+                         if self.class_stack and not self.func_depth
+                         else None)
+                symbol = FunctionSymbol(
+                    dotted=dotted, module=info.name, qualname=qualname,
+                    path=info.path, node=node, owner_class=owner,
+                    nesting=self.func_depth)
+                table.functions[dotted] = symbol
+                table.by_terminal_name.setdefault(
+                    node.name, []).append(dotted)
+                if owner is not None:
+                    self.class_stack[-1].methods[node.name] = dotted
+                if not self.stack:
+                    info.definitions[node.name] = dotted
+                self.stack.append(node.name)
+                self.func_depth += 1
+                self.generic_visit(node)
+                self.func_depth -= 1
+                self.stack.pop()
+
+            visit_FunctionDef = _register_function
+            visit_AsyncFunctionDef = _register_function
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                qualname = ".".join(self.stack + [node.name])
+                dotted = f"{info.name}.{qualname}"
+                bases = tuple(
+                    b for b in (_dotted_of(base) for base in node.bases)
+                    if b)
+                symbol = ClassSymbol(dotted=dotted, module=info.name,
+                                     qualname=qualname, path=info.path,
+                                     node=node, bases=bases)
+                table.classes[dotted] = symbol
+                if not self.stack:
+                    info.definitions[node.name] = dotted
+                self.stack.append(node.name)
+                self.class_stack.append(symbol)
+                self.generic_visit(node)
+                symbol.attributes = tuple(sorted(
+                    _self_attribute_writes(node)))
+                self.class_stack.pop()
+                self.stack.pop()
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                if not self.stack:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            info.definitions.setdefault(
+                                target.id, f"{info.name}.{target.id}")
+                self.generic_visit(node)
+
+        Collector().visit(info.tree)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, module: str, name: str,
+                _depth: int = 0) -> Optional[str]:
+        """Canonical dotted symbol for ``name`` used inside ``module``.
+
+        Follows import chains (including package re-exports) up to a
+        fixed depth; returns the deepest known definition, the dotted
+        import target when the definition is outside the project, or
+        None for local/unknown names.
+        """
+        if _depth > 8:
+            return None
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        head, _, rest = name.partition(".")
+        target: Optional[str] = None
+        if head in info.definitions:
+            target = info.definitions[head]
+        elif head in info.imports:
+            target = info.imports[head]
+        if target is None:
+            return None
+        dotted = f"{target}.{rest}" if rest else target
+        return self.canonical(dotted, _depth + 1)
+
+    def canonical(self, dotted: str, _depth: int = 0) -> str:
+        """Follow re-export chains to the defining symbol.
+
+        ``repro.perf.pmap`` (a ``from .executor import pmap`` in the
+        package ``__init__``) canonicalises to
+        ``repro.perf.executor.pmap``.
+        """
+        if _depth > 8 or dotted in self.functions \
+                or dotted in self.classes:
+            return dotted
+        module, _, leaf = dotted.rpartition(".")
+        if not module or not leaf:
+            return dotted
+        info = self.modules.get(module)
+        if info is None:
+            return dotted
+        if leaf in info.definitions:
+            return self.canonical(info.definitions[leaf], _depth + 1)
+        if leaf in info.imports:
+            return self.canonical(info.imports[leaf], _depth + 1)
+        return dotted
+
+    def resolve_call(self, module: str,
+                     func: ast.expr) -> Optional[str]:
+        """Canonical dotted target of a call expression's function.
+
+        Handles ``name(...)``, ``pkg.attr(...)`` and chained
+        attributes rooted in an imported or module-level name.
+        Calls rooted in local variables resolve to None.
+        """
+        parts = _dotted_of(func)
+        if not parts:
+            return None
+        return self.resolve(module, parts)
+
+    def function(self, dotted: str) -> Optional[FunctionSymbol]:
+        return self.functions.get(dotted)
+
+    def cls(self, dotted: str) -> Optional[ClassSymbol]:
+        return self.classes.get(dotted)
+
+    def functions_named(self, terminal: str) -> List[FunctionSymbol]:
+        """Every project function whose terminal name matches."""
+        return [self.functions[d]
+                for d in self.by_terminal_name.get(terminal, ())]
+
+    def module_for_path(self, path: str) -> Optional[ModuleInfo]:
+        return self.modules_by_path.get(os.path.normpath(path))
+
+
+def _dotted_of(node: ast.expr) -> str:
+    """``a.b.c`` for a Name/Attribute chain, else ``""``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _self_attribute_writes(cls: ast.ClassDef) -> List[str]:
+    """Attribute names assigned as ``self.X`` anywhere in the class."""
+    found = set()
+    for node in ast.walk(cls):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                found.add(target.attr)
+    return sorted(found)
+
+
+def dotted_expression(node: ast.expr) -> str:
+    """Public alias for the Name/Attribute chain formatter."""
+    return _dotted_of(node)

@@ -1,0 +1,149 @@
+"""Project-level analysis facade: one parse, passes built on demand.
+
+:class:`ProjectAnalysis` owns the whole-program passes.  The runner
+hands it every parsed file once; rules then request passes by name
+through ``Rule.requires`` and the runner builds only the union the
+enabled rules actually need (pass scheduling).  Each pass is built at
+most once per lint run and timed, so ``--stats`` can attribute lint
+wall-clock to passes as well as rules.
+
+The module also hosts the on-disk AST cache used by ``--project``
+runs: parsed trees pickled under a cache directory keyed by the
+SHA-256 of the source bytes.  Content addressing makes invalidation
+automatic (an edited file simply misses) and the cache can never
+change lint results — a corrupt or unreadable entry falls back to
+``ast.parse``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from reprolint.analysis.callgraph import CallGraph
+from reprolint.analysis.modules import ModuleInfo, SymbolTable
+
+#: Pass names rules may declare in ``Rule.requires``.
+ANALYSIS_PASSES = ("symbols", "callgraph", "dataflow")
+
+#: Cache-format version; bump when the pickled payload shape changes.
+_CACHE_VERSION = 1
+
+#: Environment override for the AST cache directory.
+CACHE_ENV = "REPROLINT_CACHE_DIR"
+
+
+class AstCache:
+    """Content-hash-keyed on-disk cache of parsed ASTs.
+
+    Warm ``--project`` runs skip re-parsing unchanged files — parsing
+    is the dominant cold cost for a ~100-file tree.  Every failure
+    mode (missing dir, bad pickle, version skew, read-only disk)
+    degrades silently to a fresh parse.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory or os.environ.get(CACHE_ENV) \
+            or os.path.join(".", ".reprolint-cache")
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, digest: str) -> str:
+        return os.path.join(self.directory,
+                            f"ast-v{_CACHE_VERSION}-{digest}.pkl")
+
+    @staticmethod
+    def digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def parse(self, path: str, source: str) -> ast.Module:
+        """Parse ``source``, through the cache when possible."""
+        digest = self.digest(source)
+        entry = self._entry_path(digest)
+        try:
+            with open(entry, "rb") as handle:
+                tree = pickle.load(handle)
+            if isinstance(tree, ast.Module):
+                self.hits += 1
+                return tree
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError):
+            pass
+        self.misses += 1
+        tree = ast.parse(source, filename=path)
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = f"{entry}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                pickle.dump(tree, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, entry)
+        except OSError:
+            pass
+        return tree
+
+
+class ProjectAnalysis:
+    """All whole-program passes over one set of parsed files."""
+
+    def __init__(self) -> None:
+        self._symbols: Optional[SymbolTable] = None
+        self._callgraph: Optional[CallGraph] = None
+        self._files: List[Tuple[str, ast.Module]] = []
+        #: wall seconds spent building each pass
+        self.pass_timings: Dict[str, float] = {}
+
+    def add_file(self, path: str, tree: ast.Module) -> None:
+        if self._symbols is not None:
+            raise RuntimeError("analysis already built; add files "
+                               "before requesting passes")
+        self._files.append((path, tree))
+
+    @property
+    def symbols(self) -> SymbolTable:
+        """The module/symbol table (built on first access)."""
+        if self._symbols is None:
+            started = time.perf_counter()
+            table = SymbolTable()
+            for path, tree in self._files:
+                table.add_file(path, tree)
+            self._symbols = table
+            self.pass_timings["symbols"] = \
+                time.perf_counter() - started
+        return self._symbols
+
+    @property
+    def callgraph(self) -> CallGraph:
+        """The project call graph (built on first access)."""
+        if self._callgraph is None:
+            symbols = self.symbols
+            started = time.perf_counter()
+            self._callgraph = CallGraph(symbols)
+            self.pass_timings["callgraph"] = \
+                time.perf_counter() - started
+        return self._callgraph
+
+    def module_for(self, path: str) -> Optional[ModuleInfo]:
+        return self.symbols.module_for_path(path)
+
+    def build(self, passes: Iterable[str]) -> None:
+        """Eagerly build the requested passes (scheduling hook).
+
+        ``dataflow`` has no global build step — def-use chains are
+        per-function and computed by rules on demand — but is kept in
+        :data:`ANALYSIS_PASSES` so rules can declare the dependency
+        and ``--stats`` reports stay honest about what ran.
+        """
+        wanted = set(passes)
+        unknown = wanted - set(ANALYSIS_PASSES)
+        if unknown:
+            raise ValueError(
+                f"unknown analysis pass(es): {sorted(unknown)}")
+        if "symbols" in wanted or "callgraph" in wanted \
+                or "dataflow" in wanted:
+            self.symbols
+        if "callgraph" in wanted:
+            self.callgraph

@@ -1,0 +1,146 @@
+"""Checked-in violation waivers with mandatory expiry.
+
+``lint-baseline.json`` lets a known finding ride while its fix is in
+flight without turning the lint gate off.  The design goal is that a
+waiver can never quietly become permanent:
+
+* every entry **must** carry an ``expires`` date (``YYYY-MM-DD``) and
+  a ``reason`` — entries without either are a config error, not a
+  lenient default;
+* an expired entry stops waiving (the violation comes back) *and* is
+  reported so it gets deleted rather than lingering;
+* entries that matched nothing are reported as stale, so the file
+  shrinks as fixes land.
+
+Matching is by ``rule`` + ``path`` (normalised, ``/`` separators) +
+optional ``line``; omitting ``line`` waives the rule for the whole
+file, which survives unrelated edits shifting line numbers.  Nothing
+here feeds the report formats — filtering happens before the
+reporter runs, so baselined-clean output is byte-identical to
+actually-clean output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from reprolint.violations import Violation
+
+_DATE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+#: Default baseline filename probed by ``--project`` mode.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _norm(path: str) -> str:
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One waived finding."""
+
+    rule: str
+    path: str
+    reason: str
+    expires: str  # YYYY-MM-DD, lexicographically comparable
+    line: Optional[int] = None
+
+    def matches(self, violation: Violation) -> bool:
+        if violation.rule != self.rule:
+            return False
+        if _norm(violation.path) != _norm(self.path):
+            return False
+        return self.line is None or violation.line == self.line
+
+    def expired(self, today: str) -> bool:
+        return self.expires < today
+
+    def describe(self) -> str:
+        where = self.path if self.line is None \
+            else f"{self.path}:{self.line}"
+        return f"{self.rule} at {where} (expires {self.expires})"
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of filtering one lint result through the baseline."""
+
+    kept: List[Violation] = field(default_factory=list)
+    waived: List[Violation] = field(default_factory=list)
+    expired: List[BaselineEntry] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+
+class Baseline:
+    """A parsed waiver file."""
+
+    def __init__(self, entries: List[BaselineEntry]) -> None:
+        self.entries = entries
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        if not isinstance(raw, dict) \
+                or not isinstance(raw.get("entries"), list):
+            raise ValueError(
+                f"{path}: baseline root must be an object with an "
+                f"'entries' list")
+        entries: List[BaselineEntry] = []
+        for index, item in enumerate(raw["entries"]):
+            if not isinstance(item, dict):
+                raise ValueError(f"{path}: entries[{index}] must be "
+                                 f"an object")
+            missing = [key for key in ("rule", "path", "reason",
+                                       "expires") if key not in item]
+            if missing:
+                raise ValueError(
+                    f"{path}: entries[{index}] missing required "
+                    f"key(s): {', '.join(missing)}")
+            expires = str(item["expires"])
+            if not _DATE.match(expires):
+                raise ValueError(
+                    f"{path}: entries[{index}].expires must be "
+                    f"YYYY-MM-DD, got {expires!r}")
+            line = item.get("line")
+            if line is not None and not isinstance(line, int):
+                raise ValueError(
+                    f"{path}: entries[{index}].line must be an "
+                    f"integer or omitted")
+            entries.append(BaselineEntry(
+                rule=str(item["rule"]), path=str(item["path"]),
+                reason=str(item["reason"]), expires=expires,
+                line=line))
+        return cls(entries)
+
+    def apply(self, violations: List[Violation],
+              today: str) -> BaselineReport:
+        """Split violations into kept/waived; surface dead entries."""
+        report = BaselineReport()
+        matched: set = set()
+        live: List[Tuple[int, BaselineEntry]] = []
+        for index, entry in enumerate(self.entries):
+            if entry.expired(today):
+                report.expired.append(entry)
+            else:
+                live.append((index, entry))
+        for violation in violations:
+            waiver = None
+            for index, entry in live:
+                if entry.matches(violation):
+                    waiver = index
+                    break
+            if waiver is None:
+                report.kept.append(violation)
+            else:
+                matched.add(waiver)
+                report.waived.append(violation)
+        for index, entry in live:
+            if index not in matched:
+                report.stale.append(entry)
+        return report

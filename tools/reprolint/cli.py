@@ -1,19 +1,30 @@
 """Command-line entry point: ``python -m reprolint [paths...]``.
 
 Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+``--project`` enables whole-tree conveniences on top of the ordinary
+run: the content-hash AST cache (warm runs skip re-parsing unchanged
+files), the checked-in ``lint-baseline.json`` waiver file (probed
+automatically, or named via ``--baseline``), and baseline
+bookkeeping on stderr.  ``--stats`` prints per-pass and per-rule
+wall-clock to stderr; timings never enter the report itself, so
+JSON/SARIF output stays byte-identical run to run.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import os
 import sys
 from typing import List, Optional
 
+from reprolint.analysis.project import AstCache
+from reprolint.baseline import Baseline, DEFAULT_BASELINE
 from reprolint.config import LintConfig
 from reprolint.registry import all_rules
 from reprolint.reporters import REPORTERS
-from reprolint.runner import lint_paths
+from reprolint.runner import LintResult, lint_paths
 
 EXIT_CLEAN = 0
 EXIT_VIOLATIONS = 1
@@ -47,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "tables")
     parser.add_argument("--list-rules", action="store_true",
                         help="print registered rules and exit")
+    parser.add_argument("--project", action="store_true",
+                        help="whole-project mode: AST cache plus "
+                             "automatic lint-baseline.json filtering")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="violation waiver file (implies baseline "
+                             "filtering even without --project)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="AST cache directory for --project "
+                             "(default: .reprolint-cache, or "
+                             "$REPROLINT_CACHE_DIR)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-pass/per-rule timings to "
+                             "stderr (never part of the report)")
     return parser
 
 
@@ -90,7 +114,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"reprolint: no such path: {path}", file=sys.stderr)
         return EXIT_ERROR
 
-    result = lint_paths(args.paths, config)
+    ast_cache = AstCache(args.cache_dir) if args.project else None
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and args.project \
+            and os.path.isfile(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"reprolint: bad baseline: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+
+    result = lint_paths(args.paths, config, ast_cache=ast_cache)
+
+    if baseline is not None:
+        today = datetime.date.today().isoformat()
+        report = baseline.apply(result.violations, today)
+        result = LintResult(violations=report.kept,
+                            files_checked=result.files_checked,
+                            rules_run=result.rules_run,
+                            timings=result.timings)
+        for entry in report.expired:
+            print(f"reprolint: baseline entry expired: "
+                  f"{entry.describe()}", file=sys.stderr)
+        for entry in report.stale:
+            print(f"reprolint: baseline entry matches nothing: "
+                  f"{entry.describe()}", file=sys.stderr)
+        if report.waived:
+            print(f"reprolint: {len(report.waived)} violation(s) "
+                  f"waived by {baseline_path}", file=sys.stderr)
+
+    if args.stats:
+        for key in sorted(result.timings):
+            print(f"reprolint: stats {key}: "
+                  f"{result.timings[key] * 1000:.1f}ms",
+                  file=sys.stderr)
+        if ast_cache is not None:
+            print(f"reprolint: stats cache: {ast_cache.hits} hit(s), "
+                  f"{ast_cache.misses} miss(es)", file=sys.stderr)
+
     sys.stdout.write(REPORTERS[args.format](result))
     if args.format == "text":
         sys.stdout.write("\n")

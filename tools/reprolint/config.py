@@ -81,6 +81,89 @@ class LintConfig:
         "ImportError", "ModuleNotFoundError", "StopIteration",
     })
 
+    # ------------------------------------------------------------------
+    # whole-program rules (R011-R015)
+    # ------------------------------------------------------------------
+
+    #: The monotonic cache-invalidation counter (R011).  Any class
+    #: that writes ``self.<version_attr>`` is treated as
+    #: version-guarded.
+    version_attr: str = "_version"
+
+    #: Attributes whose mutation must be followed by a version bump on
+    #: every non-raising path (R011).  ``_node_attrs`` is deliberately
+    #: absent: node attributes take no part in matching, so the view
+    #: caches need not be invalidated for them.
+    version_guarded_attrs: FrozenSet[str] = frozenset({
+        "_adj", "_node_labels", "_edge_labels", "_edge_attrs", "_views",
+    })
+
+    #: Zero-copy cached-view accessors whose returns are shared state;
+    #: callers outside the defining module must not mutate them (R011).
+    cached_view_methods: FrozenSet[str] = frozenset({
+        "adjacency_sets", "label_index", "neighbor_label_counts",
+    })
+
+    #: Dotted origins of the parallel map (R012 payload checks).
+    pmap_origins: FrozenSet[str] = frozenset({
+        "repro.perf.pmap", "repro.perf.executor.pmap",
+    })
+
+    #: Constructors whose results must never ride into a pmap payload
+    #: (unpicklable or process-local, R012).
+    unpicklable_factories: FrozenSet[str] = frozenset({
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "threading.Semaphore", "threading.BoundedSemaphore",
+        "threading.Event", "open", "io.open",
+        "repro.obs.tracing.span", "repro.obs.span",
+    })
+
+    #: Deadline methods that count as a poll (R013).
+    deadline_poll_methods: FrozenSet[str] = frozenset({
+        "check", "require",
+    })
+
+    #: Work a loop may not run unbounded between polls (R013): exact
+    #: dotted names, ``pkg.prefix.`` subtrees (trailing dot), and —
+    #: matched by terminal callable name — the capped-enumeration and
+    #: kernel entry points.
+    deadline_expensive_calls: FrozenSet[str] = frozenset({
+        "repro.matching.", "repro.truss.", "repro.clustering.",
+        "repro.perf.executor.pmap",
+    })
+    deadline_expensive_names: FrozenSet[str] = frozenset({
+        "iter_embeddings", "count_embeddings", "covered_edges",
+        "set_covered_edges", "greedy_select", "k_truss",
+        "build_summary", "pmap",
+    })
+
+    #: Wall-clock reads banned outside the allowed subtrees (R014).
+    #: Monotonic duration timers (``perf_counter``/``monotonic``) are
+    #: deliberately absent — measuring how long a stage took is fine
+    #: anywhere; knowing *what time it is* is not.
+    wallclock_functions: FrozenSet[str] = frozenset({
+        "time.time", "time.time_ns", "time.ctime", "time.localtime",
+        "time.gmtime", "time.strftime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.date.today",
+    })
+
+    #: Path components under which wall-clock reads are legitimate
+    #: (tracing spans, deadline arithmetic, retry backoff).
+    wallclock_allowed_dirs: FrozenSet[str] = frozenset({
+        "obs", "resilience", "perf",
+    })
+
+    #: Functions producing pipeline results; set-iteration feeding
+    #: their returned ordering is checked by R014.
+    result_root_functions: FrozenSet[str] = frozenset({
+        "run_catapult", "run_tattoo", "run_midas", "run_selection",
+    })
+
+    #: Names anchoring the shared pipeline-config contract (R015).
+    shared_fields_constant: str = "SHARED_PIPELINE_FIELDS"
+    pipeline_config_class: str = "PipelineConfig"
+
     #: Rule ids to run (empty = all registered rules).
     select: FrozenSet[str] = frozenset()
 
@@ -129,4 +212,15 @@ class LintConfig:
                     tuple(spec.get("cap_keywords", ())),
                     int(spec.get("min_positional", 0)))
             kwargs["enumeration_signatures"] = table
+        for key in ("version_guarded_attrs", "cached_view_methods",
+                    "pmap_origins", "unpicklable_factories",
+                    "deadline_poll_methods", "deadline_expensive_calls",
+                    "deadline_expensive_names", "wallclock_functions",
+                    "wallclock_allowed_dirs", "result_root_functions"):
+            if key in raw:
+                kwargs[key] = frozenset(raw[key])
+        for key in ("version_attr", "shared_fields_constant",
+                    "pipeline_config_class"):
+            if key in raw:
+                kwargs[key] = str(raw[key])
         return cls(**kwargs)  # type: ignore[arg-type]

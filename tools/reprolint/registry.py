@@ -9,7 +9,7 @@ package once populates the registry.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Type, TYPE_CHECKING
+from typing import Dict, Iterable, Iterator, List, Tuple, Type, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from reprolint.runner import FileContext, ProjectIndex
@@ -23,11 +23,20 @@ class Rule:
     ``description`` (one line, shown by ``--list-rules``).  One instance
     is created per lint run, so rules may keep run-local state between
     ``collect`` and ``check``.
+
+    Whole-program rules additionally declare ``requires`` — the
+    analysis passes they need (``"symbols"``, ``"callgraph"``,
+    ``"dataflow"``).  The runner builds the union of passes requested
+    by the *enabled* rules once per run and exposes the result as
+    ``ProjectIndex.analysis``; a rule whose ``requires`` is empty must
+    not touch it.
     """
 
     id: str = ""
     name: str = ""
     description: str = ""
+    #: Analysis passes this rule needs (subset of ANALYSIS_PASSES).
+    requires: Tuple[str, ...] = ()
 
     def collect(self, ctx: "FileContext", project: "ProjectIndex") -> None:
         """First pass over every file; populate cross-file facts."""

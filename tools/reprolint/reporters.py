@@ -1,11 +1,20 @@
-"""Text and JSON reporters over a :class:`LintResult`."""
+"""Text, JSON, and SARIF reporters over a :class:`LintResult`.
+
+All machine formats are *byte-deterministic*: no timestamps, no
+timings, no absolute paths beyond what the caller passed in.  Two
+runs over the same tree must produce identical bytes — the
+determinism test diff-checks exactly that, and CI artifact caching
+relies on it.
+"""
 
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter
 from typing import Dict
 
+from reprolint.registry import all_rules
 from reprolint.runner import LintResult
 
 
@@ -39,7 +48,62 @@ def json_report(result: LintResult) -> str:
     return json.dumps(payload, indent=2, sort_keys=False) + "\n"
 
 
+def sarif_report(result: LintResult) -> str:
+    """SARIF 2.1.0 report (one run, one driver, stable ordering).
+
+    Minimal but valid: editors and code-scanning UIs need
+    ``tool.driver`` (with per-rule metadata for the rules that ran)
+    and ``results`` carrying rule id, message, and a physical
+    location.  Columns are converted to SARIF's 1-based convention.
+    """
+    by_id = {cls.id: cls for cls in all_rules()}
+    rules = []
+    for rule_id in result.rules_run:
+        cls = by_id.get(rule_id)
+        if cls is None:
+            continue
+        rules.append({
+            "id": cls.id,
+            "name": cls.name,
+            "shortDescription": {"text": cls.description},
+        })
+    results = []
+    for violation in result.violations:
+        uri = os.path.normpath(violation.path).replace(os.sep, "/")
+        results.append({
+            "ruleId": violation.rule,
+            "level": "warning",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+        })
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "rules": rules,
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
 REPORTERS = {
     "text": text_report,
     "json": json_report,
+    "sarif": sarif_report,
 }

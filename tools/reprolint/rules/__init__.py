@@ -11,4 +11,9 @@ from reprolint.rules import (  # noqa: F401
     r008_hot_loop_adjacency,
     r009_stage_span,
     r010_typed_errors,
+    r011_cache_invalidation,
+    r012_pmap_payload,
+    r013_deadline_poll,
+    r014_determinism,
+    r015_shim_drift,
 )

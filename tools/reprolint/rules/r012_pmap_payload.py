@@ -1,0 +1,224 @@
+"""R012 pmap payload safety.
+
+``repro.perf.pmap`` ships its callable to worker *processes* by
+pickling.  Anything that cannot round-trip through pickle fails at
+submit time on some platforms and — worse — silently degrades to the
+serial fallback on others, so the contract is strict: the callable
+must be a **module-level function**, and any state bound into it
+(via ``functools.partial``) must itself be picklable.
+
+The rule flags, at each ``pmap(fn, ...)`` call site:
+
+* ``lambda`` payloads and locally nested ``def``s (pickle refuses
+  both by reference; a nested def that *captures* enclosing locals is
+  reported with the captured names, since moving it to module level
+  requires untangling the closure);
+* bound methods (``self.worker``/``obj.worker``) — the receiver
+  rides along and is rarely picklable;
+* ``functools.partial`` payloads whose bound arguments carry
+  process-local state: locks/conditions/events, open file handles,
+  generator expressions, or live tracing spans (per the
+  ``unpicklable_factories`` table in the lint config).
+
+Resolution runs through the project symbol table when available, so
+``from repro.perf import pmap``, aliased imports, and re-exports all
+reach the same rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from reprolint.analysis.dataflow import (
+    FunctionDataflow,
+    closure_captures,
+    shallow_walk,
+)
+from reprolint.analysis.modules import dotted_expression
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+_PARTIAL_ORIGINS = frozenset({"functools.partial", "partial"})
+
+
+@register
+class PmapPayloadRule(Rule):
+    id = "R012"
+    name = "pmap-payload-safety"
+    description = ("callables handed to repro.perf.pmap must be "
+                   "module-level and free of unpicklable bound state "
+                   "(closures, locks, open files, generators, spans)")
+    requires = ("symbols",)
+
+    # ------------------------------------------------------------------
+    # resolution helpers
+    # ------------------------------------------------------------------
+    def _dotted(self, ctx: FileContext, project: ProjectIndex,
+                expr: ast.expr) -> str:
+        """Best-effort dotted origin of an expression's callable."""
+        resolved = ctx.resolve(expr)
+        if resolved:
+            analysis = project.analysis
+            if analysis is not None:
+                return analysis.symbols.canonical(resolved)
+            return resolved
+        return dotted_expression(expr)
+
+    def _is_pmap(self, ctx: FileContext, project: ProjectIndex,
+                 call: ast.Call) -> bool:
+        dotted = self._dotted(ctx, project, call.func)
+        return dotted in ctx.config.pmap_origins
+
+    def _is_partial(self, ctx: FileContext, project: ProjectIndex,
+                    expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        dotted = self._dotted(ctx, project, expr.func) \
+            or dotted_expression(expr.func)
+        return dotted in _PARTIAL_ORIGINS or dotted.endswith(".partial")
+
+    # ------------------------------------------------------------------
+    # payload checks
+    # ------------------------------------------------------------------
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        yield from self._walk(ctx, project, ctx.tree, None)
+
+    def _walk(self, ctx: FileContext, project: ProjectIndex,
+              scope: ast.AST, enclosing) -> Iterator[Violation]:
+        """Visit calls, tracking the innermost enclosing function."""
+        for child in ast.iter_child_nodes(scope):
+            inner = child if isinstance(child, _FUNCTIONS) else enclosing
+            if isinstance(child, ast.Call) \
+                    and self._is_pmap(ctx, project, child):
+                payload = self._payload_of(child)
+                if payload is not None:
+                    yield from self._check_payload(
+                        ctx, project, payload, enclosing)
+            yield from self._walk(ctx, project, child, inner)
+
+    @staticmethod
+    def _payload_of(call: ast.Call) -> Optional[ast.expr]:
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "fn":
+                return keyword.value
+        return None
+
+    def _check_payload(self, ctx: FileContext, project: ProjectIndex,
+                       payload: ast.expr,
+                       enclosing) -> Iterator[Violation]:
+        if isinstance(payload, ast.Lambda):
+            yield self._violation(
+                ctx, payload,
+                "lambda passed to pmap cannot be pickled to worker "
+                "processes; define a module-level function")
+            return
+        if isinstance(payload, ast.Attribute):
+            yield self._violation(
+                ctx, payload,
+                f"bound method {dotted_expression(payload) or payload.attr}"
+                " passed to pmap drags its receiver through pickle; "
+                "use a module-level function taking the object as an "
+                "argument")
+            return
+        if self._is_partial(ctx, project, payload):
+            assert isinstance(payload, ast.Call)
+            if payload.args:
+                yield from self._check_payload(
+                    ctx, project, payload.args[0], enclosing)
+            bound = list(payload.args[1:]) \
+                + [kw.value for kw in payload.keywords]
+            for arg in bound:
+                yield from self._check_bound_state(
+                    ctx, project, arg, enclosing)
+            return
+        if isinstance(payload, ast.Name) and enclosing is not None:
+            yield from self._check_local_name(
+                ctx, project, payload, enclosing)
+
+    def _check_local_name(self, ctx: FileContext,
+                          project: ProjectIndex, payload: ast.Name,
+                          enclosing) -> Iterator[Violation]:
+        nested: Dict[str, ast.AST] = {}
+        captures: Dict[str, Tuple[str, ...]] = {}
+        for node, captured in closure_captures(enclosing):
+            name = getattr(node, "name", None)
+            if name:
+                nested[name] = node
+                captures[name] = captured
+        if payload.id in nested:
+            captured = captures[payload.id]
+            if captured:
+                detail = (f"closes over local name(s) "
+                          f"{', '.join(captured)} and")
+            else:
+                detail = "is defined inside another function and"
+            yield self._violation(
+                ctx, payload,
+                f"pmap payload {payload.id!r} {detail} cannot be "
+                "pickled by reference; move it to module level")
+            return
+        flow = FunctionDataflow(enclosing)
+        for binding in flow.bindings_of(payload.id):
+            if isinstance(binding, ast.Lambda):
+                yield self._violation(
+                    ctx, payload,
+                    f"pmap payload {payload.id!r} is bound to a "
+                    "lambda; define a module-level function")
+                return
+            if self._is_partial(ctx, project, binding):
+                # trace the partial the name was built from
+                yield from self._check_payload(
+                    ctx, project, binding, enclosing)
+                return
+
+    def _check_bound_state(self, ctx: FileContext,
+                           project: ProjectIndex, arg: ast.expr,
+                           enclosing) -> Iterator[Violation]:
+        """Flag partial-bound arguments that cannot be pickled."""
+        if isinstance(arg, (ast.GeneratorExp, ast.Lambda)):
+            kind = "generator expression" \
+                if isinstance(arg, ast.GeneratorExp) else "lambda"
+            yield self._violation(
+                ctx, arg,
+                f"{kind} bound into a pmap partial is unpicklable")
+            return
+        factories = ctx.config.unpicklable_factories
+        if isinstance(arg, ast.Call):
+            dotted = self._dotted(ctx, project, arg.func)
+            if dotted in factories:
+                yield self._violation(
+                    ctx, arg,
+                    f"{dotted}() result bound into a pmap partial is "
+                    "process-local and unpicklable")
+            return
+        if isinstance(arg, ast.Name) and enclosing is not None:
+            flow = FunctionDataflow(enclosing)
+            for binding in flow.bindings_of(arg.id):
+                if isinstance(binding, ast.GeneratorExp):
+                    yield self._violation(
+                        ctx, arg,
+                        f"{arg.id!r} is a generator expression; "
+                        "bound into a pmap partial it is unpicklable")
+                    return
+                if isinstance(binding, ast.Call):
+                    dotted = self._dotted(ctx, project, binding.func)
+                    if dotted in factories:
+                        yield self._violation(
+                            ctx, arg,
+                            f"{arg.id!r} holds a {dotted}() result; "
+                            "bound into a pmap partial it is "
+                            "process-local and unpicklable")
+                        return
+
+    def _violation(self, ctx: FileContext, node: ast.AST,
+                   message: str) -> Violation:
+        return Violation(path=ctx.path, line=node.lineno,
+                         col=node.col_offset, rule=self.id,
+                         message=message)

@@ -1,0 +1,212 @@
+"""R013 deadline-poll coverage.
+
+The resilience layer's anytime contract ("complete at least one unit
+of work, then check") only holds if every loop that can burn
+significant wall-clock actually *polls* its :class:`Deadline`.  A
+stage that loops over repositories or candidates calling the matching
+kernel without a ``deadline.check(...)`` at the loop boundary turns a
+soft budget into an unbounded run — exactly the failure the
+fault-injection harness cannot catch, because nothing faults.
+
+Scope is deliberately narrow to stay quiet on ordinary code:
+
+* only functions reachable (via the project call graph) from a
+  pipeline stage function, and
+* only functions that *have* a deadline in scope — a parameter or
+  local named ``deadline``/``*_deadline`` or bound from a
+  ``Deadline(...)`` construction.  A function that was never handed
+  the deadline cannot poll it; its caller is the one on the hook.
+
+Within such a function, a ``for``/``while`` loop whose body can reach
+expensive work (the matching/truss/clustering kernels, ``pmap``, or
+the capped-enumeration entry points — see the
+``deadline_expensive_*`` config tables) must be *covered*: poll the
+deadline somewhere in the loop, pass the deadline to a callee
+(delegation — the callee polls), or sit inside an enclosing loop that
+is itself covered (the poll at the outer boundary bounds every inner
+iteration).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Set
+
+from reprolint.analysis.dataflow import shallow_walk
+from reprolint.analysis.modules import dotted_expression
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.rules.r009_stage_span import STAGE_FUNCTIONS
+from reprolint.violations import Violation
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _loop_walk(node: ast.AST):
+    """Walk a subtree without entering nested def/lambda/class."""
+    pending = list(ast.iter_child_nodes(node))
+    while pending:
+        child = pending.pop()
+        yield child
+        if isinstance(child, (*_FUNCTIONS, ast.Lambda, ast.ClassDef)):
+            continue
+        pending.extend(ast.iter_child_nodes(child))
+
+
+def _deadline_names(func) -> Set[str]:
+    """Parameter/local names that hold the deadline in this function."""
+    names: Set[str] = set()
+    args = func.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])):
+        if arg.arg == "deadline" or arg.arg.endswith("_deadline"):
+            names.add(arg.arg)
+    for node in shallow_walk(func):
+        if isinstance(node, ast.Assign) and node.value is not None:
+            bound = _is_deadline_expr(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name) and (
+                        bound or target.id == "deadline"
+                        or target.id.endswith("_deadline")):
+                    names.add(target.id)
+    return names
+
+
+def _is_deadline_expr(expr: ast.expr) -> bool:
+    """Constructions/reads that obviously produce a Deadline."""
+    if isinstance(expr, ast.Call):
+        dotted = dotted_expression(expr.func)
+        return dotted.rsplit(".", 1)[-1] == "Deadline"
+    dotted = dotted_expression(expr)
+    return bool(dotted) and dotted.rsplit(".", 1)[-1] == "deadline"
+
+
+def _mentions_deadline(expr: ast.expr, names: Set[str]) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id in names
+    if isinstance(expr, ast.Attribute):
+        return "deadline" in expr.attr or _mentions_deadline(
+            expr.value, names)
+    return False
+
+
+@register
+class DeadlinePollRule(Rule):
+    id = "R013"
+    name = "deadline-poll-coverage"
+    description = ("loops over expensive work in stage-reachable "
+                   "functions must poll the in-scope Deadline (or "
+                   "delegate it) at the loop boundary")
+    requires = ("symbols", "callgraph")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        analysis = project.analysis
+        if analysis is None:
+            return
+        symbols = analysis.symbols
+        info = symbols.module_for_path(ctx.path)
+        if info is None:
+            return
+        graph = analysis.callgraph
+        roots = [dotted for name in sorted(STAGE_FUNCTIONS)
+                 for dotted in (s.dotted
+                                for s in symbols.functions_named(name))]
+        if not roots:
+            return
+        in_scope = graph.reachable_from(roots)
+        config = ctx.config
+        expensive_targets = frozenset(config.deadline_expensive_calls)
+        for dotted in sorted(symbols.functions):
+            symbol = symbols.functions[dotted]
+            if symbol.path != ctx.path or dotted not in in_scope:
+                continue
+            func = symbol.node
+            names = _deadline_names(func)
+            if not names:
+                continue
+            yield from self._check_block(
+                ctx, analysis, info.name, func.body, names,
+                expensive_targets, covered=False)
+
+    # ------------------------------------------------------------------
+    # loop coverage
+    # ------------------------------------------------------------------
+    def _check_block(self, ctx, analysis, module: str,
+                     stmts: List[ast.stmt], names: Set[str],
+                     expensive: FrozenSet[str],
+                     covered: bool) -> Iterator[Violation]:
+        for stmt in stmts:
+            if isinstance(stmt, _LOOPS):
+                loop_covered = (covered
+                                or self._polls(ctx, stmt, names)
+                                or self._delegates(stmt, names))
+                if not loop_covered and self._is_expensive(
+                        ctx, analysis, module, stmt, expensive):
+                    yield Violation(
+                        path=ctx.path, line=stmt.lineno,
+                        col=stmt.col_offset, rule=self.id,
+                        message=("loop runs deadline-worthy work but "
+                                 "never polls the in-scope deadline "
+                                 "(add deadline.check(...) at the "
+                                 "loop boundary or pass the deadline "
+                                 "to the callee)"))
+                for body in (stmt.body, stmt.orelse):
+                    yield from self._check_block(
+                        ctx, analysis, module, body, names,
+                        expensive, loop_covered)
+            elif isinstance(stmt, _FUNCTIONS + (ast.ClassDef,)):
+                continue
+            else:
+                for field in ("body", "orelse", "finalbody"):
+                    inner = getattr(stmt, field, None)
+                    if isinstance(inner, list):
+                        yield from self._check_block(
+                            ctx, analysis, module, inner, names,
+                            expensive, covered)
+                handlers = getattr(stmt, "handlers", None)
+                if handlers:
+                    for handler in handlers:
+                        yield from self._check_block(
+                            ctx, analysis, module, handler.body,
+                            names, expensive, covered)
+
+    def _polls(self, ctx, loop: ast.AST, names: Set[str]) -> bool:
+        methods = ctx.config.deadline_poll_methods
+        for node in _loop_walk(loop):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in methods \
+                    and _mentions_deadline(node.func.value, names):
+                return True
+        return False
+
+    def _delegates(self, loop: ast.AST, names: Set[str]) -> bool:
+        for node in _loop_walk(loop):
+            if isinstance(node, ast.Call):
+                for arg in list(node.args) \
+                        + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id in names:
+                        return True
+        return False
+
+    def _is_expensive(self, ctx, analysis, module: str,
+                      loop: ast.AST,
+                      expensive: FrozenSet[str]) -> bool:
+        config = ctx.config
+        graph = analysis.callgraph
+        for node in _loop_walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = analysis.symbols.resolve_call(module, node.func) \
+                or dotted_expression(node.func)
+            if not dotted:
+                continue
+            terminal = dotted.rsplit(".", 1)[-1]
+            if terminal in config.deadline_expensive_names:
+                return True
+            if graph.reaches(dotted, expensive):
+                return True
+        return False

@@ -1,0 +1,201 @@
+"""R014 determinism hygiene (whole-program).
+
+Two ways wall-clock and hash randomisation leak into results that
+DESIGN.md promises are bit-reproducible:
+
+* **Wall-clock reads outside the clock-owning layers.**  ``time.
+  time()``/``perf_counter()``/``datetime.now()`` and friends are the
+  business of the observability spans, the resilience deadlines, and
+  the perf retry backoff — the ``obs``/``resilience``/``perf``
+  subtrees.  Anywhere else, a clock read is either dead code or a
+  nondeterminism bug waiting to be interpolated into an output.
+  This check is unconditional per file (no reachability needed): the
+  allowed list is by directory, mirroring the architecture.
+* **Set-iteration feeding result ordering.**  Python randomises
+  ``str`` hashes per process, so iterating a ``set`` yields a
+  different order every run.  In functions reachable from the
+  pipeline-result producers (``run_catapult`` etc.), a loop over a
+  set-typed value whose body appends to a returned collection — or a
+  comprehension over one inside a ``return`` — makes the
+  ``PipelineResult`` ordering flip run to run.  The fix is always the
+  same: ``sorted(...)`` at the iteration site, which is why the rule
+  only fires where the iterable is *provably* a set (a literal, a
+  ``set()``/``frozenset()`` call, a set comprehension, or a local
+  bound only to those); dict iteration is insertion-ordered and
+  stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Optional, Set
+
+from reprolint.analysis.dataflow import FunctionDataflow, shallow_walk
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_set_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset"))
+
+
+def _set_bound_names(flow: FunctionDataflow) -> Set[str]:
+    """Locals every one of whose bindings is a set expression."""
+    names: Set[str] = set()
+    for name, nameflow in flow.names.items():
+        bindings = [b for b in nameflow.bindings if b is not None]
+        if bindings and all(_is_set_expr(b) for b in bindings):
+            names.add(name)
+    return names
+
+
+def _set_iterable(expr: ast.expr, set_names: Set[str]) -> bool:
+    if _is_set_expr(expr):
+        return True
+    return isinstance(expr, ast.Name) and expr.id in set_names
+
+
+def _returned_names(func) -> Set[str]:
+    """Every local name appearing inside a return expression."""
+    names: Set[str] = set()
+    for node in shallow_walk(func):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+@register
+class DeterminismHygieneRule(Rule):
+    id = "R014"
+    name = "determinism-hygiene"
+    description = ("wall-clock reads outside obs/resilience/perf, and "
+                   "set-iteration feeding result ordering in "
+                   "pipeline-result paths")
+    requires = ("symbols", "callgraph")
+
+    # ------------------------------------------------------------------
+    # wall-clock confinement
+    # ------------------------------------------------------------------
+    def _check_wallclock(self, ctx: FileContext
+                         ) -> Iterator[Violation]:
+        config = ctx.config
+        parts = set(os.path.normpath(ctx.path)
+                    .replace(os.sep, "/").split("/")[:-1])
+        if parts & config.wallclock_allowed_dirs:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve(node.func)
+            if dotted in config.wallclock_functions:
+                yield Violation(
+                    path=ctx.path, line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message=(f"{dotted}() read outside the "
+                             "obs/resilience/perf layers; wall-clock "
+                             "must not feed reproducible results"))
+
+    # ------------------------------------------------------------------
+    # set-order feeding results
+    # ------------------------------------------------------------------
+    def _check_set_order(self, ctx: FileContext,
+                         project: ProjectIndex
+                         ) -> Iterator[Violation]:
+        analysis = project.analysis
+        if analysis is None:
+            return
+        symbols = analysis.symbols
+        roots = [s.dotted
+                 for name in sorted(ctx.config.result_root_functions)
+                 for s in symbols.functions_named(name)]
+        if not roots:
+            return
+        in_scope = analysis.callgraph.reachable_from(roots)
+        for dotted in sorted(symbols.functions):
+            symbol = symbols.functions[dotted]
+            if symbol.path != ctx.path or dotted not in in_scope:
+                continue
+            yield from self._check_function(ctx, symbol.node)
+
+    def _check_function(self, ctx: FileContext,
+                        func) -> Iterator[Violation]:
+        flow = FunctionDataflow(func)
+        set_names = _set_bound_names(flow)
+        returned = _returned_names(func)
+        if not returned:
+            return
+        for node in shallow_walk(func):
+            if isinstance(node, (ast.For, ast.AsyncFor)) \
+                    and _set_iterable(node.iter, set_names) \
+                    and self._feeds_returned(node, returned):
+                yield self._violation(
+                    ctx, node.iter,
+                    "loop iterates a set and feeds a returned "
+                    "collection; set order is hash-randomised — "
+                    "wrap the iterable in sorted(...)")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)) \
+                    and self._comp_feeds_returned(node, func, returned):
+                for generator in node.generators:
+                    if _set_iterable(generator.iter, set_names):
+                        yield self._violation(
+                            ctx, generator.iter,
+                            "comprehension over a set feeds the "
+                            "returned value; set order is "
+                            "hash-randomised — wrap the iterable "
+                            "in sorted(...)")
+
+    @staticmethod
+    def _feeds_returned(loop: ast.AST, returned: Set[str]) -> bool:
+        """Loop body appends/extends/writes into a returned name."""
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("append", "extend", "add",
+                                           "insert", "update") \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id in returned:
+                return True
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id in returned:
+                        return True
+        return False
+
+    @staticmethod
+    def _comp_feeds_returned(comp: ast.AST, func,
+                             returned: Set[str]) -> bool:
+        """Comprehension sits in a return or binds a returned name."""
+        for node in shallow_walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if sub is comp:
+                        return True
+            elif isinstance(node, ast.Assign) and node.value is comp:
+                for target in node.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id in returned:
+                        return True
+        return False
+
+    def _violation(self, ctx: FileContext, node: ast.AST,
+                   message: str) -> Violation:
+        return Violation(path=ctx.path, line=node.lineno,
+                         col=node.col_offset, rule=self.id,
+                         message=message)
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        yield from self._check_wallclock(ctx)
+        yield from self._check_set_order(ctx, project)

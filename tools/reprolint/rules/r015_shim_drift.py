@@ -1,0 +1,236 @@
+"""R015 deprecated-shim drift.
+
+The unified pipeline API centralises its cross-pipeline knobs in
+``PipelineConfig`` and the ``SHARED_PIPELINE_FIELDS`` tuple; each
+pipeline keeps a per-stage config class whose ``from_pipeline``
+constructor forwards every shared field, and the pre-unification
+entry points survive as ``DeprecationWarning`` shims that accept
+either the old argument or a ``PipelineConfig``.  Three kinds of
+drift silently break that compatibility story and none of them is
+visible inside a single file, which is why this is a whole-program
+rule:
+
+* **Incomplete forwarding.**  A ``from_pipeline`` that stops
+  forwarding a shared field (say ``max_retries``) builds configs
+  that silently ignore a knob the caller set on ``PipelineConfig``.
+  Every shared field must be covered — by a literal
+  ``setdefault("field", ...)``, by a literal tuple iterated with
+  ``setdefault``, or by iterating ``SHARED_PIPELINE_FIELDS`` itself.
+* **Phantom fields.**  A ``from_pipeline`` (or its literal tuple)
+  that reads a field ``PipelineConfig`` no longer defines raises
+  ``AttributeError`` at runtime for every caller — the rule checks
+  each forwarded/``getattr``-ed name against the dataclass fields of
+  the real ``PipelineConfig``.
+* **Lost config branch.**  A deprecated shim in a pipeline module
+  (one that imports ``PipelineConfig``) must still *mention* the
+  class — the ``isinstance(arg, PipelineConfig)`` branch is what
+  keeps old call sites and new configs working through the same
+  name.  A shim that drops it has regressed to old-only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from reprolint.analysis.dataflow import shallow_walk
+from reprolint.analysis.modules import dotted_expression
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _str_constants(expr: ast.expr) -> Optional[List[str]]:
+    """The strings of a tuple/list of string literals, else None."""
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        strings: List[str] = []
+        for element in expr.elts:
+            if isinstance(element, ast.Constant) \
+                    and isinstance(element.value, str):
+                strings.append(element.value)
+            else:
+                return None
+        return strings
+    return None
+
+
+def _warns_deprecation(func) -> Optional[ast.Call]:
+    """The ``warnings.warn(..., DeprecationWarning)`` call, if any."""
+    for node in shallow_walk(func):
+        if not (isinstance(node, ast.Call)
+                and dotted_expression(node.func)
+                .rsplit(".", 1)[-1] == "warn"):
+            continue
+        mentions = list(node.args) \
+            + [kw.value for kw in node.keywords]
+        for arg in mentions:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name) \
+                        and sub.id == "DeprecationWarning":
+                    return node
+    return None
+
+
+@register
+class ShimDriftRule(Rule):
+    id = "R015"
+    name = "deprecated-shim-drift"
+    description = ("from_pipeline constructors must forward every "
+                   "SHARED_PIPELINE_FIELDS entry and only real "
+                   "PipelineConfig fields; deprecated shims must keep "
+                   "their PipelineConfig branch")
+    requires = ("symbols",)
+
+    # ------------------------------------------------------------------
+    # contract anchors (resolved once per run via the symbol table)
+    # ------------------------------------------------------------------
+    def _shared_fields(self, ctx: FileContext,
+                       project: ProjectIndex) -> Optional[List[str]]:
+        analysis = project.analysis
+        if analysis is None:
+            return None
+        constant = ctx.config.shared_fields_constant
+        for name in sorted(analysis.symbols.modules):
+            info = analysis.symbols.modules[name]
+            if constant not in info.definitions:
+                continue
+            for node in info.tree.body:
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) \
+                                and target.id == constant:
+                            return _str_constants(node.value)
+        return None
+
+    def _pipeline_fields(self, ctx: FileContext,
+                         project: ProjectIndex) -> Optional[Set[str]]:
+        analysis = project.analysis
+        if analysis is None:
+            return None
+        wanted = ctx.config.pipeline_config_class
+        for dotted in sorted(analysis.symbols.classes):
+            cls = analysis.symbols.classes[dotted]
+            if cls.qualname.rsplit(".", 1)[-1] != wanted:
+                continue
+            fields: Set[str] = set()
+            for item in cls.node.body:
+                if isinstance(item, ast.AnnAssign) \
+                        and isinstance(item.target, ast.Name):
+                    fields.add(item.target.id)
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            fields.add(target.id)
+            return fields
+        return None
+
+    # ------------------------------------------------------------------
+    # from_pipeline coverage
+    # ------------------------------------------------------------------
+    def _forwarded_fields(self, func, constant: str
+                          ) -> Tuple[Set[str], bool]:
+        """(literal field names forwarded, iterates-shared-constant)."""
+        covered: Set[str] = set()
+        uses_constant = False
+        for node in shallow_walk(func):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "setdefault" and node.args:
+                key = node.args[0]
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str):
+                    covered.add(key.value)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) \
+                            and isinstance(target.slice, ast.Constant) \
+                            and isinstance(target.slice.value, str):
+                        covered.add(target.slice.value)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                literals = _str_constants(node.iter)
+                if literals is not None:
+                    covered.update(literals)
+                elif dotted_expression(node.iter) \
+                        .rsplit(".", 1)[-1] == constant:
+                    uses_constant = True
+        return covered, uses_constant
+
+    def _check_from_pipeline(self, ctx: FileContext,
+                             project: ProjectIndex
+                             ) -> Iterator[Violation]:
+        shared = self._shared_fields(ctx, project)
+        pipeline_fields = self._pipeline_fields(ctx, project)
+        constant = ctx.config.shared_fields_constant
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not (isinstance(item, _FUNCTIONS)
+                        and item.name == "from_pipeline"):
+                    continue
+                covered, uses_constant = self._forwarded_fields(
+                    item, constant)
+                if shared and not uses_constant:
+                    missing = sorted(set(shared) - covered)
+                    if missing:
+                        yield Violation(
+                            path=ctx.path, line=item.lineno,
+                            col=item.col_offset, rule=self.id,
+                            message=(f"{node.name}.from_pipeline does "
+                                     f"not forward shared pipeline "
+                                     f"field(s) {', '.join(missing)}; "
+                                     f"configs built from "
+                                     f"PipelineConfig silently drop "
+                                     f"them"))
+                if pipeline_fields is not None:
+                    phantom = sorted(covered - pipeline_fields)
+                    if phantom:
+                        yield Violation(
+                            path=ctx.path, line=item.lineno,
+                            col=item.col_offset, rule=self.id,
+                            message=(f"{node.name}.from_pipeline reads "
+                                     f"field(s) {', '.join(phantom)} "
+                                     f"that PipelineConfig does not "
+                                     f"define; getattr will raise at "
+                                     f"runtime"))
+
+    # ------------------------------------------------------------------
+    # shim branch
+    # ------------------------------------------------------------------
+    def _references_pipeline_config(self, ctx: FileContext) -> bool:
+        wanted = ctx.config.pipeline_config_class
+        if any(dotted.rsplit(".", 1)[-1] == wanted
+               for dotted in ctx.imports.values()):
+            return True
+        return any(isinstance(node, ast.ClassDef) and node.name == wanted
+                   for node in ctx.tree.body)
+
+    def _check_shims(self, ctx: FileContext) -> Iterator[Violation]:
+        if not self._references_pipeline_config(ctx):
+            return
+        wanted = ctx.config.pipeline_config_class
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _FUNCTIONS):
+                continue
+            warn = _warns_deprecation(node)
+            if warn is None:
+                continue
+            mentions_config = any(
+                isinstance(sub, ast.Name) and sub.id == wanted
+                for sub in shallow_walk(node))
+            if not mentions_config:
+                yield Violation(
+                    path=ctx.path, line=node.lineno,
+                    col=node.col_offset, rule=self.id,
+                    message=(f"deprecated shim {node.name} no longer "
+                             f"references {wanted}; the "
+                             f"isinstance-branch that keeps old call "
+                             f"sites compatible with the unified "
+                             f"config API has drifted away"))
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        yield from self._check_from_pipeline(ctx, project)
+        yield from self._check_shims(ctx)

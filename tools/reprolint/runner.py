@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import ast
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from reprolint.analysis.project import AstCache, ProjectAnalysis
 from reprolint.config import LintConfig
 from reprolint.registry import Rule, all_rules
 from reprolint.suppress import SuppressionIndex
@@ -37,11 +39,13 @@ class FileContext:
     imports: Dict[str, str] = field(default_factory=dict)
 
     @classmethod
-    def parse(cls, path: str, source: str,
-              config: LintConfig) -> "FileContext":
-        tree = ast.parse(source, filename=path)
+    def parse(cls, path: str, source: str, config: LintConfig,
+              tree: Optional[ast.Module] = None) -> "FileContext":
+        if tree is None:
+            tree = ast.parse(source, filename=path)
         ctx = cls(path=path, source=source, tree=tree, config=config,
                   suppressions=SuppressionIndex.from_source(source))
+        ctx.suppressions.attach_statement_spans(tree)
         ctx.imports = _collect_imports(tree)
         return ctx
 
@@ -108,6 +112,10 @@ class ProjectIndex:
     rng_functions: Dict[str, List[RngFunctionFact]] = field(
         default_factory=dict)
 
+    #: Whole-program passes; built by the runner iff an enabled rule
+    #: declares a non-empty ``requires``.
+    analysis: Optional[ProjectAnalysis] = None
+
     def add_rng_function(self, fact: RngFunctionFact) -> None:
         name = fact.qualname.rsplit(".", 1)[-1]
         self.rng_functions.setdefault(name, []).append(fact)
@@ -118,6 +126,11 @@ class LintResult:
     violations: List[Violation]
     files_checked: int
     rules_run: Tuple[str, ...]
+    #: wall seconds per stage: ``parse``, ``pass:<name>`` for each
+    #: analysis pass built, and ``rule:<id>`` per rule's check phase.
+    #: Surfaced only by ``--stats`` (stderr) — never in reports, so
+    #: JSON/SARIF output stays byte-identical across runs.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -140,43 +153,66 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
 
 
 def lint_paths(paths: Sequence[str],
-               config: Optional[LintConfig] = None) -> LintResult:
-    """Run every enabled rule over every Python file under ``paths``."""
+               config: Optional[LintConfig] = None,
+               ast_cache: Optional[AstCache] = None) -> LintResult:
+    """Run every enabled rule over every Python file under ``paths``.
+
+    ``ast_cache`` (``--project`` mode) reuses parsed trees for files
+    whose content hash matches a previous run; results are identical
+    with or without it.
+    """
     config = config or LintConfig()
     rules: List[Rule] = [cls() for cls in all_rules()
                          if config.rule_enabled(cls.id)]
+    timings: Dict[str, float] = {}
 
     contexts: List[FileContext] = []
     violations: List[Violation] = []
     files_checked = 0
+    started = time.perf_counter()
     for path in iter_python_files(paths):
         files_checked += 1
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
-            contexts.append(FileContext.parse(path, source, config))
+            tree = ast_cache.parse(path, source) if ast_cache else None
+            contexts.append(FileContext.parse(path, source, config, tree))
         except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
             line = getattr(exc, "lineno", None) or 1
             violations.append(Violation(
                 path=path, line=line, col=0, rule=PARSE_ERROR,
                 message=f"file could not be parsed: {exc}"))
+    timings["parse"] = time.perf_counter() - started
 
     project = ProjectIndex()
+    needed = sorted({name for rule in rules for name in rule.requires})
+    if needed:
+        analysis = ProjectAnalysis()
+        for ctx in contexts:
+            analysis.add_file(ctx.path, ctx.tree)
+        analysis.build(needed)
+        project.analysis = analysis
+        for pass_name, seconds in analysis.pass_timings.items():
+            timings[f"pass:{pass_name}"] = seconds
+
     for rule in rules:
         for ctx in contexts:
             rule.collect(ctx, project)
 
     for rule in rules:
+        started = time.perf_counter()
         for ctx in contexts:
             for violation in rule.check(ctx, project):
                 if ctx.suppressions.is_suppressed(violation.rule,
                                                   violation.line):
                     continue
                 violations.append(violation)
+        timings[f"rule:{rule.id}"] = time.perf_counter() - started
 
     violations.sort()
     return LintResult(violations=violations, files_checked=files_checked,
-                      rules_run=tuple(rule.id for rule in rules))
+                      rules_run=tuple(rule.id for rule in rules),
+                      timings=timings)
 
 
 def lint_source(source: str, path: str = "<string>",
@@ -187,6 +223,12 @@ def lint_source(source: str, path: str = "<string>",
     rules: List[Rule] = [cls() for cls in all_rules()
                          if config.rule_enabled(cls.id)]
     project = ProjectIndex()
+    needed = sorted({name for rule in rules for name in rule.requires})
+    if needed:
+        analysis = ProjectAnalysis()
+        analysis.add_file(ctx.path, ctx.tree)
+        analysis.build(needed)
+        project.analysis = analysis
     for rule in rules:
         rule.collect(ctx, project)
     found: List[Violation] = []

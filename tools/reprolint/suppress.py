@@ -13,15 +13,32 @@ string literals containing the magic words are never misread:
       # reprolint: disable-file=R002
 
 ``disable=all`` (or ``disable-file=all``) suppresses every rule.
+
+Multi-line statements are handled by *span anchoring*: once the
+runner attaches statement spans (via :meth:`SuppressionIndex.
+attach_statement_spans`), a pragma on any physical line of a
+statement suppresses violations reported on any other line of the
+same statement.  Without this, a call spanning three lines could only
+be silenced by guessing which line the rule happens to report::
+
+    result = run(   # reprolint: disable=R003
+        repos,
+        budget,
+    )
+
+Compound statements (``if``/``for``/``def``/...) anchor their
+*header* only — a pragma on the ``def`` line does not mute the whole
+body.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 _PRAGMA = re.compile(
     r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
@@ -36,6 +53,9 @@ class SuppressionIndex:
 
     line_rules: Dict[int, Set[str]] = field(default_factory=dict)
     file_rules: Set[str] = field(default_factory=set)
+    #: (first_line, last_line) of every statement, header-only for
+    #: compound statements; attached by the runner after parsing.
+    statement_spans: List[Tuple[int, int]] = field(default_factory=list)
 
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
@@ -60,13 +80,57 @@ class SuppressionIndex:
             pass
         return index
 
-    def is_suppressed(self, rule_id: str, line: int) -> bool:
-        if _ALL in self.file_rules or rule_id in self.file_rules:
-            return True
+    def attach_statement_spans(self, tree: ast.Module) -> None:
+        """Record the physical line span of every statement.
+
+        Simple statements span first through last line (decorators
+        included for def/class); compound statements span only their
+        header — the lines before the first body statement — so that
+        a trailing pragma on a multi-line ``if`` condition works
+        without muting the entire suite.
+        """
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min(start, decorators[0].lineno)
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body \
+                    and isinstance(body[0], ast.stmt):
+                end = max(start, body[0].lineno - 1)
+            else:
+                end = getattr(node, "end_lineno", None) or start
+            if end > start:
+                spans.append((start, end))
+        self.statement_spans = sorted(set(spans))
+
+    def _line_has(self, rule_id: str, line: int) -> bool:
         on_line = self.line_rules.get(line)
         if not on_line:
             return False
         return _ALL in on_line or rule_id in on_line
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if _ALL in self.file_rules or rule_id in self.file_rules:
+            return True
+        if self._line_has(rule_id, line):
+            return True
+        # multi-line statements: the innermost span containing the
+        # reported line; a pragma anywhere inside it counts
+        best: Tuple[int, int] = (0, 0)
+        found = False
+        for start, end in self.statement_spans:
+            if start <= line <= end and (
+                    not found or end - start < best[1] - best[0]):
+                best = (start, end)
+                found = True
+        if not found:
+            return False
+        return any(self._line_has(rule_id, pragma_line)
+                   for pragma_line in range(best[0], best[1] + 1))
 
     def all_rule_ids(self) -> FrozenSet[str]:
         """Every rule id mentioned by any pragma (for diagnostics)."""

@@ -2,10 +2,25 @@
 
 Runs E2/E4/E6-shaped workloads (CATAPULT selection, TATTOO network
 extraction, MIDAS maintenance) at ``workers in {1, 4}`` and writes a
-JSON report with wall times, match-cache hit rates, and — the part
-CI actually gates on — a determinism check that every worker count
-produced the identical pattern set.  Speedups are hardware-dependent
-(a single-core runner shows none); the determinism booleans are not.
+JSON report with wall times, per-worker-count match-cache hit rates,
+compact-vs-legacy pickled payload sizes, peak RSS, and the gates CI
+actually enforces:
+
+* **determinism** — every worker count produced the identical
+  pattern set (byte-identical codes);
+* **kernel equivalence** — the indexed (compact CSR) kernel and the
+  legacy dict kernel produce byte-identical pattern sets
+  (``REPRO_KERNEL=legacy`` drives the oracle runs);
+* **cache invariance** — the merged hit rate at 4 workers is within
+  one point of the serial run's (workers never start cold and the
+  delta-replay accounting is worker-count invariant);
+* **payload** — a pickled graph (compact wire form) is smaller than
+  the nested-dict payload it replaced;
+* **speedup** — catapult and tattoo run faster at 4 workers than at
+  1.  This is the only hardware-dependent gate: it hard-fails where
+  ``os.cpu_count() > 1`` and is recorded as skipped (with the
+  reason) on single-core runners, where a speedup is physically
+  impossible.
 
 With ``--trace out.json`` each experiment adds one traced run (via
 ``PipelineConfig(trace=True)``), writes every span record into one
@@ -23,6 +38,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
+import resource
 import sys
 import time
 from typing import Dict, List, Optional
@@ -38,11 +55,16 @@ from repro.datasets import (
     generate_network,
     generate_update_stream,
 )
+from repro.graph.compact import legacy_pickle_payload
+from repro.matching.isomorphism import KERNEL_ENV
 from repro.obs import matching_snapshot, stage_breakdown, write_trace
 from repro.patterns import PatternBudget
 from repro.perf import clear_match_cache
 
 WORKER_COUNTS = (1, 4)
+
+#: Maximum allowed |hit_rate(workers=4) - hit_rate(workers=1)|.
+HIT_RATE_TOLERANCE = 0.01
 
 
 def _cache_delta(before: Dict[str, float],
@@ -55,6 +77,41 @@ def _cache_delta(before: Dict[str, float],
         "misses": int(misses),
         "hit_rate": hits / total if total else 0.0,
         "vf2_calls": int(after["vf2_calls"] - before["vf2_calls"]),
+        "pairs_pruned": int(after["pairs_pruned"]
+                            - before["pairs_pruned"]),
+    }
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water-mark RSS in kB (monotonic: per-experiment
+    values report the peak reached *by the end of* that experiment)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _payload_profile(graphs, reps: int = 5) -> Dict[str, object]:
+    """Pickled-size and encode/decode cost of shipping ``graphs``.
+
+    ``compact_bytes`` is what :func:`pickle.dumps` now produces (the
+    flat encoded tuple via ``Graph.__reduce__``); ``legacy_bytes`` is
+    the nested-dict payload the pickle path used to ship.  Times are
+    best-of-``reps`` for the whole graph list.
+    """
+    compact_bytes = sum(len(pickle.dumps(g)) for g in graphs)
+    legacy_bytes = sum(len(pickle.dumps(legacy_pickle_payload(g)))
+                       for g in graphs)
+    encode_s = min(_timed(lambda: [pickle.dumps(g) for g in graphs])[1]
+                   for _ in range(reps))
+    wire = [pickle.dumps(g) for g in graphs]
+    decode_s = min(_timed(lambda: [pickle.loads(b) for b in wire])[1]
+                   for _ in range(reps))
+    return {
+        "graphs": len(graphs),
+        "compact_bytes": compact_bytes,
+        "legacy_bytes": legacy_bytes,
+        "bytes_ratio": (compact_bytes / legacy_bytes
+                        if legacy_bytes else 0.0),
+        "encode_seconds": encode_s,
+        "decode_seconds": decode_s,
     }
 
 
@@ -99,6 +156,8 @@ def run_catapult(smoke: bool,
             "cache": _cache_delta(before, matching_snapshot()),
         }
     experiment = _finish("catapult_e2", {"repository_size": size}, runs)
+    experiment["payload"] = _payload_profile(list(repo))
+    experiment["peak_rss_kb"] = _peak_rss_kb()
     if traces is not None:
         clear_match_cache()
         config = PipelineConfig(budget=budget, seed=1, trace=True,
@@ -130,6 +189,8 @@ def run_tattoo(smoke: bool,
             "cache": _cache_delta(before, matching_snapshot()),
         }
     experiment = _finish("tattoo_e4", {"network_nodes": nodes}, runs)
+    experiment["payload"] = _payload_profile([network])
+    experiment["peak_rss_kb"] = _peak_rss_kb()
     if traces is not None:
         clear_match_cache()
         config = PipelineConfig(budget=budget, seed=1, trace=True)
@@ -182,12 +243,64 @@ def run_midas(smoke: bool,
     experiment = _finish("midas_e6",
                          {"initial_size": initial, "batches": batches},
                          runs)
+    experiment["payload"] = _payload_profile(
+        list(generate_chemical_repository(initial, seed=31)))
+    experiment["peak_rss_kb"] = _peak_rss_kb()
     if traces is not None:
         midas, reports = drive(WORKER_COUNTS[0], True)
         records = [midas.trace] + [r.trace for r in reports]
         traces.extend(records)
         experiment["trace"] = [_stage_profile(r) for r in records]
     return experiment
+
+
+def run_kernel_oracle(smoke: bool) -> Dict[str, object]:
+    """Pipeline-level kernel equivalence: indexed vs legacy dict.
+
+    Runs the catapult and tattoo workloads serially under each kernel
+    (selected process-wide through ``REPRO_KERNEL``) and requires
+    byte-identical sorted pattern-code sets.  This is the end-to-end
+    complement to ``bench_kernel.py``'s per-embedding check.
+    """
+    size = 30 if smoke else 150
+    repo = generate_chemical_repository(size, seed=7)
+    walks = 10 if smoke else 30
+    nodes = 150 if smoke else 600
+    network = generate_network(NetworkConfig(nodes=nodes, cliques=4,
+                                             petals=3, flowers=3), seed=2)
+    budget = PatternBudget(5, min_size=4, max_size=8)
+    codes: Dict[str, Dict[str, List[str]]] = {}
+    previous = os.environ.get(KERNEL_ENV)
+    try:
+        for kernel in ("indexed", "legacy"):
+            os.environ[KERNEL_ENV] = kernel
+            clear_match_cache()
+            cat = pipeline.run_catapult(repo, PipelineConfig(
+                budget=budget, seed=1, workers=1,
+                options={"walks_per_cluster": walks}))
+            clear_match_cache()
+            tat = pipeline.run_tattoo(network, PipelineConfig(
+                budget=budget, seed=1, workers=1))
+            codes[kernel] = {
+                "catapult": sorted(cat.patterns.codes()),
+                "tattoo": sorted(tat.patterns.codes()),
+            }
+    finally:
+        if previous is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = previous
+        clear_match_cache()
+    return {
+        "name": "kernel_oracle",
+        "params": {"repository_size": size, "network_nodes": nodes},
+        "kernels_agree": codes["indexed"] == codes["legacy"],
+        "pattern_counts": {
+            kernel: {workload: len(pcodes)
+                     for workload, pcodes in sorted(per.items())}
+            for kernel, per in sorted(codes.items())
+        },
+    }
 
 
 def run_deadline(smoke: bool) -> Dict[str, object]:
@@ -243,15 +356,82 @@ def _finish(name: str, params: Dict[str, object],
             runs: Dict[str, Dict[str, object]]) -> Dict[str, object]:
     codes = [run["pattern_codes"] for run in runs.values()]
     deterministic = all(c == codes[0] for c in codes)
-    serial = runs[str(WORKER_COUNTS[0])]["wall_seconds"]
-    parallel = runs[str(WORKER_COUNTS[-1])]["wall_seconds"]
+    serial = runs[str(WORKER_COUNTS[0])]
+    parallel = runs[str(WORKER_COUNTS[-1])]
     return {
         "name": name,
         "params": params,
         "runs": runs,
         "deterministic_across_workers": deterministic,
-        "speedup": serial / parallel if parallel else 0.0,
+        "speedup": (serial["wall_seconds"] / parallel["wall_seconds"]
+                    if parallel["wall_seconds"] else 0.0),
+        "hit_rate_delta": abs(parallel["cache"]["hit_rate"]
+                              - serial["cache"]["hit_rate"]),
     }
+
+
+def _gates(experiments: Dict[str, Dict[str, object]],
+           multi_core: bool) -> List[Dict[str, object]]:
+    """Evaluate the CI gates over the finished experiments.
+
+    Each gate is ``{"name", "status": passed|failed|skipped,
+    "detail"}``.  Only the speedup gate is hardware-dependent: on a
+    single-core runner a 4-worker speedup is physically impossible,
+    so it is recorded as skipped (with the measured value) instead of
+    asserting a number the machine cannot produce.
+    """
+    gates = []
+    for name in ("catapult_e2", "tattoo_e4", "midas_e6"):
+        exp = experiments[name]
+        gates.append({
+            "name": f"{name}.deterministic",
+            "status": ("passed" if exp["deterministic_across_workers"]
+                       else "failed"),
+            "detail": "identical pattern codes at every worker count",
+        })
+        delta = exp["hit_rate_delta"]
+        gates.append({
+            "name": f"{name}.cache_invariance",
+            "status": ("passed" if delta <= HIT_RATE_TOLERANCE
+                       else "failed"),
+            "detail": (f"|hit_rate(4w) - hit_rate(1w)| = {delta:.4f} "
+                       f"(tolerance {HIT_RATE_TOLERANCE})"),
+        })
+        payload = exp["payload"]
+        gates.append({
+            "name": f"{name}.payload",
+            "status": ("passed" if payload["compact_bytes"]
+                       < payload["legacy_bytes"] else "failed"),
+            "detail": (f"compact {payload['compact_bytes']}B vs "
+                       f"legacy {payload['legacy_bytes']}B "
+                       f"(x{payload['bytes_ratio']:.2f})"),
+        })
+    for name in ("catapult_e2", "tattoo_e4"):
+        speedup = experiments[name]["speedup"]
+        if multi_core:
+            status = "passed" if speedup > 1.0 else "failed"
+            detail = f"x{speedup:.2f} at {WORKER_COUNTS[-1]} workers"
+        else:
+            status = "skipped"
+            detail = (f"single-core runner (measured x{speedup:.2f}); "
+                      "speedup requires cpu_count > 1")
+        gates.append({"name": f"{name}.speedup",
+                      "status": status, "detail": detail})
+    oracle = experiments["kernel_oracle"]
+    gates.append({
+        "name": "kernel_oracle.equivalence",
+        "status": "passed" if oracle["kernels_agree"] else "failed",
+        "detail": "indexed and legacy kernels yield identical "
+                  "pattern sets end to end",
+    })
+    gates.append({
+        "name": "deadline_anytime.nonempty",
+        "status": ("passed"
+                   if experiments["deadline_anytime"]
+                   ["nonempty_under_deadline"] else "failed"),
+        "detail": "bounded runs still return patterns",
+    })
+    return gates
 
 
 def main(argv: List[str] = None) -> int:
@@ -274,24 +454,25 @@ def main(argv: List[str] = None) -> int:
     }
     traces: Optional[List[Dict[str, object]]] = \
         [] if args.trace else None
-    failures = []
     for runner in (run_catapult, run_tattoo, run_midas):
         experiment = runner(args.smoke, traces)
         report["experiments"].append(experiment)
-        flag = "ok" if experiment["deterministic_across_workers"] \
-            else "NOT DETERMINISTIC"
-        if not experiment["deterministic_across_workers"]:
-            failures.append(experiment["name"])
+        cache = experiment["runs"][str(WORKER_COUNTS[-1])]["cache"]
         print(f"{experiment['name']}: "
               f"speedup x{experiment['speedup']:.2f} "
-              f"[{flag}]")
+              f"hit_rate {cache['hit_rate']:.2f} "
+              f"rss {experiment['peak_rss_kb']}kB")
+    report["experiments"].append(run_kernel_oracle(args.smoke))
+    report["experiments"].append(run_deadline(args.smoke))
 
-    deadline_exp = run_deadline(args.smoke)
-    report["experiments"].append(deadline_exp)
-    if not deadline_exp["nonempty_under_deadline"]:
-        failures.append(deadline_exp["name"])
-    print(f"{deadline_exp['name']}: "
-          f"{'ok' if deadline_exp['nonempty_under_deadline'] else 'EMPTY RESULT UNDER DEADLINE'}")
+    by_name = {exp["name"]: exp for exp in report["experiments"]}
+    gates = _gates(by_name, multi_core=(os.cpu_count() or 1) > 1)
+    report["gates"] = gates
+    failures = [gate["name"] for gate in gates
+                if gate["status"] == "failed"]
+    for gate in gates:
+        print(f"  gate {gate['name']}: {gate['status']} "
+              f"({gate['detail']})")
 
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -301,7 +482,7 @@ def main(argv: List[str] = None) -> int:
         write_trace(traces, args.trace)
         print(f"wrote {args.trace} ({len(traces)} trace(s))")
     if failures:
-        print(f"smoke gates FAILED for: {', '.join(failures)}",
+        print(f"smoke gates FAILED: {', '.join(failures)}",
               file=sys.stderr)
         return 1
     return 0

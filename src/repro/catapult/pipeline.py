@@ -29,12 +29,12 @@ from repro.clustering.similarity import distance_matrix_from_vectors
 from repro.errors import PipelineError
 from repro.graph.graph import Graph
 from repro.graph.operations import induced_subgraph, sample_connected_node_set
-from repro.matching.isomorphism import is_subgraph
 from repro.obs import capture, span
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
+from repro.perf.cache import cached_is_subgraph, get_match_cache
 from repro.perf.executor import ItemFailure, derive_seed, \
     failure_policy, pmap, resolve_workers
 from repro.resilience.deadline import CompletionReport, Deadline
@@ -241,12 +241,23 @@ def summarize_clusters(repository: Sequence[Graph],
         return summaries
 
 
-def _make_validator(members: Sequence[Graph], sample: int = 8):
-    """Candidate validator: occurs in at least one cluster member."""
+def _make_validator(members: Sequence[Graph], sample: int = 8,
+                    use_cache: bool = True):
+    """Candidate validator: occurs in at least one cluster member.
+
+    Validation runs through :func:`repro.perf.cached_is_subgraph`
+    (same ``"matching.is_subgraph"`` chaos site as the raw matcher),
+    so repeated probes of the same candidate against the same member
+    hit the match cache — and, inside a pool worker, land in the
+    item's :class:`repro.perf.CacheDelta` for the coordinator to
+    merge.
+    """
     probe = list(members[:sample])
 
     def validator(candidate: Graph) -> bool:
-        return any(is_subgraph(candidate, member) for member in probe)
+        cache = get_match_cache() if use_cache else None
+        return any(cached_is_subgraph(candidate, member, cache=cache)
+                   for member in probe)
 
     return validator
 
@@ -255,15 +266,17 @@ def _cluster_candidates_task(task) -> List[Pattern]:
     """One cluster's candidates (module-level: runs in pool workers).
 
     ``task`` is ``(cluster_index, member_graphs, summary, budget,
-    walks, member_samples, validate, seed)``; the per-cluster RNG is
-    built from the split seed, so the output depends only on the task
-    content, never on which worker ran it or in what order.
+    walks, member_samples, validate, use_cache, seed)``; the
+    per-cluster RNG is built from the split seed, so the output
+    depends only on the task content, never on which worker ran it or
+    in what order.
     """
     (cluster_index, member_graphs, summary, budget, walks,
-     member_samples, validate, seed) = task
+     member_samples, validate, use_cache, seed) = task
     with span("catapult.cluster_walks", cluster=cluster_index) as walk:
         rng = random.Random(seed)
-        validator = _make_validator(member_graphs) if validate else None
+        validator = (_make_validator(member_graphs, use_cache=use_cache)
+                     if validate else None)
         out: List[Pattern] = []
         for pattern in generate_candidates(
                 summary, budget, walks, rng,
@@ -325,9 +338,10 @@ def generate_all_candidates(repository: Sequence[Graph],
             member_graphs = [repository[i] for i in members]
             tasks.append((cluster_index, member_graphs, summary, budget,
                           config.walks_per_cluster, config.member_samples,
-                          config.validate_candidates,
+                          config.validate_candidates, config.use_cache,
                           derive_seed(config.seed, cluster_index)))
         policy = failure_policy(config.max_retries, config.deadline_s)
+        cache_merge = get_match_cache() if config.use_cache else None
         wave = (len(tasks) if deadline.seconds is None
                 else max(1, resolve_workers(config.workers)))
         candidates: List[Pattern] = []
@@ -342,7 +356,8 @@ def generate_all_candidates(repository: Sequence[Graph],
                               max_retries=config.max_retries,
                               on_item_failure=policy,
                               retry_seed=config.seed,
-                              site="catapult.candidates"):
+                              site="catapult.candidates",
+                              cache_merge=cache_merge):
                 if isinstance(batch, ItemFailure):
                     failed += 1
                     continue
@@ -401,7 +416,8 @@ def _run_catapult(repository: Sequence[Graph],
                                   use_cache=config.use_cache)
             scorer = SetScorer(index, weights=config.weights)
             selection = greedy_select(candidates, budget, scorer,
-                                      deadline=deadline)
+                                      deadline=deadline,
+                                      workers=config.workers)
             report.record("select", len(selection.patterns),
                           budget.max_patterns,
                           complete=selection.complete

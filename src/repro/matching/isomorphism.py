@@ -16,21 +16,30 @@ Two matching semantics are provided:
 
 Two kernels implement that contract:
 
-* ``kernel="indexed"`` (default) precomputes one candidate pool per
-  pattern node at construction — filtered by label, degree, and a
-  neighbor-label-multiset signature — and extends partial mappings by
-  intersecting the pool with the *smallest* already-matched neighbor
-  image's adjacency set (cached on the target via
-  :meth:`repro.graph.graph.Graph.adjacency_sets`).
+* ``kernel="indexed"`` (default) runs over the target's compact CSR
+  view (:meth:`repro.graph.graph.Graph.compact`): candidate pools are
+  precomputed per pattern node — filtered through the interned label
+  table, degree, and a neighbor-label-id-multiset signature — and
+  partial mappings extend by intersecting the pool with the
+  *smallest* already-matched neighbor image's neighbor slice.
+  Adjacency and edge-label tests are binary searches over the sorted
+  slice; the kernel works in compact positions throughout and
+  converts back to node ids only when an embedding is yielded.
 * ``kernel="legacy"`` is the pre-optimization kernel (label-only
   pools, first-matched-neighbor anchoring).  It is retained as the
   equivalence oracle for ``tests/test_matching_kernel.py`` and the
   baseline ``benchmarks/bench_kernel.py`` measures pruning against.
 
-Both kernels enumerate the same embedding *set*; the enumeration
-*order* differs (the indexed kernel visits candidates in sorted node
-order), so capped enumerations are only guaranteed identical across
-kernels when the cap does not bind.  Kernel work is instrumented:
+The kernels enumerate the same embeddings in the same *order*: the
+indexed kernel's anchored pools walk the first matched image's
+neighbors in edge-insertion order (the CSR's ``ins_neighbors`` run),
+exactly the sequence the legacy kernel's ``neighbors()`` loop
+produces.  Capped enumerations (``max_results``/``max_embeddings``)
+are therefore identical across kernels even when the cap binds —
+``benchmarks/bench_runner.py`` gates pipeline pattern sets on it.
+The default kernel can be overridden process-wide through the
+``REPRO_KERNEL`` environment variable (the bench harness drives its
+legacy-oracle runs with it).  Kernel work is instrumented:
 :func:`kernel_stats` exposes ``feasibility_checks``,
 ``recursive_calls``, and ``candidates_pruned`` counters (also merged
 into :func:`repro.perf.cache_stats`).
@@ -38,6 +47,8 @@ into :func:`repro.perf.cache_stats`).
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.graph import Graph
@@ -45,6 +56,17 @@ from repro.resilience.chaos import site as chaos_site
 from repro.errors import OptionError
 
 WILDCARD = "*"
+
+#: Environment variable overriding the process-wide default kernel.
+KERNEL_ENV = "REPRO_KERNEL"
+
+
+def default_kernel() -> str:
+    """The kernel used when a matcher is built without an explicit
+    choice: ``$REPRO_KERNEL`` if set (and non-empty), else
+    ``"indexed"``.  Read per matcher construction, so the bench
+    harness can flip it between runs."""
+    return os.environ.get(KERNEL_ENV) or "indexed"
 
 #: Process-global kernel instrumentation.  ``feasibility_checks``
 #: counts per-candidate feasibility evaluations (the unit the
@@ -114,11 +136,15 @@ class SubgraphMatcher:
     induced:
         Use induced-subgraph semantics (see module docstring).
     kernel:
-        ``"indexed"`` (default) or ``"legacy"`` (see module docstring).
+        ``"indexed"`` or ``"legacy"`` (see module docstring); None
+        defers to :func:`default_kernel`.
     """
 
     def __init__(self, pattern: Graph, target: Graph,
-                 induced: bool = False, kernel: str = "indexed") -> None:
+                 induced: bool = False,
+                 kernel: Optional[str] = None) -> None:
+        if kernel is None:
+            kernel = default_kernel()
         if kernel not in ("indexed", "legacy"):
             raise OptionError(f"unknown matching kernel {kernel!r}")
         self.pattern = pattern
@@ -134,10 +160,17 @@ class SubgraphMatcher:
                 [w for w in self.pattern.neighbors(u) if w in placed])
             placed.add(u)
         if kernel == "indexed":
-            self._adj: Dict[int, FrozenSet[int]] = target.adjacency_sets()
+            c = target.compact()
+            self._c = c
+            self._node_ids = c.node_ids
+            self._offsets = c.offsets
+            self._csr_neighbors = c.neighbors
+            self._csr_edge_labels = c.edge_label_ids
+            self._ins_neighbors = c.ins_neighbors
             self._pools: Dict[int, Tuple[int, ...]] = {}
             self._pool_sets: Dict[int, FrozenSet[int]] = {}
             self._build_pools()
+            self._build_edge_requirements()
         else:
             # candidate pools by label (wildcard -> all target nodes)
             self._by_label: Dict[str, List[int]] = {}
@@ -151,40 +184,73 @@ class SubgraphMatcher:
     def _build_pools(self) -> None:
         """Candidate pool per pattern node: label + degree + signature.
 
-        The signature filter requires, for every non-wildcard label
-        that appears ``c`` times in the pattern node's neighborhood,
-        at least ``c`` neighbors with that label around the target
-        node.  This is a necessary condition under both monomorphism
-        and induced semantics (pattern neighbors always map to target
-        neighbors), so filtering by it never loses embeddings.
+        Pools hold compact *positions*.  The base set per pattern node
+        comes straight off the target's interned label table
+        (``label_positions``); degrees are CSR slice widths.  The
+        signature filter requires, for every non-wildcard label that
+        appears ``c`` times in the pattern node's neighborhood, at
+        least ``c`` neighbors with that label id around the target
+        position.  This is a necessary condition under both
+        monomorphism and induced semantics (pattern neighbors always
+        map to target neighbors), so filtering by it never loses
+        embeddings.  A pattern node or neighbor label absent from the
+        target's label table prunes to the empty pool immediately.
         """
-        pattern, target = self.pattern, self.target
-        n_target = target.order()
-        label_index = target.label_index()
-        target_nlc = target.neighbor_label_counts()
+        pattern, c = self.pattern, self._c
+        n_target = c.order()
+        offsets = c.offsets
+        target_nlc = c.neighbor_label_id_counts()
         pattern_nlc = pattern.neighbor_label_counts()
         for u in pattern.nodes():
             label = pattern.node_label(u)
             if label == WILDCARD:
-                base: Tuple[int, ...] = tuple(target.nodes())
+                base = range(n_target)
             else:
-                base = label_index.get(label, ())
+                lid = c.label_id(label)
+                base = () if lid is None else c.label_positions(lid)
             degree_u = pattern.degree(u)
-            required = {lbl: count
-                        for lbl, count in pattern_nlc[u].items()
-                        if lbl != WILDCARD}
+            # absent labels intern to -1: no position carries them,
+            # so counts.get(-1, 0) < need rejects as it must
+            required: Dict[int, int] = {}
+            for lbl, count in pattern_nlc[u].items():
+                if lbl == WILDCARD:
+                    continue
+                req_lid = c.label_id(lbl)
+                required[-1 if req_lid is None else req_lid] = count
             pool = []
-            for t in base:
-                if len(self._adj[t]) < degree_u:
+            for p in base:
+                if offsets[p + 1] - offsets[p] < degree_u:
                     continue
-                counts = target_nlc[t]
-                if any(counts.get(lbl, 0) < need
-                       for lbl, need in required.items()):
+                counts = target_nlc[p]
+                if any(counts.get(lid, 0) < need
+                       for lid, need in required.items()):
                     continue
-                pool.append(t)
+                pool.append(p)
             self._pools[u] = tuple(pool)
             self._pool_sets[u] = frozenset(pool)
             _kernel_counters["candidates_pruned"] += n_target - len(pool)
+
+    def _build_edge_requirements(self) -> None:
+        """Intern every pattern edge label against the target table.
+
+        ``_edge_req[(u, w)]`` is the target edge-label id a mapped
+        pattern edge must carry: ``-1`` for a wildcard pattern label
+        (any target label passes) and ``-2`` for a pattern label the
+        target never uses (no edge can pass).  Interning once here
+        turns the per-extension label test into a single int compare
+        against the CSR's ``edge_label_ids``.
+        """
+        c = self._c
+        self._edge_req: Dict[Tuple[int, int], int] = {}
+        for (a, b) in self.pattern.edges():
+            label = self.pattern.edge_label(a, b)
+            if label == WILDCARD:
+                req = -1
+            else:
+                elid = c.edge_label_id(label)
+                req = -2 if elid is None else elid
+            self._edge_req[(a, b)] = req
+            self._edge_req[(b, a)] = req
 
     # ------------------------------------------------------------------
     # legacy kernel helpers
@@ -222,23 +288,36 @@ class SubgraphMatcher:
 
     def _feasible_indexed(self, u: int, t: int, mapping: Dict[int, int],
                           used: Set[int], matched_nbrs: List[int]) -> bool:
-        """Feasibility for pool members: labels/degree already hold."""
+        """Feasibility for pool members: labels/degree already hold.
+
+        ``t`` and every mapped image are compact positions; adjacency
+        plus edge-label compatibility collapse into one binary search
+        over ``t``'s sorted neighbor slice (the found slot indexes the
+        aligned ``edge_label_ids`` run).
+        """
         _kernel_counters["feasibility_checks"] += 1
         if t in used:
             return False
-        adj_t = self._adj[t]
+        neighbors = self._csr_neighbors
+        lo = self._offsets[t]
+        hi = self._offsets[t + 1]
         for w in matched_nbrs:
             image = mapping[w]
-            if image not in adj_t:
+            slot = bisect_left(neighbors, image, lo, hi)
+            if slot >= hi or neighbors[slot] != image:
                 return False
-            if not labels_compatible(self.pattern.edge_label(u, w),
-                                     self.target.edge_label(t, image)):
+            req = self._edge_req[(u, w)]
+            if req >= 0:
+                if self._csr_edge_labels[slot] != req:
+                    return False
+            elif req == -2:
                 return False
         if self.induced:
             # matched non-neighbors of u must not be adjacent to t
             for w, image in mapping.items():
                 if w not in matched_nbrs and not self.pattern.has_edge(u, w):
-                    if image in adj_t:
+                    slot = bisect_left(neighbors, image, lo, hi)
+                    if slot < hi and neighbors[slot] == image:
                         return False
         return True
 
@@ -280,7 +359,13 @@ class SubgraphMatcher:
             mapping[u] = t
             used.add(t)
             if depth + 1 == len(self._order):
-                yield dict(mapping)
+                if self.kernel == "indexed":
+                    # mapping holds compact positions; embeddings are
+                    # reported in original node ids
+                    ids = self._node_ids
+                    yield {w: ids[p] for w, p in mapping.items()}
+                else:
+                    yield dict(mapping)
                 if remaining[0] is not None:
                     remaining[0] -= 1
                     if remaining[0] <= 0:
@@ -294,20 +379,37 @@ class SubgraphMatcher:
 
     def _indexed_pool(self, u: int, mapping: Dict[int, int],
                       matched_nbrs: List[int]) -> List[int]:
-        """Candidates for ``u``: pool ∩ smallest matched-image adjacency.
+        """Candidates for ``u``: pool ∩ matched-image slices, in the
+        first matched image's insertion order.
 
-        Anchoring on the matched neighbor whose image has the fewest
-        target neighbors minimises the intersection work; sorting
-        keeps enumeration order deterministic regardless of set hash
-        order.
+        Pruning anchors on the matched neighbor whose image has the
+        narrowest CSR slice (first minimum wins ties, keeping the
+        choice deterministic) — the intersection with the pool set is
+        smallest there.  *Ordering* anchors on the first matched
+        neighbor's ``ins_neighbors`` run: that is exactly the
+        ``neighbors()`` sequence the legacy kernel walks, so the two
+        kernels yield embeddings in the same order — capped
+        enumerations (``max_embeddings``) depend on it.
         """
         if not matched_nbrs:
             return list(self._pools[u])
-        adj = self._adj
-        anchor_adj = min((adj[mapping[w]] for w in matched_nbrs), key=len)
-        pool_set = self._pool_sets[u]
-        pool = sorted(t for t in anchor_adj if t in pool_set)
-        _kernel_counters["candidates_pruned"] += len(anchor_adj) - len(pool)
+        offsets = self._offsets
+        anchor_lo = anchor_hi = -1
+        for w in matched_nbrs:
+            image = mapping[w]
+            lo = offsets[image]
+            hi = offsets[image + 1]
+            if anchor_lo < 0 or hi - lo < anchor_hi - anchor_lo:
+                anchor_lo, anchor_hi = lo, hi
+        members = self._pool_sets[u].intersection(
+            self._csr_neighbors[anchor_lo:anchor_hi])
+        first = mapping[matched_nbrs[0]]
+        first_lo = offsets[first]
+        first_hi = offsets[first + 1]
+        pool = [p for p in self._ins_neighbors[first_lo:first_hi]
+                if p in members]
+        _kernel_counters["candidates_pruned"] += \
+            (first_hi - first_lo) - len(pool)
         return pool
 
 

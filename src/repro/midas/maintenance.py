@@ -33,7 +33,6 @@ from repro.datasets.evolving import UpdateBatch
 from repro.errors import MaintenanceError, PipelineError, WorkerFailure
 from repro.graph.graph import Graph
 from repro.graphlets.counting import GRAPHLET_KEYS, count_graphlets, gfd_distance
-from repro.matching.isomorphism import is_subgraph
 from repro.midas.fct import FCTIndex
 from repro.midas.swapping import SwapStats, multi_scan_swap
 from repro.obs import capture, metrics, span
@@ -41,7 +40,7 @@ from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SetScorer, greedy_select
-from repro.perf.cache import MatchCache
+from repro.perf.cache import MatchCache, cached_is_subgraph
 from repro.resilience.deadline import CompletionReport, Deadline
 from repro.summary.closure import SummaryGraph, build_summary
 from repro.catapult.pipeline import default_cluster_count
@@ -54,7 +53,11 @@ class MidasConfig:
     ``use_cache`` keeps one :class:`repro.perf.MatchCache` alive for
     the lifetime of the engine, so coverage answers survive across
     swap scans *and* across batches (each batch builds a fresh
-    coverage index, but most (pattern, graph) pairs repeat).
+    coverage index, but most (pattern, graph) pairs repeat).  With
+    ``workers`` > 1 that engine cache also rides into the coverage
+    pool: workers are seeded with its hottest entries and their
+    access deltas merge back in input order, so the engine cache
+    stays the single source of truth at every worker count.
     ``trace`` captures a :mod:`repro.obs` trace of initialisation and
     every batch even when ``REPRO_TRACE`` is unset.
     """
@@ -361,7 +364,8 @@ class Midas:
             with span("midas.select"):
                 scorer = self._make_scorer()
                 selection = greedy_select(candidates, self.budget,
-                                          scorer, deadline=deadline)
+                                          scorer, deadline=deadline,
+                                          workers=self.config.workers)
                 report.record("select", len(selection.patterns),
                               self.budget.max_patterns,
                               complete=selection.complete
@@ -462,8 +466,9 @@ class Midas:
                           probe: List[Graph] = members) -> bool:
                 nonlocal faults
                 try:
-                    return any(is_subgraph(candidate, m)
-                               for m in probe)
+                    return any(cached_is_subgraph(
+                        candidate, m, cache=self._match_cache)
+                        for m in probe)
                 except WorkerFailure:
                     faults += 1
                     return False
@@ -653,7 +658,8 @@ class Midas:
                         selection = greedy_select(
                             candidates, self.budget, scorer,
                             seed_patterns=list(patterns),
-                            deadline=deadline)
+                            deadline=deadline,
+                            workers=self.config.workers)
                         patterns = selection.patterns
                         report.record(
                             "select", len(patterns),

@@ -99,8 +99,10 @@ def matching_snapshot() -> Dict[str, float]:
     """Live counters of the whole matching stack, in the flat shape
     the deprecated ``repro.perf.cache_stats()`` has always returned:
     match-cache occupancy and hit/miss/eviction counts, real VF2
-    invocations, kernel feasibility/recursion/pruning counters, and
-    the canonical-code memo's hits/misses.
+    invocations, kernel feasibility/recursion/pruning counters, the
+    canonical-code memo's hits/misses, and — as ``pairs_pruned`` —
+    the (pattern, graph) pairs coverage indexing skipped outright on
+    the compact label tables (the VF2-call delta those prunes bought).
 
     Imports lazily so ``repro.obs`` itself stays dependency-free.
     """
@@ -114,6 +116,8 @@ def matching_snapshot() -> Dict[str, float]:
     memo = canonical_memo_stats()
     stats["canonical_memo_hits"] = memo["hits"]
     stats["canonical_memo_misses"] = memo["misses"]
+    stats["pairs_pruned"] = _registry.counters.get(
+        "patterns.coverage.pairs_pruned", 0)
     return stats
 
 

@@ -18,12 +18,55 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
     Set, Tuple
 
 from repro.graph.graph import Graph
+from repro.matching.isomorphism import WILDCARD
 from repro.obs import metrics
 from repro.patterns.base import Pattern
 from repro.perf.cache import MatchCache, cached_covered_edges, \
     get_match_cache
+from repro.perf.executor import ItemFailure, failure_policy, pmap, \
+    resolve_workers
+from repro.resilience.deadline import Deadline
 
 EdgeSet = FrozenSet[Tuple[int, int]]
+
+
+def _required_labels(graph: Graph) -> FrozenSet[str]:
+    """Non-wildcard node labels a pattern needs its host to carry."""
+    return frozenset(label for label in graph.compact().node_labels
+                     if label != WILDCARD)
+
+
+def _coverage_chunk_task(payload):
+    """Index one chunk of patterns (module-level: runs in workers).
+
+    ``payload`` is ``(graphs, [(code, pattern_graph), ...],
+    max_embeddings, use_cache)``; returns one ``(code, [(graph_index,
+    covered_edges), ...], pairs, pruned)`` tuple per pattern.  Workers
+    use their process-global cache so accesses are recorded into the
+    item's delta when the coordinating ``pmap`` runs in merge mode.
+    """
+    graphs, chunk, max_embeddings, use_cache = payload
+    cache = get_match_cache() if use_cache else None
+    graph_labels = [graph.compact().label_set() for graph in graphs]
+    out = []
+    for code, pattern_graph in chunk:
+        required = _required_labels(pattern_graph)
+        entry = []
+        pairs = pruned = 0
+        for idx, graph in enumerate(graphs):
+            if pattern_graph.order() > graph.order():
+                continue
+            if not required <= graph_labels[idx]:
+                pruned += 1
+                continue
+            covered = cached_covered_edges(
+                pattern_graph, graph, pattern_code=code,
+                max_embeddings=max_embeddings, cache=cache)
+            pairs += 1
+            if covered:
+                entry.append((idx, covered))
+        out.append((code, entry, pairs, pruned))
+    return out
 
 
 class CoverageIndex:
@@ -56,6 +99,11 @@ class CoverageIndex:
         self._cache: Optional[MatchCache] = None
         if use_cache:
             self._cache = cache if cache is not None else get_match_cache()
+        # interned label table per graph, straight off the compact
+        # view — the per-pair pruning test is then a subset check
+        # instead of a per-call label-set rebuild
+        self._graph_labels: List[FrozenSet[str]] = \
+            [graph.compact().label_set() for graph in self.graphs]
         # pattern code -> {graph index -> covered edge set}
         self._cover: Dict[str, Dict[int, EdgeSet]] = {}
         self._utility: Dict[str, float] = {}
@@ -78,13 +126,26 @@ class CoverageIndex:
 
     # -- building -------------------------------------------------------
     def add_pattern(self, pattern: Pattern) -> None:
-        """Index one pattern (idempotent)."""
+        """Index one pattern (idempotent).
+
+        Pairs are pruned through the compact label tables before any
+        matching: a host graph whose interned label table lacks a
+        non-wildcard label of the pattern provably has an empty
+        covered-edge set, so its VF2 search (and cache access) is
+        skipped outright.  Skipped pairs are counted in the
+        ``patterns.coverage.pairs_pruned`` metric — the VF2-call
+        delta the obs snapshot reports.
+        """
         if pattern.code in self._cover:
             return
+        required = _required_labels(pattern.graph)
         entry: Dict[int, EdgeSet] = {}
-        pairs = 0
+        pairs = pruned = 0
         for idx, graph in enumerate(self.graphs):
             if pattern.order() > graph.order():
+                continue
+            if not required <= self._graph_labels[idx]:
+                pruned += 1
                 continue
             covered = cached_covered_edges(
                 pattern.graph, graph, pattern_code=pattern.code,
@@ -95,10 +156,69 @@ class CoverageIndex:
         self._cover[pattern.code] = entry
         metrics.inc("patterns.coverage.patterns_indexed")
         metrics.inc("patterns.coverage.pairs", pairs)
+        metrics.inc("patterns.coverage.pairs_pruned", pruned)
 
-    def add_patterns(self, patterns: Iterable[Pattern]) -> None:
-        for pattern in patterns:
-            self.add_pattern(pattern)
+    def add_patterns(self, patterns: Iterable[Pattern],
+                     workers: Optional[int] = None,
+                     deadline: Optional[Deadline] = None) -> None:
+        """Index many patterns, optionally fanning out over a pool.
+
+        With ``workers`` > 1 the not-yet-indexed patterns are chunked
+        and dispatched through :func:`repro.perf.pmap` in cache-merge
+        mode against this index's cache: each worker records its
+        covered-edge computations as a cache delta, the coordinator
+        replays them in input order, and the resulting ``_cover``
+        entries (and cache counters) are identical to the serial
+        loop's at every worker count.  Selection loops call this as a
+        pre-indexing pass so their on-demand :meth:`cover_of` lookups
+        all hit.
+
+        Under an expired ``deadline`` remaining patterns are left
+        unindexed (they lazily index on first use); a failed chunk
+        falls back to the serial path for its patterns.
+        """
+        pending = [p for p in patterns if p.code not in self._cover]
+        if not pending:
+            return
+        worker_count = resolve_workers(workers)
+        if worker_count <= 1 or len(pending) < 2:
+            for pattern in pending:
+                self.add_pattern(pattern)
+            return
+        chunk_size = max(1, -(-len(pending) // (worker_count * 2)))
+        chunks = [pending[at:at + chunk_size]
+                  for at in range(0, len(pending), chunk_size)]
+        deadline = deadline or Deadline(None)
+        payloads = []
+        for chunk in chunks:
+            payloads.append((self.graphs,
+                             [(p.code, p.graph) for p in chunk],
+                             self.max_embeddings,
+                             self._cache is not None))
+        policy = failure_policy(0, deadline.seconds)
+        wave = (len(payloads) if deadline.seconds is None
+                else max(1, worker_count))
+        for start in range(0, len(payloads), wave):
+            if start and deadline.check("patterns.coverage"):
+                break
+            batch = pmap(_coverage_chunk_task,
+                         payloads[start:start + wave],
+                         workers=worker_count,
+                         on_item_failure=policy,
+                         site="patterns.coverage",
+                         cache_merge=self._cache)
+            for offset, outcome in enumerate(batch):
+                if isinstance(outcome, ItemFailure):
+                    # chunk lost to a fault: recompute serially
+                    for pattern in chunks[start + offset]:
+                        self.add_pattern(pattern)
+                    continue
+                for code, entry, pairs, pruned in outcome:
+                    self._cover[code] = dict(entry)
+                    metrics.inc("patterns.coverage.patterns_indexed")
+                    metrics.inc("patterns.coverage.pairs", pairs)
+                    metrics.inc("patterns.coverage.pairs_pruned",
+                                pruned)
 
     def is_indexed(self, pattern: Pattern) -> bool:
         return pattern.code in self._cover

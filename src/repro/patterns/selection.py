@@ -18,6 +18,7 @@ from repro.obs import metrics, span
 from repro.resilience.deadline import UNBOUNDED, Deadline
 from repro.patterns.base import Pattern, PatternBudget, PatternSet
 from repro.patterns.index import CoverageIndex
+from repro.perf.executor import resolve_workers
 from repro.patterns.scoring import (
     DEFAULT_WEIGHTS,
     ScoreWeights,
@@ -118,7 +119,8 @@ def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
                   scorer: SetScorer,
                   seed_patterns: Sequence[Pattern] = (),
                   improve_only: bool = False,
-                  deadline: Deadline = UNBOUNDED) -> SelectionResult:
+                  deadline: Deadline = UNBOUNDED,
+                  workers: Optional[int] = None) -> SelectionResult:
     """Greedily pick up to ``budget.max_patterns`` candidates.
 
     Each round adds the candidate whose inclusion maximises the set
@@ -130,6 +132,13 @@ def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
     ``seed_patterns`` are treated as already selected (they count
     against the budget) — MIDAS uses this to extend a maintained set.
 
+    ``workers`` > 1 pre-indexes the admissible candidates through
+    :meth:`repro.patterns.index.CoverageIndex.add_patterns`, fanning
+    the covered-edge computations out over a pool in cache-merge mode
+    before the (inherently sequential) sweep starts.  Round one
+    scores every admissible candidate anyway, so pre-indexing changes
+    which process computes each entry but not a single result.
+
     The sweep is an anytime algorithm: it always completes at least
     one round, then polls ``deadline`` between rounds and returns its
     best-so-far set (``complete=False``) once the budget is gone.  A
@@ -138,6 +147,9 @@ def greedy_select(candidates: Sequence[Pattern], budget: PatternBudget,
     ``faults`` instead of aborting the sweep.
     """
     admissible = [c for c in candidates if budget.admits(c.graph)]
+    if workers is not None and resolve_workers(workers) > 1:
+        scorer.index.add_patterns(admissible, workers=workers,
+                                  deadline=deadline)
     with span("patterns.greedy_select",
               candidates=len(admissible)) as sweep:
         selected: List[Pattern] = list(seed_patterns)

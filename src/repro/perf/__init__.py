@@ -13,7 +13,13 @@ auditable in one place:
   in-process map whenever it is unavailable.
 * :class:`MatchCache` — a bounded LRU cache for subgraph-matching
   results, keyed by ``(pattern canonical code, graph fingerprint)``,
-  with hit/miss/eviction counters.
+  with hit/miss/eviction counters.  It is *mergeable* across the
+  process boundary: ``pmap(..., cache_merge=cache)`` has workers
+  record per-item :class:`CacheDelta` access logs (shipped back next
+  to trace captures), seeds each worker with the cache's hottest
+  entries, and replays the deltas into ``cache`` in input order — so
+  hit/miss counters are identical at every worker count and warm
+  engine-lifetime caches stay warm inside the pool.
 
 Fault tolerance (``max_retries``/``on_item_failure``/
 ``item_timeout_s`` on :func:`pmap`) keeps those contracts under
@@ -33,6 +39,7 @@ else under ``src/repro`` are rejected by reprolint rule R007.
 """
 
 from repro.perf.cache import (
+    CacheDelta,
     MatchCache,
     cache_stats,
     cached_canonical_code,
@@ -42,10 +49,12 @@ from repro.perf.cache import (
     get_match_cache,
     graph_fingerprint,
     reset_vf2_calls,
+    swap_match_cache,
     vf2_calls,
 )
 from repro.matching.isomorphism import kernel_stats, reset_kernel_stats
 from repro.perf.executor import (
+    DEFAULT_CACHE_SEED_LIMIT,
     FAILURE_POLICIES,
     ItemFailure,
     backoff_s,
@@ -56,6 +65,8 @@ from repro.perf.executor import (
 )
 
 __all__ = [
+    "CacheDelta",
+    "DEFAULT_CACHE_SEED_LIMIT",
     "FAILURE_POLICIES",
     "ItemFailure",
     "MatchCache",
@@ -74,5 +85,6 @@ __all__ = [
     "reset_kernel_stats",
     "reset_vf2_calls",
     "resolve_workers",
+    "swap_match_cache",
     "vf2_calls",
 ]

@@ -20,13 +20,39 @@ evictions, and the number of underlying VF2 invocations are all
 observable through :func:`cache_stats` / :func:`vf2_calls`.  Cached
 and uncached execution are interchangeable by construction — every
 cached value is exactly what the wrapped matcher would recompute.
+
+Merging across workers
+----------------------
+A process-pool worker has its own global cache, so naively it starts
+cold on every run and its hits never flow back.  The cache is
+therefore *mergeable*: under :meth:`MatchCache.recording` every
+logical cache access appends one entry to a :class:`CacheDelta` — a
+hit logs ``(key, value)`` at lookup, a miss logs ``(key, value)``
+when the computed result is stored — while the local counters stay
+untouched.  The coordinator replays deltas in work-item input order
+with :meth:`MatchCache.merge_delta`: a logged key already present
+counts as a hit, an absent one counts as a miss and inserts the
+shipped value.  Replay is exactly the access sequence a serial run
+would perform, so hit/miss counts are identical at every worker
+count — the invariance ``benchmarks/bench_runner.py`` gates on.
+
+The protocol is sound because each ``cached_*`` helper performs no
+nested cache access between a missed lookup and its store: one
+logical access, one log entry, whatever the recording cache already
+contained.  Keep it that way when adding helpers.
+
+:func:`repro.perf.pmap` drives both ends (``cache_merge=``): workers
+record per item, ship deltas next to their trace captures, and are
+seeded at startup with :meth:`MatchCache.hot_entries` so
+engine-lifetime caches (MIDAS) keep paying off inside the pool.
 """
 
 from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.errors import OptionError
@@ -37,6 +63,7 @@ from repro.matching.isomorphism import (
     find_embedding,
     reset_kernel_stats,
 )
+from repro.resilience.chaos import site as chaos_site
 
 EdgeSet = FrozenSet[Tuple[int, int]]
 
@@ -89,10 +116,43 @@ def graph_fingerprint(graph: Graph) -> str:
     return fingerprint
 
 
+class CacheDelta:
+    """Ordered, picklable log of one work item's cache accesses.
+
+    One entry per logical access (see the module docstring's merge
+    protocol): replaying the entries against the coordinator's cache
+    reproduces the exact hit/miss sequence a serial run would have
+    seen.  Ships back from pool workers next to trace captures.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Optional[List[Tuple[Tuple, object]]] = None
+                 ) -> None:
+        self.entries: List[Tuple[Tuple, object]] = \
+            [] if entries is None else entries
+
+    def record(self, key: Tuple, value: object) -> None:
+        self.entries.append((key, value))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getstate__(self):
+        return self.entries
+
+    def __setstate__(self, entries) -> None:
+        self.entries = entries
+
+    def __repr__(self) -> str:
+        return f"<CacheDelta accesses={len(self.entries)}>"
+
+
 class MatchCache:
     """Bounded LRU cache for match results with hit/miss counters."""
 
-    __slots__ = ("max_entries", "_entries", "hits", "misses", "evictions")
+    __slots__ = ("max_entries", "_entries", "hits", "misses", "evictions",
+                 "_recorder")
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries < 1:
@@ -102,22 +162,101 @@ class MatchCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # active CacheDelta while inside recording(); counters are
+        # suspended then — the coordinator's replay does the counting
+        self._recorder: Optional[CacheDelta] = None
 
     def lookup(self, key: Tuple) -> Tuple[bool, object]:
         """(found, value); found misses are counted."""
         if key in self._entries:
             self._entries.move_to_end(key)
-            self.hits += 1
+            if self._recorder is not None:
+                self._recorder.record(key, self._entries[key])
+            else:
+                self.hits += 1
             return True, self._entries[key]
-        self.misses += 1
+        if self._recorder is None:
+            self.misses += 1
         return False, None
 
     def store(self, key: Tuple, value: object) -> None:
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.record(key, value)
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            if recorder is None:
+                self.evictions += 1
+
+    @contextmanager
+    def recording(self, delta: CacheDelta) -> Iterator[CacheDelta]:
+        """Log every access into ``delta``, counters suspended.
+
+        Accesses still read and warm this cache (a worker reuses its
+        own results across the items it processes); only the
+        *accounting* is deferred to :meth:`merge_delta` replay on the
+        coordinator, which is what keeps hit rates worker-count
+        invariant.
+        """
+        previous = self._recorder
+        self._recorder = delta
+        try:
+            yield delta
+        finally:
+            self._recorder = previous
+
+    def merge_delta(self, delta: CacheDelta) -> Dict[str, int]:
+        """Replay a worker's access log against this cache.
+
+        Call in work-item input order.  A logged key that is already
+        present counts as a hit (whatever the worker locally saw); an
+        absent key counts as a miss and adopts the shipped value.
+        Returns the hit/miss counts this delta contributed.
+        """
+        entries = self._entries
+        hits = misses = 0
+        for key, value in delta.entries:
+            if key in entries:
+                entries.move_to_end(key)
+                hits += 1
+            else:
+                entries[key] = value
+                misses += 1
+                while len(entries) > self.max_entries:
+                    entries.popitem(last=False)
+                    self.evictions += 1
+        self.hits += hits
+        self.misses += misses
+        return {"hits": hits, "misses": misses}
+
+    def hot_entries(self, limit: Optional[int] = None
+                    ) -> List[Tuple[Tuple, object]]:
+        """Most-recently-used ``(key, value)`` pairs, LRU-first.
+
+        The snapshot pool workers are seeded with: bounded by
+        ``limit`` (None = everything), ordered so that feeding it to
+        :meth:`seed` reproduces this cache's recency order.
+        """
+        items = list(self._entries.items())
+        if limit is not None and len(items) > limit:
+            items = items[len(items) - limit:]
+        return items
+
+    def seed(self, pairs: List[Tuple[Tuple, object]]) -> None:
+        """Silently adopt ``pairs`` (no counter movement).
+
+        Used to warm a worker's cache from the coordinator's hot
+        snapshot before any item runs; seeded entries change compute
+        cost only, never the merged hit/miss accounting.
+        """
+        entries = self._entries
+        for key, value in pairs:
+            entries[key] = value
+            entries.move_to_end(key)
+        while len(entries) > self.max_entries:
+            entries.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -156,6 +295,21 @@ _global_cache = MatchCache()
 def get_match_cache() -> MatchCache:
     """The process-global cache most call sites share."""
     return _global_cache
+
+
+def swap_match_cache(cache: MatchCache) -> MatchCache:
+    """Install ``cache`` as the process-global cache; return the old.
+
+    The serial leg of ``pmap``'s merge mode uses this to run items
+    against a scratch cache (seeded like a pool worker would be) so
+    that ``workers=1`` goes through the exact record-and-replay path
+    a pool run does — the counters end up identical by construction.
+    Always restore the previous cache in a ``finally``.
+    """
+    global _global_cache
+    previous = _global_cache
+    _global_cache = cache
+    return previous
 
 
 def cache_stats() -> Dict[str, float]:
@@ -214,7 +368,15 @@ def cached_is_subgraph(pattern: Graph, target: Graph,
                        pattern_code: Optional[str] = None,
                        induced: bool = False,
                        cache: Optional[MatchCache] = None) -> bool:
-    """Memoized :func:`repro.matching.isomorphism.is_subgraph`."""
+    """Memoized :func:`repro.matching.isomorphism.is_subgraph`.
+
+    Carries the same ``"matching.is_subgraph"`` chaos-injection site
+    as the raw entry point (fired before any cache access, so a
+    scripted fault behaves identically warm or cold): validation
+    loops can switch between the raw and cached matcher without
+    changing their fault-injection surface.
+    """
+    chaos_site("matching.is_subgraph")
     if cache is None:
         _vf2_counter["calls"] += 1
         return find_embedding(pattern, target, induced=induced) is not None

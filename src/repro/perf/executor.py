@@ -48,6 +48,12 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import OptionError, WorkerFailure
 from repro.obs.metrics import inc as _metric_inc
+from repro.perf.cache import (
+    CacheDelta,
+    MatchCache,
+    get_match_cache,
+    swap_match_cache,
+)
 from repro.obs.tracing import SpanRecord, attach_record, capture, span, \
     tracing_enabled
 from repro.resilience.chaos import (
@@ -118,8 +124,19 @@ def derive_seeds(root_seed: int, count: int) -> List[int]:
     return [derive_seed(root_seed, index) for index in range(count)]
 
 
-def _mark_worker() -> None:
+#: Default bound on the hot-entry snapshot pool workers are seeded
+#: with in cache-merge mode (most-recently-used entries first to go).
+DEFAULT_CACHE_SEED_LIMIT = 512
+
+
+def _mark_worker(seed_pairs=None) -> None:
     os.environ[_IN_WORKER_ENV] = "1"
+    if seed_pairs:
+        # warm the worker's process-global cache from the
+        # coordinator's hot snapshot; seeding is silent, so it can
+        # only save compute — merged hit/miss accounting is replayed
+        # on the coordinator and never sees the seed
+        get_match_cache().seed(seed_pairs)
 
 
 class ItemFailure:
@@ -180,12 +197,14 @@ def _run_attempts(fn: Callable, index: int, item: object,
                   first_attempt: int, attempts: int, base_s: float,
                   seed: int, site_name: str,
                   plan: Optional[_FaultPlan], traced: bool,
-                  ship_record: bool) -> Tuple[str, int, object,
-                                              Optional[SpanRecord]]:
+                  ship_record: bool,
+                  merge: bool = False) -> Tuple[str, int, object,
+                                                Optional[SpanRecord],
+                                                Optional[CacheDelta]]:
     """Run one item for up to ``attempts`` attempts, numbered from
     ``first_attempt``.  Returns ``(status, attempts_used, value,
-    record)`` where status is ``"ok"`` or ``"fail"`` and value is the
-    result or the failure text.
+    record, cache_delta)`` where status is ``"ok"`` or ``"fail"`` and
+    value is the result or the failure text.
 
     Each call installs a fresh zero-counter copy of the fault plan,
     so chaos decisions depend only on (key, attempt, within-item call
@@ -193,6 +212,9 @@ def _run_attempts(fn: Callable, index: int, item: object,
     ``ship_record`` the item's trace subtree is captured and returned
     for the coordinator to re-attach (pool workers); otherwise a
     plain span attaches into the open trace in place (serial runs).
+    In cache-merge mode each attempt records its cache accesses; only
+    the successful attempt's delta is shipped (a failed attempt's
+    accesses are as if they never happened, like its result).
     """
     previous = _install_plan(plan.fresh()) if plan is not None else None
     scope = None
@@ -201,6 +223,7 @@ def _run_attempts(fn: Callable, index: int, item: object,
                  if ship_record else span("pmap.item", index=index))
         scope.__enter__()
     status, used, value = "fail", 0, "no attempts made"
+    delta: Optional[CacheDelta] = None
     try:
         for offset in range(attempts):
             attempt = first_attempt + offset
@@ -208,7 +231,13 @@ def _run_attempts(fn: Callable, index: int, item: object,
             try:
                 corrupt = _chaos_site(site_name, key=index,
                                       attempt=attempt)
-                result = fn(item)
+                if merge:
+                    attempt_delta = CacheDelta()
+                    with get_match_cache().recording(attempt_delta):
+                        result = fn(item)
+                else:
+                    attempt_delta = None
+                    result = fn(item)
                 if corrupt:
                     result = _CORRUPTED
                 if _is_corrupt(result):
@@ -216,7 +245,7 @@ def _run_attempts(fn: Callable, index: int, item: object,
                         site_name, key=index, attempt=attempt,
                         kind="corrupt",
                         cause="corrupted result detected in transit")
-                status, value = "ok", result
+                status, value, delta = "ok", result, attempt_delta
                 break
             except Exception as exc:  # noqa: BLE001 - ladder boundary
                 value = _failure_text(exc)
@@ -234,19 +263,41 @@ def _run_attempts(fn: Callable, index: int, item: object,
         if plan is not None:
             _install_plan(previous)
     record = scope.record if (scope is not None and ship_record) else None
-    return status, used, value, record
+    return status, used, value, record, delta
 
 
 def _resilient_entry(payload) -> Tuple[str, int, object,
-                                       Optional[SpanRecord]]:
+                                       Optional[SpanRecord],
+                                       Optional[CacheDelta]]:
     """Pool-worker entry for the fault-tolerant path: run the in-item
-    attempt loop and ship the (status, attempts, value, trace record)
-    tuple back — every component picklable by construction."""
+    attempt loop and ship the (status, attempts, value, trace record,
+    cache delta) tuple back — every component picklable by
+    construction."""
     (fn, index, item, max_retries, base_s, seed, site_name, plan,
-     traced) = payload
+     traced, merge) = payload
     return _run_attempts(
         fn, index, item, 0, max_retries + 1, base_s, seed, site_name,
-        plan, traced, ship_record=True)
+        plan, traced, ship_record=True, merge=merge)
+
+
+def _merge_item(payload) -> Tuple[object, Optional[SpanRecord],
+                                  CacheDelta]:
+    """Pool-worker entry for the fast path in cache-merge mode: run
+    the item with its cache accesses recorded against the worker's
+    process-global cache and ship the delta back with the result (and
+    the trace capture when tracing is on)."""
+    fn, index, item, traced = payload
+    delta = CacheDelta()
+    record = None
+    if traced:
+        with capture("pmap.item", force=True, index=index) as cap:
+            with get_match_cache().recording(delta):
+                result = fn(item)
+        record = cap.record
+    else:
+        with get_match_cache().recording(delta):
+            result = fn(item)
+    return result, record, delta
 
 
 def _traced_item(payload: Tuple[Callable, int, object]
@@ -273,11 +324,55 @@ def _serial_map(fn: Callable[[T], R], work: List[T],
     return results
 
 
+def _seeded_scratch(cache_merge: MatchCache,
+                    seed_limit: int) -> MatchCache:
+    """A fresh cache warmed exactly like a pool worker's would be."""
+    scratch = MatchCache(max_entries=cache_merge.max_entries)
+    scratch.seed(cache_merge.hot_entries(seed_limit))
+    return scratch
+
+
+def _serial_merge_map(fn: Callable[[T], R], work: List[T], traced: bool,
+                      cache_merge: MatchCache,
+                      seed_limit: int) -> List[R]:
+    """In-process mapping in cache-merge mode.
+
+    Runs every item against a seeded scratch cache installed as the
+    process-global one — structurally the same record-and-replay path
+    a pool worker takes — then replays the per-item deltas into
+    ``cache_merge`` in input order.  Because the accounting happens
+    only at replay, ``workers=1`` and ``workers=N`` produce identical
+    hit/miss counters by construction.
+    """
+    scratch = _seeded_scratch(cache_merge, seed_limit)
+    previous = swap_match_cache(scratch)
+    deltas: List[CacheDelta] = []
+    results: List[R] = []
+    try:
+        for index, item in enumerate(work):
+            delta = CacheDelta()
+            with scratch.recording(delta):
+                if traced:
+                    with span("pmap.item", index=index):
+                        results.append(fn(item))
+                else:
+                    results.append(fn(item))
+            deltas.append(delta)
+    finally:
+        swap_match_cache(previous)
+    for delta in deltas:
+        cache_merge.merge_delta(delta)
+    return results
+
+
 def _resilient_map(fn: Callable, work: List, workers: int,
                    max_retries: int, on_item_failure: str,
                    base_s: float, seed: int, site_name: str,
                    item_timeout_s: Optional[float],
-                   traced: bool) -> List:
+                   traced: bool,
+                   cache_merge: Optional[MatchCache] = None,
+                   cache_seed_limit: int = DEFAULT_CACHE_SEED_LIMIT
+                   ) -> List:
     """The fault-tolerant coordinator behind :func:`pmap`.
 
     Items are submitted one future each (so a single stuck item can
@@ -286,24 +381,32 @@ def _resilient_map(fn: Callable, work: List, workers: int,
     blocking ``with`` exit — salvages siblings that already finished,
     and resolves everything unresolved in-process.  Failed primaries
     then climb the escalation ladder per item, in input order.
+
+    In cache-merge mode every coordinator-side run (serial leg,
+    unresolved items, re-runs) happens under a seeded scratch cache —
+    the same environment a pool worker gets — and each item's
+    successful delta is replayed into ``cache_merge`` in input order.
     """
     plan = _active_plan()
+    merge = cache_merge is not None
     outcomes: List[Optional[Tuple[str, int, object,
-                                  Optional[SpanRecord]]]] = \
+                                  Optional[SpanRecord],
+                                  Optional[CacheDelta]]]] = \
         [None] * len(work)
     parallel = (workers > 1 and len(work) > 1
                 and not os.environ.get(_IN_WORKER_ENV))
+    seeds = cache_merge.hot_entries(cache_seed_limit) if merge else None
     if parallel:
         _metric_inc("perf.pmap.parallel_calls")
         pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         try:
             pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(workers, len(work)),
-                initializer=_mark_worker)
+                initializer=_mark_worker, initargs=(seeds,))
             futures = [
                 pool.submit(_resilient_entry,
                             (fn, index, item, max_retries, base_s,
-                             seed, site_name, plan, traced))
+                             seed, site_name, plan, traced, merge))
                 for index, item in enumerate(work)]
             for index, future in enumerate(futures):
                 try:
@@ -314,7 +417,7 @@ def _resilient_map(fn: Callable, work: List, workers: int,
                     outcomes[index] = (
                         "timeout", max_retries + 1,
                         f"WorkerFailure: item {index} exceeded "
-                        f"{item_timeout_s}s timeout", None)
+                        f"{item_timeout_s}s timeout", None, None)
                     # A stuck worker means a stuck pool: abandon it
                     # without waiting, keep siblings that finished,
                     # resolve the rest in-process below.
@@ -327,7 +430,7 @@ def _resilient_map(fn: Callable, work: List, workers: int,
                             except Exception as exc:  # noqa: BLE001
                                 outcomes[later] = (
                                     "fail", max_retries + 1,
-                                    _failure_text(exc), None)
+                                    _failure_text(exc), None, None)
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = None
                     break
@@ -338,41 +441,61 @@ def _resilient_map(fn: Callable, work: List, workers: int,
                 pool.shutdown(wait=False)
     else:
         _metric_inc("perf.pmap.serial_calls")
-    for index, item in enumerate(work):
-        if outcomes[index] is None:
-            outcomes[index] = _run_attempts(
-                fn, index, item, 0, max_retries + 1, base_s, seed,
-                site_name, plan, traced, ship_record=False)
-    results: List = []
-    for index, outcome in enumerate(outcomes):
-        status, used, value, record = outcome
-        if record is not None:
-            attach_record(record)
-        if status == "ok":
-            results.append(value)
-            continue
-        if status != "timeout" and on_item_failure in ("serial", "skip"):
-            # one in-process re-run, continuing the global attempt
-            # numbering (a timed-out fn is assumed genuinely stuck and
-            # is never re-run in the coordinator)
-            _metric_inc("perf.pmap.serial_reruns")
-            rerun_status, rerun_used, rerun_value, _ = _run_attempts(
-                fn, index, work[index], max_retries + 1, 1, base_s,
-                seed, site_name, plan, traced, ship_record=False)
-            used += rerun_used
-            if rerun_status == "ok":
-                results.append(rerun_value)
+    # coordinator-side runs mimic a pool worker's cache environment
+    scratch_previous = None
+    if merge and any(outcome is None for outcome in outcomes):
+        scratch_previous = swap_match_cache(
+            _seeded_scratch(cache_merge, cache_seed_limit))
+    try:
+        for index, item in enumerate(work):
+            if outcomes[index] is None:
+                outcomes[index] = _run_attempts(
+                    fn, index, item, 0, max_retries + 1, base_s, seed,
+                    site_name, plan, traced, ship_record=False,
+                    merge=merge)
+        results: List = []
+        for index, outcome in enumerate(outcomes):
+            status, used, value, record, delta = outcome
+            if record is not None:
+                attach_record(record)
+            if status == "ok":
+                if merge and delta is not None:
+                    cache_merge.merge_delta(delta)
+                results.append(value)
                 continue
-            value = rerun_value
-        if on_item_failure == "skip":
-            _metric_inc("perf.pmap.items_skipped")
-            results.append(ItemFailure(index, site_name, used,
-                                       str(value)))
-            continue
-        raise WorkerFailure(
-            site_name, key=index, attempt=max(0, used - 1),
-            kind="hang" if status == "timeout" else "raise",
-            cause=value)
+            if status != "timeout" and on_item_failure in ("serial",
+                                                           "skip"):
+                # one in-process re-run, continuing the global attempt
+                # numbering (a timed-out fn is assumed genuinely stuck
+                # and is never re-run in the coordinator)
+                _metric_inc("perf.pmap.serial_reruns")
+                if merge and scratch_previous is None:
+                    scratch_previous = swap_match_cache(
+                        _seeded_scratch(cache_merge, cache_seed_limit))
+                (rerun_status, rerun_used, rerun_value, _,
+                 rerun_delta) = _run_attempts(
+                    fn, index, work[index], max_retries + 1, 1, base_s,
+                    seed, site_name, plan, traced, ship_record=False,
+                    merge=merge)
+                used += rerun_used
+                if rerun_status == "ok":
+                    if merge and rerun_delta is not None:
+                        cache_merge.merge_delta(rerun_delta)
+                    results.append(rerun_value)
+                    continue
+                value = rerun_value
+            if on_item_failure == "skip":
+                _metric_inc("perf.pmap.items_skipped")
+                results.append(ItemFailure(index, site_name, used,
+                                           str(value)))
+                continue
+            raise WorkerFailure(
+                site_name, key=index, attempt=max(0, used - 1),
+                kind="hang" if status == "timeout" else "raise",
+                cause=value)
+    finally:
+        if scratch_previous is not None:
+            swap_match_cache(scratch_previous)
     return results
 
 
@@ -384,7 +507,9 @@ def pmap(fn: Callable[[T], R], items: Sequence[T],
          retry_base_s: float = 0.001,
          retry_seed: int = 0,
          item_timeout_s: Optional[float] = None,
-         site: str = "pmap.item") -> List[R]:
+         site: str = "pmap.item",
+         cache_merge: Optional[MatchCache] = None,
+         cache_seed_limit: int = DEFAULT_CACHE_SEED_LIMIT) -> List[R]:
     """Map ``fn`` over ``items``, in parallel, preserving input order.
 
     Parameters
@@ -420,6 +545,19 @@ def pmap(fn: Callable[[T], R], items: Sequence[T],
     site:
         Failure-site name for error records and for
         :mod:`repro.resilience.chaos` fault plans targeting this call.
+    cache_merge:
+        Opt into mergeable-cache mode: workers record every cache
+        access per item into a :class:`repro.perf.cache.CacheDelta`
+        shipped back with the result, and the coordinator replays the
+        deltas into this cache in input order.  Hit/miss counters on
+        ``cache_merge`` then move exactly as a serial run's would —
+        at any worker count.  Workers are seeded at startup with the
+        cache's hottest ``cache_seed_limit`` entries, which is how an
+        engine-lifetime cache (MIDAS) keeps paying off inside a pool.
+        Serial execution takes a structurally identical path (scratch
+        cache, record, replay) so counters never depend on ``workers``.
+    cache_seed_limit:
+        Bound on the hot-entry snapshot shipped to each worker.
 
     The return value is exactly ``[fn(item) for item in items]``; the
     pool is an implementation detail that can never change the result.
@@ -442,12 +580,39 @@ def pmap(fn: Callable[[T], R], items: Sequence[T],
             or _active_plan() is not None):
         return _resilient_map(fn, work, workers, max_retries,
                               on_item_failure, retry_base_s,
-                              retry_seed, site, item_timeout_s, traced)
+                              retry_seed, site, item_timeout_s, traced,
+                              cache_merge, cache_seed_limit)
     if workers <= 1 or len(work) <= 1 or os.environ.get(_IN_WORKER_ENV):
         _metric_inc("perf.pmap.serial_calls")
+        if cache_merge is not None:
+            return _serial_merge_map(fn, work, traced, cache_merge,
+                                     cache_seed_limit)
         return _serial_map(fn, work, traced)
     if chunksize is None:
         chunksize = max(1, -(-len(work) // (workers * 4)))
+    if cache_merge is not None:
+        seeds = cache_merge.hot_entries(cache_seed_limit)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(workers, len(work)),
+                    initializer=_mark_worker, initargs=(seeds,)) as pool:
+                triples = list(pool.map(
+                    _merge_item,
+                    [(fn, index, item, traced)
+                     for index, item in enumerate(work)],
+                    chunksize=chunksize))
+        except _POOL_ERRORS:
+            _metric_inc("perf.pmap.fallback_calls")
+            return _serial_merge_map(fn, work, traced, cache_merge,
+                                     cache_seed_limit)
+        _metric_inc("perf.pmap.parallel_calls")
+        merged: List[R] = []
+        for result, record, delta in triples:
+            if record is not None:
+                attach_record(record)
+            cache_merge.merge_delta(delta)
+            merged.append(result)
+        return merged
     try:
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(workers, len(work)),

@@ -62,22 +62,26 @@ class QueryEngine:
 
     def __init__(self, repository: Sequence[Graph]) -> None:
         self.repository = list(repository)
-        # label -> indices of graphs containing >= 1 node with it
+        # label -> indices of graphs containing >= 1 node with it,
+        # built off each graph's interned compact label table (the
+        # distinct labels, no per-node multiset materialisation)
         self._label_index: Dict[str, Set[int]] = {}
         for idx, graph in enumerate(self.repository):
-            for label in graph.label_multiset():
+            for label in graph.compact().node_labels:
                 self._label_index.setdefault(label, set()).add(idx)
 
     def candidate_graphs(self, query: Graph) -> List[int]:
         """Indices of graphs containing every non-wildcard query label.
 
-        Labels intersect rarest-first: starting from the smallest
-        posting set keeps every intermediate intersection no larger
-        than the rarest label's, and a selective query short-circuits
-        to [] the moment the running intersection empties instead of
-        scanning its remaining (possibly huge) posting sets.
+        The query's distinct labels come straight off its compact
+        view's interned label table.  Labels intersect rarest-first:
+        starting from the smallest posting set keeps every
+        intermediate intersection no larger than the rarest label's,
+        and a selective query short-circuits to [] the moment the
+        running intersection empties instead of scanning its
+        remaining (possibly huge) posting sets.
         """
-        labels = {query.node_label(u) for u in query.nodes()}
+        labels = set(query.compact().node_labels)
         labels.discard(WILDCARD)
         if not labels:  # all-wildcard query
             return sorted(range(len(self.repository)))

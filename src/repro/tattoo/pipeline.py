@@ -28,6 +28,7 @@ from repro.patterns.index import CoverageIndex
 from repro.patterns.scoring import DEFAULT_WEIGHTS, ScoreWeights
 from repro.patterns.selection import SelectionResult, SetScorer, greedy_select
 from repro.patterns.topologies import TopologyClass
+from repro.perf.cache import get_match_cache
 from repro.perf.executor import ItemFailure, derive_seed, \
     failure_policy, pmap, resolve_workers
 from repro.resilience.deadline import CompletionReport, Deadline
@@ -42,7 +43,10 @@ class TattooConfig:
     :func:`repro.perf.pmap` processes; each class extracts with a seed
     split off ``seed``, so results are identical at every worker
     count.  ``use_cache`` toggles the shared VF2 match cache used by
-    the greedy selection's coverage index; ``trace`` captures a
+    the greedy selection's coverage index — extraction and coverage
+    pmap calls then run in cache-merge mode, so worker cache hits
+    fold back into the coordinator's cache deterministically;
+    ``trace`` captures a
     :mod:`repro.obs` trace for this run even when ``REPRO_TRACE`` is
     unset.  ``deadline_s`` bounds the run's wall clock (stages stop
     early and the result degrades instead of raising);
@@ -224,6 +228,7 @@ def extract_candidates(network: Graph, budget: PatternBudget,
         policy = failure_policy(config.max_retries, config.deadline_s)
         wave = (len(tasks) if deadline.seconds is None
                 else max(1, resolve_workers(config.workers)))
+        cache_merge = get_match_cache() if config.use_cache else None
         done = failed = 0
         for start in range(0, len(tasks), wave):
             if start and deadline.check("tattoo.extract"):
@@ -233,7 +238,8 @@ def extract_candidates(network: Graph, budget: PatternBudget,
                            max_retries=config.max_retries,
                            on_item_failure=policy,
                            retry_seed=config.seed,
-                           site="tattoo.extract")
+                           site="tattoo.extract",
+                           cache_merge=cache_merge)
             for cls, patterns in zip(task_classes[start:start + wave],
                                      results):
                 if isinstance(patterns, ItemFailure):
@@ -296,7 +302,8 @@ def _run_tattoo(network: Graph, budget: PatternBudget,
                 size_utility=True, use_cache=config.use_cache)
             scorer = SetScorer(index, weights=config.weights)
             selection = greedy_select(candidates, budget, scorer,
-                                      deadline=deadline)
+                                      deadline=deadline,
+                                      workers=config.workers)
             report.record("select", len(selection.patterns),
                           budget.max_patterns,
                           complete=selection.complete

@@ -32,12 +32,21 @@ DEFAULT_TRUSS_THRESHOLD = 3
 
 
 def edge_support(graph: Graph) -> Dict[Tuple[int, int], int]:
-    """Number of triangles each edge participates in."""
-    adj = graph.adjacency_sets()
+    """Number of triangles each edge participates in.
+
+    Counted over the compact CSR view: per edge, the endpoint slices
+    are intersected by scanning the smaller and binary-searching the
+    larger (:meth:`repro.graph.compact.CompactGraph.common_neighbors`)
+    — no per-edge set materialisation.  Iteration stays in edge
+    insertion order, so the support map's order (which seeds the
+    peeler's buckets) is unchanged from the dict-based version.
+    """
+    c = graph.compact()
+    position = c.index()
     support: Dict[Tuple[int, int], int] = {}
     for u, v in graph.edges():
-        small, big = (u, v) if len(adj[u]) <= len(adj[v]) else (v, u)
-        support[edge_key(u, v)] = len(adj[small] & adj[big])
+        support[edge_key(u, v)] = \
+            c.common_neighbors(position[u], position[v])
     return support
 
 
@@ -55,9 +64,16 @@ def truss_decomposition(graph: Graph) -> Dict[Tuple[int, int], int]:
     support = edge_support(graph)
     if not support:
         return {}
-    # mutable adjacency for peeling; seeded from the cached view
+    # mutable adjacency for peeling, seeded from the compact CSR
+    # slices (already materialised for edge_support) and converted
+    # back to original node ids — the peel loop works on edge keys
+    ids = graph.compact().node_ids
+    offsets = graph.compact().offsets
+    csr_neighbors = graph.compact().neighbors
     adj: Dict[int, Set[int]] = {
-        u: set(nbrs) for u, nbrs in graph.adjacency_sets().items()}
+        ids[p]: {ids[csr_neighbors[slot]]
+                 for slot in range(offsets[p], offsets[p + 1])}
+        for p in range(len(ids))}
     max_support = max(support.values())
     buckets: List[List[Tuple[int, int]]] = \
         [[] for _ in range(max_support + 1)]

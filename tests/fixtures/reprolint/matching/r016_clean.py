@@ -1,0 +1,25 @@
+"""Clean compact-view usage: R016 has nothing to flag.
+
+A function that holds a compact view stays on the CSR arrays for that
+graph; dict-path access is fine on *other* graphs (the pattern side)
+or in functions that never take a compact view (the legacy kernel).
+"""
+
+
+def csr_scan(graph, u):
+    c = graph.compact()
+    offsets = c.offsets
+    p = c.index()[u]
+    return sum(c.neighbors[slot] for slot in range(offsets[p],
+                                                   offsets[p + 1]))
+
+
+def target_compact_pattern_dicts(pattern, target, u):
+    c = target.compact()
+    placed = [w for w in pattern.neighbors(u)]  # pattern side: allowed
+    return len(placed) + c.order()
+
+
+def legacy_kernel(graph, u, v):
+    adj = graph.adjacency_sets()  # no compact view in scope: allowed
+    return len(adj[u] & adj[v])

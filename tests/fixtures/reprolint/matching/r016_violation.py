@@ -1,0 +1,34 @@
+"""Deliberate R016 violations: this file sits under a matching/ dir.
+
+Each function takes a compact view of a graph, then slides back onto
+the dict-of-dict adjacency of that same graph.
+"""
+
+
+def mixed_scan(graph, u):
+    c = graph.compact()
+    offsets = c.offsets
+    total = offsets[c.index()[u] + 1] - offsets[c.index()[u]]
+    for w in graph.neighbors(u):  # expect: R016
+        total += w
+    return total
+
+
+def mixed_sets(target, u, v):
+    positions = target.compact().index()
+    adj = target.adjacency_sets()  # expect: R016
+    return len(adj[u] & adj[v]) + positions[u]
+
+
+def private_store(graph):
+    c = graph.compact()
+    return len(graph._adj) + c.order()  # expect: R016
+
+
+class Kernel:
+    def pools(self):
+        c = self.target.compact()
+        pool = list(range(c.order()))
+        for w in self.target.neighbors(pool[0]):  # expect: R016
+            pool.append(w)
+        return pool

@@ -1,0 +1,10 @@
+"""Out-of-scope for R016: not under a matching/ or truss/ directory.
+
+Mixing a compact view with dict-path adjacency is only a hot-loop
+concern inside the kernels; pipeline and test code may do both.
+"""
+
+
+def mixed_outside_kernels(graph, u):
+    c = graph.compact()
+    return c.order() + sum(1 for _ in graph.neighbors(u))

@@ -16,4 +16,5 @@ from reprolint.rules import (  # noqa: F401
     r013_deadline_poll,
     r014_determinism,
     r015_shim_drift,
+    r016_compact_bypass,
 )

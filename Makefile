@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: lint lint-json lint-project test compile check bench-smoke \
-	bench-kernel trace-smoke chaos-smoke
+	bench-kernel bench-scale trace-smoke chaos-smoke
 
 lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
@@ -43,5 +43,13 @@ chaos-smoke:
 bench-kernel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernel.py --smoke \
 		--baseline BENCH_kernel.json --out BENCH_kernel.json
+
+# selection scale-tier ladder (1k/10k/50k-graph repositories,
+# 10k/100k-node networks): lazy-vs-naive byte identity, >=10x
+# evaluation reduction at the 10k tier, wall/RSS budgets, and
+# workers-1-vs-4 determinism; refreshes BENCH_scale.json in place
+bench-scale:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py \
+		--out BENCH_scale.json
 
 check: compile lint lint-project test

@@ -405,7 +405,7 @@ def _run_catapult(repository: Sequence[Graph],
         timings["candidates"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        with span("catapult.select", candidates=len(candidates)):
+        with span("catapult.select", candidates=len(candidates)) as stage:
             rng = random.Random(config.seed)
             sample = list(repository)
             if len(sample) > config.coverage_sample:
@@ -418,6 +418,7 @@ def _run_catapult(repository: Sequence[Graph],
             selection = greedy_select(candidates, budget, scorer,
                                       deadline=deadline,
                                       workers=config.workers)
+            stage.add("evaluations", selection.evaluations)
             report.record("select", len(selection.patterns),
                           budget.max_patterns,
                           complete=selection.complete

@@ -361,11 +361,12 @@ class Midas:
                 candidates = self._walk_candidates(
                     set(self.summaries), deadline, report)
                 stage.add("candidates", len(candidates))
-            with span("midas.select"):
+            with span("midas.select") as stage:
                 scorer = self._make_scorer()
                 selection = greedy_select(candidates, self.budget,
                                           scorer, deadline=deadline,
                                           workers=self.config.workers)
+                stage.add("evaluations", selection.evaluations)
                 report.record("select", len(selection.patterns),
                               self.budget.max_patterns,
                               complete=selection.complete

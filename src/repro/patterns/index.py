@@ -29,6 +29,10 @@ from repro.resilience.deadline import Deadline
 
 EdgeSet = FrozenSet[Tuple[int, int]]
 
+#: Shared read-only default bucket for :meth:`CoverageIndex.marginal_gain`
+#: lookups into graphs no committed pattern covers yet.
+_EMPTY_BUCKET: Dict[Tuple[int, int], float] = {}
+
 
 def _required_labels(graph: Graph) -> FrozenSet[str]:
     """Non-wildcard node labels a pattern needs its host to carry."""
@@ -223,6 +227,22 @@ class CoverageIndex:
     def is_indexed(self, pattern: Pattern) -> bool:
         return pattern.code in self._cover
 
+    def seed_cover(self, pattern: Pattern,
+                   cover: Dict[int, EdgeSet]) -> None:
+        """Install a precomputed covered-edge map for ``pattern``.
+
+        Scale benchmarks and tests use this to exercise selection at
+        repository sizes where running the matcher for every
+        (pattern, graph) pair is beside the point; a seeded entry is
+        indistinguishable from an indexed one (idempotent, like
+        :meth:`add_pattern`: an existing entry wins).
+        """
+        if pattern.code in self._cover:
+            return
+        self._cover[pattern.code] = {idx: frozenset(edges)
+                                     for idx, edges in cover.items()}
+        metrics.inc("patterns.coverage.patterns_indexed")
+
     # -- queries ----------------------------------------------------------
     def cover_of(self, pattern: Pattern) -> Dict[int, EdgeSet]:
         """Per-graph covered edges of one pattern (indexes on demand)."""
@@ -284,6 +304,69 @@ class CoverageIndex:
             for edge in edges:
                 gain += max(0.0, utility - bucket.get(edge, 0.0))
         return gain / self.total_edges
+
+    # -- incremental folds (SetScorer's commit path) ---------------------
+    #
+    # The three methods below share one floating-point contract: a
+    # pattern's *raw gain* over a per-edge best-utility map is always
+    # folded from 0.0 over the same edges in the same order, with the
+    # same ``max(0.0, utility - best)`` term per edge.  ``SetScorer``
+    # builds both its oracle ``score()`` and its incremental
+    # ``marginal_score()``/``commit()`` out of these folds, which is
+    # what makes the lazy sweep byte-identical to the naive one (see
+    # DESIGN.md, "Selection").
+
+    def solo_gain(self, pattern: Pattern) -> float:
+        """Raw utility gain of ``pattern`` over an empty set.
+
+        Bitwise equal to ``marginal_gain(pattern, {})`` and, by the
+        per-edge monotonicity of the fold, an upper bound on the gain
+        against *any* committed state — the CELF heap's initial stale
+        bound (the fp-exact form of :meth:`solo_coverage`).
+        """
+        return self.marginal_gain(pattern, {})
+
+    def marginal_gain(self, pattern: Pattern,
+                      edge_best: Dict[int, Dict[Tuple[int, int], float]]
+                      ) -> float:
+        """Raw (unnormalised) utility gain of ``pattern`` over a
+        per-edge best-utility map, without modifying the map."""
+        utility = self._pattern_utility(pattern)
+        gain = 0.0
+        for idx, edges in self.cover_of(pattern).items():
+            bucket = edge_best.get(idx, _EMPTY_BUCKET)
+            for edge in edges:
+                best = bucket.get(edge, 0.0)
+                gain += max(0.0, utility - best)
+        return gain
+
+    def apply_gain(self, pattern: Pattern,
+                   edge_best: Dict[int, Dict[Tuple[int, int], float]],
+                   undo: Optional[List[Tuple[int, Tuple[int, int],
+                                             Optional[float]]]] = None
+                   ) -> float:
+        """Fold ``pattern`` into ``edge_best`` in place.
+
+        Returns the same gain as :meth:`marginal_gain` (bit for bit:
+        identical fold, identical term order) while raising the map's
+        per-edge best utilities.  ``undo``, when given, records every
+        overwrite as ``(graph_idx, edge, previous_or_None)`` so
+        :meth:`SetScorer.rollback` can restore the map exactly.
+        """
+        utility = self._pattern_utility(pattern)
+        gain = 0.0
+        for idx, edges in self.cover_of(pattern).items():
+            bucket = edge_best.get(idx)
+            if bucket is None:
+                bucket = edge_best[idx] = {}
+            for edge in edges:
+                best = bucket.get(edge, 0.0)
+                gain += max(0.0, utility - best)
+                if utility > best:
+                    if undo is not None:
+                        undo.append((idx, edge, bucket.get(edge)))
+                    bucket[edge] = utility
+        return gain
 
     def set_graph_coverage(self, patterns: Sequence[Pattern]) -> float:
         """Fraction of indexed graphs covered by >= 1 pattern."""

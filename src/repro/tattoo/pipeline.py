@@ -304,6 +304,7 @@ def _run_tattoo(network: Graph, budget: PatternBudget,
             selection = greedy_select(candidates, budget, scorer,
                                       deadline=deadline,
                                       workers=config.workers)
+            stage.add("evaluations", selection.evaluations)
             report.record("select", len(selection.patterns),
                           budget.max_patterns,
                           complete=selection.complete

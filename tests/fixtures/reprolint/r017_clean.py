@@ -1,0 +1,38 @@
+"""Clean under R017: scorer oracle and incremental paths kept apart.
+
+score() before any commit, score() after an intervening reset(),
+the incremental marginal_score()/committed_score() accessors, and
+commits on a *different* scorer are all fine.
+"""
+
+
+def score_before_commit(scorer, candidate, rest):
+    baseline = scorer.score(rest)
+    scorer.commit(candidate)
+    return baseline
+
+
+def reset_between(scorer, candidate, rest):
+    scorer.commit(candidate)
+    scorer.reset()
+    return scorer.score(rest)
+
+
+def incremental_only(scorer, candidate):
+    scorer.commit(candidate)
+    return scorer.marginal_score(candidate), scorer.committed_score()
+
+
+def distinct_receivers(lazy_scorer, oracle_scorer, candidate, rest):
+    lazy_scorer.commit(candidate)
+    return oracle_scorer.score(rest)
+
+
+def nested_defs_are_separate_scopes(scorer, candidate, rest):
+    scorer.commit(candidate)
+
+    def oracle(scorer):
+        # shadows the outer name with a fresh scorer: separate scope
+        return scorer.score(rest)
+
+    return oracle

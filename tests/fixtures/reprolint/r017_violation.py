@@ -1,0 +1,20 @@
+"""Planted R017 violations: stateless score() on a committed scorer.
+
+``SetScorer.score(patterns)`` rebuilds the fold from scratch for the
+set it is handed and silently ignores everything ``commit()`` folded
+into the incremental state — calling it with commits pending almost
+always means the caller thinks the committed patterns are included.
+"""
+
+
+def score_after_commit(scorer, first, rest):
+    scorer.commit(first)
+    return scorer.score(rest)  # expect: R017
+
+
+def reset_then_commit_again(scorer, pattern, others):
+    scorer.commit(pattern)
+    scorer.reset()
+    scorer.commit(pattern)
+    best = scorer.score(others)  # expect: R017
+    return best

@@ -17,4 +17,5 @@ from reprolint.rules import (  # noqa: F401
     r014_determinism,
     r015_shim_drift,
     r016_compact_bypass,
+    r017_stale_scorer,
 )

@@ -1,0 +1,104 @@
+"""R017 stale-scorer.
+
+PR "lazy-greedy selection" gave :class:`repro.patterns.selection.
+SetScorer` incremental state: ``commit(candidate)`` folds a pattern
+into the running per-edge utility map and similarity/load sums, and
+``marginal_score(candidate)`` prices the next pattern against that
+state.  The stateless ``score(patterns)`` oracle deliberately ignores
+all of it — it rebuilds the fold from scratch for exactly the set it
+is handed.  Calling ``score()`` on a scorer that has pending commits
+is therefore almost always a bug: the caller believes the committed
+patterns are included (they are not), or is about to mix two
+disagreeing accumulation orders and lose the byte-identity contract
+the lazy sweep depends on.  The rule is intra-procedural and keyed by
+the receiver expression (``scorer``, ``self._scorer``): inside one
+function, any ``<recv>.score(...)`` that appears after a
+``<recv>.commit(...)`` with no ``<recv>.reset()`` between them is
+flagged.  Event order is source order — ``(lineno, col)`` — which is
+conservative for loops (a commit anywhere in a loop body taints later
+``score()`` calls in the same function, as it should).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+#: Scorer methods the state machine tracks, in the roles they play.
+COMMIT_ATTR = "commit"
+SCORE_ATTR = "score"
+RESET_ATTR = "reset"
+
+
+def _expr_key(node: ast.AST) -> str:
+    """Structural key for a receiver expression (``scorer``, ``self.s``)."""
+    return ast.dump(node)
+
+
+def _walk_own(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _scorer_events(func: ast.AST) -> Dict[str, List[Tuple[int, int, str,
+                                                          ast.Call]]]:
+    """Collect commit/score/reset calls per receiver key, source order."""
+    events: Dict[str, List[Tuple[int, int, str, ast.Call]]] = {}
+    for node in _walk_own(func):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in (COMMIT_ATTR, SCORE_ATTR,
+                                       RESET_ATTR)):
+            continue
+        key = _expr_key(node.func.value)
+        events.setdefault(key, []).append(
+            (node.lineno, node.col_offset, node.func.attr, node))
+    for seq in events.values():
+        seq.sort(key=lambda item: (item[0], item[1]))
+    return events
+
+
+@register
+class StaleScorerRule(Rule):
+    id = "R017"
+    name = "stale-scorer"
+    description = ("stateless score() on a scorer after commit() "
+                   "without a reset() between — committed state is "
+                   "silently ignored by the oracle path")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            for key, seq in _scorer_events(func).items():
+                attrs = {attr for _, _, attr, _ in seq}
+                if COMMIT_ATTR not in attrs or SCORE_ATTR not in attrs:
+                    continue
+                committed = False
+                for _, _, attr, call in seq:
+                    if attr == COMMIT_ATTR:
+                        committed = True
+                    elif attr == RESET_ATTR:
+                        committed = False
+                    elif committed:
+                        yield Violation(
+                            path=ctx.path, line=call.lineno,
+                            col=call.col_offset, rule=self.id,
+                            message=("stateless .score(...) on a "
+                                     "scorer with pending .commit() "
+                                     "state; call .reset() first or "
+                                     "use marginal_score()/"
+                                     "committed_score()"))

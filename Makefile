@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: lint lint-json lint-project test compile check bench-smoke \
-	bench-kernel bench-scale trace-smoke chaos-smoke
+	bench-kernel bench-scale trace-smoke chaos-smoke serve-smoke
 
 lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
@@ -51,5 +51,11 @@ bench-kernel:
 bench-scale:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py \
 		--out BENCH_scale.json
+
+# scripted ServiceClient run against a live ThreadingHTTPServer at
+# REPRO_WORKERS=1 and =4; every response pair must be byte-identical
+# after strip_volatile (DESIGN.md, "Service layer")
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
 
 check: compile lint lint-project test

@@ -6,10 +6,15 @@ Usage (after ``pip install -e .``)::
     repro-vqi query repo.lg --pattern 0 --spec out.json
     repro-vqi inspect out.json
     repro-vqi summarize network.lg --spec out.json
+    repro-vqi serve repo.lg --port 8080 --rate 50
 
 The ``.lg`` input holds either a repository (many graphs) or a single
 network (one graph); CATAPULT or TATTOO is dispatched accordingly,
-mirroring :func:`repro.vqi.build_vqi`.
+mirroring :func:`repro.vqi.build_vqi`.  The pipeline flags
+(``--workers``/``--deadline``/``--max-retries``/``--trace``/
+``--seed``) come from one shared parent parser
+(:func:`shared_pipeline_parser`) and behave identically on every
+pipeline-running subcommand.
 """
 
 from __future__ import annotations
@@ -45,37 +50,45 @@ def _budget_from_args(args: argparse.Namespace):
                          max_size=args.max_size)
 
 
-def _pipeline_configs(args: argparse.Namespace, trace: bool = False):
-    """CATAPULT/TATTOO configs for the resilience flags, or ``None``s.
+def _pipeline_configs(args: argparse.Namespace):
+    """CATAPULT/TATTOO configs from the shared pipeline flags.
 
-    ``--deadline`` turns the selection pipelines into anytime runs
-    (best-so-far patterns at expiry); ``--max-retries`` enables
-    fault-tolerant parallel execution.  With neither flag (and no
-    trace) the defaults apply and ``(None, None)`` is returned.
+    The shared parent parser guarantees ``--workers``, ``--deadline``,
+    ``--max-retries``, ``--trace``, and ``--seed`` exist and mean the
+    same thing on every pipeline-running subcommand.  ``--deadline``
+    turns the selection pipelines into anytime runs (best-so-far
+    patterns at expiry); ``--max-retries`` enables fault-tolerant
+    parallel execution.  With every flag at its default the library
+    defaults apply and ``(None, None)`` is returned.
     """
-    deadline = getattr(args, "deadline", None)
-    retries = getattr(args, "max_retries", 0)
-    if deadline is None and not retries and not trace:
+    deadline = args.deadline
+    retries = args.max_retries
+    workers = args.workers
+    seed = args.seed
+    trace = bool(args.trace)
+    if deadline is None and not retries and not trace \
+            and workers is None and not seed:
         return None, None
     from repro.catapult.pipeline import CatapultConfig
     from repro.tattoo.pipeline import TattooConfig
-    catapult_config = CatapultConfig(trace=trace, deadline_s=deadline,
+    catapult_config = CatapultConfig(seed=seed, workers=workers,
+                                     trace=trace, deadline_s=deadline,
                                      max_retries=retries)
-    tattoo_config = TattooConfig(trace=trace, deadline_s=deadline,
+    tattoo_config = TattooConfig(seed=seed, workers=workers,
+                                 trace=trace, deadline_s=deadline,
                                  max_retries=retries)
     return catapult_config, tattoo_config
 
 
-def _cmd_build(args: argparse.Namespace) -> int:
+def _build_vqi_reporting(args: argparse.Namespace, data):
+    """Build a VQI honoring the shared flags; one code path for every
+    subcommand, so degraded warnings and ``--trace`` output behave
+    identically across ``build``/``query``/``summarize``/``report``."""
     from repro.vqi.builder import build_vqi_with_report
-    data = _load_data(args.data)
-    catapult_config, tattoo_config = _pipeline_configs(
-        args, trace=bool(args.trace))
+    catapult_config, tattoo_config = _pipeline_configs(args)
     vqi, report = build_vqi_with_report(data, _budget_from_args(args),
                                         catapult_config=catapult_config,
                                         tattoo_config=tattoo_config)
-    print(f"generator: {report.generator} "
-          f"({report.duration:.2f}s)")
     if report.degraded:
         incomplete = sorted(
             stage for stage, entry in report.completion.items()
@@ -84,6 +97,20 @@ def _cmd_build(args: argparse.Namespace) -> int:
             if incomplete else ""
         print(f"warning: degraded result — the pipeline hit its "
               f"deadline or skipped faulty work{detail}")
+    if args.trace:
+        from repro.obs import write_trace
+        if report.trace is None:
+            raise ReproError("the selection pipeline produced no trace")
+        write_trace([report.trace], args.trace)
+        print(f"trace written to {args.trace}")
+    return vqi, report
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    data = _load_data(args.data)
+    vqi, report = _build_vqi_reporting(args, data)
+    print(f"generator: {report.generator} "
+          f"({report.duration:.2f}s)")
     print(f"attribute panel: "
           f"{', '.join(vqi.attribute_panel.node_alphabet())}")
     for pattern in vqi.pattern_panel.canned:
@@ -98,12 +125,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         Path(args.svg).write_text(vqi.render_pattern_panel(),
                                   encoding="utf-8")
         print(f"pattern panel rendered to {args.svg}")
-    if args.trace:
-        from repro.obs import format_trace, write_trace
-        if report.trace is None:
-            raise ReproError("the selection pipeline produced no trace")
-        write_trace([report.trace], args.trace)
-        print(f"trace written to {args.trace}")
+    if args.trace and report.trace is not None:
+        from repro.obs import format_trace
         print(format_trace(report.trace))
     return 0
 
@@ -129,7 +152,6 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.vqi.builder import build_vqi
     from repro.vqi.spec import VQISpec
     data = _load_data(args.data)
     if args.spec:
@@ -142,10 +164,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             vqi = VisualQueryInterface(spec, repository=data)
     else:
-        catapult_config, tattoo_config = _pipeline_configs(args)
-        vqi = build_vqi(data, _budget_from_args(args),
-                        catapult_config=catapult_config,
-                        tattoo_config=tattoo_config)
+        vqi, _ = _build_vqi_reporting(args, data)
     panel = vqi.pattern_panel.canned
     if not 0 <= args.pattern < len(panel):
         raise ReproError(
@@ -168,14 +187,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_summarize(args: argparse.Namespace) -> int:
     from repro.graph.graph import Graph
     from repro.summary.pattern_summary import summarize_with_patterns
-    from repro.vqi.builder import build_vqi
     data = _load_data(args.data)
     if not isinstance(data, Graph):
         raise ReproError("summarize expects a single-network input")
-    catapult_config, tattoo_config = _pipeline_configs(args)
-    vqi = build_vqi(data, _budget_from_args(args),
-                    catapult_config=catapult_config,
-                    tattoo_config=tattoo_config)
+    vqi, _ = _build_vqi_reporting(args, data)
     result = summarize_with_patterns(data,
                                      list(vqi.pattern_panel.canned),
                                      max_instances=args.instances)
@@ -197,13 +212,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.datasets import generate_workload
     from repro.graph.graph import Graph
     from repro.usability.report import usability_report
-    from repro.vqi.builder import build_vqi
     data = _load_data(args.data)
     repository = [data] if isinstance(data, Graph) else data
-    catapult_config, tattoo_config = _pipeline_configs(args)
-    vqi = build_vqi(data, _budget_from_args(args),
-                    catapult_config=catapult_config,
-                    tattoo_config=tattoo_config)
+    vqi, _ = _build_vqi_reporting(args, data)
     workload = list(generate_workload(repository, args.queries,
                                       seed=args.seed))
     report = usability_report(workload,
@@ -219,41 +230,89 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-vqi",
-        description="Data-driven visual query interfaces for graphs")
-    sub = parser.add_subparsers(dest="command", required=True)
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import PipelineConfig
+    from repro.service import PatternService, ServiceConfig, serve
+    data = _load_data(args.data)
+    pipeline = PipelineConfig(budget=_budget_from_args(args),
+                              seed=args.seed, workers=args.workers,
+                              trace=bool(args.trace),
+                              deadline_s=args.deadline,
+                              max_retries=args.max_retries)
+    service = PatternService(
+        data, pipeline,
+        ServiceConfig(rate=args.rate, burst=args.burst,
+                      max_inflight=args.max_inflight,
+                      request_log=args.request_log))
+    snapshot = service.snapshots.current()
+    print(f"built {len(snapshot.patterns)} patterns "
+          f"({snapshot.generator}); serving {args.data} on "
+          f"http://{args.host}:{args.port}")
+    serve(service, host=args.host, port=args.port)
+    return 0
 
-    def add_budget_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("-k", "--max-patterns", type=int, default=8,
-                       help="canned patterns to display (default 8)")
-        p.add_argument("--min-size", type=int, default=4,
-                       help="minimum pattern size in nodes (default 4)")
-        p.add_argument("--max-size", type=int, default=8,
-                       help="maximum pattern size in nodes (default 8)")
-        p.add_argument("--deadline", type=float, default=None,
+
+def shared_pipeline_parser() -> argparse.ArgumentParser:
+    """The one definition of the cross-cutting pipeline flags.
+
+    Used as an argparse *parent* by every subcommand that runs a
+    selection pipeline (``build``/``query``/``summarize``/``report``/
+    ``serve``), so ``--workers``, ``--deadline``, ``--max-retries``,
+    ``--trace``, and ``--seed`` are spelled, defaulted, and documented
+    identically everywhere.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("pipeline options")
+    group.add_argument("--workers", type=int, default=None,
+                       metavar="N",
+                       help="worker processes for parallel stages "
+                            "(default: $REPRO_WORKERS, else serial); "
+                            "results are identical at every count")
+    group.add_argument("--deadline", type=float, default=None,
                        metavar="SECONDS",
                        help="wall-clock budget for pattern selection; "
                             "on expiry the pipeline returns its "
                             "best-so-far patterns flagged as degraded "
                             "instead of failing")
-        p.add_argument("--max-retries", type=int, default=0,
+    group.add_argument("--max-retries", type=int, default=0,
+                       metavar="N",
                        help="per-item retries for parallel stages "
                             "before a faulty item is skipped "
                             "(default 0: any fault is fatal)")
+    group.add_argument("--trace", metavar="PATH", default=None,
+                       help="record a per-stage trace of the "
+                            "selection pipeline and write it here as "
+                            "JSON (serve: trace envelopes ride on "
+                            "/v1/build responses instead)")
+    group.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for every seeded stage "
+                            "(default 0)")
+    return parent
 
-    p_build = sub.add_parser("build",
+
+def _add_budget_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-k", "--max-patterns", type=int, default=8,
+                   help="canned patterns to display (default 8)")
+    p.add_argument("--min-size", type=int, default=4,
+                   help="minimum pattern size in nodes (default 4)")
+    p.add_argument("--max-size", type=int, default=8,
+                   help="maximum pattern size in nodes (default 8)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vqi",
+        description="Data-driven visual query interfaces for graphs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    shared = [shared_pipeline_parser()]
+
+    p_build = sub.add_parser("build", parents=shared,
                              help="build a VQI spec from graph data")
     p_build.add_argument("data", help=".lg or .json graph data")
     p_build.add_argument("--spec", help="write the VQI spec JSON here")
     p_build.add_argument("--svg",
                          help="render the pattern panel SVG here")
-    p_build.add_argument("--trace",
-                         help="record a per-stage trace of the "
-                              "selection pipeline and write it here "
-                              "as JSON")
-    add_budget_args(p_build)
+    _add_budget_args(p_build)
     p_build.set_defaults(func=_cmd_build)
 
     p_inspect = sub.add_parser("inspect",
@@ -261,7 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument("spec", help="VQI spec JSON file")
     p_inspect.set_defaults(func=_cmd_inspect)
 
-    p_query = sub.add_parser("query",
+    p_query = sub.add_parser("query", parents=shared,
                              help="run a canned pattern as a query")
     p_query.add_argument("data", help=".lg or .json graph data")
     p_query.add_argument("--spec",
@@ -271,29 +330,53 @@ def build_parser() -> argparse.ArgumentParser:
                          help="canned pattern index to run (default 0)")
     p_query.add_argument("--limit", type=int, default=10,
                          help="embeddings/matches to report")
-    add_budget_args(p_query)
+    _add_budget_args(p_query)
     p_query.set_defaults(func=_cmd_query)
 
-    p_summ = sub.add_parser("summarize",
+    p_summ = sub.add_parser("summarize", parents=shared,
                             help="pattern-based network summary")
     p_summ.add_argument("data", help=".lg or .json single network")
     p_summ.add_argument("--instances", type=int, default=50,
                         help="max pattern instances to collapse")
     p_summ.add_argument("--output",
                         help="write the summary graph JSON here")
-    add_budget_args(p_summ)
+    _add_budget_args(p_summ)
     p_summ.set_defaults(func=_cmd_summarize)
 
     p_report = sub.add_parser(
-        "report", help="run the usability battery and emit Markdown")
+        "report", parents=shared,
+        help="run the usability battery and emit Markdown")
     p_report.add_argument("data", help=".lg or .json graph data")
     p_report.add_argument("--queries", type=int, default=20,
                           help="workload size (default 20)")
-    p_report.add_argument("--seed", type=int, default=0)
     p_report.add_argument("--output",
                           help="write the Markdown report here")
-    add_budget_args(p_report)
+    _add_budget_args(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve", parents=shared,
+        help="serve patterns over HTTP (repro/v1 wire schema)")
+    p_serve.add_argument("data", help=".lg or .json graph data")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="bind port (default 8080)")
+    p_serve.add_argument("--rate", type=float, default=None,
+                         help="token-bucket refill rate in "
+                              "requests/second (default: unlimited)")
+    p_serve.add_argument("--burst", type=int, default=64,
+                         help="token-bucket burst size (default 64)")
+    p_serve.add_argument("--max-inflight", type=int, default=1,
+                         help="concurrently admitted heavy requests; "
+                              "excess builds/maintenance shed with "
+                              "503 (default 1)")
+    p_serve.add_argument("--request-log", metavar="PATH",
+                         help="append every exchange to this JSONL "
+                              "log, replayable with "
+                              "repro.service.replay")
+    _add_budget_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -138,3 +138,58 @@ class UnknownNameError(ReproError, KeyError):
     Doubly inherits :class:`KeyError` for the same compatibility
     reason as :class:`OptionError`.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for :mod:`repro.service` request-handling failures.
+
+    Every subclass carries ``status``, the HTTP status code the
+    service layer maps it to, so the typed-error→HTTP translation is
+    a single table lookup plus this attribute.
+    """
+
+    status = 500
+
+
+class RouteNotFound(ServiceError, KeyError):
+    """No route matches the requested method and path."""
+
+    status = 404
+
+    def __init__(self, method: str, path: str) -> None:
+        super().__init__(f"no route for {method} {path}")
+        self.method = method
+        self.path = path
+
+
+class RateLimited(ServiceError):
+    """The request exceeded the service token-bucket rate limit.
+
+    ``retry_after_s`` is the earliest time a retry can succeed (the
+    bucket's refill horizon), surfaced as the ``Retry-After`` header.
+    """
+
+    status = 429
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"rate limit exceeded; retry in {retry_after_s:.3f}s")
+        self.retry_after_s = retry_after_s
+
+
+class Overloaded(ServiceError):
+    """Admission control shed the request (load or expired deadline).
+
+    ``completion`` carries the :class:`repro.resilience.
+    CompletionReport` dict of work done before shedding — for a
+    request shed at admission that is an all-zero report, which is
+    the point: a 503 body says exactly how much ran (nothing).
+    """
+
+    status = 503
+
+    def __init__(self, reason: str,
+                 completion: object = None) -> None:
+        super().__init__(f"request shed: {reason}")
+        self.reason = reason
+        self.completion = completion if completion is not None else {}

@@ -48,6 +48,7 @@ into :func:`repro.perf.cache_stats`).
 from __future__ import annotations
 
 import os
+import warnings
 from bisect import bisect_left
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
@@ -81,9 +82,20 @@ _kernel_counters = {
 }
 
 
-def kernel_stats() -> Dict[str, int]:
-    """Snapshot of the matching-kernel counters."""
+def _kernel_snapshot() -> Dict[str, int]:
+    """Snapshot of the matching-kernel counters (internal; the
+    documented surface is :func:`repro.obs.snapshot`)."""
     return dict(_kernel_counters)
+
+
+def kernel_stats() -> Dict[str, int]:
+    """Deprecated alias of the kernel-counter slice of
+    :func:`repro.obs.snapshot`; use that instead."""
+    warnings.warn(
+        "repro.matching.kernel_stats() is deprecated; read the "
+        "kernel counters from repro.obs.snapshot()['matching']",
+        DeprecationWarning, stacklevel=2)
+    return _kernel_snapshot()
 
 
 def reset_kernel_stats() -> None:

@@ -26,6 +26,7 @@ else in the import graph.
 
 from repro.obs.export import (
     TRACE_FORMAT_VERSION,
+    WIRE_SCHEMA,
     format_trace,
     read_trace,
     stage_breakdown,
@@ -71,6 +72,7 @@ __all__ = [
     "TRACE_ENV",
     "TRACE_FORMAT_VERSION",
     "WALL_CLOCK_FIELDS",
+    "WIRE_SCHEMA",
     "add",
     "attach_record",
     "capture",

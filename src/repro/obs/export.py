@@ -17,10 +17,18 @@ from repro.obs.tracing import SpanRecord
 #: Envelope version for exported trace files.
 TRACE_FORMAT_VERSION = 1
 
+#: The public wire-schema tag stamped into every exported JSON body
+#: this library emits — trace envelopes here and every
+#: :mod:`repro.service` response.  A traced service request and a
+#: traced library run carry the same envelope, and consumers key
+#: compatibility off this one string.
+WIRE_SCHEMA = "repro/v1"
+
 
 def trace_envelope(records: Sequence[SpanRecord]) -> Dict[str, object]:
     """Wrap finished span records for file export."""
-    return {"version": TRACE_FORMAT_VERSION, "traces": list(records)}
+    return {"schema": WIRE_SCHEMA, "version": TRACE_FORMAT_VERSION,
+            "traces": list(records)}
 
 
 def trace_to_json(record: SpanRecord, indent: Optional[int] = 2) -> str:

@@ -106,14 +106,14 @@ def matching_snapshot() -> Dict[str, float]:
 
     Imports lazily so ``repro.obs`` itself stays dependency-free.
     """
-    from repro.matching.canonical import canonical_memo_stats
-    from repro.matching.isomorphism import kernel_stats
+    from repro.matching.canonical import _memo_snapshot
+    from repro.matching.isomorphism import _kernel_snapshot
     from repro.perf.cache import get_match_cache, vf2_calls
 
     stats: Dict[str, float] = get_match_cache().stats()
     stats["vf2_calls"] = vf2_calls()
-    stats.update(kernel_stats())
-    memo = canonical_memo_stats()
+    stats.update(_kernel_snapshot())
+    memo = _memo_snapshot()
     stats["canonical_memo_hits"] = memo["hits"]
     stats["canonical_memo_misses"] = memo["misses"]
     stats["pairs_pruned"] = _registry.counters.get(

@@ -50,6 +50,7 @@ engine-lifetime caches (MIDAS) keep paying off inside the pool.
 from __future__ import annotations
 
 import hashlib
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
@@ -325,6 +326,11 @@ def cache_stats() -> Dict[str, float]:
     """
     from repro.obs.metrics import matching_snapshot
 
+    warnings.warn(
+        "repro.perf.cache_stats() is deprecated; use "
+        "repro.obs.snapshot()['matching'] (or "
+        "repro.obs.matching_snapshot())",
+        DeprecationWarning, stacklevel=2)
     return matching_snapshot()
 
 

@@ -1,0 +1,110 @@
+"""repro.service: pattern-as-a-service over the unified pipeline API.
+
+The paper's thesis is that data-driven VQIs are *interactive
+services*: a long-lived engine maintains a pattern set and answers
+concurrent build/query/suggest requests from many users.  This
+package is that layer — a stdlib-only
+(:class:`http.server.ThreadingHTTPServer`) HTTP front end over the
+library's public API, with:
+
+* **router-per-concern handlers** — ``/v1/build``, ``/v1/query``,
+  ``/v1/suggest``, ``/v1/patterns`` (+ ``/maintain``),
+  ``/v1/sessions``, ``/v1/health``, ``/v1/metrics``;
+* **a middleware chain** — request-id injection, token-bucket rate
+  limiting, deadline-based admission control, typed-error→HTTP
+  mapping from :mod:`repro.errors`, per-route metrics feeding
+  :mod:`repro.obs`;
+* **snapshot-isolated reads** — queries serve from immutable
+  :class:`EngineSnapshot` views pinned by ``Graph.version()``, so
+  MIDAS maintenance never blocks a read;
+* **anytime writes** — builds run under
+  ``PipelineConfig.deadline_s`` and degrade instead of failing;
+  admission sheds excess load with 503 + a
+  :class:`repro.resilience.CompletionReport`;
+* **a replayable request log** — every exchange appends to JSONL in
+  the ``repro/v1`` wire schema and replays through the same
+  dispatch path.
+
+Quickstart::
+
+    from repro.core.pipeline import PipelineConfig
+    from repro.patterns.base import PatternBudget
+    from repro.service import PatternService, serve_in_thread
+
+    service = PatternService(repository,
+                             PipelineConfig(budget=PatternBudget(8)))
+    server, thread = serve_in_thread(service, port=8080)
+
+or from the command line: ``repro-vqi serve repo.lg --port 8080``.
+"""
+
+from repro.service.app import (
+    DEFAULT_BUDGET,
+    PatternService,
+    ServiceConfig,
+    build_router,
+)
+from repro.service.client import ServiceClient
+from repro.service.middleware import (
+    DEADLINE_HEADER,
+    MIDDLEWARE_CHAIN,
+    REQUEST_ID_HEADER,
+    Request,
+    Response,
+    status_for,
+)
+from repro.service.ratelimit import TokenBucket
+from repro.service.requestlog import (
+    ReplayReport,
+    RequestLog,
+    read_log,
+    replay,
+)
+from repro.service.router import Route, Router
+from repro.service.server import (
+    ServiceHTTPServer,
+    create_server,
+    serve,
+    serve_in_thread,
+)
+from repro.service.sessions import Session, SessionStore
+from repro.service.snapshot import EngineSnapshot, SnapshotManager
+from repro.service.wire import (
+    VOLATILE_KEYS,
+    WIRE_SCHEMA,
+    build_body,
+    strip_volatile,
+)
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "DEFAULT_BUDGET",
+    "EngineSnapshot",
+    "MIDDLEWARE_CHAIN",
+    "PatternService",
+    "REQUEST_ID_HEADER",
+    "ReplayReport",
+    "Request",
+    "RequestLog",
+    "Response",
+    "Route",
+    "Router",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "Session",
+    "SessionStore",
+    "SnapshotManager",
+    "TokenBucket",
+    "VOLATILE_KEYS",
+    "WIRE_SCHEMA",
+    "build_body",
+    "build_router",
+    "create_server",
+    "read_log",
+    "replay",
+    "serve",
+    "serve_in_thread",
+    "status_for",
+    "strip_volatile",
+]

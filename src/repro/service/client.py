@@ -1,0 +1,104 @@
+"""A minimal stdlib HTTP client for the pattern service.
+
+Used by the test suite, ``make serve-smoke``, and anyone scripting
+against a running ``repro-vqi serve``.  Every call returns
+``(status, body)`` — non-2xx responses are returned, not raised,
+because the service's structured error bodies are part of its
+contract and callers assert on them.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Mapping, Optional, Tuple
+
+Reply = Tuple[int, Dict[str, object]]
+
+
+class ServiceClient:
+    """Talk ``repro/v1`` to a host:port."""
+
+    def __init__(self, host: str, port: int,
+                 timeout_s: float = 30.0) -> None:
+        self.base_url = f"http://{host}:{port}"
+        self.timeout_s = timeout_s
+
+    def request(self, method: str, path: str,
+                body: Optional[Mapping[str, object]] = None,
+                headers: Optional[Mapping[str, str]] = None) -> Reply:
+        data = None
+        send_headers = dict(headers or {})
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            send_headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=send_headers,
+            method=method.upper())
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout_s) as reply:
+                return reply.status, json.loads(reply.read())
+        except urllib.error.HTTPError as error:
+            payload = error.read()
+            try:
+                parsed = json.loads(payload)
+            except json.JSONDecodeError:
+                parsed = {"error": {"type": "TransportError",
+                                    "message": payload.decode(
+                                        "utf-8", "replace"),
+                                    "status": error.code}}
+            return error.code, parsed
+
+    # -- conveniences mirroring the route table ----------------------
+    def get(self, path: str,
+            headers: Optional[Mapping[str, str]] = None) -> Reply:
+        return self.request("GET", path, headers=headers)
+
+    def post(self, path: str, body: Mapping[str, object],
+             headers: Optional[Mapping[str, str]] = None) -> Reply:
+        return self.request("POST", path, body=body, headers=headers)
+
+    def delete(self, path: str) -> Reply:
+        return self.request("DELETE", path)
+
+    def health(self) -> Reply:
+        return self.get("/v1/health")
+
+    def metrics(self) -> Reply:
+        return self.get("/v1/metrics")
+
+    def patterns(self, snapshot: Optional[str] = None) -> Reply:
+        suffix = f"?snapshot={snapshot}" if snapshot else ""
+        return self.get(f"/v1/patterns{suffix}")
+
+    def build(self, body: Optional[Mapping[str, object]] = None,
+              deadline_s: Optional[float] = None) -> Reply:
+        headers = {"X-Repro-Deadline": str(deadline_s)} \
+            if deadline_s is not None else None
+        return self.post("/v1/build", body or {}, headers=headers)
+
+    def query(self, body: Mapping[str, object]) -> Reply:
+        return self.post("/v1/query", body)
+
+    def suggest(self, body: Mapping[str, object]) -> Reply:
+        return self.post("/v1/suggest", body)
+
+    def create_session(self,
+                       snapshot: Optional[str] = None) -> Reply:
+        body: Dict[str, object] = {}
+        if snapshot is not None:
+            body["snapshot"] = snapshot
+        return self.post("/v1/sessions", body)
+
+    def session_actions(self, session_id: str,
+                        actions: list) -> Reply:
+        return self.post(f"/v1/sessions/{session_id}/actions",
+                         {"actions": actions})
+
+    def maintain(self, body: Mapping[str, object]) -> Reply:
+        return self.post("/v1/patterns/maintain", body)
+
+    def __repr__(self) -> str:
+        return f"<ServiceClient {self.base_url}>"

@@ -1,0 +1,62 @@
+"""Token-bucket rate limiting for the pattern service.
+
+One bucket guards the whole server (the service is a single shared
+engine; per-client fairness is a deployment concern, not a library
+one).  Refill is computed lazily from ``time.monotonic`` deltas under
+a lock, so the bucket is exact under the threading server's
+concurrency and costs one lock acquisition per request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.errors import OptionError
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    ``acquire()`` returns ``None`` when a token was taken and the
+    positive seconds-until-a-token-exists otherwise — the caller
+    turns that into a 429 with ``Retry-After``.  ``rate=None``
+    disables limiting entirely (every acquire succeeds), which is the
+    replay path's mode: a request log replays at full speed.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated", "_lock")
+
+    def __init__(self, rate: Optional[float], burst: int = 1) -> None:
+        if rate is not None and rate <= 0:
+            raise OptionError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise OptionError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def acquire(self) -> Optional[float]:
+        """Take one token; ``None`` on success, retry-after seconds
+        when the bucket is empty."""
+        if self.rate is None:
+            return None
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(float(self.burst),
+                               self._tokens
+                               + (now - self._updated) * self.rate)
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            return (1.0 - self._tokens) / self.rate
+
+    def __repr__(self) -> str:
+        if self.rate is None:
+            return "<TokenBucket unlimited>"
+        return (f"<TokenBucket rate={self.rate}/s burst={self.burst} "
+                f"tokens={self._tokens:.2f}>")

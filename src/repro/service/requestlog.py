@@ -1,0 +1,164 @@
+"""JSONL request log: every exchange, replayable against the API.
+
+Each served request appends one JSON line — the ``repro/v1`` wire
+schema tag, the request (method, path, body), and the response
+(status, body, route, replay eligibility) — in completion order
+under a lock, so a log is a faithful serial witness of one service
+lifetime even when traffic was concurrent.
+
+:func:`replay` drives the log back through a service's
+:meth:`~repro.service.app.PatternService.dispatch` (with policing
+off) and compares responses after :func:`repro.service.wire.
+strip_volatile` normalisation.  Routes marked non-replayable
+(health, metrics — live process state) and responses produced by
+load policy (429 rate limits, 503 sheds) are recorded but not
+compared: a replay verifies *handler determinism*, and load
+artifacts are properties of the original run's traffic, not of the
+API.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import GraphInputError
+from repro.obs.export import WIRE_SCHEMA
+from repro.service import wire
+
+#: Statuses produced by load policy rather than handler logic.
+POLICY_STATUSES = frozenset({429, 503})
+
+
+class RequestLog:
+    """Append-only JSONL log of served requests."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", encoding="utf-8")
+        self.entries_written = 0
+
+    def append(self, request, response) -> None:
+        route = request.route
+        entry = {
+            "schema": WIRE_SCHEMA,
+            "request_id": request.request_id,
+            "method": request.method,
+            "path": request.path,
+            "body": request.body,
+            "status": response.status,
+            "response": response.body,
+            "route": route.name if route is not None else None,
+            "replayable": route.replayable if route is not None
+            else True,
+        }
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.entries_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+def read_log(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL request log; malformed lines raise
+    :class:`repro.errors.GraphInputError` with line context."""
+    entries: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise GraphInputError(
+                    f"malformed request-log line: {exc}",
+                    path=path, line=number) from exc
+            if not isinstance(entry, dict):
+                raise GraphInputError(
+                    "request-log line is not an object",
+                    path=path, line=number)
+            entries.append(entry)
+    return entries
+
+
+class ReplayMismatch:
+    """One divergence between a logged and a replayed response."""
+
+    __slots__ = ("index", "path", "logged", "replayed")
+
+    def __init__(self, index: int, path: str, logged: object,
+                 replayed: object) -> None:
+        self.index = index
+        self.path = path
+        self.logged = logged
+        self.replayed = replayed
+
+    def __repr__(self) -> str:
+        return f"<ReplayMismatch #{self.index} {self.path}>"
+
+
+class ReplayReport:
+    """Outcome of one full log replay."""
+
+    __slots__ = ("total", "compared", "skipped", "mismatches")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.compared = 0
+        self.skipped = 0
+        self.mismatches: List[ReplayMismatch] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else \
+            f"{len(self.mismatches)} mismatch(es)"
+        return (f"<ReplayReport {self.compared}/{self.total} "
+                f"compared, {self.skipped} skipped, {state}>")
+
+
+def replay(path: str, service,
+           entries: Optional[List[Dict[str, object]]] = None
+           ) -> ReplayReport:
+    """Re-drive a request log against ``service`` and diff responses.
+
+    ``service`` should be a fresh instance constructed the same way
+    as the one that wrote the log (same data, same configs, same
+    seed): state-changing requests then regenerate the same snapshot
+    ids in log order, and every replayable response must match its
+    logged counterpart after volatile-field stripping.
+    """
+    report = ReplayReport()
+    for index, entry in enumerate(entries if entries is not None
+                                  else read_log(path)):
+        report.total += 1
+        if not entry.get("replayable", True) \
+                or entry.get("status") in POLICY_STATUSES:
+            report.skipped += 1
+            continue
+        body = entry.get("body")
+        response = service.dispatch(
+            str(entry.get("method", "GET")),
+            str(entry.get("path", "/")),
+            body=dict(body) if isinstance(body, dict) else {},
+            policed=False)
+        logged = wire.strip_volatile(entry.get("response"))
+        replayed = wire.strip_volatile(response.body)
+        report.compared += 1
+        if logged != replayed \
+                or entry.get("status") != response.status:
+            report.mismatches.append(ReplayMismatch(
+                index, str(entry.get("path")),
+                {"status": entry.get("status"), "body": logged},
+                {"status": response.status, "body": replayed}))
+    return report

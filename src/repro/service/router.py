@@ -1,0 +1,86 @@
+"""Route table: (method, path template) → handler, one per concern.
+
+Templates are literal segments plus ``{name}`` captures
+(``/v1/sessions/{session_id}/actions``).  Matching is exact on
+segment count, captures are returned as string params, and a path
+that matches no route raises :class:`repro.errors.RouteNotFound`
+(→ 404 through the error-mapping middleware).
+
+Each route carries two service-policy flags the middleware chain
+reads: ``heavy`` marks state-changing work subject to admission
+control (builds, maintenance), and ``replayable`` marks routes whose
+responses are deterministic functions of service state, which is the
+set the request-log replay verifies (health and metrics report live
+process state and are excluded).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import RouteNotFound
+
+Handler = Callable[..., Dict[str, object]]
+
+
+class Route:
+    """One routing-table entry."""
+
+    __slots__ = ("method", "template", "segments", "handler", "name",
+                 "heavy", "replayable")
+
+    def __init__(self, method: str, template: str, handler: Handler,
+                 name: str, heavy: bool = False,
+                 replayable: bool = True) -> None:
+        self.method = method.upper()
+        self.template = template
+        self.segments = [segment for segment
+                         in template.strip("/").split("/") if segment]
+        self.handler = handler
+        self.name = name
+        self.heavy = heavy
+        self.replayable = replayable
+
+    def match(self, method: str,
+              parts: List[str]) -> Optional[Dict[str, str]]:
+        """Captured params on a match, ``None`` otherwise."""
+        if method.upper() != self.method \
+                or len(parts) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for expected, actual in zip(self.segments, parts):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+    def __repr__(self) -> str:
+        return f"<Route {self.method} {self.template} -> {self.name}>"
+
+
+class Router:
+    """Ordered route table with first-match dispatch."""
+
+    def __init__(self) -> None:
+        self.routes: List[Route] = []
+
+    def add(self, method: str, template: str, handler: Handler,
+            name: str, heavy: bool = False,
+            replayable: bool = True) -> None:
+        self.routes.append(Route(method, template, handler, name,
+                                 heavy=heavy, replayable=replayable))
+
+    def resolve(self, method: str,
+                path: str) -> Tuple[Route, Dict[str, str]]:
+        parts = [segment for segment
+                 in path.split("?", 1)[0].strip("/").split("/")
+                 if segment]
+        for route in self.routes:
+            params = route.match(method, parts)
+            if params is not None:
+                return route, params
+        raise RouteNotFound(method, path)
+
+    def __repr__(self) -> str:
+        return f"<Router routes={len(self.routes)}>"

@@ -1,0 +1,134 @@
+"""Per-session query-builder state.
+
+Each interactive client session owns a :class:`repro.query.builder.
+QueryBuilder` (the Query Panel model) pinned to the engine snapshot
+that was current when the session opened — mid-session maintenance
+never changes what a user's suggestions or pattern drops mean.
+Actions arrive over the wire as JSON objects mirroring
+:mod:`repro.query.actions` and are applied under the session's lock,
+so concurrent requests against one session serialize while distinct
+sessions proceed in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import OptionError, UnknownNameError
+from repro.graph.io import graph_to_dict
+from repro.query.builder import QueryBuilder
+from repro.service.snapshot import EngineSnapshot
+
+
+class Session:
+    """One client's query-building state."""
+
+    __slots__ = ("session_id", "builder", "snapshot", "lock")
+
+    def __init__(self, session_id: str,
+                 snapshot: EngineSnapshot) -> None:
+        self.session_id = session_id
+        self.builder = QueryBuilder()
+        self.snapshot = snapshot
+        self.lock = threading.Lock()
+
+    def apply_action(self, action: Dict[str, object]) -> object:
+        """Apply one wire action; returns the action-specific result.
+
+        The ``op`` field selects the action; arguments mirror the
+        :class:`QueryBuilder` convenience methods.  ``add_pattern``
+        takes ``index`` into the session snapshot's canned panel —
+        the wire never ships pattern graphs it already published.
+        """
+        if not isinstance(action, dict):
+            raise OptionError("each action must be a JSON object")
+        op = action.get("op")
+        if op == "add_node":
+            return self.builder.add_node(str(action.get("label", "")))
+        if op == "add_edge":
+            self.builder.add_edge(int(action["u"]), int(action["v"]),
+                                  str(action.get("label", "")))
+            return None
+        if op == "add_pattern":
+            pattern = self.snapshot.pattern_at(int(action["index"]))
+            mapping = self.builder.add_pattern(pattern)
+            # pattern-node -> query-node pairs; JSON objects cannot
+            # key on ints, so ship the same pair-list shape
+            # embeddings use
+            return [[u, v] for u, v in sorted(mapping.items())]
+        if op == "set_node_label":
+            self.builder.query.set_node_label(
+                int(action["node"]), str(action.get("label", "")))
+            return None
+        if op == "set_edge_label":
+            self.builder.query.set_edge_label(
+                int(action["u"]), int(action["v"]),
+                str(action.get("label", "")))
+            return None
+        if op == "merge_nodes":
+            self.builder.merge_nodes(int(action["keep"]),
+                                     int(action["remove"]))
+            return None
+        if op == "delete_node":
+            self.builder.query.remove_node(int(action["node"]))
+            return None
+        if op == "delete_edge":
+            self.builder.query.remove_edge(int(action["u"]),
+                                           int(action["v"]))
+            return None
+        raise OptionError(f"unknown action op {op!r}")
+
+    def state(self) -> Dict[str, object]:
+        """The session's wire-visible state."""
+        return {
+            "session": self.session_id,
+            "snapshot": self.snapshot.snapshot_id,
+            "query": graph_to_dict(self.builder.query),
+            "steps": self.builder.step_count(),
+            "actions": self.builder.action_counts(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Session {self.session_id} "
+                f"snapshot={self.snapshot.snapshot_id} "
+                f"steps={self.builder.step_count()}>")
+
+
+class SessionStore:
+    """Sessions keyed by deterministic ids (``s-1``, ``s-2``, ...)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._sessions: Dict[str, Session] = {}
+
+    def create(self, snapshot: EngineSnapshot) -> Session:
+        with self._lock:
+            self._counter += 1
+            session = Session(f"s-{self._counter}", snapshot)
+            self._sessions[session.session_id] = session
+            return session
+
+    def get(self, session_id: object) -> Session:
+        session = self._sessions.get(str(session_id))
+        if session is None:
+            raise UnknownNameError(
+                f"session {session_id!r} does not exist")
+        return session
+
+    def remove(self, session_id: object) -> None:
+        with self._lock:
+            if self._sessions.pop(str(session_id), None) is None:
+                raise UnknownNameError(
+                    f"session {session_id!r} does not exist")
+
+    def count(self) -> int:
+        return len(self._sessions)
+
+    def ids(self) -> List[str]:
+        return sorted(self._sessions,
+                      key=lambda sid: int(sid.split("-", 1)[1]))
+
+    def __repr__(self) -> str:
+        return f"<SessionStore sessions={self.count()}>"

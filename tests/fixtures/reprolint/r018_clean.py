@@ -1,0 +1,15 @@
+"""Clean for R018: stats read through the consolidated endpoint, and
+same-named *methods* (which never resolve through an import) stay
+allowed."""
+
+from repro.obs import matching_snapshot, snapshot
+
+
+def poll_consolidated():
+    return snapshot()["matching"], matching_snapshot()
+
+
+def poll_index(index, engine):
+    # CoverageIndex.cache_stats() / Midas.cache_stats() are methods,
+    # not the deprecated module-level aliases.
+    return index.cache_stats(), engine.cache_stats()

@@ -1,0 +1,21 @@
+"""Planted R018 violations: new internal callers of the deprecated
+stats aliases.  All three spellings — package re-export, defining
+module, aliased import — resolve to the same deprecated endpoints."""
+
+from repro.matching import canonical_memo_stats, kernel_stats
+from repro.perf import cache_stats
+from repro.perf.cache import cache_stats as flat_stats
+
+
+def poll_cache():
+    return cache_stats()["hits"]  # expect: R018
+
+
+def poll_kernel():
+    checks = kernel_stats()  # expect: R018
+    memo = canonical_memo_stats()  # expect: R018
+    return checks, memo
+
+
+def poll_aliased():
+    return flat_stats()  # expect: R018

@@ -34,7 +34,7 @@ from reprolint.violations import PARSE_ERROR, Violation  # noqa: E402
 EXPECT_MARKER = re.compile(r"#\s*expect:\s*(R\d{3}(?:\s*,\s*R\d{3})*)")
 ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
                 "R008", "R009", "R010", "R011", "R012", "R013", "R014",
-                "R015", "R016", "R017")
+                "R015", "R016", "R017", "R018")
 
 #: The whole-program rules (backed by reprolint.analysis).
 PROJECT_RULE_IDS = ("R011", "R012", "R013", "R014", "R015")

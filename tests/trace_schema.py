@@ -1,13 +1,18 @@
-"""Structural validator for repro.obs trace JSON (stdlib only).
+"""Structural validator for ``repro/v1`` wire JSON (stdlib only).
 
 Used by ``make trace-smoke`` (and importable from tests) to check
 that a trace file written by ``benchmarks/bench_runner.py --trace``
 or ``repro-vqi build --trace`` matches the documented shape::
 
-    {"version": 1, "traces": [<record>, ...]}
+    {"schema": "repro/v1", "version": 1, "traces": [<record>, ...]}
 
 where every record is ``{"name": str, "duration": float >= 0,
 "counters": {str: int|float|str}, "children": [<record>, ...]}``.
+
+:func:`validate_service_body` checks the other ``repro/v1`` payload
+family — response bodies of the :mod:`repro.service` HTTP layer —
+which carry the same ``schema`` tag plus either result fields or a
+structured ``error`` object.
 
 Usage::
 
@@ -21,6 +26,21 @@ import sys
 from typing import List, Sequence
 
 COUNTER_TYPES = (int, float, str)
+
+#: The one wire-schema tag every exported JSON body carries; must
+#: match ``repro.obs.export.WIRE_SCHEMA`` (kept literal here so this
+#: validator stays stdlib-only and runnable standalone).
+WIRE_SCHEMA = "repro/v1"
+
+
+def validate_schema_tag(payload: dict) -> List[str]:
+    """Problems with the ``schema`` tag (empty list = valid)."""
+    schema = payload.get("schema")
+    if schema is None:
+        return [f"missing schema tag (expected {WIRE_SCHEMA!r})"]
+    if schema != WIRE_SCHEMA:
+        return [f"schema is {schema!r}, expected {WIRE_SCHEMA!r}"]
+    return []
 
 
 def validate_record(record: object, path: str = "trace") -> List[str]:
@@ -71,7 +91,7 @@ def validate_envelope(payload: object) -> List[str]:
     """Problems found in a trace envelope (empty list = valid)."""
     if not isinstance(payload, dict):
         return ["envelope must be a JSON object"]
-    problems: List[str] = []
+    problems: List[str] = validate_schema_tag(payload)
     version = payload.get("version")
     if isinstance(version, bool) or not isinstance(version, int):
         problems.append("envelope version must be an integer")
@@ -84,6 +104,42 @@ def validate_envelope(payload: object) -> List[str]:
         for i, record in enumerate(traces):
             problems.extend(validate_record(record,
                                             path=f"traces[{i}]"))
+    return problems
+
+
+def validate_service_body(payload: object) -> List[str]:
+    """Problems found in one service response body (empty = valid).
+
+    Every body — success or error — must be a ``repro/v1``-tagged
+    object.  Error bodies additionally carry ``{"error": {"type",
+    "message", "status"}}`` with an HTTP status code; embedded trace
+    envelopes (``/v1/build`` with tracing on) are validated as
+    traces.
+    """
+    if not isinstance(payload, dict):
+        return ["service body must be a JSON object"]
+    problems = validate_schema_tag(payload)
+    error = payload.get("error")
+    if "error" in payload:
+        if not isinstance(error, dict):
+            problems.append("error must be an object")
+        else:
+            if not isinstance(error.get("type"), str) \
+                    or not error.get("type"):
+                problems.append("error.type must be a non-empty "
+                                "string")
+            if not isinstance(error.get("message"), str):
+                problems.append("error.message must be a string")
+            status = error.get("status")
+            if isinstance(status, bool) \
+                    or not isinstance(status, int) \
+                    or not 400 <= status <= 599:
+                problems.append("error.status must be an HTTP error "
+                                "status code")
+    trace = payload.get("trace")
+    if trace is not None:
+        problems.extend(f"trace: {p}"
+                        for p in validate_envelope(trace))
     return problems
 
 

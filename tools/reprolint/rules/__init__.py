@@ -18,4 +18,5 @@ from reprolint.rules import (  # noqa: F401
     r015_shim_drift,
     r016_compact_bypass,
     r017_stale_scorer,
+    r018_deprecated_stats,
 )

@@ -1,0 +1,82 @@
+"""R018 deprecated-stats-endpoint.
+
+PR "pattern-as-a-service" consolidated the observability surface:
+:func:`repro.obs.snapshot` is the single documented endpoint for
+every counter in the process, and the three historical entry points —
+``repro.perf.cache_stats``, ``repro.matching.kernel_stats``, and
+``repro.matching.canonical_memo_stats`` — survive only as thin
+delegating aliases that raise ``DeprecationWarning``.  This rule
+keeps the consolidation from eroding: any *new internal caller* of a
+deprecated alias is a violation, so library code (and the service
+layer built on it) can only read stats through ``repro.obs``.
+
+Import-aware: only calls that resolve through an import to one of the
+deprecated module-level functions fire.  Methods that happen to share
+a name — ``CoverageIndex.cache_stats()``, ``Midas.cache_stats()``,
+``SetScorer.sim_cache_stats()`` — resolve to local attributes and are
+untouched, as are the alias *definitions* themselves (a ``def`` is
+not a call) and test files that pin the aliases' continued operation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+#: The deprecated module-level stats functions.
+DEPRECATED_FUNCTIONS = frozenset({
+    "cache_stats",
+    "kernel_stats",
+    "canonical_memo_stats",
+})
+
+#: Module segments the deprecated functions are reachable through —
+#: their defining modules and the packages that re-export them.  A
+#: resolved origin must end in one of these before the function name
+#: for the call to count (guards against same-named functions in
+#: unrelated modules).
+DEFINING_MODULES = frozenset({
+    "perf", "cache", "matching", "isomorphism", "canonical",
+})
+
+#: Where each deprecated name's data now lives.
+REPLACEMENT = "repro.obs.snapshot()['matching']"
+
+
+def _deprecated_origin(origin: str) -> bool:
+    """True when a resolved dotted origin names a deprecated stats
+    endpoint (absolute or relative import spelling)."""
+    parts = origin.lstrip(".").split(".")
+    if not parts or parts[-1] not in DEPRECATED_FUNCTIONS:
+        return False
+    if len(parts) == 1:
+        return True
+    return parts[-2] in DEFINING_MODULES
+
+
+@register
+class DeprecatedStatsRule(Rule):
+    id = "R018"
+    name = "deprecated-stats-endpoint"
+    description = ("call to a deprecated stats alias (cache_stats/"
+                   "kernel_stats/canonical_memo_stats); read "
+                   "repro.obs.snapshot() instead")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolve(node.func)
+            if origin is None or not _deprecated_origin(origin):
+                continue
+            name = origin.lstrip(".").split(".")[-1]
+            yield Violation(
+                path=ctx.path, line=node.lineno,
+                col=node.col_offset, rule=self.id,
+                message=(f"{name}() is a deprecated stats alias; "
+                         f"read {REPLACEMENT} instead"))

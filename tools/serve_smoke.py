@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Serve-smoke: drive a live pattern service at two worker counts.
+
+``make serve-smoke`` (and CI) run this script, which:
+
+1. starts a :class:`repro.service.PatternService` behind the real
+   ``ThreadingHTTPServer`` on a free port,
+2. drives a fixed request script through
+   :class:`repro.service.ServiceClient` — health, patterns, a build,
+   a session with actions, a pinned query, a suggest, a deliberate
+   404, and a deliberately shed build,
+3. repeats the whole run under ``REPRO_WORKERS=1`` and
+   ``REPRO_WORKERS=4``, and
+4. diffs every response pair after
+   :func:`repro.service.wire.strip_volatile` normalisation.
+
+Any divergence — a wrong status, a worker-count-dependent body, an
+unhandled 500 — fails the run with a nonzero exit code.  This is the
+end-to-end witness of the service's determinism contract: the HTTP
+layer is a pure transport over the library, and the library is
+worker-count independent.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+
+WORKER_COUNTS = ("1", "4")
+
+#: (label, expected status) for every scripted request, in order.
+SCRIPT = (
+    ("health", 200),
+    ("patterns", 200),
+    ("build", 200),
+    ("session_create", 200),
+    ("session_actions", 200),
+    ("query", 200),
+    ("suggest", 200),
+    ("bad_route", 404),
+    ("shed_build", 503),
+)
+
+
+def run_script(port_holder: List[int]) -> List[Tuple[str, int, Dict]]:
+    """One full scripted pass against a fresh live server."""
+    from repro.core.pipeline import PipelineConfig
+    from repro.datasets import generate_chemical_repository
+    from repro.graph.io import graph_to_dict
+    from repro.patterns.base import PatternBudget
+    from repro.service import (
+        PatternService,
+        ServiceClient,
+        serve_in_thread,
+    )
+
+    service = PatternService(
+        generate_chemical_repository(10, seed=7),
+        PipelineConfig(budget=PatternBudget(4, min_size=4, max_size=7),
+                       seed=3))
+    server, _thread = serve_in_thread(service)
+    host, port = server.server_address[:2]
+    port_holder.append(port)
+    client = ServiceClient(host, port)
+    exchanges: List[Tuple[str, int, Dict]] = []
+    try:
+        exchanges.append(("health",) + client.health())
+        exchanges.append(("patterns",) + client.patterns())
+        exchanges.append(
+            ("build",) + client.build({"config": {"seed": 3}}))
+        status, created = client.create_session()
+        exchanges.append(("session_create", status, created))
+        sid = created["session"]
+        exchanges.append(("session_actions",) + client.session_actions(
+            sid, [{"op": "add_pattern", "index": 0}]))
+        query = graph_to_dict(
+            service.snapshots.resolve("snap-0").patterns[0].graph)
+        exchanges.append(("query",) + client.query(
+            {"query": query, "snapshot": "snap-0"}))
+        exchanges.append(("suggest",) + client.suggest(
+            {"session": sid, "node": 0}))
+        exchanges.append(
+            ("bad_route",) + client.get("/v1/not-a-route"))
+        exchanges.append(("shed_build",) + client.request(
+            "POST", "/v1/build", body={},
+            headers={"X-Repro-Deadline": "0"}))
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return exchanges
+
+
+def main() -> int:
+    from repro.service import strip_volatile
+
+    runs: Dict[str, List[Tuple[str, int, Dict]]] = {}
+    for workers in WORKER_COUNTS:
+        os.environ["REPRO_WORKERS"] = workers
+        ports: List[int] = []
+        runs[workers] = run_script(ports)
+        print(f"REPRO_WORKERS={workers}: "
+              f"{len(runs[workers])} exchanges on port {ports[0]}")
+
+    failures = 0
+    for index, (label, expected_status) in enumerate(SCRIPT):
+        per_worker = {}
+        for workers in WORKER_COUNTS:
+            got_label, status, body = runs[workers][index]
+            if got_label != label:
+                print(f"FAIL {label}: script order broke "
+                      f"({got_label!r} at index {index})")
+                failures += 1
+            if status != expected_status:
+                print(f"FAIL {label} (workers={workers}): "
+                      f"status {status}, expected {expected_status}")
+                failures += 1
+            per_worker[workers] = strip_volatile(body)
+        # health is live process state (uptime, snapshot counts move
+        # with the run); every other body must be byte-identical
+        if label == "health":
+            continue
+        reference = json.dumps(per_worker[WORKER_COUNTS[0]],
+                               sort_keys=True)
+        for workers in WORKER_COUNTS[1:]:
+            candidate = json.dumps(per_worker[workers],
+                                   sort_keys=True)
+            if candidate != reference:
+                print(f"FAIL {label}: response differs between "
+                      f"workers {WORKER_COUNTS[0]} and {workers}")
+                failures += 1
+
+    if failures:
+        print(f"serve-smoke: {failures} failure(s)")
+        return 1
+    print(f"serve-smoke: {len(SCRIPT)} exchanges byte-identical "
+          f"across REPRO_WORKERS={{{','.join(WORKER_COUNTS)}}}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,8 @@
 PYTHON ?= python
 
 .PHONY: lint lint-json lint-project test compile check bench-smoke \
-	bench-kernel bench-scale trace-smoke chaos-smoke serve-smoke
+	bench-kernel bench-scale bench-store trace-smoke chaos-smoke \
+	serve-smoke store-smoke
 
 lint:
 	PYTHONPATH=tools $(PYTHON) -m reprolint src/repro
@@ -44,6 +45,13 @@ bench-kernel:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_kernel.py --smoke \
 		--baseline BENCH_kernel.json --out BENCH_kernel.json
 
+# durable-store micro-benchmark: segment/WAL append throughput and
+# cold-recovery latency, gated on bitwise round trips; refreshes
+# BENCH_store.json in place
+bench-store:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_store.py \
+		--out BENCH_store.json
+
 # selection scale-tier ladder (1k/10k/50k-graph repositories,
 # 10k/100k-node networks): lazy-vs-naive byte identity, >=10x
 # evaluation reduction at the 10k tier, wall/RSS budgets, and
@@ -57,5 +65,15 @@ bench-scale:
 # after strip_volatile (DESIGN.md, "Service layer")
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) tools/serve_smoke.py
+
+# durability gate: the in-process crash-recovery matrix at two worker
+# counts, then kill -9 of a live durable serve mid-maintenance with
+# byte-identical recovery (DESIGN.md, "Durability & recovery")
+store-smoke:
+	REPRO_WORKERS=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		tests/test_store.py
+	REPRO_WORKERS=4 PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		tests/test_store.py
+	PYTHONPATH=src $(PYTHON) tools/store_smoke.py
 
 check: compile lint lint-project test

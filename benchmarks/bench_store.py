@@ -1,0 +1,156 @@
+"""Durable-store micro-benchmark: fsync cost, measured not guessed.
+
+Times the three durable paths the store's recovery contract leans on
+— segment appends (fsync per record), WAL appends (fsync per batch
+record), and a full cold recovery (manifest + segment scan + WAL
+tail) — over a seeded repository, and gates on the properties the
+durability suite asserts:
+
+* every recovered graph re-encodes **byte-identically** to what was
+  appended (lossless round trip through the framed segment tier);
+* a WAL scan returns every appended batch, in sequence order;
+* a ``DiskBackend`` commit → ``load`` cycle reconstructs the
+  repository and pattern set bitwise.
+
+The numbers (records/s, ms/fsync'd append, recovery ms) are recorded
+for trend-watching, not gated — fsync latency is hardware, not code.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke \
+        --out BENCH_store.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import UpdateBatch, generate_chemical_repository
+from repro.patterns.base import Pattern, PatternSet
+from repro.store import (
+    DiskBackend,
+    SegmentStore,
+    WriteAheadLog,
+    encode_graph_record,
+    encode_pattern_blob,
+)
+
+
+def bench_segments(graphs, root: str, report: Dict) -> None:
+    store = SegmentStore(os.path.join(root, "segments"))
+    os.makedirs(store.root, exist_ok=True)
+    start = time.perf_counter()
+    written = store.append(graphs)
+    elapsed = time.perf_counter() - start
+    sealed = [dict(entry) for entry in store.entries]
+    store.close()
+
+    start = time.perf_counter()
+    recovered, quarantined, repaired = SegmentStore(
+        store.root).load(sealed)
+    load_s = time.perf_counter() - start
+
+    originals = {encode_graph_record(g) for g in graphs}
+    round_tripped = {encode_graph_record(g)
+                     for g in recovered.values()}
+    report["timings"]["segment_append_records_per_s"] = round(
+        written / elapsed, 1)
+    report["timings"]["segment_load_ms"] = round(load_s * 1e3, 2)
+    report["gates"]["segment_round_trip_lossless"] = \
+        originals == round_tripped
+    report["gates"]["segment_load_clean"] = \
+        not quarantined and not repaired
+
+
+def bench_wal(graphs, root: str, batches: int,
+              report: Dict) -> None:
+    wal = WriteAheadLog(os.path.join(root, "wal.log"))
+    per_batch = max(1, len(graphs) // batches)
+    start = time.perf_counter()
+    for seq in range(1, batches + 1):
+        added = graphs[(seq - 1) * per_batch:seq * per_batch]
+        wal.append(seq, UpdateBatch(added=added, removed=[]))
+    elapsed = time.perf_counter() - start
+    pending, truncated = wal.scan(watermark=0)
+    wal.close()
+    report["timings"]["wal_append_ms_per_record"] = round(
+        elapsed * 1e3 / batches, 3)
+    report["gates"]["wal_scan_complete"] = \
+        [seq for seq, _ in pending] == list(range(1, batches + 1)) \
+        and truncated == 0
+
+
+def bench_backend(graphs, root: str, report: Dict) -> None:
+    store_dir = os.path.join(root, "backend")
+    backend = DiskBackend(store_dir)
+    patterns = PatternSet(Pattern(g, source="bench")
+                          for g in graphs[:8])
+    start = time.perf_counter()
+    backend.commit(graphs, None, patterns, "catapult", wal_seq=0)
+    commit_s = time.perf_counter() - start
+    backend.close()
+
+    start = time.perf_counter()
+    recovered = DiskBackend(store_dir).load()
+    recover_s = time.perf_counter() - start
+    report["timings"]["backend_commit_ms"] = round(commit_s * 1e3, 2)
+    report["timings"]["backend_recover_ms"] = round(recover_s * 1e3, 2)
+    report["gates"]["backend_repository_bitwise"] = \
+        [encode_graph_record(g) for g in recovered.repository] \
+        == [encode_graph_record(g) for g in graphs]
+    report["gates"]["backend_patterns_bitwise"] = \
+        encode_pattern_blob(recovered.patterns) \
+        == encode_pattern_blob(patterns)
+    report["gates"]["backend_recovery_clean"] = \
+        not recovered.report.degraded \
+        and recovered.report.pending_batches == 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI")
+    parser.add_argument("--out", default="BENCH_store.json",
+                        help="JSON report path")
+    args = parser.parse_args()
+
+    size = 60 if args.smoke else 400
+    batches = 10 if args.smoke else 50
+    graphs = generate_chemical_repository(size, seed=7)
+    report: Dict[str, Dict] = {
+        "schema": "repro-bench-store/v1",
+        "config": {"graphs": size, "wal_batches": batches,
+                   "smoke": bool(args.smoke)},
+        "timings": {}, "gates": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        bench_segments(graphs, tmp, report)
+        bench_wal(graphs, tmp, batches, report)
+        bench_backend(graphs, tmp, report)
+
+    failed: List[str] = [name for name, ok in report["gates"].items()
+                         if not ok]
+    report["ok"] = not failed
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    for name, value in sorted(report["timings"].items()):
+        print(f"{name}: {value}")
+    if failed:
+        print(f"bench-store: FAILED gates: {', '.join(failed)}")
+        return 1
+    print(f"bench-store: {len(report['gates'])} gates ok -> "
+          f"{args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -233,19 +233,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.pipeline import PipelineConfig
     from repro.service import PatternService, ServiceConfig, serve
+    from repro.store import DiskBackend
     data = _load_data(args.data)
     pipeline = PipelineConfig(budget=_budget_from_args(args),
                               seed=args.seed, workers=args.workers,
                               trace=bool(args.trace),
                               deadline_s=args.deadline,
                               max_retries=args.max_retries)
+    backend = DiskBackend(args.store) if args.store else None
     service = PatternService(
         data, pipeline,
         ServiceConfig(rate=args.rate, burst=args.burst,
                       max_inflight=args.max_inflight,
-                      request_log=args.request_log))
+                      request_log=args.request_log),
+        backend=backend)
     snapshot = service.snapshots.current()
-    print(f"built {len(snapshot.patterns)} patterns "
+    state = "built"
+    if service.recovery is not None:
+        replayed = service.recovery.replayed_batches
+        state = f"recovered (+{replayed} WAL batch(es))" \
+            if replayed else "recovered"
+    print(f"{state} {len(snapshot.patterns)} patterns "
           f"({snapshot.generator}); serving {args.data} on "
           f"http://{args.host}:{args.port}")
     serve(service, host=args.host, port=args.port)
@@ -371,6 +379,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="concurrently admitted heavy requests; "
                               "excess builds/maintenance shed with "
                               "503 (default 1)")
+    p_serve.add_argument("--store", metavar="DIR", default=None,
+                         help="durable store directory (WAL + "
+                              "segments + manifest): maintenance "
+                              "batches persist and the pattern set "
+                              "recovers bitwise after a crash; "
+                              "created on first use, recovered on "
+                              "every boot")
     p_serve.add_argument("--request-log", metavar="PATH",
                          help="append every exchange to this JSONL "
                               "log, replayable with "

@@ -140,6 +140,58 @@ class UnknownNameError(ReproError, KeyError):
     """
 
 
+class StoreError(ReproError):
+    """Base class for :mod:`repro.store` durability failures."""
+
+
+class StoreCorruptionError(StoreError):
+    """On-disk store state failed checksum or structural validation.
+
+    Raised when corruption cannot be contained (a bad manifest, a
+    segment the manifest references that is missing outright).
+    Recoverable damage — a torn WAL tail, a corrupt sealed segment —
+    is instead quarantined and surfaced on the
+    :class:`repro.store.RecoveryReport`.
+    """
+
+    def __init__(self, message: str, path: object = None,
+                 detail: object = None) -> None:
+        location = f"{path}: " if path is not None else ""
+        super().__init__(f"{location}{message}")
+        self.path = str(path) if path is not None else None
+        self.detail = detail
+
+
+class StoreWriteError(StoreError):
+    """A durable write (append, fsync, or atomic rename) failed.
+
+    The store guarantees that a failed write leaves the on-disk state
+    recoverable: either the record never became durable (pre-state)
+    or it is complete and checksummed (post-state).
+    """
+
+    def __init__(self, message: str, path: object = None) -> None:
+        location = f"{path}: " if path is not None else ""
+        super().__init__(f"{location}{message}")
+        self.path = str(path) if path is not None else None
+
+
+class SimulatedCrash(ReproError):
+    """A chaos-injected hard crash point was reached.
+
+    Raised by store code when a ``torn_write`` or
+    ``crash_after_n_records`` disk fault fires in-process (tests);
+    the store-smoke harness instead converts the same fault into a
+    real ``SIGKILL`` so recovery is exercised against a genuinely
+    dead process.
+    """
+
+    def __init__(self, site: str, kind: str) -> None:
+        super().__init__(f"{site}: simulated crash ({kind})")
+        self.site = site
+        self.kind = kind
+
+
 class ServiceError(ReproError):
     """Base class for :mod:`repro.service` request-handling failures.
 

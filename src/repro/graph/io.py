@@ -99,45 +99,60 @@ def read_lg(path: PathLike) -> List[Graph]:
 
     Malformed lines raise :class:`~repro.errors.GraphInputError`
     carrying the offending file and 1-based line number, so callers
-    (and their users) see *where* the input went wrong.
+    (and their users) see *where* the input went wrong.  A file whose
+    final record lacks its terminating newline, or that carries
+    binary garbage (NUL bytes), is rejected the same way rather than
+    silently parsing a truncated prefix — every complete ``.lg``
+    writer (including :func:`write_lg`) newline-terminates each
+    record, so a missing terminator is the signature of a torn write.
     """
     graphs: List[Graph] = []
     current: Graph | None = None
     with open(path, "r", encoding="utf-8") as handle:
-        for lineno, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line:
-                continue
-            parts = line.split()
-            kind = parts[0]
-            try:
-                if kind == "t":
-                    name = parts[2] if len(parts) > 2 else ""
-                    current = Graph(name=name)
-                    graphs.append(current)
-                elif kind == "v":
-                    if current is None:
-                        raise GraphInputError(
-                            "vertex before first 't' line",
-                            path=path, line=lineno)
-                    label = parts[2] if len(parts) > 2 else ""
-                    current.add_node(int(parts[1]), label=label)
-                elif kind == "e":
-                    if current is None:
-                        raise GraphInputError(
-                            "edge before first 't' line",
-                            path=path, line=lineno)
-                    label = parts[3] if len(parts) > 3 else ""
-                    current.add_edge(int(parts[1]), int(parts[2]),
-                                     label=label)
-                else:
+        text = handle.read()
+    if text and not text.endswith("\n"):
+        raise GraphInputError(
+            "file ends mid-record (no terminating newline); the "
+            "final record was likely truncated by an interrupted "
+            "write", path=path, line=text.count("\n") + 1)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if "\x00" in raw:
+            raise GraphInputError(
+                "binary garbage (NUL byte) in record",
+                path=path, line=lineno)
+        line = raw.strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0]
+        try:
+            if kind == "t":
+                name = parts[2] if len(parts) > 2 else ""
+                current = Graph(name=name)
+                graphs.append(current)
+            elif kind == "v":
+                if current is None:
                     raise GraphInputError(
-                        f"unknown record type {kind!r}",
+                        "vertex before first 't' line",
                         path=path, line=lineno)
-            except (IndexError, ValueError) as exc:
+                label = parts[2] if len(parts) > 2 else ""
+                current.add_node(int(parts[1]), label=label)
+            elif kind == "e":
+                if current is None:
+                    raise GraphInputError(
+                        "edge before first 't' line",
+                        path=path, line=lineno)
+                label = parts[3] if len(parts) > 3 else ""
+                current.add_edge(int(parts[1]), int(parts[2]),
+                                 label=label)
+            else:
                 raise GraphInputError(
-                    f"malformed line {line!r}",
-                    path=path, line=lineno) from exc
+                    f"unknown record type {kind!r}",
+                    path=path, line=lineno)
+        except (IndexError, ValueError) as exc:
+            raise GraphInputError(
+                f"malformed line {line!r}",
+                path=path, line=lineno) from exc
     return graphs
 
 

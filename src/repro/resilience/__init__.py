@@ -24,11 +24,13 @@ supplies the budget, the bookkeeping, and the failure script.
 
 from repro.resilience.chaos import (
     CORRUPTED,
+    DISK_FAULT_KINDS,
     FAULT_KINDS,
     FaultPlan,
     FaultSpec,
     active_plan,
     chaos,
+    disk_site,
     install,
     is_corrupt,
     site,
@@ -43,6 +45,7 @@ from repro.resilience.deadline import (
 __all__ = [
     "CORRUPTED",
     "CompletionReport",
+    "DISK_FAULT_KINDS",
     "Deadline",
     "FAULT_KINDS",
     "FaultPlan",
@@ -51,6 +54,7 @@ __all__ = [
     "UNBOUNDED",
     "active_plan",
     "chaos",
+    "disk_site",
     "install",
     "is_corrupt",
     "site",

@@ -51,6 +51,14 @@ from repro.obs import metrics
 #: Recognised fault kinds.
 FAULT_KINDS = ("raise", "hang", "corrupt")
 
+#: Disk-fault kinds understood by :mod:`repro.store` write/read paths.
+#: Unlike :data:`FAULT_KINDS` these do not raise here — the store
+#: interprets them at the I/O site (write half a record and crash,
+#: fail before fsync, return a short read, crash after a durable
+#: write) so recovery semantics are exercised where they matter.
+DISK_FAULT_KINDS = ("torn_write", "short_read", "fsync_fail",
+                    "crash_after_n_records")
+
 
 class _Corrupted:
     """Sentinel standing in for a corrupted-in-transit result."""
@@ -112,9 +120,10 @@ class FaultSpec:
                  one_in: Optional[int] = None,
                  hang_s: float = 0.05,
                  message: str = "injected fault") -> None:
-        if kind not in FAULT_KINDS:
-            raise OptionError(f"unknown fault kind {kind!r}; "
-                             f"expected one of {FAULT_KINDS}")
+        if kind not in FAULT_KINDS and kind not in DISK_FAULT_KINDS:
+            raise OptionError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{FAULT_KINDS + DISK_FAULT_KINDS}")
         self.site = site
         self.kind = kind
         self.keys: Optional[FrozenSet[object]] = \
@@ -179,7 +188,7 @@ class FaultPlan:
         call = self.calls.get(site, 0) + 1
         self.calls[site] = call
         for spec in self.specs:
-            if spec.site != site:
+            if spec.site != site or spec.kind in DISK_FAULT_KINDS:
                 continue
             if not spec.matches(call, key, attempt, self.seed):
                 continue
@@ -197,6 +206,28 @@ class FaultPlan:
             raise WorkerFailure(site, key=key, attempt=attempt,
                                 kind="raise", cause=spec.message)
         return False
+
+    def fire_disk(self, site: str, key: object = None) -> Optional[str]:
+        """Consult the plan at a disk-I/O site.
+
+        Returns the :data:`DISK_FAULT_KINDS` entry scripted for this
+        site event (the store interprets it at the I/O call), or
+        ``None`` when nothing is scripted.  Shares the per-site call
+        counter with :meth:`fire` so ``at_calls`` addressing stays
+        deterministic across mixed plans.
+        """
+        call = self.calls.get(site, 0) + 1
+        self.calls[site] = call
+        for spec in self.specs:
+            if spec.site != site or spec.kind not in DISK_FAULT_KINDS:
+                continue
+            if not spec.matches(call, key, attempt=0, seed=self.seed):
+                continue
+            self.fired.append((site, key, 0, spec.kind))
+            metrics.inc("resilience.chaos.injected")
+            metrics.inc(f"resilience.chaos.injected.{spec.kind}")
+            return spec.kind
+        return None
 
     def __repr__(self) -> str:
         return (f"<FaultPlan seed={self.seed} specs={len(self.specs)} "
@@ -244,3 +275,16 @@ def site(name: str, key: object = None, attempt: int = 0) -> bool:
     if _ACTIVE is None:
         return False
     return _ACTIVE.fire(name, key=key, attempt=attempt)
+
+
+def disk_site(name: str, key: object = None) -> Optional[str]:
+    """Disk-I/O injection hook for :mod:`repro.store`.
+
+    Returns the scripted :data:`DISK_FAULT_KINDS` entry for this site
+    event or ``None`` (after one global comparison) when chaos is off.
+    The *caller* interprets the kind at the I/O boundary — e.g. a
+    ``torn_write`` means "write a prefix of the payload, then crash".
+    """
+    if _ACTIVE is None:
+        return None
+    return _ACTIVE.fire_disk(name, key=key)

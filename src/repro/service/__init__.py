@@ -62,10 +62,12 @@ from repro.service.requestlog import (
 )
 from repro.service.router import Route, Router
 from repro.service.server import (
+    DRAIN_TIMEOUT_S,
     ServiceHTTPServer,
     create_server,
     serve,
     serve_in_thread,
+    shutdown_gracefully,
 )
 from repro.service.sessions import Session, SessionStore
 from repro.service.snapshot import EngineSnapshot, SnapshotManager
@@ -79,6 +81,7 @@ from repro.service.wire import (
 __all__ = [
     "DEADLINE_HEADER",
     "DEFAULT_BUDGET",
+    "DRAIN_TIMEOUT_S",
     "EngineSnapshot",
     "MIDDLEWARE_CHAIN",
     "PatternService",
@@ -105,6 +108,7 @@ __all__ = [
     "replay",
     "serve",
     "serve_in_thread",
+    "shutdown_gracefully",
     "status_for",
     "strip_volatile",
 ]

@@ -32,9 +32,10 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.pipeline import PipelineConfig, run_selection
+from repro.datasets.evolving import UpdateBatch
 from repro.errors import MaintenanceError
 from repro.graph.graph import Graph
-from repro.midas.maintenance import Midas
+from repro.midas.maintenance import MaintenanceReport, Midas
 from repro.patterns.base import PatternBudget
 from repro.service.handlers import (
     handle_build,
@@ -63,6 +64,11 @@ from repro.service.snapshot import (
     SnapshotManager,
 )
 from repro.service.sessions import SessionStore
+from repro.store.backends import (
+    MemoryBackend,
+    RecoveryReport,
+    RepositoryBackend,
+)
 
 #: The budget a service built without one selects under.
 DEFAULT_BUDGET = PatternBudget(8, min_size=4, max_size=8)
@@ -116,13 +122,17 @@ class PatternService:
 
     def __init__(self, data: Union[Graph, Sequence[Graph]],
                  pipeline: Optional[PipelineConfig] = None,
-                 config: Optional[ServiceConfig] = None) -> None:
+                 config: Optional[ServiceConfig] = None,
+                 backend: Optional[RepositoryBackend] = None) -> None:
         self.pipeline = pipeline or PipelineConfig(
             budget=DEFAULT_BUDGET)
         if self.pipeline.budget is None:
             raise MaintenanceError(
                 "the service pipeline config needs a budget")
         self.config = config or ServiceConfig()
+        self.backend = backend if backend is not None \
+            else MemoryBackend()
+        self.recovery: Optional[RecoveryReport] = None
         self.router = build_router()
         self.bucket = TokenBucket(self.config.rate, self.config.burst)
         self.heavy_slots = threading.BoundedSemaphore(
@@ -136,9 +146,12 @@ class PatternService:
         self._midas_snapshot: Optional[str] = None
         self._id_lock = threading.Lock()
         self._request_counter = 0
+        self._inflight = 0
+        self._idle = threading.Event()
+        self._idle.set()
         self._started = time.monotonic()
         self._chain = build_chain(self, self._terminal)
-        self._initial_build(data)
+        self._boot(data)
 
     # ------------------------------------------------------- dispatch
 
@@ -155,7 +168,16 @@ class PatternService:
         """
         request = Request(method, path, body=body, headers=headers,
                           policed=policed)
-        return self._chain(request)
+        with self._id_lock:
+            self._inflight += 1
+            self._idle.clear()
+        try:
+            return self._chain(request)
+        finally:
+            with self._id_lock:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.set()
 
     def _terminal(self, request: Request) -> Response:
         assert request.route is not None  # set by route_resolve
@@ -171,6 +193,29 @@ class PatternService:
 
     # ---------------------------------------------------- state swaps
 
+    def _boot(self, data: Union[Graph, Sequence[Graph]]) -> None:
+        """Recover from the backend when it has state, else run the
+        initial build and persist it.
+
+        Recovery publishes the stored snapshot exactly as committed,
+        then replays the WAL batches past the manifest watermark
+        through the same apply path live maintenance uses — MIDAS
+        quarantine semantics make re-application idempotent, so a
+        batch that was half-committed lands in its post-batch state
+        and one that never reached the WAL stays pre-batch.
+        """
+        recovered = self.backend.load()
+        if recovered is None:
+            self._initial_build(data)
+            return
+        self.recovery = recovered.report
+        self.snapshots.swap(recovered.data, recovered.patterns,
+                            recovered.generator)
+        for seq, batch in recovered.pending:
+            with self.engine_lock:
+                self._apply_batch_locked(batch, wal_seq=seq)
+            recovered.report.replayed_batches += 1
+
     def _initial_build(self, data: Union[Graph, Sequence[Graph]]
                        ) -> None:
         result = run_selection(data, self.pipeline)
@@ -179,8 +224,53 @@ class PatternService:
 
     def publish_build(self, data: Union[Graph, Sequence[Graph]],
                       patterns, generator: str) -> EngineSnapshot:
-        """Publish a freshly built pattern set as the new snapshot."""
-        return self.snapshots.swap(data, patterns, generator)
+        """Publish a freshly built pattern set as the new snapshot
+        (and persist it on a durable backend)."""
+        snapshot = self.snapshots.swap(data, patterns, generator)
+        self._commit_snapshot(snapshot)
+        return snapshot
+
+    def apply_maintenance(self, batch: UpdateBatch
+                          ) -> "tuple[EngineSnapshot, MaintenanceReport]":
+        """Write-ahead-log one MIDAS batch, apply it, publish, and
+        persist — the one durable maintenance entry point.
+
+        Ordering is the recovery contract: the batch is fsync'd to
+        the WAL *before* any in-memory state changes, and the
+        snapshot is published *before* the commit, so whether a
+        crash (or commit failure) lands before or after any given
+        step, the live state and the recovered state agree — both
+        pre-batch, or both post-batch.
+        """
+        with self.engine_lock:
+            wal_seq = self.backend.log_batch(batch)
+            return self._apply_batch_locked(batch, wal_seq=wal_seq)
+
+    def _apply_batch_locked(self, batch: UpdateBatch,
+                            wal_seq: Optional[int] = None
+                            ) -> "tuple[EngineSnapshot, MaintenanceReport]":
+        """Apply an already-logged batch; callers hold
+        ``engine_lock``."""
+        try:
+            engine = self.ensure_midas()
+            report = engine.apply_batch(batch)
+            snapshot = self.publish_midas()
+            self._commit_snapshot(snapshot, wal_seq=wal_seq)
+        finally:
+            if self.backend.durable:
+                # a durable service recreates the engine from the
+                # repository on every batch, so live maintenance and
+                # crash-recovery replay compute the identical
+                # fresh-engine function of (repository, batch)
+                self._midas = None
+                self._midas_snapshot = None
+        return snapshot, report
+
+    def _commit_snapshot(self, snapshot: EngineSnapshot,
+                         wal_seq: Optional[int] = None) -> None:
+        self.backend.commit(snapshot.repository, snapshot.network,
+                            snapshot.patterns, snapshot.generator,
+                            wal_seq=wal_seq)
 
     def ensure_midas(self) -> Midas:
         """The maintenance engine over the *current* repository.
@@ -211,9 +301,20 @@ class PatternService:
         self._midas_snapshot = snapshot.snapshot_id
         return snapshot
 
+    def drain(self, timeout_s: float = 5.0) -> bool:
+        """Wait until no request is mid-dispatch (bounded).
+
+        The graceful-shutdown half of the deadline machinery: every
+        in-flight request is already bounded by its own admission
+        deadline, so a finite wait here suffices.  Returns False if
+        requests were still running when the timeout expired.
+        """
+        return self._idle.wait(timeout_s)
+
     def close(self) -> None:
         if self.request_log is not None:
             self.request_log.close()
+        self.backend.close()
 
     def __repr__(self) -> str:
         current = self.snapshots._current

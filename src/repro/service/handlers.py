@@ -66,17 +66,19 @@ def handle_patterns(service, request: Request) -> Dict[str, object]:
 
 def handle_maintain(service, request: Request) -> Dict[str, object]:
     """Apply one MIDAS :class:`UpdateBatch`, then publish a new
-    snapshot.  Reads keep serving the old snapshot throughout."""
+    snapshot.  Reads keep serving the old snapshot throughout.
+
+    On a durable backend the batch is write-ahead-logged (fsync'd)
+    before it is applied and the published snapshot is committed
+    after — :meth:`repro.service.app.PatternService.
+    apply_maintenance` owns that ordering."""
     added = [graph_from_dict(item) for item in
              _list_of_dicts(request.body.get("add", []), "add")]
     removed = [str(name) for name
                in _string_list(request.body.get("remove", []),
                                "remove")]
-    with service.engine_lock:
-        engine = service.ensure_midas()
-        report = engine.apply_batch(UpdateBatch(added=added,
-                                                removed=removed))
-        snapshot = service.publish_midas()
+    snapshot, report = service.apply_maintenance(
+        UpdateBatch(added=added, removed=removed))
     return {
         "snapshot": snapshot.snapshot_id,
         "degraded": bool(report.degraded),

@@ -20,7 +20,9 @@ API.
 from __future__ import annotations
 
 import json
+import os
 import threading
+import warnings
 from typing import Dict, List, Optional
 
 from repro.errors import GraphInputError
@@ -57,7 +59,11 @@ class RequestLog:
         line = json.dumps(entry, sort_keys=True)
         with self._lock:
             self._handle.write(line + "\n")
+            # flush + fsync per record: the replay log is a durability
+            # artifact, and a buffered tail lost to a crash would
+            # silently shorten the serial witness it claims to be
             self._handle.flush()
+            os.fsync(self._handle.fileno())
             self.entries_written += 1
 
     def close(self) -> None:
@@ -68,24 +74,43 @@ class RequestLog:
 
 def read_log(path: str) -> List[Dict[str, object]]:
     """Parse a JSONL request log; malformed lines raise
-    :class:`repro.errors.GraphInputError` with line context."""
+    :class:`repro.errors.GraphInputError` with line context.
+
+    One exception: a malformed *final* line that the file ends on
+    without a newline is the signature of a crash mid-append — that
+    record never finished becoming durable, so it is skipped with a
+    warning instead of failing the whole replay.
+    """
     entries: List[Dict[str, object]] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise GraphInputError(
-                    f"malformed request-log line: {exc}",
-                    path=path, line=number) from exc
+        text = handle.read()
+    lines = text.split("\n")
+    torn_tail = bool(lines) and lines[-1] != ""
+    if not torn_tail:
+        lines = lines[:-1]
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        truncated_last = torn_tail and number == len(lines)
+        try:
+            entry = json.loads(line)
             if not isinstance(entry, dict):
                 raise GraphInputError(
                     "request-log line is not an object",
                     path=path, line=number)
-            entries.append(entry)
+        except (json.JSONDecodeError, GraphInputError) as exc:
+            if truncated_last:
+                warnings.warn(
+                    f"{path}:{number}: skipping truncated final "
+                    f"request-log line ({exc})", stacklevel=2)
+                continue
+            if isinstance(exc, GraphInputError):
+                raise
+            raise GraphInputError(
+                f"malformed request-log line: {exc}",
+                path=path, line=number) from exc
+        entries.append(entry)
     return entries
 
 

@@ -11,6 +11,7 @@ non-JSON bodies → 400 with the standard error shape).
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -128,25 +129,65 @@ def serve_in_thread(service: PatternService, host: str = "127.0.0.1",
     return server, thread
 
 
+#: Bound on draining in-flight requests at shutdown; each request is
+#: additionally bounded by its own admission deadline.
+DRAIN_TIMEOUT_S = 10.0
+
+
+def shutdown_gracefully(server: ServiceHTTPServer,
+                        drain_timeout_s: float = DRAIN_TIMEOUT_S
+                        ) -> bool:
+    """Stop accepting, drain in-flight requests, flush and close.
+
+    The shutdown half of the durability story: requests already
+    dispatched run to completion (bounded by ``drain_timeout_s`` and
+    their own deadlines), the request log is flushed + fsync'd by
+    its last append, and the store backend's handles close cleanly.
+    Returns the drain verdict (False when requests were abandoned to
+    the timeout).
+    """
+    server.shutdown()
+    drained = server.service.drain(drain_timeout_s)
+    server.server_close()
+    server.service.close()
+    return drained
+
+
 def serve(service: PatternService, host: str = "127.0.0.1",
           port: int = 8080) -> None:
-    """Serve until interrupted (the ``repro-vqi serve`` loop)."""
+    """Serve until interrupted (the ``repro-vqi serve`` loop).
+
+    SIGTERM and KeyboardInterrupt both exit through
+    :func:`shutdown_gracefully`: no new requests, in-flight ones
+    drain, the request log and store are flushed before the process
+    gives up the port.
+    """
     server = create_server(service, host, port)
+
+    def _on_sigterm(signum, frame) -> None:
+        # break serve_forever's poll loop from the main thread's
+        # signal context; the finally block does the orderly exit
+        threading.Thread(target=server.shutdown,
+                         name="repro-sigterm", daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
     finally:
-        # reached on KeyboardInterrupt (the intended stop signal) or
-        # any serve_forever failure: release the port and the log
-        server.shutdown()
-        server.server_close()
-        service.close()
+        # reached on SIGTERM, KeyboardInterrupt (the interactive stop
+        # signal), or any serve_forever failure: drain, then release
+        # the port and the log
+        signal.signal(signal.SIGTERM, previous)
+        shutdown_gracefully(server)
 
 
 __all__ = [
+    "DRAIN_TIMEOUT_S",
     "MAX_BODY_BYTES",
     "ServiceHTTPServer",
     "ServiceRequestHandler",
     "create_server",
     "serve",
     "serve_in_thread",
+    "shutdown_gracefully",
 ]

@@ -1,0 +1,433 @@
+"""On-disk record framing and wire codecs for :mod:`repro.store`.
+
+Every store file is a *magic header* followed by length-prefixed,
+CRC32-checksummed frames::
+
+    <8-byte magic> <u32 length> <u32 crc32(payload)> <payload> ...
+
+The frame layer gives the recovery scanner exactly two failure
+shapes: a **torn tail** (the file ends inside a frame header or
+payload — the crash left a half-written append, which recovery
+truncates) and a **corrupt frame** (a complete frame whose payload
+fails its checksum — bit rot or an overwritten region, which recovery
+quarantines).  Everything above — WAL batches, segment graphs,
+pattern blobs — is a payload codec over this one framing.
+
+Graph payloads reuse the :meth:`repro.graph.compact.CompactGraph.
+encode` wire tuples (PR 7): a compact JSON header carries the name,
+typecodes, label tables, and attributes, and the width-packed array
+buffers follow as raw bytes.  The round trip is lossless including
+node and edge insertion order, which is what makes WAL replay
+deterministic.
+
+All durable writes here follow the fsync discipline reprolint R019
+enforces over this package: append paths flush + fsync the file
+before returning; rename paths fsync the temp file before
+``os.replace`` and fsync the directory after.  The
+:func:`repro.resilience.chaos.disk_site` hook threads through every
+durable call so the crash-recovery matrix can script ``torn_write``
+/ ``short_read`` / ``fsync_fail`` / ``crash_after_n_records`` faults
+at exactly these boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.evolving import UpdateBatch
+from repro.errors import (
+    SimulatedCrash,
+    StoreCorruptionError,
+    StoreWriteError,
+)
+from repro.graph.compact import decode_graph
+from repro.graph.graph import Graph
+from repro.patterns.base import Pattern, PatternSet
+from repro.resilience.chaos import disk_site
+
+#: File magics (8 bytes each): WAL, graph segments, pattern blobs.
+WAL_MAGIC = b"RPWAL01\n"
+SEGMENT_MAGIC = b"RPSEG01\n"
+PATTERNS_MAGIC = b"RPPAT01\n"
+
+#: Frame header: little-endian (payload length, crc32 of payload).
+_FRAME = struct.Struct("<II")
+_U32 = struct.Struct("<I")
+
+#: When set to ``1`` a scripted crash fault kills the process with
+#: SIGKILL (the store-smoke harness); otherwise it raises
+#: :class:`repro.errors.SimulatedCrash` (the in-process matrix).
+CRASH_HARD_ENV = "REPRO_STORE_CRASH_HARD"
+
+#: Scan verdicts: a clean file, a torn (truncatable) tail, or a
+#: complete-but-checksum-failed frame.
+SCAN_CLEAN = None
+SCAN_TORN = "torn"
+SCAN_CORRUPT = "corrupt"
+
+
+# ---------------------------------------------------------------- frames
+
+
+def frame_record(payload: bytes) -> bytes:
+    """One framed record: length + CRC32 + payload."""
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_records(data: bytes, offset: int = 0
+                 ) -> Tuple[List[bytes], int, Optional[str]]:
+    """Walk frames from ``offset``; returns ``(payloads, valid_end,
+    verdict)``.
+
+    ``valid_end`` is the byte offset just past the last intact frame
+    — the truncation point for a torn tail and the quarantine
+    boundary for a corrupt frame.  The verdict is
+    :data:`SCAN_CLEAN`, :data:`SCAN_TORN`, or :data:`SCAN_CORRUPT`.
+    """
+    payloads: List[bytes] = []
+    at = offset
+    end = len(data)
+    while at < end:
+        if end - at < _FRAME.size:
+            return payloads, at, SCAN_TORN
+        length, crc = _FRAME.unpack_from(data, at)
+        start = at + _FRAME.size
+        if end - start < length:
+            return payloads, at, SCAN_TORN
+        payload = data[start:start + length]
+        if zlib.crc32(payload) != crc:
+            return payloads, at, SCAN_CORRUPT
+        payloads.append(payload)
+        at = start + length
+    return payloads, at, SCAN_CLEAN
+
+
+# ---------------------------------------------------------- durable I/O
+
+
+def crash_point(site_name: str, kind: str) -> None:
+    """Die at a scripted crash point.
+
+    In-process runs raise :class:`repro.errors.SimulatedCrash` (the
+    test matrix catches it and re-opens the store); with
+    :data:`CRASH_HARD_ENV` set the process SIGKILLs itself so the
+    store-smoke harness exercises recovery against a genuinely dead
+    ``kill -9`` victim — no atexit hooks, no flushes, no unwinding.
+    """
+    if os.environ.get(CRASH_HARD_ENV) == "1":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise SimulatedCrash(site_name, kind)
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a rename/creation inside it is durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def durable_append(handle, payload: bytes, site_name: str,
+                   key: object = None,
+                   path: Optional[str] = None) -> int:
+    """Append one framed record and make it durable (flush + fsync).
+
+    The chaos hook fires *before* the write so scripted faults model
+    the real failure envelope: ``fsync_fail`` raises
+    :class:`~repro.errors.StoreWriteError` with nothing written (the
+    record never becomes durable), ``torn_write`` persists a prefix
+    of the frame then crashes (recovery must truncate), and
+    ``crash_after_n_records`` crashes after the record is fully
+    durable (recovery must replay).  Returns the framed length.
+    """
+    frame = frame_record(payload)
+    kind = disk_site(site_name, key)
+    if kind == "fsync_fail":
+        raise StoreWriteError(
+            f"{site_name}: injected fsync failure", path=path)
+    if kind == "torn_write":
+        handle.write(frame[:max(1, len(frame) // 2)])
+        handle.flush()
+        os.fsync(handle.fileno())
+        crash_point(site_name, "torn_write")
+    handle.write(frame)
+    handle.flush()
+    os.fsync(handle.fileno())
+    if kind == "crash_after_n_records":
+        crash_point(site_name, "crash_after_n_records")
+    return len(frame)
+
+
+def atomic_write(path: str, data: bytes, site_name: str,
+                 key: object = None) -> None:
+    """Durable whole-file write: temp → flush → fsync → rename →
+    directory fsync.
+
+    Readers never observe a partial file: either the old content (or
+    absence) survives or the complete new content does.  A
+    ``torn_write`` fault leaves only a half-written ``*.tmp`` the
+    next boot sweeps; ``crash_after_n_records`` crashes after the
+    rename is durable.
+    """
+    kind = disk_site(site_name, key)
+    if kind == "fsync_fail":
+        raise StoreWriteError(
+            f"{site_name}: injected fsync failure", path=path)
+    temp = path + ".tmp"
+    with open(temp, "wb") as handle:
+        if kind == "torn_write":
+            handle.write(data[:max(1, len(data) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            crash_point(site_name, "torn_write")
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    fsync_dir(os.path.dirname(path) or ".")
+    if kind == "crash_after_n_records":
+        crash_point(site_name, "crash_after_n_records")
+
+
+def chaos_read(data: bytes, site_name: str,
+               key: object = None) -> bytes:
+    """Apply a scripted ``short_read`` to just-read file bytes."""
+    kind = disk_site(site_name, key)
+    if kind == "short_read":
+        return data[:len(data) // 2]
+    return data
+
+
+def read_framed_file(path: str, magic: bytes,
+                     site_name: Optional[str] = None
+                     ) -> Tuple[List[bytes], int, Optional[str]]:
+    """Read + scan one store file; returns ``(payloads, valid_end,
+    verdict)``.
+
+    A file too short to hold the magic, or holding the wrong magic,
+    scans as zero valid bytes with a :data:`SCAN_TORN` /
+    :data:`SCAN_CORRUPT` verdict respectively.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if site_name is not None:
+        data = chaos_read(data, site_name,
+                          key=os.path.basename(path))
+    if len(data) < len(magic):
+        return [], 0, SCAN_TORN
+    if data[:len(magic)] != magic:
+        return [], 0, SCAN_CORRUPT
+    return scan_records(data, offset=len(magic))
+
+
+def truncate_file(path: str, size: int) -> None:
+    """Physically truncate ``path`` to ``size`` bytes, durably."""
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+# ----------------------------------------------------------- graph codec
+
+
+def encode_graph_record(graph: Graph) -> bytes:
+    """Serialize one graph as a segment/WAL payload.
+
+    Layout: ``<u32 header length> <JSON header> <node-id buffer>
+    <label-id buffer> <edge-triple buffer>`` where the buffers are the
+    width-packed arrays from :meth:`CompactGraph.encode` and the
+    header records their typecodes and byte lengths.  Attribute dicts
+    ride in the header (node keys as ints, edge keys flattened to
+    ``[u, v, attrs]`` triples), preserving insertion order.
+    """
+    (version, name, order, id_pack, label_pack, node_labels,
+     edge_labels, edge_pack, node_attrs,
+     edge_attrs) = graph.compact().encode()
+    header = {
+        "v": version,
+        "name": name,
+        "n": order,
+        "ids": [id_pack[0], len(id_pack[1])],
+        "labels": [label_pack[0], len(label_pack[1])],
+        "edges": [edge_pack[0], len(edge_pack[1])],
+        "node_labels": list(node_labels),
+        "edge_labels": list(edge_labels),
+        "node_attrs": [[node, attrs]
+                       for node, attrs in node_attrs.items()]
+        if node_attrs else None,
+        "edge_attrs": [[u, v, attrs]
+                       for (u, v), attrs in edge_attrs.items()]
+        if edge_attrs else None,
+    }
+    head = json.dumps(header, separators=(",", ":"),
+                      ensure_ascii=True).encode("utf-8")
+    return b"".join((_U32.pack(len(head)), head, id_pack[1],
+                     label_pack[1], edge_pack[1]))
+
+
+def decode_graph_record(payload: bytes,
+                        path: Optional[str] = None) -> Graph:
+    """Inverse of :func:`encode_graph_record`.
+
+    Payloads are CRC-validated before they reach here, so a decode
+    failure means a format bug or corruption that beat the checksum
+    — either way a typed :class:`~repro.errors.StoreCorruptionError`.
+    """
+    try:
+        (head_len,) = _U32.unpack_from(payload, 0)
+        at = _U32.size
+        header = json.loads(payload[at:at + head_len].decode("utf-8"))
+        at += head_len
+        ids_code, ids_len = header["ids"]
+        labels_code, labels_len = header["labels"]
+        edges_code, edges_len = header["edges"]
+        id_buf = payload[at:at + ids_len]
+        at += ids_len
+        label_buf = payload[at:at + labels_len]
+        at += labels_len
+        edge_buf = payload[at:at + edges_len]
+        node_attrs = {int(node): attrs for node, attrs
+                      in header["node_attrs"]} \
+            if header.get("node_attrs") else None
+        edge_attrs = {(int(u), int(v)): attrs for u, v, attrs
+                      in header["edge_attrs"]} \
+            if header.get("edge_attrs") else None
+        state = (header["v"], header["name"], header["n"],
+                 (ids_code, id_buf), (labels_code, label_buf),
+                 tuple(header["node_labels"]),
+                 tuple(header["edge_labels"]),
+                 (edges_code, edge_buf), node_attrs, edge_attrs)
+        return decode_graph(state)
+    except (KeyError, ValueError, TypeError, struct.error,
+            UnicodeDecodeError) as exc:
+        raise StoreCorruptionError(
+            f"undecodable graph record: {exc}", path=path,
+            detail=exc) from exc
+
+
+# ----------------------------------------------------------- batch codec
+
+
+def encode_batch_record(seq: int, batch: UpdateBatch) -> bytes:
+    """Serialize one WAL entry: the sequence number, removed graph
+    names, and the added graphs as embedded graph records."""
+    added = [encode_graph_record(graph) for graph in batch.added]
+    header = {
+        "seq": seq,
+        "removed": [str(name) for name in batch.removed],
+        "added": [len(record) for record in added],
+    }
+    head = json.dumps(header, separators=(",", ":"),
+                      ensure_ascii=True).encode("utf-8")
+    return b"".join([_U32.pack(len(head)), head] + added)
+
+
+def decode_batch_record(payload: bytes,
+                        path: Optional[str] = None
+                        ) -> Tuple[int, UpdateBatch]:
+    """Inverse of :func:`encode_batch_record`."""
+    try:
+        (head_len,) = _U32.unpack_from(payload, 0)
+        at = _U32.size
+        header = json.loads(payload[at:at + head_len].decode("utf-8"))
+        at += head_len
+        added: List[Graph] = []
+        for length in header["added"]:
+            added.append(decode_graph_record(payload[at:at + length],
+                                             path=path))
+            at += length
+        return int(header["seq"]), UpdateBatch(
+            added=added,
+            removed=[str(name) for name in header["removed"]])
+    except (KeyError, ValueError, TypeError, struct.error,
+            UnicodeDecodeError) as exc:
+        raise StoreCorruptionError(
+            f"undecodable WAL batch record: {exc}", path=path,
+            detail=exc) from exc
+
+
+# --------------------------------------------------------- pattern codec
+
+
+def encode_pattern_record(pattern: Pattern) -> bytes:
+    """One pattern: its provenance tag plus its graph record."""
+    source = pattern.source.encode("utf-8")
+    return b"".join((_U32.pack(len(source)), source,
+                     encode_graph_record(pattern.graph)))
+
+
+def decode_pattern_record(payload: bytes,
+                          path: Optional[str] = None) -> Pattern:
+    """Inverse of :func:`encode_pattern_record`."""
+    try:
+        (source_len,) = _U32.unpack_from(payload, 0)
+        at = _U32.size
+        source = payload[at:at + source_len].decode("utf-8")
+        graph = decode_graph_record(payload[at + source_len:],
+                                    path=path)
+        return Pattern(graph, source=source)
+    except (ValueError, struct.error, UnicodeDecodeError) as exc:
+        raise StoreCorruptionError(
+            f"undecodable pattern record: {exc}", path=path,
+            detail=exc) from exc
+
+
+def encode_pattern_blob(patterns: PatternSet) -> bytes:
+    """A whole pattern-set blob: magic + one frame per pattern, in
+    display order (the order the panel serves)."""
+    parts = [PATTERNS_MAGIC]
+    for pattern in patterns:
+        parts.append(frame_record(encode_pattern_record(pattern)))
+    return b"".join(parts)
+
+
+def decode_pattern_blob(data: bytes,
+                        path: Optional[str] = None) -> PatternSet:
+    """Inverse of :func:`encode_pattern_blob`; any damage is fatal
+    (the manifest pins the blob's checksum, so a mismatch here is
+    corruption that slipped past an atomic rename)."""
+    if data[:len(PATTERNS_MAGIC)] != PATTERNS_MAGIC:
+        raise StoreCorruptionError(
+            "pattern blob has a bad magic header", path=path)
+    payloads, _, verdict = scan_records(
+        data, offset=len(PATTERNS_MAGIC))
+    if verdict is not SCAN_CLEAN:
+        raise StoreCorruptionError(
+            f"pattern blob scan failed ({verdict})", path=path)
+    return PatternSet(decode_pattern_record(payload, path=path)
+                      for payload in payloads)
+
+
+__all__ = [
+    "CRASH_HARD_ENV",
+    "PATTERNS_MAGIC",
+    "SCAN_CLEAN",
+    "SCAN_CORRUPT",
+    "SCAN_TORN",
+    "SEGMENT_MAGIC",
+    "WAL_MAGIC",
+    "atomic_write",
+    "chaos_read",
+    "crash_point",
+    "decode_batch_record",
+    "decode_graph_record",
+    "decode_pattern_blob",
+    "decode_pattern_record",
+    "durable_append",
+    "encode_batch_record",
+    "encode_graph_record",
+    "encode_pattern_blob",
+    "encode_pattern_record",
+    "frame_record",
+    "fsync_dir",
+    "read_framed_file",
+    "scan_records",
+    "truncate_file",
+]

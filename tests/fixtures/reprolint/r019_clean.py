@@ -1,0 +1,20 @@
+"""Out-of-scope for R019: not under a store/ directory.
+
+fsync discipline is a durability contract of the store package;
+ordinary file writing elsewhere (reports, exports, request logs with
+their own policy) is not constrained by this rule.
+"""
+
+import os
+
+
+def plain_write(path, text):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def rename_first(path, data):
+    temp = path + ".tmp"
+    with open(temp, "wb") as handle:
+        handle.write(data)
+        os.replace(temp, path)

@@ -1,0 +1,48 @@
+"""In-scope clean fixture for R019: durable writes done right.
+
+Every write is followed by flush + fsync, and renames only happen
+after the temp file's bytes are on disk.
+"""
+
+import os
+
+
+def durable_append(path, payload):
+    with open(path, "ab") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return len(payload)
+
+
+def atomic_write(path, data):
+    temp = path + ".tmp"
+    with open(temp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def helper_sync(directory, path, data):
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        fsync_dir(directory)
+
+
+def fsync_dir(directory):
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_only(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def rename_without_write(path):
+    os.replace(path, path + ".quarantined")

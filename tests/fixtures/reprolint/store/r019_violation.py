@@ -1,0 +1,33 @@
+"""Deliberate R019 violations: this file sits under a store/ dir.
+
+Each function takes a durable-write action without the fsync
+discipline the store package promises.
+"""
+
+import os
+
+
+def bare_append(path, payload):
+    with open(path, "ab") as handle:
+        handle.write(payload)  # expect: R019
+        handle.flush()
+    return len(payload)
+
+
+def rename_then_sync(path, data):
+    temp = path + ".tmp"
+    with open(temp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.replace(temp, path)  # expect: R019
+        os.fsync(handle.fileno())
+
+
+def outer_write_inner_sync(path, data):
+    with open(path, "wb") as handle:
+        handle.write(data)  # expect: R019
+
+        def finish():
+            os.fsync(handle.fileno())
+
+        return finish

@@ -25,7 +25,7 @@ class TestPublicSurface:
             "repro.midas", "repro.modular", "repro.vqi",
             "repro.query", "repro.usability", "repro.datasets",
             "repro.timeseries", "repro.mining", "repro.obs",
-            "repro.perf", "repro.service",
+            "repro.perf", "repro.service", "repro.store",
         ]
         for package_name in packages:
             module = importlib.import_module(package_name)

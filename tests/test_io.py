@@ -170,3 +170,31 @@ class TestGraphInputError:
         assert issubclass(GraphInputError, FormatError)
         with pytest.raises(FormatError):
             graph_from_json("not json")
+
+    def test_truncated_final_record_is_located(self, tmp_path):
+        # a torn write leaves the file ending mid-record (no
+        # terminating newline); the parser must refuse the whole
+        # file rather than silently serve a truncated prefix
+        path = tmp_path / "torn.lg"
+        path.write_bytes(b"t # g\nv 0 A\nv 1 B\ne 0 1")
+        with pytest.raises(GraphInputError) as caught:
+            read_lg(path)
+        assert caught.value.path == str(path)
+        assert caught.value.line == 4
+        assert "truncated" in str(caught.value)
+
+    def test_trailing_binary_garbage_is_located(self, tmp_path):
+        path = tmp_path / "garbage.lg"
+        path.write_bytes(b"t # g\nv 0 A\n\x00\x01\x02garbage\n")
+        with pytest.raises(GraphInputError) as caught:
+            read_lg(path)
+        assert caught.value.line == 3
+        assert "NUL" in str(caught.value)
+
+    def test_complete_trailing_newline_still_parses(self, tmp_path):
+        # the regression's control: the same record, properly
+        # terminated, parses fine
+        path = tmp_path / "ok.lg"
+        path.write_bytes(b"t # g\nv 0 A\nv 1 B\ne 0 1 x\n")
+        g = read_lg(path)[0]
+        assert g.size() == 1 and g.edge_label(0, 1) == "x"

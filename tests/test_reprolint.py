@@ -34,18 +34,20 @@ from reprolint.violations import PARSE_ERROR, Violation  # noqa: E402
 EXPECT_MARKER = re.compile(r"#\s*expect:\s*(R\d{3}(?:\s*,\s*R\d{3})*)")
 ALL_RULE_IDS = ("R001", "R002", "R003", "R004", "R005", "R006", "R007",
                 "R008", "R009", "R010", "R011", "R012", "R013", "R014",
-                "R015", "R016", "R017", "R018")
+                "R015", "R016", "R017", "R018", "R019")
 
 #: The whole-program rules (backed by reprolint.analysis).
 PROJECT_RULE_IDS = ("R011", "R012", "R013", "R014", "R015")
 
-# R008/R016 only fire inside matching/truss package directories and
-# R009 inside catapult/tattoo/midas ones, so their in-scope fixtures
-# live under matching/ and catapult/ subdirectories; the top-level
-# rXXX_clean.py files double as the out-of-scope tests.
+# R008/R016 only fire inside matching/truss package directories,
+# R009 inside catapult/tattoo/midas ones, and R019 inside store
+# ones, so their in-scope fixtures live under matching/, catapult/,
+# and store/ subdirectories; the top-level rXXX_clean.py files
+# double as the out-of-scope tests.
 FIXTURE_VIOLATION_PATHS = {"R008": "matching/r008_violation.py",
                            "R009": "catapult/r009_violation.py",
-                           "R016": "matching/r016_violation.py"}
+                           "R016": "matching/r016_violation.py",
+                           "R019": "store/r019_violation.py"}
 
 
 def expected_findings(path: Path):
@@ -124,6 +126,10 @@ class TestFixtures(unittest.TestCase):
     def test_r016_in_scope_clean_fixture(self):
         # CSR-faithful compact usage inside a matching/ dir lints clean
         self.assert_clean("matching/r016_clean.py")
+
+    def test_r019_in_scope_clean_fixture(self):
+        # fsync-disciplined writes inside a store/ dir lint clean
+        self.assert_clean("store/r019_clean.py")
 
     def test_each_violation_fixture_exercises_only_its_rule(self):
         for rule_id in ALL_RULE_IDS:

@@ -50,6 +50,7 @@ from repro.service import (  # noqa: E402
     build_body,
     replay,
     serve_in_thread,
+    shutdown_gracefully,
     strip_volatile,
 )
 from repro.service import wire  # noqa: E402
@@ -568,6 +569,63 @@ class TestWireHelpers:
 
     def test_dumps_is_canonical(self):
         assert wire.dumps({"b": 1, "a": 2}) == b'{"a":2,"b":1}\n'
+
+
+class TestGracefulShutdown:
+    """shutdown_gracefully stops accepting, drains, then closes."""
+
+    def gate_dispatch(self, svc):
+        """Make every dispatch block until ``release`` is set."""
+        entered, release = threading.Event(), threading.Event()
+        original = svc._chain
+
+        def gated(request):
+            entered.set()
+            assert release.wait(10)
+            return original(request)
+
+        svc._chain = gated
+        return entered, release
+
+    def test_shutdown_drains_in_flight_requests(self):
+        svc = make_service()
+        server, _ = serve_in_thread(svc)
+        entered, release = self.gate_dispatch(svc)
+        results = []
+        worker = threading.Thread(
+            target=lambda: results.append(
+                svc.dispatch("GET", "/v1/health")))
+        worker.start()
+        assert entered.wait(10)
+        assert svc.drain(0.05) is False  # request is mid-dispatch
+        verdicts = []
+        stopper = threading.Thread(
+            target=lambda: verdicts.append(
+                shutdown_gracefully(server)))
+        stopper.start()
+        stopper.join(0.2)
+        assert stopper.is_alive()  # draining, not abandoning
+        release.set()
+        worker.join(10)
+        stopper.join(10)
+        assert verdicts == [True]
+        assert results and results[0].status == 200
+        assert svc.drain(0.0) is True
+
+    def test_drain_verdict_is_false_when_requests_overstay(self):
+        svc = make_service()
+        server, _ = serve_in_thread(svc)
+        entered, release = self.gate_dispatch(svc)
+        worker = threading.Thread(
+            target=lambda: svc.dispatch("GET", "/v1/health"))
+        worker.start()
+        assert entered.wait(10)
+        try:
+            assert shutdown_gracefully(
+                server, drain_timeout_s=0.05) is False
+        finally:
+            release.set()
+            worker.join(10)
 
 
 class TestWorkersEnvIndependence:

@@ -19,4 +19,5 @@ from reprolint.rules import (  # noqa: F401
     r016_compact_bypass,
     r017_stale_scorer,
     r018_deprecated_stats,
+    r019_fsync_discipline,
 )

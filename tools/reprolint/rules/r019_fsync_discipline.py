@@ -1,0 +1,152 @@
+"""R019 fsync-discipline.
+
+PR "durable graph store" made ``src/repro/store/`` the one place in
+the tree that promises crash durability: WAL records are fsync'd
+before MIDAS applies them, segments and manifests go through
+write-temp → fsync → ``os.replace``.  That promise is easy to erode
+— a ``handle.write(...)`` without a matching ``os.fsync`` leaves the
+bytes in the page cache, and an ``os.replace`` *before* the fsync
+publishes a name whose contents may still be lost to a crash.  Both
+failure modes pass every test on a healthy filesystem, which is why
+they get a lint rule instead of (only) a test.
+
+Scoped like R008/R016 to files under a ``store`` package directory,
+and per function:
+
+* a function that calls ``<handle>.write(...)`` must also call
+  ``os.fsync(...)`` (or the store's ``fsync_dir`` helper) before it
+  returns;
+* a function that both writes and renames (``os.replace`` /
+  ``os.rename``) must fsync *before* the first rename — rename is
+  the publication point, and publishing un-synced bytes is exactly
+  the torn-manifest bug the atomic-write protocol exists to prevent.
+
+Nested functions are analysed independently: an inner closure's
+fsync does not excuse its enclosing function's bare write.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, List, Tuple
+
+from reprolint.registry import Rule, register
+from reprolint.runner import FileContext, ProjectIndex
+from reprolint.violations import Violation
+
+#: Directory components that put a file in scope.
+STORE_PACKAGES = frozenset({"store"})
+
+#: Rename spellings that publish a file under its durable name.
+RENAME_ATTRS = frozenset({"replace", "rename"})
+
+#: Helper names accepted as an fsync (the store's directory-entry
+#: flush helper calls ``os.fsync`` internally).
+FSYNC_HELPERS = frozenset({"fsync_dir"})
+
+
+def _in_store_package(path: str) -> bool:
+    """True when the file lives in a ``store`` package directory."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    return bool(STORE_PACKAGES & set(normalized.split("/")[:-1]))
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of ``func`` excluding nested function bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_write(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "write")
+
+
+def _is_fsync(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "fsync":
+        return True
+    if isinstance(func, ast.Name) and func.id in FSYNC_HELPERS:
+        return True
+    return (isinstance(func, ast.Attribute)
+            and func.attr in FSYNC_HELPERS)
+
+
+def _is_rename(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in RENAME_ATTRS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "os")
+
+
+def _classify(func: ast.AST) -> Tuple[List[ast.AST], List[ast.AST],
+                                      List[ast.AST]]:
+    """(writes, fsyncs, renames) call nodes owned by ``func``."""
+    writes: List[ast.AST] = []
+    fsyncs: List[ast.AST] = []
+    renames: List[ast.AST] = []
+    for node in _own_nodes(func):
+        if _is_write(node):
+            writes.append(node)
+        elif _is_fsync(node):
+            fsyncs.append(node)
+        elif _is_rename(node):
+            renames.append(node)
+    return writes, fsyncs, renames
+
+
+@register
+class FsyncDisciplineRule(Rule):
+    id = "R019"
+    name = "fsync-discipline"
+    description = ("store-package function writes to a handle "
+                   "without os.fsync, or renames before fsyncing; "
+                   "durable writes must flush+fsync before "
+                   "rename/return")
+
+    def check(self, ctx: FileContext,
+              project: ProjectIndex) -> Iterator[Violation]:
+        if not _in_store_package(ctx.path):
+            return
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            writes, fsyncs, renames = _classify(func)
+            if not writes:
+                continue
+            if not fsyncs:
+                first = min(writes, key=lambda n: (n.lineno,
+                                                   n.col_offset))
+                yield Violation(
+                    path=ctx.path, line=first.lineno,
+                    col=first.col_offset, rule=self.id,
+                    message=(f"{func.name}() writes to a handle "
+                             "without ever calling os.fsync(); "
+                             "buffered bytes are lost to a crash — "
+                             "flush + fsync before returning"))
+                continue
+            if not renames:
+                continue
+            first_rename = min(renames,
+                               key=lambda n: (n.lineno, n.col_offset))
+            first_fsync = min(fsyncs,
+                              key=lambda n: (n.lineno, n.col_offset))
+            if first_fsync.lineno > first_rename.lineno:
+                yield Violation(
+                    path=ctx.path, line=first_rename.lineno,
+                    col=first_rename.col_offset, rule=self.id,
+                    message=(f"{func.name}() renames before "
+                             "fsyncing; os.replace publishes the "
+                             "file, so the temp's bytes must be "
+                             "fsync'd first"))
